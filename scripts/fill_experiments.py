@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Inject the bench harness output into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py bench_output.txt
+
+Splits the harness output at the `== E<n>: ... ==` headers and replaces
+each `<!-- E<n> table -->` placeholder (or previously injected block)
+with the verbatim table in a fenced code block.
+"""
+
+import re
+import sys
+
+def main(bench_path: str, doc_path: str = "EXPERIMENTS.md") -> None:
+    bench = open(bench_path, encoding="utf-8").read()
+    sections: dict[str, str] = {}
+    current = None
+    buf: list[str] = []
+    for line in bench.splitlines():
+        m = re.match(r"== (E\d+):", line)
+        if m:
+            if current:
+                sections[current] = "\n".join(buf).rstrip()
+            current = m.group(1)
+            buf = [line]
+        elif current:
+            if line.strip() == "done.":
+                break
+            buf.append(line)
+    if current:
+        sections[current] = "\n".join(buf).rstrip()
+
+    doc = open(doc_path, encoding="utf-8").read()
+    for eid, body in sections.items():
+        block = f"<!-- {eid} table -->\n```\n{body}\n```\n<!-- {eid} end -->"
+        injected = re.compile(
+            rf"<!-- {eid} table -->.*?<!-- {eid} end -->", re.S
+        )
+        placeholder = f"<!-- {eid} table -->"
+        if injected.search(doc):
+            doc = injected.sub(lambda _m: block, doc)
+        elif placeholder in doc:
+            doc = doc.replace(placeholder, block)
+        else:
+            print(f"warning: no placeholder for {eid}", file=sys.stderr)
+    open(doc_path, "w", encoding="utf-8").write(doc)
+    print(f"injected {len(sections)} tables into {doc_path}")
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
