@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Families Format Gen_formula List Printf Random Table Xpds

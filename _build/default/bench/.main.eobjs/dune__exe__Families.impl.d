@@ -1,0 +1,1 @@
+bench/families.ml: List Printf Xpds

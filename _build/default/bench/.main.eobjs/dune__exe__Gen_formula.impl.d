@@ -1,0 +1,1 @@
+bench/gen_formula.ml: List Random Xpds

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Families Format Hashtbl List Measure Staged String Sys Test Time Xpds

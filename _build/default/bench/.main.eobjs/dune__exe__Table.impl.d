@@ -1,0 +1,1 @@
+bench/table.ml: Format List Printf String Unix Xpds

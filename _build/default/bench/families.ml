@@ -1,0 +1,88 @@
+(* Parameterized formula families exercising each Fig. 4 fragment.
+   Each family returns a formula whose satisfiability is known by
+   construction, so the harness can check verdicts as it measures. *)
+
+open Xpds.Ast
+module B = Xpds.Build
+
+(* XPath(↓): a chain of n child steps with label constraints; the [sat]
+   variant is satisfiable by the a-chain, the unsat variant additionally
+   forbids a-children everywhere. *)
+let child_chain ~sat n =
+  let rec nest k =
+    if k = 0 then B.lab "a"
+    else B.exists (B.filter B.down (And (B.lab "a", nest (k - 1))))
+  in
+  if sat then nest n
+  else And (nest n, B.everywhere (B.not_ (B.exists (B.filter B.down (B.lab "a")))))
+
+(* XPath(↓,=): the root's datum reappears exactly at depth n and at no
+   earlier depth — forces a witness of height n+1. *)
+let data_chain ~sat n =
+  let rec down_k k = if k = 1 then B.down else Seq (B.down, down_k (k - 1)) in
+  let deep = B.eq B.eps (down_k n) in
+  let shallow_distinct =
+    List.init (n - 1) (fun i -> B.not_ (B.eq B.eps (down_k (i + 1))))
+  in
+  if sat then B.conj (deep :: shallow_distinct)
+  else B.conj ((deep :: shallow_distinct) @ [ B.not_ (B.exists B.down) ])
+
+(* XPath(↓∗,=): k separate equality requirements between distinct label
+   pairs, plus distinctness — eps-free. *)
+let desc_data ~sat k =
+  let li i = Printf.sprintf "a%d" i and ri i = Printf.sprintf "b%d" i in
+  let conjuncts =
+    List.init k (fun i ->
+        And
+          ( B.eq (B.desc_lab (li i)) (B.desc_lab (ri i)),
+            B.neq (B.desc_lab (li i)) (B.desc_lab (ri ((i + 1) mod k))) ))
+  in
+  let base = B.conj conjuncts in
+  if sat then base
+  else And (base, B.everywhere (B.not_ (B.lab (li 0))))
+
+(* XPath(↓∗,=) with ε-tests (not eps-free): the root shares its datum
+   with k distinct labels. *)
+let root_data k =
+  B.conj
+    (List.init k (fun i ->
+         B.eq B.eps (B.desc_lab (Printf.sprintf "c%d" i))))
+
+(* regXPath(↓,=): Example 3 generalized — an (a b)+ alternation with two
+   endpoints of different data, everything a-labelled sharing the root's
+   datum. *)
+let reg_alternation ~sat () =
+  let abplus =
+    Seq
+      ( B.child_lab "a",
+        Seq (B.child_lab "b", Star (Seq (B.child_lab "a", B.child_lab "b"))) )
+  in
+  let base =
+    And (B.neq abplus abplus, B.not_ (B.neq B.eps (B.desc_lab "a")))
+  in
+  if sat then base
+  else And (base, B.everywhere (B.not_ (B.lab "b")))
+
+(* XPath(↓,↓∗) data-free mix. *)
+let mixed_axes ~sat n =
+  let rec nest k =
+    if k = 0 then B.lab "z"
+    else B.exists (Seq (B.down, B.filter B.desc (nest (k - 1))))
+  in
+  if sat then nest n else And (nest n, B.everywhere (B.not_ (B.lab "z")))
+
+(* Random SAT instances for the witness-shape experiment: drawn from the
+   library's generators at a given size. *)
+let qbf_family n_vars =
+  (* A valid and an invalid QBF with [n_vars] variables. *)
+  let prefix =
+    List.init n_vars (fun i -> if i mod 2 = 0 then Xpds.Qbf.Exists else Xpds.Qbf.Forall)
+  in
+  let valid = { Xpds.Qbf.prefix; clauses = [ List.init n_vars (fun i -> i + 1) ] } in
+  let invalid =
+    {
+      Xpds.Qbf.prefix;
+      clauses = List.init n_vars (fun i -> [ i + 1 ]) @ [ [ -1 ] ];
+    }
+  in
+  (valid, invalid)

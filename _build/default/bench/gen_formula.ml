@@ -1,0 +1,35 @@
+(* Seeded random formula generator for the translation-size experiment
+   (E7) — independent of the QCheck test generators so the bench binary
+   stays alcotest-free. *)
+
+open Xpds.Ast
+
+let labels = [ "a"; "b"; "c" ]
+
+let gen ~state () =
+  let pick l = List.nth l (Random.State.int state (List.length l)) in
+  let rec node fuel =
+    if fuel <= 0 then
+      pick [ Lab (Xpds.Label.of_string (pick labels)); True; False ]
+    else
+      match Random.State.int state 8 with
+      | 0 | 1 -> Lab (Xpds.Label.of_string (pick labels))
+      | 2 -> Not (node (fuel - 1))
+      | 3 -> And (node (fuel / 2), node (fuel / 2))
+      | 4 -> Or (node (fuel / 2), node (fuel / 2))
+      | 5 | 6 -> Exists (path (fuel - 1))
+      | _ ->
+        let op = if Random.State.bool state then Eq else Neq in
+        Cmp (path (fuel / 2), op, path (fuel / 2))
+  and path fuel =
+    if fuel <= 0 then
+      pick [ Axis Self; Axis Child; Axis Descendant ]
+    else
+      match Random.State.int state 6 with
+      | 0 -> pick [ Axis Self; Axis Child; Axis Descendant ]
+      | 1 -> Seq (path (fuel / 2), path (fuel / 2))
+      | 2 -> Union (path (fuel / 2), path (fuel / 2))
+      | 3 | 4 -> Filter (path (fuel - 1), node (fuel / 2))
+      | _ -> Star (path (fuel - 1))
+  in
+  node (1 + Random.State.int state 24)

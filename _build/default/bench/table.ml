@@ -1,0 +1,27 @@
+(* Minimal fixed-width table printer for the experiment harness. *)
+
+let print_header title columns =
+  Format.printf "@.== %s ==@." title;
+  let line =
+    String.concat " | " (List.map (fun (name, w) -> Printf.sprintf "%-*s" w name) columns)
+  in
+  Format.printf "%s@." line;
+  Format.printf "%s@." (String.make (String.length line) '-')
+
+let print_row columns values =
+  Format.printf "%s@."
+    (String.concat " | "
+       (List.map2 (fun (_, w) v -> Printf.sprintf "%-*s" w v) columns values))
+
+let seconds t = Printf.sprintf "%.3fs" t
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let verdict_string = function
+  | Xpds.Sat.Sat _ -> "SAT"
+  | Xpds.Sat.Unsat -> "UNSAT"
+  | Xpds.Sat.Unsat_bounded _ -> "UNSAT*"
+  | Xpds.Sat.Unknown _ -> "unknown"

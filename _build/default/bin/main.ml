@@ -1,0 +1,384 @@
+(* xpds — command-line front end.
+
+   Subcommands:
+     sat        decide satisfiability of a formula
+     classify   fragment and resource bounds of a formula (Fig. 4)
+     check      evaluate a formula on a given data tree
+     translate  show the Theorem-3 BIP automaton of a formula
+     contain    decide containment of two node expressions
+     tiling     solve + encode the built-in tiling examples
+     qbf        decide a QBF and its Prop-8 XPath encoding
+     xml        encode an XML file as a data tree (Appendix A) *)
+
+open Cmdliner
+
+let formula_arg =
+  let doc = "The formula, in the concrete syntax (see the README)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let parse_node s =
+  match Xpds.Parser.formula_of_string s with
+  | Ok f -> Ok (Xpds.Ast.as_node f)
+  | Error e -> Error e
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline e;
+    exit 2
+
+let width_arg =
+  let doc = "Branching width bound of the emptiness search." in
+  Arg.(value & opt int 3 & info [ "width" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print the full report rather than just the verdict." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+(* --- sat --- *)
+
+let json_arg =
+  let doc = "Emit JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let sat_cmd =
+  let minimize_arg =
+    Arg.(value & flag & info [ "minimize" ] ~doc:"Shrink the witness.")
+  in
+  let run formula width verbose json minimize =
+    let eta = or_die (parse_node formula) in
+    let report = Xpds.Sat.decide ~width ~minimize eta in
+    if json then print_endline (Xpds.Serialize.report_to_json report)
+    else if verbose then Format.printf "%a@." Xpds.Sat.pp_report report
+    else Format.printf "%a@." Xpds.Sat.pp_verdict report.Xpds.Sat.verdict;
+    match report.Xpds.Sat.verdict with
+    | Xpds.Sat.Sat _ -> exit 0
+    | Xpds.Sat.Unsat | Xpds.Sat.Unsat_bounded _ -> exit 1
+    | Xpds.Sat.Unknown _ -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Decide satisfiability (Definition 1).")
+    Term.(
+      const run $ formula_arg $ width_arg $ verbose_arg $ json_arg
+      $ minimize_arg)
+
+(* --- classify --- *)
+
+let classify_cmd =
+  let run formula =
+    let eta = or_die (parse_node formula) in
+    let fragment = Xpds.Fragment.classify eta in
+    Format.printf "fragment:   %s@." (Xpds.Fragment.name fragment);
+    Format.printf "complexity: %s@."
+      (match Xpds.Fragment.complexity fragment with
+      | Xpds.Fragment.PSpace -> "PSpace-complete"
+      | Xpds.Fragment.ExpTime -> "ExpTime-complete");
+    Format.printf "size:       %d@." (Xpds.Metrics.size_node eta);
+    Format.printf "data tests: %d@." (Xpds.Metrics.data_tests eta);
+    (match Xpds.Fragment.poly_depth_bound eta with
+    | Some b -> Format.printf "poly-depth model bound: %d@." b
+    | None -> Format.printf "poly-depth model bound: none (ExpTime row)@.")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Locate a formula in the paper's Figure 4 and show bounds.")
+    Term.(const run $ formula_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let tree_arg =
+    let doc = "The data tree, e.g. 'a:1(b:2,b:3)'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TREE" ~doc)
+  in
+  let run formula tree =
+    let eta = or_die (parse_node formula) in
+    let t = or_die (Xpds.Data_tree.of_string tree) in
+    let env = Xpds.Semantics.env_of_tree t in
+    let sat = Xpds.Semantics.sat_nodes env eta in
+    Format.printf "holds at root: %b@."
+      (Xpds.Semantics.holds_at_root env eta);
+    Format.printf "[[formula]] = {%a}@."
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Xpds.Path.pp)
+      sat;
+    exit (if sat = [] then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Evaluate a formula on a concrete data tree.")
+    Term.(const run $ formula_arg $ tree_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let tree_arg =
+    let doc = "The data tree, e.g. 'a:1(b:2,b:3)'." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TREE" ~doc)
+  in
+  let run formula tree =
+    let eta = or_die (parse_node formula) in
+    let t = or_die (Xpds.Data_tree.of_string tree) in
+    Format.printf "%a@." (fun ppf () -> Xpds.Explain.pp ppf t eta) ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show where every subformula holds on a data tree.")
+    Term.(const run $ formula_arg $ tree_arg)
+
+(* --- translate --- *)
+
+let translate_cmd =
+  let dot_arg =
+    let doc = "Emit Graphviz dot instead of text." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run formula dot =
+    let eta = or_die (parse_node formula) in
+    let m = Xpds.Translate.bip_of_node eta in
+    if dot then print_string (Xpds.Dot.bip m)
+    else begin
+      Format.printf "%a@." Xpds.Bip.pp m;
+      Format.printf "bounded interleaving: %b@."
+        (Xpds.Bip.has_bounded_interleaving m)
+    end
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Show the BIP automaton of a formula (Theorem 3).")
+    Term.(const run $ formula_arg $ dot_arg)
+
+(* --- contain --- *)
+
+let contain_cmd =
+  let psi_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PSI" ~doc:"The containing formula.")
+  in
+  let run phi_s psi_s width =
+    let phi = or_die (parse_node phi_s) in
+    let psi = or_die (parse_node psi_s) in
+    match Xpds.Containment.contained ~width phi psi with
+    | Xpds.Containment.Holds ->
+      print_endline "containment holds";
+      exit 0
+    | Xpds.Containment.Fails w ->
+      Format.printf "containment fails; counterexample: %a@."
+        Xpds.Data_tree.pp w;
+      exit 1
+    | Xpds.Containment.Unknown why ->
+      Format.printf "unknown (%s)@." why;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "contain"
+       ~doc:"Decide [[PHI]] <= [[PSI]] on all data trees (Section 4.1).")
+    Term.(const run $ formula_arg $ psi_arg $ width_arg)
+
+(* --- tiling --- *)
+
+let tiling_cmd =
+  let run () =
+    List.iter
+      (fun (name, inst) ->
+        let wins = Xpds.Tiling_game.eloise_wins inst in
+        let phi = Xpds.Tiling.encode inst in
+        Format.printf "%s: Eloise wins = %b; encoding size = %d (%s)@."
+          name wins
+          (Xpds.Metrics.size_node phi)
+          (Xpds.Fragment.name (Xpds.Fragment.classify phi)))
+      [ ("example_win", Xpds.Tiling_game.example_win ());
+        ("example_lose", Xpds.Tiling_game.example_lose ())
+      ]
+  in
+  Cmd.v
+    (Cmd.info "tiling"
+       ~doc:"Solve the built-in corridor-tiling examples and show their \
+             Theorem-5 encodings.")
+    Term.(const run $ const ())
+
+(* --- qbf --- *)
+
+let qbf_cmd =
+  let qbf_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QBF"
+          ~doc:"Instance as 'EA: 1 2 0 -1 -2 0' (prefix, then DIMACS \
+                clauses).")
+  in
+  let run s width =
+    let q = or_die (Xpds.Qbf.of_string s) in
+    let truth = Xpds.Qbf.valid q in
+    Format.printf "QBF %a@.valid: %b@." Xpds.Qbf.pp q truth;
+    let phi = Xpds.Qbf_encoding.encode q in
+    Format.printf "encoding: size %d in %s@."
+      (Xpds.Metrics.size_node phi)
+      (Xpds.Fragment.name (Xpds.Fragment.classify phi));
+    let report = Xpds.Sat.decide ~width phi in
+    Format.printf "encoding satisfiable: %a@." Xpds.Sat.pp_verdict
+      report.Xpds.Sat.verdict
+  in
+  Cmd.v
+    (Cmd.info "qbf"
+       ~doc:"Decide a QBF directly and through its Prop-8 XPath \
+             encoding.")
+    Term.(const run $ qbf_arg $ width_arg)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let count_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~doc:"How many formulas.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let fragment_arg =
+    let doc =
+      "Fragment: child, desc, child-desc, child-data, desc-data, \
+       desc-data-epsfree, full, reg."
+    in
+    Arg.(value & opt string "full" & info [ "fragment" ] ~doc)
+  in
+  let run count seed fragment =
+    let config =
+      match fragment with
+      | "child" -> Xpds.Generator.fragment_config Xpds.Fragment.XPath_child
+      | "desc" -> Xpds.Generator.fragment_config Xpds.Fragment.XPath_desc
+      | "child-desc" ->
+        Xpds.Generator.fragment_config Xpds.Fragment.XPath_child_desc
+      | "child-data" ->
+        Xpds.Generator.fragment_config Xpds.Fragment.XPath_child_data
+      | "desc-data" ->
+        Xpds.Generator.fragment_config Xpds.Fragment.XPath_desc_data
+      | "desc-data-epsfree" ->
+        Xpds.Generator.fragment_config Xpds.Fragment.XPath_desc_data_epsfree
+      | "reg" | "full" ->
+        Xpds.Generator.fragment_config Xpds.Fragment.RegXPath_data
+      | other ->
+        prerr_endline ("unknown fragment " ^ other);
+        exit 2
+    in
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to count do
+      print_endline
+        (Xpds.Pp.node_to_string (Xpds.Generator.node ~config st))
+    done
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate random formulas of a chosen Fig. 4 fragment.")
+    Term.(const run $ count_arg $ seed_arg $ fragment_arg)
+
+(* --- repl --- *)
+
+let repl_cmd =
+  let run () =
+    let tree = ref (Xpds.Data_tree.example_fig1 ()) in
+    print_endline
+      "xpds repl — commands: tree <t>, show, check <formula>, sat \
+       <formula>, classify <formula>, explain <formula>, quit";
+    let rec loop () =
+      print_string "> ";
+      match read_line () with
+      | exception End_of_file -> ()
+      | line ->
+        let line = String.trim line in
+        let cmd, arg =
+          match String.index_opt line ' ' with
+          | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line i (String.length line - i)) )
+          | None -> (line, "")
+        in
+        (match cmd with
+        | "" -> ()
+        | "quit" | "exit" -> raise Exit
+        | "tree" -> (
+          match Xpds.Data_tree.of_string arg with
+          | Ok t ->
+            tree := t;
+            Format.printf "tree set: %a@." Xpds.Data_tree.pp t
+          | Error e -> print_endline e)
+        | "show" -> Format.printf "%a@." Xpds.Data_tree.pp !tree
+        | "check" -> (
+          match parse_node arg with
+          | Ok phi ->
+            let env = Xpds.Semantics.env_of_tree !tree in
+            Format.printf "[[formula]] = {%a}@."
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                 Xpds.Path.pp)
+              (Xpds.Semantics.sat_nodes env phi)
+          | Error e -> print_endline e)
+        | "sat" -> (
+          match parse_node arg with
+          | Ok phi ->
+            Format.printf "%a@." Xpds.Sat.pp_report (Xpds.Sat.decide phi)
+          | Error e -> print_endline e)
+        | "classify" -> (
+          match parse_node arg with
+          | Ok phi ->
+            Format.printf "%s@."
+              (Xpds.Fragment.name (Xpds.Fragment.classify phi))
+          | Error e -> print_endline e)
+        | "explain" -> (
+          match parse_node arg with
+          | Ok phi ->
+            Format.printf "%a@."
+              (fun ppf () -> Xpds.Explain.pp ppf !tree phi)
+              ()
+          | Error e -> print_endline e)
+        | other -> print_endline ("unknown command: " ^ other));
+        loop ()
+    in
+    (try loop () with Exit -> ());
+    print_endline "bye"
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive session against a data tree.")
+    Term.(const run $ const ())
+
+(* --- xml --- *)
+
+let xml_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file.")
+  in
+  let run file json dot =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    let doc = or_die (Xpds.Xml_doc.parse src) in
+    let tree = Xpds.Xml_doc.to_data_tree doc in
+    if json then print_endline (Xpds.Serialize.tree_to_json tree)
+    else if dot then print_string (Xpds.Dot.data_tree tree)
+    else Format.printf "%a@." Xpds.Data_tree.pp tree
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz dot.")
+  in
+  Cmd.v
+    (Cmd.info "xml"
+       ~doc:"Encode an XML document as a data tree (Appendix A).")
+    Term.(const run $ file_arg $ json_arg $ dot_arg)
+
+let () =
+  let info =
+    Cmd.info "xpds" ~version:"1.0.0"
+      ~doc:
+        "Satisfiability of downward XPath with data equality tests \
+         (Figueira, PODS 2009)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
+            contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd
+          ]))

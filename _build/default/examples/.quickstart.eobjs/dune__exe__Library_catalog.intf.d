@@ -1,0 +1,1 @@
+examples/library_catalog.mli:

@@ -1,0 +1,1 @@
+examples/qbf_reduction.ml: Format Xpds

@@ -1,0 +1,1 @@
+examples/query_containment.ml: Format Xpds

@@ -1,0 +1,1 @@
+examples/tiling_strategy.ml: Array Format List String Xpds

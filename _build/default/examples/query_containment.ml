@@ -1,0 +1,60 @@
+(* Query optimization by containment and equivalence checking — the
+   static-analysis use case motivating satisfiability in the paper's
+   introduction: since the logic is closed under boolean operations,
+   ϕ ⊑ ψ reduces to unsatisfiability of ϕ ∧ ¬ψ (§4.1).
+
+   Run with:  dune exec examples/query_containment.exe *)
+
+let parse = Xpds.Parser.node_of_string_exn
+
+let show_containment name phi psi =
+  match Xpds.Containment.contained phi psi with
+  | Xpds.Containment.Holds -> Format.printf "%-40s holds@." name
+  | Xpds.Containment.Fails w ->
+    Format.printf "%-40s FAILS on %a@." name Xpds.Data_tree.pp w
+  | Xpds.Containment.Unknown why ->
+    Format.printf "%-40s unknown (%s)@." name why
+
+let () =
+  (* 1. Axis algebra: desc/desc collapses to desc; ⟨↓[a]⟩ implies ⟨↓⟩. *)
+  let q1 = parse "<desc/desc[a]>" and q1' = parse "<desc[a]>" in
+  show_containment "desc/desc[a] <= desc[a]" q1 q1';
+  show_containment "desc[a] <= desc/desc[a]" q1' q1;
+
+  (* 2. A redundant filter: the optimizer may drop it. *)
+  let q2 = parse "<down[a & <desc>]>" and q2' = parse "<down[a]>" in
+  show_containment "down[a & <desc>] == down[a]  (=>)" q2 q2';
+  show_containment "down[a & <desc>] == down[a]  (<=)" q2' q2;
+
+  (* 3. Data tests are NOT redundant: requiring two a-children with
+     *different* data is strictly stronger than requiring two
+     a-children. *)
+  let q3 = parse "down[a] != down[a]" in
+  let q3' = parse "<down[a]>" in
+  show_containment "down[a] != down[a] <= <down[a]>" q3 q3';
+  show_containment "<down[a]> <= down[a] != down[a]" q3' q3;
+
+  (* 4. A subtle equivalence with the Kleene star: one-or-more vs
+     zero-or-more composed with one step. *)
+  let q4 = parse "<down[a]/(down[a])*>" in
+  let q4' = parse "<(down[a])*/down[a]>" in
+  show_containment "a+ (left) <= a+ (right)" q4 q4';
+  show_containment "a+ (right) <= a+ (left)" q4' q4;
+
+  (* 5. The crucial non-equivalence behind the ExpTime lower bound: a
+     data equality with the root does not propagate through ↓∗ — ε=↓∗[a]
+     is weaker than ε=↓[a]. *)
+  let q5 = parse "eps = down[a]" and q5' = parse "eps = desc[a]" in
+  show_containment "eps = down[a] <= eps = desc[a]" q5 q5';
+  show_containment "eps = desc[a] <= eps = down[a]" q5' q5;
+
+  (* 6. Equivalence check used as a regression test for a rewriting:
+     Rewrite.simplify must produce an equivalent formula. *)
+  let original = parse "<down[(a | a) & true]/(eps/eps)>" in
+  let simplified = Xpds.Rewrite.simplify original in
+  Format.printf "@.simplify: %a  ~~>  %a@." Xpds.Pp.pp_node original
+    Xpds.Pp.pp_node simplified;
+  match Xpds.Containment.equivalent original simplified with
+  | Xpds.Containment.Holds, Xpds.Containment.Holds ->
+    Format.printf "equivalence verified by the solver@."
+  | _ -> Format.printf "NOT equivalent?!@."

@@ -1,0 +1,62 @@
+(* Quickstart: parse, evaluate, decide, inspect.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* The paper's running example (§2.2): nodes labelled b with two
+     b-children carrying different data values, reachable from the
+     root. *)
+  let formula = "<desc[b & down[b] != down[b]]>" in
+  let phi =
+    match Xpds.Parser.node_of_string formula with
+    | Ok phi -> phi
+    | Error e -> failwith e
+  in
+  Format.printf "formula: %a@." Xpds.Pp.pp_fancy_node phi;
+
+  (* Evaluate it on the paper's Example 1 data tree. *)
+  let tree = Xpds.Data_tree.example_fig1 () in
+  Format.printf "tree:    %a@." Xpds.Data_tree.pp tree;
+  let env = Xpds.Semantics.env_of_tree tree in
+  Format.printf "[[formula]] = {%a}  (the paper says {\xce\xb5, 1, 12})@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Xpds.Path.pp)
+    (Xpds.Semantics.sat_nodes env phi);
+
+  (* Which fragment of Fig. 4 is it in, and what does that cost? *)
+  let fragment = Xpds.Fragment.classify phi in
+  Format.printf "fragment: %s (%s)@."
+    (Xpds.Fragment.name fragment)
+    (match Xpds.Fragment.complexity fragment with
+    | Xpds.Fragment.PSpace -> "PSpace-complete"
+    | Xpds.Fragment.ExpTime -> "ExpTime-complete");
+
+  (* Decide satisfiability — the emptiness of the Theorem-3 automaton —
+     and get a machine-checked witness. *)
+  let report = Xpds.Sat.decide phi in
+  Format.printf "%a@." Xpds.Sat.pp_report report;
+
+  (* An unsatisfiable variant: the same pattern, but all data values in
+     the tree are forced equal to the root's. Refutations are where the
+     ExpTime procedure pays (Fig. 4: this fragment is
+     ExpTime-complete), so with a small budget the solver answers
+     honestly UNKNOWN rather than guessing — and the brute-force
+     baseline confirms there is no small model either. *)
+  let contradictory = Printf.sprintf "%s & ~(eps != desc)" formula in
+  let phi' = Xpds.Parser.node_of_string_exn contradictory in
+  Format.printf "@.now with all data equal to the root:@.%a@."
+    Xpds.Sat.pp_report
+    (Xpds.Sat.decide ~max_states:2_000 ~max_transitions:40_000 phi');
+  (match
+     Xpds.Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
+       ~max_trees:2_000_000
+       (Xpds.Ast.Exists (Xpds.Ast.Filter (Xpds.Build.desc, phi')))
+   with
+  | Xpds.Model_search.Sat t ->
+    Format.printf "model search found %a?!@." Xpds.Data_tree.pp t
+  | Xpds.Model_search.Unsat_within_bounds n ->
+    Format.printf
+      "brute-force search agrees: no model among %d bounded trees@." n
+  | Xpds.Model_search.Budget_exhausted _ ->
+    Format.printf "brute-force search exhausted its budget@.")

@@ -1,0 +1,1 @@
+lib/automata/bip.ml: Array Bitv Format List Pathfinder Printf Xpds_datatree Xpds_xpath

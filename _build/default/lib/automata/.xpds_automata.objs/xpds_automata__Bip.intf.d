@@ -1,0 +1,1 @@
+lib/automata/bip.mli: Bitv Format Pathfinder Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/automata/bip_run.ml: Array Bip Bitv Hashtbl Int List Option Pathfinder Printf Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/automata/bip_run.mli: Bip Bitv Xpds_datatree

@@ -1,0 +1,1 @@
+lib/automata/bitv.ml: Array Format Hashtbl List Printf Stdlib Sys

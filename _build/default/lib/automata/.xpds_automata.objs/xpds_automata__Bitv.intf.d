@@ -1,0 +1,1 @@
+lib/automata/bitv.mli: Format

@@ -1,0 +1,1 @@
+lib/automata/doctype.ml: Array Bip Bitv Hashtbl List Pathfinder Printf Xpds_datatree

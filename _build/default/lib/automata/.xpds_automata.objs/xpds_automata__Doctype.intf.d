@@ -1,0 +1,1 @@
+lib/automata/doctype.mli: Bip Xpds_datatree

@@ -1,0 +1,1 @@
+lib/automata/dot.ml: Array Bip Bitv Buffer Format Hashtbl List Nfa Pathfinder Printf String Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/automata/dot.mli: Bip Nfa Pathfinder Xpds_datatree

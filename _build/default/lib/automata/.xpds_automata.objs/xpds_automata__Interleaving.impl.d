@@ -1,0 +1,1 @@
+lib/automata/interleaving.ml: Array Bip Bitv Hashtbl List Pathfinder Xpds_xpath

@@ -1,0 +1,1 @@
+lib/automata/interleaving.mli: Bip Xpds_xpath

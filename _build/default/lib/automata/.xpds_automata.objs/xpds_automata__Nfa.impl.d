@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Bitv Format Fun List Stdlib Xpds_xpath

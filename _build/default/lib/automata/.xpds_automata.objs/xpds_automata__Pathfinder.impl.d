@@ -1,0 +1,1 @@
+lib/automata/pathfinder.ml: Array Bitv Format List Printf

@@ -1,0 +1,1 @@
+lib/automata/pathfinder.mli: Bitv Format

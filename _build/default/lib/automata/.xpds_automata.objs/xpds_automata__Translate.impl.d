@@ -1,0 +1,1 @@
+lib/automata/translate.ml: Array Bip Bitv Hashtbl List Nfa Pathfinder Stdlib Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/automata/translate.mli: Bip Xpds_datatree Xpds_xpath

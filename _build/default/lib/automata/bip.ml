@@ -1,0 +1,280 @@
+module Label = Xpds_datatree.Label
+
+type form =
+  | FTrue
+  | FFalse
+  | FLab of Label.t
+  | FNot of form
+  | FAnd of form * form
+  | FOr of form * form
+  | FEx of int * int * Xpds_xpath.Ast.op
+  | FCountGe of int * int
+  | FCountZero of int
+  | FCountLt of int * int
+
+type t = {
+  labels : Label.t list;
+  q_card : int;
+  mu : form array;
+  final : Bitv.t;
+  pf : Pathfinder.t;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let rec check_form ~q_card ~k_card ~positive = function
+  | FTrue | FFalse | FLab _ -> ()
+  | FNot f -> check_form ~q_card ~k_card ~positive:(not positive) f
+  | FAnd (f, g) | FOr (f, g) ->
+    check_form ~q_card ~k_card ~positive f;
+    check_form ~q_card ~k_card ~positive g
+  | FEx (k1, k2, _) ->
+    if k1 < 0 || k1 >= k_card || k2 < 0 || k2 >= k_card then
+      ill_formed "FEx(%d,%d): pathfinder state out of range" k1 k2
+  | FCountGe (q, n) ->
+    if q < 0 || q >= q_card then ill_formed "FCountGe: state q%d" q;
+    if n < 1 then ill_formed "FCountGe: constant %d < 1" n;
+    if not positive then
+      ill_formed "FCountGe(q%d,%d) occurs under a negation" q n
+  | FCountZero q ->
+    if q < 0 || q >= q_card then ill_formed "FCountZero: state q%d" q
+  | FCountLt (q, n) ->
+    if q < 0 || q >= q_card then ill_formed "FCountLt: state q%d" q;
+    if n < 1 then ill_formed "FCountLt: constant %d < 1" n
+
+let create ~labels ~mu ~final ~pf =
+  let q_card = Array.length mu in
+  if pf.Pathfinder.q_card <> q_card then
+    ill_formed "pathfinder alphabet |Q|=%d but automaton has %d states"
+      pf.Pathfinder.q_card q_card;
+  if Bitv.width final <> q_card then
+    ill_formed "final-state set has width %d, expected %d"
+      (Bitv.width final) q_card;
+  Array.iter
+    (check_form ~q_card ~k_card:pf.Pathfinder.n_states ~positive:true)
+    mu;
+  { labels; q_card; mu; final; pf }
+
+let fold_form f init form =
+  let rec go acc = function
+    | FTrue | FFalse | FLab _ -> acc
+    | FNot g -> go acc g
+    | FAnd (g, h) | FOr (g, h) -> go (go acc g) h
+    | (FEx _ | FCountGe _ | FCountZero _ | FCountLt _) as atom ->
+      f acc atom
+  in
+  go init form
+
+let ex_atoms m =
+  Array.fold_left
+    (fold_form (fun acc atom ->
+         match atom with
+         | FEx (k1, k2, op) ->
+           if List.mem (k1, k2, op) acc then acc else (k1, k2, op) :: acc
+         | _ -> acc))
+    [] m.mu
+  |> List.rev
+
+let max_count m =
+  Array.fold_left
+    (fold_form (fun acc atom ->
+         match atom with FCountGe (_, n) -> max acc n | _ -> acc))
+    0 m.mu
+
+let reads_into m =
+  let pf = m.pf in
+  let k_card = pf.Pathfinder.n_states in
+  (* Predecessor edges: (source k, read-label option) per target. *)
+  let preds = Array.make k_card [] in
+  Array.iteri
+    (fun k targets ->
+      List.iter (fun k' -> preds.(k') <- (k, None) :: preds.(k')) targets)
+    pf.Pathfinder.up;
+  Array.iteri
+    (fun q per_k ->
+      Array.iteri
+        (fun k targets ->
+          List.iter
+            (fun k' -> preds.(k') <- (k, Some q) :: preds.(k'))
+            targets)
+        per_k)
+    pf.Pathfinder.read;
+  Array.init k_card (fun k ->
+      (* Backward cone from k; collect every read label on its edges. *)
+      let cone = ref (Bitv.singleton k_card k) in
+      let reads = ref (Bitv.empty m.q_card) in
+      let rec go k =
+        List.iter
+          (fun (src, label) ->
+            (match label with
+            | Some q -> reads := Bitv.add q !reads
+            | None -> ());
+            if not (Bitv.mem src !cone) then begin
+              cone := Bitv.add src !cone;
+              go src
+            end)
+          preds.(k)
+      in
+      go k;
+      !reads)
+
+let dependencies m =
+  let into = reads_into m in
+  Array.map
+    (fold_form
+       (fun acc atom ->
+         match atom with
+         | FEx (k1, k2, _) -> Bitv.union acc (Bitv.union into.(k1) into.(k2))
+         | _ -> acc)
+       (Bitv.empty m.q_card))
+    m.mu
+
+(* Tarjan's SCC; result in reverse topological order, so we reverse it to
+   get dependencies-first. *)
+let sccs m =
+  let deps = dependencies m in
+  let n = m.q_card in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Bitv.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      deps.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order of the graph
+     v → deps(v); a component is emitted only after everything it depends
+     on, so !components is dependencies-last; reverse it. *)
+  List.rev !components
+
+let has_bounded_interleaving m =
+  let deps = dependencies m in
+  List.for_all
+    (function
+      | [ q ] -> not (Bitv.mem q deps.(q))
+      | _ -> false)
+    (sccs m)
+
+(* --- intersection --- *)
+
+let rec shift_form ~dk ~dq = function
+  | (FTrue | FFalse | FLab _) as f -> f
+  | FNot f -> FNot (shift_form ~dk ~dq f)
+  | FAnd (f, g) -> FAnd (shift_form ~dk ~dq f, shift_form ~dk ~dq g)
+  | FOr (f, g) -> FOr (shift_form ~dk ~dq f, shift_form ~dk ~dq g)
+  | FEx (k1, k2, op) -> FEx (k1 + dk, k2 + dk, op)
+  | FCountGe (q, n) -> FCountGe (q + dq, n)
+  | FCountZero q -> FCountZero (q + dq)
+  | FCountLt (q, n) -> FCountLt (q + dq, n)
+
+let disjunction = function
+  | [] -> FFalse
+  | f :: fs -> List.fold_left (fun a b -> FOr (a, b)) f fs
+
+let intersect m1 m2 =
+  let q1 = m1.q_card and q2 = m2.q_card in
+  let k1 = m1.pf.Pathfinder.n_states and k2 = m2.pf.Pathfinder.n_states in
+  (* New layout: K = [kI0] ++ K1(+1) ++ K2(+1+k1); Q = Q1 ++ Q2 ++ [q∧]. *)
+  let q_card = q1 + q2 + 1 in
+  let n_states = 1 + k1 + k2 in
+  let up = ref [] and read = ref [] in
+  let add_pf (pf : Pathfinder.t) ~dk ~dq =
+    Array.iteri
+      (fun k targets ->
+        List.iter (fun k' -> up := (k + dk, k' + dk) :: !up) targets)
+      pf.Pathfinder.up;
+    Array.iteri
+      (fun q per_k ->
+        Array.iteri
+          (fun k targets ->
+            List.iter
+              (fun k' -> read := (q + dq, k + dk, k' + dk) :: !read)
+              targets)
+          per_k)
+      pf.Pathfinder.read;
+    (* The fresh initial state mirrors the outgoing transitions of this
+       component's own initial state. *)
+    let ki = pf.Pathfinder.initial in
+    List.iter (fun k' -> up := (0, k' + dk) :: !up) pf.Pathfinder.up.(ki);
+    Array.iteri
+      (fun q per_k ->
+        List.iter
+          (fun k' -> read := (q + dq, 0, k' + dk) :: !read)
+          per_k.(ki))
+      pf.Pathfinder.read
+  in
+  add_pf m1.pf ~dk:1 ~dq:0;
+  add_pf m2.pf ~dk:(1 + k1) ~dq:q1;
+  let pf =
+    Pathfinder.create ~n_states ~initial:0 ~q_card ~up:!up ~read:!read
+  in
+  let mu = Array.make q_card FFalse in
+  Array.iteri (fun q f -> mu.(q) <- shift_form ~dk:1 ~dq:0 f) m1.mu;
+  Array.iteri
+    (fun q f -> mu.(q1 + q) <- shift_form ~dk:(1 + k1) ~dq:q1 f)
+    m2.mu;
+  let accept m ~dk ~dq =
+    disjunction
+      (List.map
+         (fun q -> shift_form ~dk ~dq m.mu.(q))
+         (Bitv.elements m.final))
+  in
+  mu.(q1 + q2) <-
+    FAnd (accept m1 ~dk:1 ~dq:0, accept m2 ~dk:(1 + k1) ~dq:q1);
+  let labels =
+    List.sort_uniq Label.compare (m1.labels @ m2.labels)
+  in
+  create ~labels ~mu ~final:(Bitv.singleton q_card (q1 + q2)) ~pf
+
+let rec pp_form ppf = function
+  | FTrue -> Format.pp_print_string ppf "true"
+  | FFalse -> Format.pp_print_string ppf "false"
+  | FLab l -> Label.pp ppf l
+  | FNot f -> Format.fprintf ppf "~(%a)" pp_form f
+  | FAnd (f, g) -> Format.fprintf ppf "(%a & %a)" pp_form f pp_form g
+  | FOr (f, g) -> Format.fprintf ppf "(%a | %a)" pp_form f pp_form g
+  | FEx (k1, k2, Xpds_xpath.Ast.Eq) ->
+    Format.fprintf ppf "E(k%d,k%d)=" k1 k2
+  | FEx (k1, k2, Xpds_xpath.Ast.Neq) ->
+    Format.fprintf ppf "E(k%d,k%d)!=" k1 k2
+  | FCountGe (q, n) -> Format.fprintf ppf "#q%d>=%d" q n
+  | FCountZero q -> Format.fprintf ppf "#q%d=0" q
+  | FCountLt (q, n) -> Format.fprintf ppf "#q%d<%d" q n
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>bip: |Q|=%d |K|=%d final=%a@," m.q_card
+    m.pf.Pathfinder.n_states Bitv.pp m.final;
+  Array.iteri
+    (fun q f -> Format.fprintf ppf "mu(q%d) = %a@," q pp_form f)
+    m.mu;
+  Pathfinder.pp ppf m.pf;
+  Format.fprintf ppf "@]"

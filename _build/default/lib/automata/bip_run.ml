@@ -1,0 +1,158 @@
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+
+exception No_run of string
+exception Ambiguous_run of string
+
+type node_info = {
+  states : Bitv.t;
+  reach : (int * Bitv.t) list;
+  info_children : node_info list;
+}
+
+(* Reach sets at node [n] under a (partial) label λ(n): close the
+   stepped-up children reach sets — plus kI for the node's own datum —
+   under the non-moving transitions enabled by λ(n). *)
+let compute_reach (m : Bip.t) ~label ~datum ~(children : node_info list) :
+    (int * Bitv.t) list =
+  let pf = m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let table : (int, Bitv.t) Hashtbl.t = Hashtbl.create 16 in
+  let add d ks =
+    let cur =
+      Option.value (Hashtbl.find_opt table d) ~default:(Bitv.empty k_card)
+    in
+    Hashtbl.replace table d (Bitv.union cur ks)
+  in
+  List.iter
+    (fun child ->
+      List.iter
+        (fun (d, ks) -> add d (Pathfinder.step_up pf ks))
+        child.reach)
+    children;
+  add datum (Bitv.singleton k_card pf.Pathfinder.initial);
+  Hashtbl.fold
+    (fun d ks acc ->
+      let closed = Pathfinder.closure pf ~label ks in
+      if Bitv.is_empty closed then acc else (d, closed) :: acc)
+    table []
+  |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+
+let eval_ex reach k1 k2 (op : Xpds_xpath.Ast.op) =
+  match op with
+  | Eq ->
+    List.exists (fun (_, ks) -> Bitv.mem k1 ks && Bitv.mem k2 ks) reach
+  | Neq ->
+    List.exists
+      (fun (d1, ks1) ->
+        Bitv.mem k1 ks1
+        && List.exists
+             (fun (d2, ks2) -> d2 <> d1 && Bitv.mem k2 ks2)
+             reach)
+      reach
+
+let rec eval_form (m : Bip.t) ~tree_label ~reach ~(children : node_info list)
+    = function
+  | Bip.FTrue -> true
+  | Bip.FFalse -> false
+  | Bip.FLab a -> Label.equal a tree_label
+  | Bip.FNot f -> not (eval_form m ~tree_label ~reach ~children f)
+  | Bip.FAnd (f, g) ->
+    eval_form m ~tree_label ~reach ~children f
+    && eval_form m ~tree_label ~reach ~children g
+  | Bip.FOr (f, g) ->
+    eval_form m ~tree_label ~reach ~children f
+    || eval_form m ~tree_label ~reach ~children g
+  | Bip.FEx (k1, k2, op) -> eval_ex reach k1 k2 op
+  | Bip.FCountGe (q, n) ->
+    let count =
+      List.length (List.filter (fun c -> Bitv.mem q c.states) children)
+    in
+    count >= n
+  | Bip.FCountZero q ->
+    List.for_all (fun c -> not (Bitv.mem q c.states)) children
+  | Bip.FCountLt (q, n) ->
+    List.length (List.filter (fun c -> Bitv.mem q c.states) children) < n
+
+let max_component_size = 20
+
+(* Decide the states of one SCC [comp] given the already-decided label. *)
+let decide_component m ~tree_label ~datum ~children ~deps label comp =
+  match comp with
+  | [ q ] when not (Bitv.mem q deps.(q)) ->
+    let reach = compute_reach m ~label ~datum ~children in
+    if eval_form m ~tree_label ~reach ~children m.Bip.mu.(q) then
+      Bitv.add q label
+    else label
+  | _ ->
+    if List.length comp > max_component_size then
+      raise
+        (No_run
+           (Printf.sprintf
+              "interleaved component of size %d exceeds the search limit"
+              (List.length comp)));
+    (* Enumerate the 2^|comp| candidate labellings and keep the
+       consistent ones. *)
+    let consistent = ref [] in
+    let rec assign chosen = function
+      | [] ->
+        let candidate =
+          List.fold_left (fun acc q -> Bitv.add q acc) label chosen
+        in
+        let reach = compute_reach m ~label:candidate ~datum ~children in
+        let ok =
+          List.for_all
+            (fun q ->
+              eval_form m ~tree_label ~reach ~children m.Bip.mu.(q)
+              = List.mem q chosen)
+            comp
+        in
+        if ok then consistent := candidate :: !consistent
+      | q :: rest ->
+        assign (q :: chosen) rest;
+        assign chosen rest
+    in
+    assign [] comp;
+    (match !consistent with
+    | [ label' ] -> label'
+    | [] ->
+      raise
+        (No_run
+           "no labelling satisfies the interleaved transition formulas")
+    | _ ->
+      raise
+        (Ambiguous_run
+           "several labellings satisfy the interleaved transition \
+            formulas"))
+
+let run m tree =
+  let components = Bip.sccs m in
+  let deps = Bip.dependencies m in
+  if
+    not
+      (List.for_all
+         (fun l -> List.exists (Label.equal l) m.Bip.labels)
+         (Data_tree.labels tree))
+  then
+    raise
+      (Bip.Ill_formed "the data tree uses labels outside the automaton's Σ");
+  let rec go t =
+    let children = List.map go (Data_tree.children t) in
+    let tree_label = Data_tree.label t in
+    let datum = Data_tree.data t in
+    let label =
+      List.fold_left
+        (decide_component m ~tree_label ~datum ~children ~deps)
+        (Bitv.empty m.Bip.q_card) components
+    in
+    let reach = compute_reach m ~label ~datum ~children in
+    { states = label; reach; info_children = children }
+  in
+  go tree
+
+let states_at_root m tree = (run m tree).states
+
+let accepts m tree =
+  match states_at_root m tree with
+  | states -> not (Bitv.is_empty (Bitv.inter states m.Bip.final))
+  | exception Bip.Ill_formed _ -> false

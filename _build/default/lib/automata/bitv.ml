@@ -1,0 +1,139 @@
+type t = { width : int; bits : int array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+let words width = (width + bits_per_word - 1) / bits_per_word
+
+let empty width =
+  if width < 0 then invalid_arg "Bitv.empty: negative width";
+  { width; bits = Array.make (words width) 0 }
+
+let check_index t i =
+  if i < 0 || i >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bitv: index %d out of bounds (width %d)" i t.width)
+
+let check_same a b =
+  if a.width <> b.width then invalid_arg "Bitv: width mismatch"
+
+let full width =
+  let t = empty width in
+  let bits = Array.copy t.bits in
+  for i = 0 to width - 1 do
+    bits.(i / bits_per_word) <-
+      bits.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  { width; bits }
+
+let mem i t =
+  check_index t i;
+  bits_per_word |> fun w -> t.bits.(i / w) land (1 lsl (i mod w)) <> 0
+
+let add i t =
+  check_index t i;
+  let bits = Array.copy t.bits in
+  bits.(i / bits_per_word) <-
+    bits.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  { t with bits }
+
+let remove i t =
+  check_index t i;
+  let bits = Array.copy t.bits in
+  bits.(i / bits_per_word) <-
+    bits.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+  { t with bits }
+
+let singleton width i = add i (empty width)
+let of_list width l = List.fold_left (fun acc i -> add i acc) (empty width) l
+let width t = t.width
+
+let map2 f a b =
+  check_same a b;
+  { width = a.width; bits = Array.map2 f a.bits b.bits }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+let is_empty t = Array.for_all (fun w -> w = 0) t.bits
+
+let subset a b =
+  check_same a b;
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.bits.(i) <> 0 then ok := false)
+    a.bits;
+  !ok
+
+let equal a b = a.width = b.width && a.bits = b.bits
+let compare a b = Stdlib.compare (a.width, a.bits) (b.width, b.bits)
+let hash t = Hashtbl.hash t.bits
+
+let cardinal t =
+  let popcount w =
+    let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+    go w 0
+  in
+  Array.fold_left (fun acc w -> acc + popcount w) 0 t.bits
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if t.bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+    then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let exists p t =
+  try
+    iter (fun i -> if p i then raise Exit) t;
+    false
+  with Exit -> true
+
+let for_all p t = not (exists (fun i -> not (p i)) t)
+let filter p t = fold (fun i acc -> if p i then add i acc else acc) t (empty t.width)
+let choose t = if is_empty t then None else Some (List.hd (elements t))
+
+let of_rows ~row_width rows =
+  Array.iter
+    (fun r ->
+      if r.width <> row_width then invalid_arg "Bitv.of_rows: width mismatch")
+    rows;
+  let width = row_width * Array.length rows in
+  let bits = Array.make (words width) 0 in
+  Array.iteri
+    (fun i r ->
+      let base = i * row_width in
+      for j = 0 to row_width - 1 do
+        if r.bits.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+        then begin
+          let p = base + j in
+          bits.(p / bits_per_word) <-
+            bits.(p / bits_per_word) lor (1 lsl (p mod bits_per_word))
+        end
+      done)
+    rows;
+  { width; bits }
+
+let row m ~row_width i =
+  let bits = Array.make (words row_width) 0 in
+  let base = i * row_width in
+  for j = 0 to row_width - 1 do
+    let p = base + j in
+    if
+      p < m.width
+      && m.bits.(p / bits_per_word) land (1 lsl (p mod bits_per_word)) <> 0
+    then
+      bits.(j / bits_per_word) <-
+        bits.(j / bits_per_word) lor (1 lsl (j mod bits_per_word))
+  done;
+  { width = row_width; bits }
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (elements t)

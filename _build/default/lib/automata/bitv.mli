@@ -1,0 +1,52 @@
+(** Fixed-width immutable bit vectors.
+
+    The decision procedures manipulate many small sets of automaton states
+    (subsets of [K] and [Q]); extended states are hash-consed on them. Bit
+    vectors give O(width/63) set operations and cheap structural
+    equality/hashing. All values of a given width are comparable; mixing
+    widths raises [Invalid_argument]. *)
+
+type t
+
+val empty : int -> t
+(** [empty width] is ∅ over the domain [0 .. width-1]. *)
+
+val full : int -> t
+(** [full width] is the whole domain. *)
+
+val singleton : int -> int -> t
+(** [singleton width i]. *)
+
+val of_list : int -> int list -> t
+val width : t -> int
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val cardinal : t -> int
+val elements : t -> int list
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val choose : t -> int option
+
+val of_rows : row_width:int -> t array -> t
+(** [of_rows ~row_width rows] concatenates equal-width rows into one
+    vector of width [row_width * Array.length rows]: bit [i·row_width+j]
+    is bit [j] of [rows.(i)]. Used to flatten K×K boolean matrices.
+    @raise Invalid_argument if some row has a different width. *)
+
+val row : t -> row_width:int -> int -> t
+(** [row m ~row_width i] extracts row [i] of a matrix flattened by
+    {!of_rows}. *)
+
+val pp : Format.formatter -> t -> unit

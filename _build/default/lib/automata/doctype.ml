@@ -1,0 +1,123 @@
+module Label = Xpds_datatree.Label
+module Data_tree = Xpds_datatree.Data_tree
+
+type rule = {
+  parent : string;
+  at_least : (int * string) list;
+  forbidden : string list;
+}
+
+type t = rule list
+
+let validate rules =
+  let parents = List.map (fun r -> r.parent) rules in
+  if List.length parents <> List.length (List.sort_uniq compare parents)
+  then Error "several rules for the same label"
+  else if
+    List.exists
+      (fun r -> List.exists (fun (n, _) -> n < 1) r.at_least)
+      rules
+  then Error "at_least with a count < 1"
+  else Ok ()
+
+let to_bip ~labels rules =
+  (match validate rules with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Doctype.to_bip: " ^ e));
+  let label_ids = List.map Label.to_string labels in
+  List.iter
+    (fun r ->
+      let mentioned =
+        (r.parent :: r.forbidden) @ List.map snd r.at_least
+      in
+      List.iter
+        (fun l ->
+          if not (List.mem l label_ids) then
+            invalid_arg
+              (Printf.sprintf "Doctype.to_bip: label %S not in Σ" l))
+        mentioned)
+    rules;
+  (* Q: one raw state per label (just the label test), then q_valid and
+     q_invalid. *)
+  let n_labels = List.length labels in
+  let q_of_label =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i l -> Hashtbl.replace tbl (Label.to_string l) i) labels;
+    fun s -> Hashtbl.find tbl s
+  in
+  let q_valid = n_labels and q_invalid = n_labels + 1 in
+  let q_card = n_labels + 2 in
+  (* Local conformance of a node, as a positive formula, and its explicit
+     negation-normal-form complement (using the engine's #q<n atom). *)
+  let local_ok =
+    List.fold_left
+      (fun acc r ->
+        let conds =
+          List.map
+            (fun (n, b) -> Bip.FCountGe (q_of_label b, n))
+            r.at_least
+          @ List.map (fun c -> Bip.FCountZero (q_of_label c)) r.forbidden
+        in
+        let rule_ok =
+          List.fold_left
+            (fun f c -> Bip.FAnd (f, c))
+            Bip.FTrue conds
+        in
+        Bip.FAnd (acc, Bip.FOr (Bip.FNot (Bip.FLab (Label.of_string r.parent)), rule_ok)))
+      Bip.FTrue rules
+  in
+  let local_bad =
+    (* NNF complement of local_ok. *)
+    List.fold_left
+      (fun acc r ->
+        let broken =
+          List.map
+            (fun (n, b) -> Bip.FCountLt (q_of_label b, n))
+            r.at_least
+          @ List.map
+              (fun c -> Bip.FCountGe (q_of_label c, 1))
+              r.forbidden
+        in
+        let rule_broken =
+          match broken with
+          | [] -> Bip.FFalse
+          | f :: fs -> List.fold_left (fun a b -> Bip.FOr (a, b)) f fs
+        in
+        Bip.FOr
+          (acc, Bip.FAnd (Bip.FLab (Label.of_string r.parent), rule_broken)))
+      Bip.FFalse rules
+  in
+  let mu = Array.make q_card Bip.FFalse in
+  List.iteri (fun i l -> mu.(i) <- Bip.FLab l) labels;
+  mu.(q_valid) <- Bip.FAnd (local_ok, Bip.FCountZero q_invalid);
+  mu.(q_invalid) <- Bip.FOr (local_bad, Bip.FCountGe (q_invalid, 1));
+  let pf =
+    Pathfinder.create ~n_states:1 ~initial:0 ~q_card ~up:[] ~read:[]
+  in
+  Bip.create ~labels ~mu ~final:(Bitv.singleton q_card q_valid) ~pf
+
+let conforms ~labels rules tree =
+  ignore labels;
+  let rule_of l =
+    List.find_opt (fun r -> r.parent = Label.to_string l) rules
+  in
+  let ok = ref true in
+  Data_tree.iter
+    (fun _ t ->
+      match rule_of (Data_tree.label t) with
+      | None -> ()
+      | Some r ->
+        let count b =
+          List.length
+            (List.filter
+               (fun c -> Label.to_string (Data_tree.label c) = b)
+               (Data_tree.children t))
+        in
+        if
+          List.exists (fun (n, b) -> count b < n) r.at_least
+          || List.exists (fun c -> count c > 0) r.forbidden
+        then ok := false)
+    tree;
+  !ok
+
+let restrict m ~labels rules = Bip.intersect m (to_bip ~labels rules)

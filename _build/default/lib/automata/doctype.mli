@@ -1,0 +1,42 @@
+(** Counting document types (paper §4.1, "In the presence of document
+    type definitions").
+
+    The paper's decidable DTD fragment cannot express sibling order or
+    upper bounds on occurrence counts, but can demand, per element label,
+    a minimum number of children of given labels and forbid others —
+    "any a has at least five b children and no c child". A document type
+    here is a set of such rules; a tree conforms when {e every} node
+    satisfies the rule of its label (labels without a rule are
+    unconstrained).
+
+    Compilation to a BIP automaton uses the counting atoms [#q ≥ n] /
+    [#q = 0]; the "every node conforms" closure additionally needs the
+    complement state [q_invalid] (whose μ involves the engine-extension
+    atom [#q < n], see {!Bip.form}) guarded by [#q_invalid = 0].
+    Satisfiability of a formula under a document type is then BIP
+    intersection + emptiness, as the paper describes — in time
+    exponential in the largest constant [n0] (unary counting). *)
+
+type rule = {
+  parent : string;  (** the element label this rule constrains *)
+  at_least : (int * string) list;  (** ≥ n children with label b *)
+  forbidden : string list;  (** no child with this label *)
+}
+
+type t = rule list
+
+val validate : t -> (unit, string) result
+(** At most one rule per label; positive counts. *)
+
+val to_bip : labels:Xpds_datatree.Label.t list -> t -> Bip.t
+(** The conformance automaton over the given alphabet (which must cover
+    the rules' labels): accepts exactly the conforming Σ-trees.
+    @raise Invalid_argument on an invalid document type. *)
+
+val conforms : labels:Xpds_datatree.Label.t list -> t ->
+  Xpds_datatree.Data_tree.t -> bool
+(** Direct structural check — the oracle [to_bip] is tested against. *)
+
+val restrict : Bip.t -> labels:Xpds_datatree.Label.t list -> t -> Bip.t
+(** [restrict m ~labels dt] accepts the trees accepted by [m] that
+    conform to [dt] (BIP intersection). *)

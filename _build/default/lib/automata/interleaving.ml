@@ -1,0 +1,139 @@
+open Xpds_xpath.Ast
+module B = Xpds_xpath.Build
+
+exception Unbounded_interleaving
+exception Unsupported of string
+
+(* Regular expressions over pathfinder letters, with smart constructors
+   keeping the output small. *)
+type letter = Up | Read of int
+
+type regex =
+  | Empty
+  | Eps
+  | Letter of letter
+  | Alt of regex * regex
+  | Cat of regex * regex
+  | Star of regex
+
+let alt a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | a, b -> if a = b then a else Alt (a, b)
+
+let cat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, x | x, Eps -> x
+  | a, b -> Cat (a, b)
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star a -> Star a
+  | a -> Star a
+
+(* State elimination: the regex of pathfinder run words from kI to
+   [target]. Run words read bottom-up: "Read q" is a non-moving step,
+   "Up" a moving one. *)
+let run_regex (pf : Pathfinder.t) target =
+  let n = pf.Pathfinder.n_states in
+  (* Work on n+2 states: fresh initial [n] and final [n+1] so that self
+     loops on kI / target are handled uniformly. *)
+  let size = n + 2 in
+  let edge = Array.make_matrix size size Empty in
+  let add s t r = edge.(s).(t) <- alt edge.(s).(t) r in
+  Array.iteri
+    (fun k targets ->
+      List.iter (fun k' -> add k k' (Letter Up)) targets)
+    pf.Pathfinder.up;
+  Array.iteri
+    (fun q per_k ->
+      Array.iteri
+        (fun k targets ->
+          List.iter (fun k' -> add k k' (Letter (Read q))) targets)
+        per_k)
+    pf.Pathfinder.read;
+  add n pf.Pathfinder.initial Eps;
+  add target (n + 1) Eps;
+  (* Eliminate states 0..n-1. *)
+  for v = 0 to n - 1 do
+    let loop = star edge.(v).(v) in
+    for s = 0 to size - 1 do
+      if s <> v && edge.(s).(v) <> Empty then
+        for t = 0 to size - 1 do
+          if t <> v && edge.(v).(t) <> Empty then
+            add s t (cat edge.(s).(v) (cat loop edge.(v).(t)))
+        done
+    done;
+    for s = 0 to size - 1 do
+      edge.(s).(v) <- Empty;
+      edge.(v).(s) <- Empty
+    done
+  done;
+  edge.(n).(n + 1)
+
+(* Reverse a regex and map it to a path expression:
+   Up becomes ↓ (the run moves up, the path moves down), Read q becomes
+   the node test ε[ϕ_q]. *)
+let rec path_of_regex ~phi_of = function
+  | Empty -> Filter (Axis Self, False)
+  | Eps -> Axis Self
+  | Letter Up -> Axis Child
+  | Letter (Read q) -> Filter (Axis Self, phi_of q)
+  | Alt (a, b) -> Union (path_of_regex ~phi_of a, path_of_regex ~phi_of b)
+  | Cat (a, b) ->
+    (* reversal swaps the factors *)
+    Seq (path_of_regex ~phi_of b, path_of_regex ~phi_of a)
+  | Star a -> Star (path_of_regex ~phi_of a)
+
+let build (m : Bip.t) =
+  if not (Bip.has_bounded_interleaving m) then raise Unbounded_interleaving;
+  let phis : (int, node) Hashtbl.t = Hashtbl.create 16 in
+  let paths : (int, path) Hashtbl.t = Hashtbl.create 16 in
+  let phi_of q =
+    match Hashtbl.find_opt phis q with
+    | Some phi -> phi
+    | None ->
+      (* Bounded interleaving + SCC processing order make this
+         unreachable; be defensive. *)
+      raise Unbounded_interleaving
+  in
+  let path_of k =
+    match Hashtbl.find_opt paths k with
+    | Some p -> p
+    | None ->
+      let p =
+        Xpds_xpath.Rewrite.simplify_path
+          (path_of_regex ~phi_of (run_regex m.Bip.pf k))
+      in
+      Hashtbl.replace paths k p;
+      p
+  in
+  let rec node_of_form = function
+    | Bip.FTrue -> True
+    | Bip.FFalse -> False
+    | Bip.FLab a -> Lab a
+    | Bip.FNot f -> B.not_ (node_of_form f)
+    | Bip.FAnd (f, g) -> And (node_of_form f, node_of_form g)
+    | Bip.FOr (f, g) -> Or (node_of_form f, node_of_form g)
+    | Bip.FEx (k1, k2, op) -> Cmp (path_of k1, op, path_of k2)
+    | Bip.FCountGe _ | Bip.FCountZero _ | Bip.FCountLt _ ->
+      raise (Unsupported "counting atoms are not expressible in regXPath")
+  in
+  List.iter
+    (fun component ->
+      match component with
+      | [ q ] ->
+        Hashtbl.replace phis q
+          (Xpds_xpath.Rewrite.simplify (node_of_form m.Bip.mu.(q)))
+      | _ -> raise Unbounded_interleaving)
+    (Bip.sccs m);
+  (phi_of, path_of)
+
+let path_of_state m k =
+  let _, path_of = build m in
+  path_of k
+
+let to_node m =
+  let phi_of, _ = build m in
+  B.disj (List.map phi_of (Bitv.elements m.Bip.final))

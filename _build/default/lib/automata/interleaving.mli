@@ -1,0 +1,32 @@
+(** The bounded interleaving property and the BIP → regXPath(↓,=)
+    back-translation (Appendix B, Prop 6).
+
+    A BIP automaton has {e bounded interleaving} (Def. 4) when no BIP
+    state [q] and pathfinder state [k] are mutually recursive — [k] named
+    in [μ(q)] while some pathfinder path into [k] reads [q]. Exactly
+    those automata are expressible in regXPath(↓,=): each pathfinder
+    state's run language is a regular expression over "read q" / "up"
+    letters (computed by state elimination), which reverses into a path
+    expression with [up ↦ ↓] and [read q ↦ ε[ϕ_q]]; each [μ(q)] then
+    becomes a node expression by replacing [∃(k1,k2)~] with [α_k1 ~ α_k2],
+    processing states along the (acyclic) dependency order. *)
+
+exception Unbounded_interleaving
+(** The automaton's dependency graph is cyclic (Def. 4 fails). *)
+
+exception Unsupported of string
+(** The automaton uses counting atoms, which regXPath(↓,=) cannot
+    express. *)
+
+val path_of_state : Bip.t -> int -> Xpds_xpath.Ast.path
+(** [path_of_state m k] — a path expression [α_k] such that, at any node
+    [x] of any run-labelled tree, the data values retrievable by
+    pathfinder runs ending at [x] in state [k] are exactly
+    [{δ(y) | (x,y) ∈ [[α_k]]}].
+    @raise Unbounded_interleaving / Unsupported as above. *)
+
+val to_node : Bip.t -> Xpds_xpath.Ast.node
+(** The regXPath(↓,=) node expression equivalent to acceptance of [m]:
+    for every data tree [T], [M] accepts [T] iff the formula holds at
+    [T]'s root (Prop 6). Property-tested as a round trip against
+    {!Translate} and {!Bip_run}. *)

@@ -1,0 +1,193 @@
+type letter = Test of Xpds_xpath.Ast.node | Down
+
+type t = {
+  n_states : int;
+  initials : Bitv.t;
+  finals : Bitv.t;
+  edges : (int * letter * int) list;
+}
+
+(* Thompson-style construction with ε-edges, then ε-elimination. *)
+type builder = {
+  mutable next : int;
+  mutable eps : (int * int) list;
+  mutable labelled : (int * letter * int) list;
+}
+
+let fresh b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_eps b s t = b.eps <- (s, t) :: b.eps
+let add_edge b s l t = b.labelled <- (s, l, t) :: b.labelled
+
+open Xpds_xpath.Ast
+
+(* Returns (entry, exit) of a fragment recognizing word(α). *)
+let rec compile b = function
+  | Axis Self ->
+    let s = fresh b in
+    (s, s)
+  | Axis Child ->
+    let s = fresh b and e = fresh b in
+    add_edge b s Down e;
+    (s, e)
+  | Axis Descendant ->
+    let s = fresh b in
+    add_edge b s Down s;
+    (s, s)
+  | Seq (p, q) ->
+    let s1, e1 = compile b p in
+    let s2, e2 = compile b q in
+    add_eps b e1 s2;
+    (s1, e2)
+  | Union (p, q) ->
+    let s = fresh b and e = fresh b in
+    let s1, e1 = compile b p in
+    let s2, e2 = compile b q in
+    add_eps b s s1;
+    add_eps b s s2;
+    add_eps b e1 e;
+    add_eps b e2 e;
+    (s, e)
+  | Filter (p, phi) ->
+    let s1, e1 = compile b p in
+    let e = fresh b in
+    add_edge b e1 (Test phi) e;
+    (s1, e)
+  | Guard (phi, p) ->
+    let s = fresh b in
+    let s1, e1 = compile b p in
+    add_edge b s (Test phi) s1;
+    (s, e1)
+  | Star p ->
+    let s = fresh b in
+    let s1, e1 = compile b p in
+    add_eps b s s1;
+    add_eps b e1 s;
+    (s, s)
+
+let eps_closure n eps =
+  (* closure.(s) = set of states ε-reachable from s (including s). *)
+  let succ = Array.make n [] in
+  List.iter (fun (s, t) -> succ.(s) <- t :: succ.(s)) eps;
+  Array.init n (fun s ->
+      let visited = ref (Bitv.singleton n s) in
+      let rec go s =
+        List.iter
+          (fun t ->
+            if not (Bitv.mem t !visited) then begin
+              visited := Bitv.add t !visited;
+              go t
+            end)
+          succ.(s)
+      in
+      go s;
+      !visited)
+
+let of_path alpha =
+  let b = { next = 0; eps = []; labelled = [] } in
+  let entry, exit = compile b alpha in
+  let n = b.next in
+  let closure = eps_closure n b.eps in
+  (* p --l--> q whenever some r ∈ closure(p) has r --l--> q. *)
+  let edges =
+    List.concat_map
+      (fun (r, l, q) ->
+        List.filter_map
+          (fun p -> if Bitv.mem r closure.(p) then Some (p, l, q) else None)
+          (List.init n Fun.id))
+      b.labelled
+    |> List.sort_uniq Stdlib.compare
+  in
+  let finals =
+    (* p is final iff exit ∈ closure(p). *)
+    List.fold_left
+      (fun acc p -> if Bitv.mem exit closure.(p) then Bitv.add p acc else acc)
+      (Bitv.empty n)
+      (List.init n Fun.id)
+  in
+  { n_states = n; initials = Bitv.singleton n entry; finals; edges }
+
+let reverse a =
+  {
+    n_states = a.n_states;
+    initials = a.finals;
+    finals = a.initials;
+    edges = List.map (fun (s, l, t) -> (t, l, s)) a.edges;
+  }
+
+let trim a =
+  let reach from step =
+    let visited = ref from in
+    let frontier = ref from in
+    while not (Bitv.is_empty !frontier) do
+      let next =
+        List.fold_left
+          (fun acc (s, _, t) ->
+            let src, dst = step (s, t) in
+            if Bitv.mem src !frontier && not (Bitv.mem dst !visited) then
+              Bitv.add dst acc
+            else acc)
+          (Bitv.empty a.n_states) a.edges
+      in
+      visited := Bitv.union !visited next;
+      frontier := next
+    done;
+    !visited
+  in
+  let forward = reach a.initials (fun (s, t) -> (s, t)) in
+  let backward = reach a.finals (fun (s, t) -> (t, s)) in
+  let keep = Bitv.inter forward backward in
+  let renumber = Array.make a.n_states (-1) in
+  let count = ref 0 in
+  Bitv.iter
+    (fun s ->
+      renumber.(s) <- !count;
+      incr count)
+    keep;
+  {
+    n_states = !count;
+    initials =
+      Bitv.fold
+        (fun s acc -> Bitv.add renumber.(s) acc)
+        (Bitv.inter a.initials keep)
+        (Bitv.empty !count);
+    finals =
+      Bitv.fold
+        (fun s acc -> Bitv.add renumber.(s) acc)
+        (Bitv.inter a.finals keep)
+        (Bitv.empty !count);
+    edges =
+      List.filter_map
+        (fun (s, l, t) ->
+          if Bitv.mem s keep && Bitv.mem t keep then
+            Some (renumber.(s), l, renumber.(t))
+          else None)
+        a.edges;
+  }
+
+let accepts a word =
+  let step current pred =
+    List.fold_left
+      (fun acc (s, l, t) ->
+        if Bitv.mem s current && pred l then Bitv.add t acc else acc)
+      (Bitv.empty a.n_states) a.edges
+  in
+  let final = List.fold_left step a.initials word in
+  not (Bitv.is_empty (Bitv.inter final a.finals))
+
+let size a = a.n_states
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>nfa with %d states, init %a, final %a@," a.n_states
+    Bitv.pp a.initials Bitv.pp a.finals;
+  List.iter
+    (fun (s, l, t) ->
+      match l with
+      | Down -> Format.fprintf ppf "%d --down--> %d@," s t
+      | Test phi ->
+        Format.fprintf ppf "%d --[%a]--> %d@," s Xpds_xpath.Pp.pp_node phi t)
+    a.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Nondeterministic finite automata over the path alphabet.
+
+    The Theorem-3 translation views a path expression [α] as a regular
+    expression over the alphabet [Ση = {node tests of η} ∪ {↓}] and
+    compiles {e its reverse} to an NFA (path expressions name root-to-leaf
+    paths, while the pathfinder reads branches leaf-to-root). We compile
+    [α] by a Thompson-style construction with ε-transitions, eliminate the
+    ε-transitions, and reverse the transition graph. *)
+
+type letter =
+  | Test of Xpds_xpath.Ast.node
+      (** a node-expression test — matched in the pathfinder by reading
+          the corresponding BIP state. *)
+  | Down  (** the [↓] step — matched by the pathfinder's [up] move. *)
+
+type t = {
+  n_states : int;
+  initials : Bitv.t;
+  finals : Bitv.t;
+  edges : (int * letter * int) list;
+}
+
+val of_path : Xpds_xpath.Ast.path -> t
+(** ε-free NFA recognizing the word language of [α] over [Ση] (a single
+    initial state). [Filter (α,ϕ)] contributes [word(α)·test(ϕ)],
+    [Guard (ϕ,α)] contributes [test(ϕ)·word(α)], [↓∗] is [Down*]. *)
+
+val reverse : t -> t
+(** Swap initials and finals and flip every edge: recognizes the mirror
+    language. The result may have several initial states. *)
+
+val trim : t -> t
+(** Remove states that are not both reachable from an initial state and
+    co-reachable to a final state, renumbering the rest. Preserves the
+    language; keeps the pathfinder (and thus every K-indexed structure of
+    the decision procedures) small. A trimmed automaton with the empty
+    language has zero states. *)
+
+val accepts : t -> (letter -> bool) list -> bool
+(** [accepts a w] — does [a] accept a word matching the predicates [w]?
+    Each position of the word is given as a predicate on letters (a test
+    letter matches if the predicate says so). Used by unit tests. *)
+
+val size : t -> int
+(** Number of states — the quantity measured by experiment E7. *)
+
+val pp : Format.formatter -> t -> unit

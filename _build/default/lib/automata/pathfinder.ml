@@ -1,0 +1,83 @@
+type t = {
+  n_states : int;
+  initial : int;
+  q_card : int;
+  up : int list array;
+  read : int list array array;
+}
+
+let create ~n_states ~initial ~q_card ~up ~read =
+  let check_k k =
+    if k < 0 || k >= n_states then
+      invalid_arg (Printf.sprintf "Pathfinder.create: state %d" k)
+  in
+  let check_q q =
+    if q < 0 || q >= q_card then
+      invalid_arg (Printf.sprintf "Pathfinder.create: letter q%d" q)
+  in
+  check_k initial;
+  let up_arr = Array.make n_states [] in
+  List.iter
+    (fun (k, k') ->
+      check_k k;
+      check_k k';
+      up_arr.(k) <- k' :: up_arr.(k))
+    up;
+  let read_arr = Array.make_matrix q_card n_states [] in
+  List.iter
+    (fun (q, k, k') ->
+      check_q q;
+      check_k k;
+      check_k k';
+      read_arr.(q).(k) <- k' :: read_arr.(q).(k))
+    read;
+  { n_states; initial; q_card; up = up_arr; read = read_arr }
+
+let closure p ~label ks =
+  (* Worklist fixpoint over the non-moving transitions enabled by the
+     label. *)
+  let result = ref ks in
+  let stack = ref (Bitv.elements ks) in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | k :: rest ->
+      stack := rest;
+      Bitv.iter
+        (fun q ->
+          List.iter
+            (fun k' ->
+              if not (Bitv.mem k' !result) then begin
+                result := Bitv.add k' !result;
+                stack := k' :: !stack
+              end)
+            p.read.(q).(k))
+        label
+  done;
+  !result
+
+let step_up p ks =
+  Bitv.fold
+    (fun k acc ->
+      List.fold_left (fun acc k' -> Bitv.add k' acc) acc p.up.(k))
+    ks
+    (Bitv.empty p.n_states)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>pathfinder: |K|=%d kI=%d |Q|=%d@," p.n_states
+    p.initial p.q_card;
+  Array.iteri
+    (fun k targets ->
+      List.iter (fun k' -> Format.fprintf ppf "k%d --up--> k%d@," k k')
+        targets)
+    p.up;
+  Array.iteri
+    (fun q per_k ->
+      Array.iteri
+        (fun k targets ->
+          List.iter
+            (fun k' -> Format.fprintf ppf "k%d --q%d--> k%d@," k q k')
+            targets)
+        per_k)
+    p.read;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Pathfinder automata (paper §3.1).
+
+    A pathfinder [P = ⟨K, kI, Q, ν⟩] is a bottom-up nondeterministic
+    automaton over data trees labelled with {e sets} of BIP states
+    ([σ : T → 2^Q]). A run starts at some node in the initial state [kI]
+    and walks to the root; each step either checks the presence of one
+    [q ∈ Q] in the current node's label (a {e non-moving} transition
+    [ν(q,k)]) or moves to the parent (a {e moving} transition [ν(up,k)]).
+    The run's output is the pair [(k, d)] of its last state and the data
+    value of its {e first} node: the pathfinder "retrieves" the datum [d]
+    with state [k]. *)
+
+type t = private {
+  n_states : int;  (** |K|; states are [0 .. n_states-1] *)
+  initial : int;  (** k_I *)
+  q_card : int;  (** |Q| of the owning BIP automaton *)
+  up : int list array;  (** [up.(k)] = ν(up, k) *)
+  read : int list array array;  (** [read.(q).(k)] = ν(q, k) *)
+}
+
+val create :
+  n_states:int ->
+  initial:int ->
+  q_card:int ->
+  up:(int * int) list ->
+  read:(int * int * int) list ->
+  t
+(** [create ~n_states ~initial ~q_card ~up ~read] with [up] given as
+    [(k, k')] pairs meaning [k' ∈ ν(up, k)] and [read] as [(q, k, k')]
+    triples meaning [k' ∈ ν(q, k)].
+    @raise Invalid_argument on out-of-range states. *)
+
+val closure : t -> label:Bitv.t -> Bitv.t -> Bitv.t
+(** [closure p ~label ks] is the paper's non-moving closure [cl(·, S)]
+    lifted to sets: all states reachable from [ks] by non-moving
+    transitions reading any [q ∈ label]. Computed by a linear fixpoint
+    (polynomial, as the paper requires). *)
+
+val step_up : t -> Bitv.t -> Bitv.t
+(** [step_up p ks] = [{k' | k ∈ ks, k' ∈ ν(up, k)}] — one moving step for
+    a set of run states (the first half of the paper's [step-up]; the
+    closure at the parent is the second half). *)
+
+val pp : Format.formatter -> t -> unit

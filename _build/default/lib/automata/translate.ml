@@ -1,0 +1,128 @@
+open Xpds_xpath.Ast
+module Label = Xpds_datatree.Label
+
+type t = {
+  automaton : Bip.t;
+  state_of : Xpds_xpath.Ast.node -> int option;
+  sink_of : Xpds_xpath.Ast.path -> int option;
+  top_state : int;
+  other_label : Label.t;
+}
+
+(* The paths that need a pathfinder sink: exactly those tested by an
+   ⟨α⟩ or an α~β somewhere in η. *)
+let tested_paths eta =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      acc := p :: !acc
+    end
+  in
+  List.iter
+    (function
+      | Exists p -> add p
+      | Cmp (p, _, q) ->
+        add p;
+        add q
+      | _ -> ())
+    (node_subformulas eta);
+  List.rev !acc
+
+let labels_of eta =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (function
+      | Lab l when not (Hashtbl.mem seen l) ->
+        Hashtbl.add seen l ();
+        acc := l :: !acc
+      | _ -> ())
+    (node_subformulas eta);
+  List.rev !acc
+
+let of_node ?(labels = []) eta =
+  (* BIP states: one per node subformula, plus q_⊤ if η lacks [True]. *)
+  let subs = node_subformulas eta in
+  let subs = if List.mem True subs then subs else subs @ [ True ] in
+  let q_of_tbl = Hashtbl.create 64 in
+  List.iteri (fun i psi -> Hashtbl.replace q_of_tbl psi i) subs;
+  let q_of psi = Hashtbl.find q_of_tbl psi in
+  let q_card = List.length subs in
+  let q_top = q_of True in
+  (* Pathfinder states: kI = 0, then per tested path the reversed NFA's
+     states followed by its sink k_α. *)
+  let paths = tested_paths eta in
+  let next_k = ref 1 in
+  let up = ref [] and read = ref [] in
+  let sink_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun alpha ->
+      let nfa = Nfa.trim (Nfa.reverse (Nfa.of_path alpha)) in
+      let base = !next_k in
+      let sink = base + nfa.Nfa.n_states in
+      next_k := sink + 1;
+      Hashtbl.replace sink_tbl alpha sink;
+      (* Entry: from kI, reading q_⊤ (present everywhere), move into any
+         initial state of the reversed NFA — and straight to the sink
+         when ε ∈ L(α). *)
+      Bitv.iter
+        (fun i ->
+          read := (q_top, 0, base + i) :: !read;
+          if Bitv.mem i nfa.Nfa.finals then
+            read := (q_top, 0, sink) :: !read)
+        nfa.Nfa.initials;
+      List.iter
+        (fun (s, letter, t) ->
+          let gs = base + s and gt = base + t in
+          let final = Bitv.mem t nfa.Nfa.finals in
+          match letter with
+          | Nfa.Test phi ->
+            let q = q_of phi in
+            read := (q, gs, gt) :: !read;
+            if final then read := (q, gs, sink) :: !read
+          | Nfa.Down ->
+            up := (gs, gt) :: !up;
+            if final then up := (gs, sink) :: !up)
+        nfa.Nfa.edges)
+    paths;
+  let pf =
+    Pathfinder.create ~n_states:!next_k ~initial:0 ~q_card ~up:!up
+      ~read:(List.sort_uniq Stdlib.compare !read)
+  in
+  let sink alpha = Hashtbl.find sink_tbl alpha in
+  (* μ: the boolean skeleton of each subformula, inlined down to label
+     tests and FEx atoms. *)
+  let rec form_of = function
+    | True -> Bip.FTrue
+    | False -> Bip.FFalse
+    | Lab l -> Bip.FLab l
+    | Not psi -> Bip.FNot (form_of psi)
+    | And (a, b) -> Bip.FAnd (form_of a, form_of b)
+    | Or (a, b) -> Bip.FOr (form_of a, form_of b)
+    | Exists alpha -> Bip.FEx (sink alpha, sink alpha, Eq)
+    | Cmp (alpha, op, beta) -> Bip.FEx (sink alpha, sink beta, op)
+  in
+  let mu = Array.of_list (List.map form_of subs) in
+  let other_label = Label.of_string "@other" in
+  let sigma =
+    List.sort_uniq Label.compare (labels_of eta @ labels @ [ other_label ])
+  in
+  let automaton =
+    Bip.create ~labels:sigma ~mu
+      ~final:(Bitv.singleton q_card (q_of eta))
+      ~pf
+  in
+  {
+    automaton;
+    state_of = (fun psi -> Hashtbl.find_opt q_of_tbl psi);
+    sink_of = (fun alpha -> Hashtbl.find_opt sink_tbl alpha);
+    top_state = q_top;
+    other_label;
+  }
+
+let of_node_somewhere ?labels eta =
+  of_node ?labels (Exists (Filter (Axis Descendant, eta)))
+
+let bip_of_node ?labels eta = (of_node ?labels eta).automaton

@@ -1,0 +1,1 @@
+lib/core/xpds.ml: Serialize Xpds_automata Xpds_datatree Xpds_decision Xpds_encodings Xpds_xpath

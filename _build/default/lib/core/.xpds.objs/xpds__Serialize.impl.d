@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Buffer Char List Printf String Xpds_datatree Xpds_decision Xpds_xpath

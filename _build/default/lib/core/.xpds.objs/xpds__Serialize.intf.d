@@ -1,0 +1,1 @@
+lib/core/serialize.mli: Xpds_datatree Xpds_decision Xpds_xpath

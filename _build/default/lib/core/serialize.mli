@@ -1,0 +1,14 @@
+(** JSON rendering of trees, formulas and solver reports — the CLI's
+    [--json] output, for piping into other tooling. Emit-only; the
+    encoders are hand-rolled (no external JSON dependency). *)
+
+val tree_to_json : Xpds_datatree.Data_tree.t -> string
+(** [{"label": "...", "data": d, "children": [...]}] *)
+
+val node_to_json : Xpds_xpath.Ast.node -> string
+(** Structural AST rendering, with ["kind"] discriminators, plus the
+    concrete syntax under ["text"]. *)
+
+val report_to_json : Xpds_decision.Sat.report -> string
+(** Verdict, fragment, algorithm, statistics, automaton sizes, witness
+    (as a tree) when satisfiable. *)

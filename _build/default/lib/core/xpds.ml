@@ -1,0 +1,77 @@
+(** XPDS — satisfiability of downward XPath with data equality tests.
+
+    The public umbrella of the library, re-exporting every subsystem of
+    the reproduction of Figueira's PODS 2009 paper (see DESIGN.md for the
+    map from paper sections to modules):
+
+    - {!Label}, {!Path}, {!Data_tree}, {!Tree_gen}, {!Xml_doc}: data
+      trees and XML (§2.1, Appendix A);
+    - {!Ast}, {!Parser}, {!Pp}, {!Build}, {!Semantics}, {!Fragment},
+      {!Metrics}, {!Rewrite}: the logic (§2.2, Fig. 4);
+    - {!Nfa}, {!Pathfinder}, {!Bip}, {!Bip_run}, {!Translate},
+      {!Doctype}: the automata (§3, §4.1 extensions);
+    - {!Ext_state}, {!Merging}, {!Transition}, {!Emptiness}, {!Bounded},
+      {!Model_search}, {!Sat}, {!Containment}: the decision procedures
+      (§4.1, Theorem 6);
+    - {!Tiling_game}, {!Tiling}, {!Qbf}, {!Qbf_encoding}, {!Attr_xpath}:
+      the lower-bound reductions and the attrXPath front end (§4.2,
+      Appendices A & E).
+
+    Quick start:
+    {[
+      match Xpds.Sat.decide_string "<desc[b & down[b] != down[b]]>" with
+      | Ok report -> Format.printf "%a@." Xpds.Sat.pp_report report
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+module Label = Xpds_datatree.Label
+module Path = Xpds_datatree.Path
+module Data_tree = Xpds_datatree.Data_tree
+module Tree_gen = Xpds_datatree.Tree_gen
+module Xml_doc = Xpds_datatree.Xml_doc
+module Ast = Xpds_xpath.Ast
+module Parser = Xpds_xpath.Parser
+module Pp = Xpds_xpath.Pp
+module Build = Xpds_xpath.Build
+module Semantics = Xpds_xpath.Semantics
+module Fragment = Xpds_xpath.Fragment
+module Metrics = Xpds_xpath.Metrics
+module Rewrite = Xpds_xpath.Rewrite
+module Generator = Xpds_xpath.Generator
+module Explain = Xpds_xpath.Explain
+module Interleaving = Xpds_automata.Interleaving
+module Bitv = Xpds_automata.Bitv
+module Nfa = Xpds_automata.Nfa
+module Pathfinder = Xpds_automata.Pathfinder
+module Bip = Xpds_automata.Bip
+module Bip_run = Xpds_automata.Bip_run
+module Translate = Xpds_automata.Translate
+module Doctype = Xpds_automata.Doctype
+module Ext_state = Xpds_decision.Ext_state
+module Merging = Xpds_decision.Merging
+module Transition = Xpds_decision.Transition
+module Emptiness = Xpds_decision.Emptiness
+module Model_search = Xpds_decision.Model_search
+module Sat = Xpds_decision.Sat
+module Containment = Xpds_decision.Containment
+module Witness_min = Xpds_decision.Witness_min
+module Serialize = Serialize
+module Dot = Xpds_automata.Dot
+module Tiling_game = Xpds_encodings.Tiling_game
+module Tiling = Xpds_encodings.Tiling
+module Qbf = Xpds_encodings.Qbf
+module Qbf_encoding = Xpds_encodings.Qbf_encoding
+module Attr_xpath = Xpds_encodings.Attr_xpath
+
+(** [satisfiable s] parses and decides a formula with the default solver
+    configuration; [Error] on syntax errors, [None] on resource
+    exhaustion. *)
+let satisfiable s : (bool option, string) result =
+  match Sat.decide_string s with
+  | Error e -> Error e
+  | Ok r ->
+    Ok
+      (match r.Sat.verdict with
+      | Sat.Sat _ -> Some true
+      | Sat.Unsat | Sat.Unsat_bounded _ -> Some false
+      | Sat.Unknown _ -> None)

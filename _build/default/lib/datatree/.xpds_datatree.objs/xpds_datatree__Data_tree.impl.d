@@ -1,0 +1,1 @@
+lib/datatree/data_tree.ml: Format Hashtbl Int Label List Option Printf String

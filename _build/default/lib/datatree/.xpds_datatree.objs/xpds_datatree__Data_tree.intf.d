@@ -1,0 +1,1 @@
+lib/datatree/data_tree.mli: Format Label Path

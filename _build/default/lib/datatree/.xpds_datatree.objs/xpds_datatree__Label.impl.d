@@ -1,0 +1,1 @@
+lib/datatree/label.ml: Array Format Hashtbl Int

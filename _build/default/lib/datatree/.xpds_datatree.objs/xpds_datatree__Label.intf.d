@@ -1,0 +1,1 @@
+lib/datatree/label.mli: Format

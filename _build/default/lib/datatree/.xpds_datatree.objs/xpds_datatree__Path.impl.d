@@ -1,0 +1,1 @@
+lib/datatree/path.ml: Format Hashtbl Int List Map Set

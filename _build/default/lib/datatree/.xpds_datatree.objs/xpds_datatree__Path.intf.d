@@ -1,0 +1,1 @@
+lib/datatree/path.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/datatree/tree_gen.ml: Array Data_tree List Random Seq

@@ -1,0 +1,1 @@
+lib/datatree/tree_gen.mli: Data_tree Label Random Seq

@@ -1,0 +1,1 @@
+lib/datatree/xml_doc.ml: Data_tree Format Hashtbl Label List Printf String

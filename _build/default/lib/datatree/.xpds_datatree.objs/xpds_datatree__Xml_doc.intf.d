@@ -1,0 +1,1 @@
+lib/datatree/xml_doc.mli: Data_tree Format

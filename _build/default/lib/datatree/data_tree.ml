@@ -1,0 +1,217 @@
+type t = { label : Label.t; data : int; children : t list }
+
+let make label data children = { label; data; children }
+let leaf label data = make label data []
+let node s data children = make (Label.of_string s) data children
+let label t = t.label
+let data t = t.data
+let children t = t.children
+
+let rec subtree t = function
+  | [] -> Some t
+  | i :: rest -> (
+    match List.nth_opt t.children i with
+    | None -> None
+    | Some c -> subtree c rest)
+
+let subtree_exn t p =
+  match subtree t p with Some s -> s | None -> raise Not_found
+
+let mem_position t p = Option.is_some (subtree t p)
+
+let fold f t init =
+  let rec go pos_rev t acc =
+    let acc = f (List.rev pos_rev) t acc in
+    let _, acc =
+      List.fold_left
+        (fun (i, acc) c -> (i + 1, go (i :: pos_rev) c acc))
+        (0, acc) t.children
+    in
+    acc
+  in
+  go [] t init
+
+let iter f t = fold (fun p t () -> f p t) t ()
+let positions t = List.rev (fold (fun p _ acc -> p :: acc) t [])
+
+let rec fold_bottom_up f t = f t (List.map (fold_bottom_up f) t.children)
+let size t = fold_bottom_up (fun _ rs -> 1 + List.fold_left ( + ) 0 rs) t
+
+let height t =
+  fold_bottom_up (fun _ rs -> 1 + List.fold_left max 0 rs) t
+
+let branching t =
+  fold_bottom_up
+    (fun t rs -> List.fold_left max (List.length t.children) rs)
+    t
+
+let data_values t =
+  List.sort_uniq Int.compare (fold (fun _ t acc -> t.data :: acc) t [])
+
+let labels t =
+  List.sort_uniq Label.compare (fold (fun _ t acc -> t.label :: acc) t [])
+
+let rec map_data f t =
+  { t with data = f t.data; children = List.map (map_data f) t.children }
+
+let canonicalize_data t =
+  let renaming = Hashtbl.create 16 in
+  let next = ref 0 in
+  let rename d =
+    match Hashtbl.find_opt renaming d with
+    | Some d' -> d'
+    | None ->
+      let d' = !next in
+      incr next;
+      Hashtbl.add renaming d d';
+      d'
+  in
+  (* [map_data] would not guarantee preorder application order, so walk
+     explicitly. *)
+  let rec go t =
+    let data = rename t.data in
+    { t with data; children = List.map go t.children }
+  in
+  go t
+
+let shared_data t1 t2 =
+  let d2 = data_values t2 in
+  List.filter (fun d -> List.mem d d2) (data_values t1)
+
+let rec equal t1 t2 =
+  Label.equal t1.label t2.label
+  && t1.data = t2.data
+  && List.equal equal t1.children t2.children
+
+let rec compare t1 t2 =
+  let c = Label.compare t1.label t2.label in
+  if c <> 0 then c
+  else
+    let c = Int.compare t1.data t2.data in
+    if c <> 0 then c else List.compare compare t1.children t2.children
+
+let hash t = Hashtbl.hash t
+
+let rec pp ppf t =
+  Format.fprintf ppf "\xe2\x9f\xa8%a,%d\xe2\x9f\xa9" Label.pp t.label t.data;
+  match t.children with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "(@[%a@])"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp)
+      cs
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string src =
+  let pos = ref 0 in
+  let n = String.length src in
+  let fail msg =
+    failwith (Printf.sprintf "tree syntax error at offset %d: %s" !pos msg)
+  in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (src.[!pos] = ' ' || src.[!pos] = '\t' || src.[!pos] = '\n')
+    do
+      incr pos
+    done
+  in
+  let ident () =
+    skip_ws ();
+    match peek () with
+    | Some '"' ->
+      incr pos;
+      let start = !pos in
+      while !pos < n && src.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated quoted label";
+      let s = String.sub src start (!pos - start) in
+      incr pos;
+      s
+    | Some c
+      when (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || c = '_' || c = '$' || c = '#' || c = '@' ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match src.[!pos] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '@' ->
+          true
+        | _ -> false
+      do
+        incr pos
+      done;
+      String.sub src start (!pos - start)
+    | _ -> fail "expected a label"
+  in
+  let number () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "expected a data value";
+    int_of_string (String.sub src start (!pos - start))
+  in
+  let expect c what =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail ("expected " ^ what)
+  in
+  let rec tree () =
+    let lbl = ident () in
+    expect ':' "':' before the data value";
+    let d = number () in
+    skip_ws ();
+    let children =
+      if peek () = Some '(' then begin
+        incr pos;
+        let rec more acc =
+          let t = tree () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            more (t :: acc)
+          | Some ')' ->
+            incr pos;
+            List.rev (t :: acc)
+          | _ -> fail "expected ',' or ')'"
+        in
+        more []
+      end
+      else []
+    in
+    node lbl d children
+  in
+  match
+    let t = tree () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    t
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+
+let of_string_exn src =
+  match of_string src with Ok t -> t | Error e -> failwith e
+
+let example_fig1 () =
+  (* The data tree of the paper's Example 1, reconstructed so that both
+     evaluations given in the paper hold:
+     [[⟨↓∗[b ∧ ↓[b] ≠ ↓[b]]⟩]] = {ε, 1, 12} and the Example-3 automaton
+     (two (ab)+ elements with different data, and every a shares the
+     root's datum) accepts it. *)
+  node "a" 1
+    [ node "a" 1
+        [ node "b" 2 [];
+          node "b" 1 [ node "b" 2 []; node "b" 3 []; node "a" 1 [] ]
+        ];
+      node "b" 5 [ node "b" 5 [] ]
+    ]

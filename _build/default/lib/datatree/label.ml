@@ -1,0 +1,35 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : string array ref = ref (Array.make 64 "")
+let next = ref 0
+
+let of_string s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !next in
+    incr next;
+    if i >= Array.length !names then begin
+      let grown = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 grown 0 (Array.length !names);
+      names := grown
+    end;
+    !names.(i) <- s;
+    Hashtbl.add table s i;
+    i
+
+let to_string i =
+  if i < 0 || i >= !next then invalid_arg "Label.to_string: unknown label";
+  !names.(i)
+
+let of_int i =
+  if i < 0 || i >= !next then invalid_arg "Label.of_int: unknown label";
+  i
+
+let to_int i = i
+let card () = !next
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf i = Format.pp_print_string ppf (to_string i)

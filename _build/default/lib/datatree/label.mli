@@ -1,0 +1,33 @@
+(** Interned node labels.
+
+    Data trees carry labels from a finite alphabet [Σ] (paper §2.1). Labels
+    are interned strings: each distinct string maps to a small integer, so
+    label comparison inside the decision procedures is integer comparison.
+    The intern table is global and append-only; this mirrors the fact that
+    the alphabet of any satisfiability instance is finite and fixed up
+    front. *)
+
+type t = private int
+
+val of_string : string -> t
+(** [of_string s] interns [s], returning its unique label. Idempotent. *)
+
+val to_string : t -> string
+(** [to_string l] is the original string of [l]. *)
+
+val of_int : int -> t
+(** [of_int i] is the label with intern id [i].
+    @raise Invalid_argument if no label with id [i] has been interned. *)
+
+val to_int : t -> int
+(** The intern id, a dense index in [0 .. card () - 1]. *)
+
+val card : unit -> int
+(** Number of labels interned so far. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the label's string. *)

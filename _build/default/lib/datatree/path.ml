@@ -1,0 +1,45 @@
+type t = int list
+
+let root = []
+let child p i = p @ [ i ]
+
+let parent = function
+  | [] -> None
+  | p ->
+    (* Drop the last index. *)
+    let rec drop_last = function
+      | [] -> assert false
+      | [ _ ] -> []
+      | x :: rest -> x :: drop_last rest
+    in
+    Some (drop_last p)
+
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: p', y :: q' -> x = y && is_prefix p' q'
+
+let is_strict_prefix p q = is_prefix p q && List.length p < List.length q
+let depth = List.length
+let equal = List.equal Int.equal
+let compare = List.compare Int.compare
+let hash = Hashtbl.hash
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "\xce\xb5" (* ε *)
+  | p ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+      Format.pp_print_int ppf p
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

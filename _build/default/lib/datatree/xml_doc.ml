@@ -1,0 +1,208 @@
+type doc = {
+  tag : string;
+  attrs : (string * string) list;
+  elements : doc list;
+}
+
+exception Err of string * int
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let fail c msg = raise (Err (msg, c.pos))
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    c.pos <- c.pos + 1;
+    skip_ws c
+  | _ -> ()
+
+let looking_at c s =
+  c.pos + String.length s <= String.length c.src
+  && String.sub c.src c.pos (String.length s) = s
+
+let skip_until c s =
+  let rec go () =
+    if looking_at c s then c.pos <- c.pos + String.length s
+    else if c.pos >= String.length c.src then
+      fail c (Printf.sprintf "unterminated construct, expected %S" s)
+    else begin
+      c.pos <- c.pos + 1;
+      go ()
+    end
+  in
+  go ()
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' -> true
+  | _ -> false
+
+let parse_name c =
+  let start = c.pos in
+  while
+    c.pos < String.length c.src && is_name_char c.src.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c "expected a name";
+  String.sub c.src start (c.pos - start)
+
+let parse_quoted c =
+  match peek c with
+  | Some (('"' | '\'') as q) ->
+    c.pos <- c.pos + 1;
+    let start = c.pos in
+    while c.pos < String.length c.src && c.src.[c.pos] <> q do
+      c.pos <- c.pos + 1
+    done;
+    if c.pos >= String.length c.src then fail c "unterminated attribute value";
+    let v = String.sub c.src start (c.pos - start) in
+    c.pos <- c.pos + 1;
+    v
+  | _ -> fail c "expected a quoted attribute value"
+
+(* Skip misc content between elements: text, comments, declarations. *)
+let rec skip_misc c =
+  skip_ws c;
+  if looking_at c "<!--" then begin
+    skip_until c "-->";
+    skip_misc c
+  end
+  else if looking_at c "<?" then begin
+    skip_until c "?>";
+    skip_misc c
+  end
+  else if looking_at c "<!" then begin
+    skip_until c ">";
+    skip_misc c
+  end
+  else
+    match peek c with
+    | Some '<' | None -> ()
+    | Some _ ->
+      (* text node: ignored *)
+      while
+        c.pos < String.length c.src && c.src.[c.pos] <> '<'
+      do
+        c.pos <- c.pos + 1
+      done;
+      skip_misc c
+
+let rec parse_element c =
+  if not (looking_at c "<") then fail c "expected '<'";
+  c.pos <- c.pos + 1;
+  let tag = parse_name c in
+  let attrs = ref [] in
+  let rec attributes () =
+    skip_ws c;
+    match peek c with
+    | Some '/' | Some '>' -> ()
+    | Some ch when is_name_char ch ->
+      let name = parse_name c in
+      skip_ws c;
+      if peek c <> Some '=' then fail c "expected '=' after attribute name";
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      let value = parse_quoted c in
+      attrs := (name, value) :: !attrs;
+      attributes ()
+    | _ -> fail c "expected attribute, '/>' or '>'"
+  in
+  attributes ();
+  skip_ws c;
+  if looking_at c "/>" then begin
+    c.pos <- c.pos + 2;
+    { tag; attrs = List.rev !attrs; elements = [] }
+  end
+  else if looking_at c ">" then begin
+    c.pos <- c.pos + 1;
+    let children = ref [] in
+    let rec content () =
+      skip_misc c;
+      if looking_at c "</" then begin
+        c.pos <- c.pos + 2;
+        let closing = parse_name c in
+        if closing <> tag then
+          fail c
+            (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing
+               tag);
+        skip_ws c;
+        if not (looking_at c ">") then fail c "expected '>'";
+        c.pos <- c.pos + 1
+      end
+      else if looking_at c "<" then begin
+        children := parse_element c :: !children;
+        content ()
+      end
+      else fail c "unterminated element"
+    in
+    content ();
+    { tag; attrs = List.rev !attrs; elements = List.rev !children }
+  end
+  else fail c "expected '>' or '/>'"
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match
+    skip_misc c;
+    let d = parse_element c in
+    skip_misc c;
+    if c.pos <> String.length src then fail c "trailing content";
+    d
+  with
+  | d -> Ok d
+  | exception Err (msg, pos) ->
+    Error (Printf.sprintf "XML error at offset %d: %s" pos msg)
+
+let parse_exn src =
+  match parse src with Ok d -> d | Error e -> failwith e
+
+(* Attribute values intern to even integers; element nodes take fresh odd
+   ones, so the two ranges never collide. *)
+let intern_table : (string, int) Hashtbl.t = Hashtbl.create 64
+let intern_next = ref 0
+
+let intern_value s =
+  match Hashtbl.find_opt intern_table s with
+  | Some v -> v
+  | None ->
+    let v = 2 * !intern_next in
+    incr intern_next;
+    Hashtbl.add intern_table s v;
+    v
+
+let to_data_tree doc =
+  let fresh = ref (-1) in
+  let next_fresh () =
+    fresh := !fresh + 2;
+    !fresh
+  in
+  let rec go doc =
+    let attr_children =
+      List.map
+        (fun (name, value) ->
+          Data_tree.leaf (Label.of_string name) (intern_value value))
+        doc.attrs
+    in
+    let element_children = List.map go doc.elements in
+    Data_tree.make
+      (Label.of_string doc.tag)
+      (next_fresh ())
+      (attr_children @ element_children)
+  in
+  go doc
+
+let rec pp ppf d =
+  Format.fprintf ppf "@[<hv 2><%s%a%t@]" d.tag
+    (fun ppf attrs ->
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs)
+    d.attrs
+    (fun ppf ->
+      match d.elements with
+      | [] -> Format.fprintf ppf "/>"
+      | els ->
+        Format.fprintf ppf ">@,%a@;<0 -2></%s>"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+          els d.tag)

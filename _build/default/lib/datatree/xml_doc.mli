@@ -1,0 +1,36 @@
+(** A small XML subset and its encoding into data trees (Appendix A).
+
+    XML elements may carry several attributes, each with a string value,
+    while a data tree has exactly one datum per node. The paper's
+    encoding adds one leaf child per attribute, labelled with the
+    attribute's name and carrying its value as datum; element nodes get
+    fresh data values (their datum is unconstrained). String values are
+    interned into the integer data domain — only equality is observable
+    (§2.2), so interning preserves the semantics of attrXPath.
+
+    The parser accepts a practical subset: elements, attributes
+    (single- or double-quoted), self-closing tags, comments, text
+    (ignored — the logic is attribute-oriented), XML declarations. *)
+
+type doc = {
+  tag : string;
+  attrs : (string * string) list;
+  elements : doc list;
+}
+
+val parse : string -> (doc, string) result
+(** Parse one XML document. Errors carry a byte offset. *)
+
+val parse_exn : string -> doc
+
+val intern_value : string -> int
+(** The global interning of attribute values into ∆ = ℕ. Stable across
+    calls: equal strings get equal data values. *)
+
+val to_data_tree : doc -> Data_tree.t
+(** The Appendix-A encoding: attributes become leaf children labelled by
+    the attribute name, with the interned value as datum; element nodes
+    receive pairwise-distinct fresh data values (disjoint from interned
+    attribute values). *)
+
+val pp : Format.formatter -> doc -> unit

@@ -1,0 +1,1 @@
+lib/decision/bitv.ml: Xpds_automata

@@ -1,0 +1,1 @@
+lib/decision/containment.ml: Sat Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/decision/containment.mli: Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/decision/emptiness.ml: Array Bitv Ext_state Fun Hashtbl Lazy List Merging Seq Stdlib Transition Xpds_automata Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/decision/emptiness.mli: Xpds_automata Xpds_datatree

@@ -1,0 +1,1 @@
+lib/decision/ext_state.ml: Array Bitv Fmt Format Fun Hashtbl List Printf Stdlib

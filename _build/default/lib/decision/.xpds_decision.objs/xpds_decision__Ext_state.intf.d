@@ -1,0 +1,1 @@
+lib/decision/ext_state.mli: Bitv Format

@@ -1,0 +1,1 @@
+lib/decision/merging.ml: Format List Seq

@@ -1,0 +1,1 @@
+lib/decision/merging.mli: Format Seq

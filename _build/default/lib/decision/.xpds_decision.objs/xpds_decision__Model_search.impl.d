@@ -1,0 +1,1 @@
+lib/decision/model_search.ml: Ast List Semantics Seq Xpds_datatree Xpds_xpath

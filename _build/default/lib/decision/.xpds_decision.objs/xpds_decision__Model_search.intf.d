@@ -1,0 +1,1 @@
+lib/decision/model_search.mli: Xpds_datatree Xpds_xpath

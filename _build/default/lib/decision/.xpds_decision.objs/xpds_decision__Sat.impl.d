@@ -1,0 +1,1 @@
+lib/decision/sat.ml: Emptiness Format Option Printf Transition Witness_min Xpds_automata Xpds_datatree Xpds_xpath

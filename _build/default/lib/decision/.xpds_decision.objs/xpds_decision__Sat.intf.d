@@ -1,0 +1,1 @@
+lib/decision/sat.mli: Emptiness Format Xpds_datatree Xpds_xpath

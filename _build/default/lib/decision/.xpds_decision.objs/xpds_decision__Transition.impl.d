@@ -1,0 +1,1 @@
+lib/decision/transition.ml: Array Bitv Ext_state Fun Hashtbl Int Lazy List Merging Option Queue Xpds_automata Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/decision/transition.mli: Ext_state Merging Xpds_automata Xpds_datatree

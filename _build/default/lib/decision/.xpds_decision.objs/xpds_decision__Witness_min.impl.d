@@ -1,0 +1,1 @@
+lib/decision/witness_min.ml: Int List Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/decision/witness_min.mli: Xpds_datatree Xpds_xpath

@@ -1,0 +1,2 @@
+(* Re-export the automata library's bit vectors under a local name. *)
+include Xpds_automata.Bitv

@@ -1,0 +1,16 @@
+open Xpds_xpath.Ast
+
+type answer =
+  | Holds
+  | Fails of Xpds_datatree.Data_tree.t
+  | Unknown of string
+
+let contained ?width phi psi =
+  let query = And (phi, Xpds_xpath.Build.not_ psi) in
+  match (Sat.decide ?width query).Sat.verdict with
+  | Sat.Sat w -> Fails w
+  | Sat.Unsat | Sat.Unsat_bounded _ -> Holds
+  | Sat.Unknown why -> Unknown why
+
+let equivalent ?width phi psi =
+  (contained ?width phi psi, contained ?width psi phi)

@@ -1,0 +1,22 @@
+(** Inclusion and equivalence of node expressions (paper §4.1,
+    "Inclusion and equivalence problems").
+
+    Since regXPath(↓,=) is closed under boolean operations, [ϕ ⊑ ψ]
+    (i.e., [[ϕ]] ⊆ [[ψ]] on every data tree) reduces to the
+    unsatisfiability of [ϕ ∧ ¬ψ]; equivalence is mutual inclusion. The
+    paper leaves inclusion of {e path} expressions open — so do we. *)
+
+type answer =
+  | Holds  (** certified or saturated-bounds unsatisfiability of ϕ∧¬ψ *)
+  | Fails of Xpds_datatree.Data_tree.t
+      (** counterexample tree: some node satisfies ϕ but not ψ *)
+  | Unknown of string
+
+val contained :
+  ?width:int -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node -> answer
+(** [contained phi psi] — does [[ϕ]] ⊆ [[ψ]] hold on every data tree? *)
+
+val equivalent :
+  ?width:int -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node ->
+  answer * answer
+(** Both inclusions; equivalent iff both [Holds]. *)

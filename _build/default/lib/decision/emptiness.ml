@@ -1,0 +1,580 @@
+module Bip = Xpds_automata.Bip
+module Pathfinder = Xpds_automata.Pathfinder
+module Label = Xpds_datatree.Label
+module Data_tree = Xpds_datatree.Data_tree
+
+type outcome =
+  | Nonempty of Data_tree.t
+  | Empty
+  | Bounded_empty
+  | Resource_limit of string
+
+type stats = {
+  n_states : int;
+  n_transitions : int;
+  n_mergings : int;
+  max_height_reached : int;
+}
+
+type config = {
+  width : int option;
+  t0 : int option;
+  dup_cap : int option;
+  merge_budget : int option;
+  max_height : int option;
+  max_states : int;
+  max_transitions : int;
+}
+
+let default_config =
+  {
+    width = None;
+    t0 = None;
+    dup_cap = None;
+    merge_budget = None;
+    max_height = None;
+    max_states = 20_000;
+    max_transitions = 200_000;
+  }
+
+let paper_width (m : Bip.t) =
+  let k = m.pf.Pathfinder.n_states in
+  ((2 * k * k) + k + 2) * k
+
+module StateTbl = Hashtbl.Make (struct
+  type t = Ext_state.t
+
+  let equal = Ext_state.equal
+  let hash = Ext_state.hash
+end)
+
+type prov =
+  | PLeaf of Label.t * int array  (** label, class_values *)
+  | PNode of Label.t * int array * Merging.t * int array
+      (** label, children ids, merging, class_values *)
+
+exception Limit of string
+exception Found of int
+
+type search = {
+  ctx : Transition.ctx;
+  cfg : config;
+  ids : int StateTbl.t;
+  mutable states : Ext_state.t array;
+  mutable provs : prov array;
+  mutable heights : int array;
+  mutable count : int;
+  mutable transitions : int;
+  mutable mergings : int;
+  final : Bitv.t;
+}
+
+let add_state s state prov height =
+  match StateTbl.find_opt s.ids state with
+  | Some id ->
+    if height < s.heights.(id) then s.heights.(id) <- height;
+    None
+  | None ->
+    if s.count >= s.cfg.max_states then raise (Limit "state budget");
+    let id = s.count in
+    if id >= Array.length s.states then begin
+      let cap = max 64 (2 * Array.length s.states) in
+      let states' = Array.make cap state in
+      Array.blit s.states 0 states' 0 id;
+      s.states <- states';
+      let provs' = Array.make cap prov in
+      Array.blit s.provs 0 provs' 0 id;
+      s.provs <- provs';
+      let heights' = Array.make cap max_int in
+      Array.blit s.heights 0 heights' 0 id;
+      s.heights <- heights'
+    end;
+    s.states.(id) <- state;
+    s.provs.(id) <- prov;
+    s.heights.(id) <- height;
+    s.count <- id + 1;
+    StateTbl.add s.ids state id;
+    if Ext_state.accepting state s.final then raise (Found id);
+    Some id
+
+(* Non-decreasing id sequences of length [w] over [0..n], containing at
+   least one id from [fresh] (a predicate). *)
+let iter_combos ~n ~w ~is_fresh f =
+  let combo = Array.make w 0 in
+  let rec go pos lo has_fresh =
+    if pos = w then begin
+      if has_fresh then f (Array.copy combo)
+    end
+    else
+      for id = lo to n do
+        combo.(pos) <- id;
+        go (pos + 1) id (has_fresh || is_fresh id)
+      done
+  in
+  if w > 0 then go 0 0 false
+
+let bump_transitions s =
+  s.transitions <- s.transitions + 1;
+  if s.transitions > s.cfg.max_transitions then
+    raise (Limit "transition budget")
+
+(* One saturation round: apply every unseen transition whose children
+   include at least one state discovered in the previous round. Returns
+   whether new states appeared. *)
+let round s ~labels ~width ~height ~fresh_from =
+  let cfg = s.cfg in
+  let n = s.count - 1 in
+  let new_seen = ref false in
+  let is_fresh id = id >= fresh_from in
+  let m = Transition.bip_of s.ctx in
+  let pf = m.Bip.pf in
+  for w = 1 to width do
+    iter_combos ~n ~w ~is_fresh (fun combo ->
+        let children = Array.map (fun id -> s.states.(id)) combo in
+        let items = Transition.visible_values m children in
+        (* The resulting state depends on a merging only through the
+           multiset of its classes' stepped-up bases (plus the root
+           flag), so mergings with the same canonical key are
+           interchangeable: process one representative. *)
+        let su =
+          List.map
+            (fun (i, v) ->
+              ( (i, v),
+                Pathfinder.step_up pf children.(i).Ext_state.values.(v) ))
+            items
+        in
+        let seen_keys = Hashtbl.create 64 in
+        let merging_key (merging : Merging.t) =
+          List.map
+            (fun (kl : Merging.klass) ->
+              let base =
+                List.fold_left
+                  (fun acc item -> Bitv.union acc (List.assoc item su))
+                  (Bitv.empty pf.Pathfinder.n_states)
+                  kl.Merging.members
+              in
+              (kl.Merging.has_root, Bitv.elements base))
+            merging
+          |> List.sort Stdlib.compare
+        in
+        Seq.iter
+          (fun merging ->
+            s.mergings <- s.mergings + 1;
+            (* Merging enumeration can dwarf the committed transitions;
+               charge it against the same budget so a stall is reported
+               as a resource limit rather than an unbounded crawl. *)
+            if s.mergings > 20 * s.cfg.max_transitions then
+              raise (Limit "merging budget");
+            let key = merging_key merging in
+            if not (Hashtbl.mem seen_keys key) then begin
+              Hashtbl.add seen_keys key ();
+              List.iter
+                (fun label ->
+                  bump_transitions s;
+                  List.iter
+                    (fun (r : Transition.result) ->
+                      match
+                        add_state s r.Transition.state
+                          (PNode
+                             (label, combo, merging,
+                              r.Transition.class_values))
+                          height
+                      with
+                      | Some _ -> new_seen := true
+                      | None -> ())
+                    (Transition.combine ?t0:cfg.t0 ?dup_cap:cfg.dup_cap
+                       s.ctx label children merging))
+                labels
+            end)
+          (Merging.enumerate ?budget:cfg.merge_budget items))
+  done;
+  !new_seen
+
+(* --- witness reconstruction --- *)
+
+let build_witness s id0 =
+  let fresh = ref 0 in
+  let next_fresh () =
+    let d = !fresh in
+    incr fresh;
+    d
+  in
+  (* Returns the tree and the datum realizing each described value. *)
+  let rec build id : Data_tree.t * int array =
+    let state = s.states.(id) in
+    let n_values = Array.length state.Ext_state.values in
+    match s.provs.(id) with
+    | PLeaf (label, class_values) ->
+      let d = next_fresh () in
+      let value_datum = Array.make n_values d in
+      ignore class_values;
+      (Data_tree.make label d [], value_datum)
+    | PNode (label, children_ids, merging, class_values) ->
+      let built = Array.map build children_ids in
+      let n_classes = List.length merging in
+      let class_datum = Array.init n_classes (fun _ -> next_fresh ()) in
+      (* Rename each child's data: described values that belong to a
+         class take the class datum; everything else keeps its (globally
+         fresh) datum. *)
+      let renaming = Array.make (Array.length children_ids) [] in
+      List.iteri
+        (fun e (kl : Merging.klass) ->
+          List.iter
+            (fun (i, v) ->
+              let _, vdata = built.(i) in
+              renaming.(i) <- (vdata.(v), class_datum.(e)) :: renaming.(i))
+            kl.Merging.members)
+        merging;
+      let children =
+        Array.to_list
+          (Array.mapi
+             (fun i (tree, _) ->
+               let map = renaming.(i) in
+               Data_tree.map_data
+                 (fun d ->
+                   match List.assoc_opt d map with
+                   | Some d' -> d'
+                   | None -> d)
+                 tree)
+             built)
+      in
+      let root_datum = class_datum.(0) in
+      let value_datum = Array.make n_values (-1) in
+      Array.iteri
+        (fun e j -> if j >= 0 then value_datum.(j) <- class_datum.(e))
+        class_values;
+      (Data_tree.make label root_datum children, value_datum)
+  in
+  fst (build id0)
+
+(* --- data-free fast path ---
+
+   When every data atom of μ is a diagonal equality ∃(k,k)= (which is how
+   Theorem 3 renders ⟨α⟩; genuine data tests produce off-diagonal or ≠
+   atoms), the atom only asks whether k is reachable at the root — data
+   values are irrelevant, no merging is needed, and the extended state
+   collapses to (C, reachable-K). This covers the data-free rows of
+   Fig. 4 (XPath(↓), XPath(↓∗), XPath(↓,↓∗)) with classical tree-automaton
+   performance. *)
+
+let data_free (m : Bip.t) =
+  List.for_all
+    (fun (k1, k2, op) -> k1 = k2 && op = Xpds_xpath.Ast.Eq)
+    (Bip.ex_atoms m)
+
+let has_counting (m : Bip.t) =
+  Array.exists
+    (fun f ->
+      Bip.fold_form
+        (fun acc atom ->
+          acc
+          ||
+          match atom with
+          | Bip.FCountGe _ | Bip.FCountZero _ | Bip.FCountLt _ -> true
+          | Bip.FEx _ -> false)
+        false f)
+    m.Bip.mu
+
+module DfTbl = Hashtbl.Make (struct
+  type t = Bitv.t * Bitv.t
+
+  let equal (a1, b1) (a2, b2) = Bitv.equal a1 a2 && Bitv.equal b1 b2
+  let hash (a, b) = Hashtbl.hash (Bitv.hash a, Bitv.hash b)
+end)
+
+exception Df_found of Data_tree.t
+
+let check_data_free ~config (m : Bip.t) =
+  let pf = m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let components = Bip.sccs m in
+  let deps = Bip.dependencies m in
+  let labels = m.Bip.labels in
+  (* Evaluate μ with reach-set semantics, SCC by SCC. *)
+  let decide_c0 ~label ~(children : (Bitv.t * Bitv.t) list) =
+    let base =
+      List.fold_left
+        (fun acc (_, n) -> Bitv.union acc (Pathfinder.step_up pf n))
+        (Bitv.singleton k_card pf.Pathfinder.initial)
+        children
+    in
+    let rec eval c0 reach = function
+      | Bip.FTrue -> true
+      | Bip.FFalse -> false
+      | Bip.FLab a -> Label.equal a label
+      | Bip.FNot f -> not (eval c0 reach f)
+      | Bip.FAnd (f, g) -> eval c0 reach f && eval c0 reach g
+      | Bip.FOr (f, g) -> eval c0 reach f || eval c0 reach g
+      | Bip.FEx (k, _, _) -> Bitv.mem k (Lazy.force reach)
+      | Bip.FCountGe (q, n) ->
+        List.length
+          (List.filter (fun (c, _) -> Bitv.mem q c) children)
+        >= n
+      | Bip.FCountZero q ->
+        List.for_all (fun (c, _) -> not (Bitv.mem q c)) children
+      | Bip.FCountLt (q, n) ->
+        List.length (List.filter (fun (c, _) -> Bitv.mem q c) children)
+        < n
+    in
+    let step c0s component =
+      List.concat_map
+        (fun c0 ->
+          let reach = lazy (Pathfinder.closure pf ~label:c0 base) in
+          match component with
+          | [ q ] when not (Bitv.mem q deps.(q)) ->
+            if eval c0 reach m.Bip.mu.(q) then [ Bitv.add q c0 ] else [ c0 ]
+          | comp ->
+            let rec assign chosen = function
+              | [] ->
+                let cand =
+                  List.fold_left (fun acc q -> Bitv.add q acc) c0 chosen
+                in
+                let reach =
+                  lazy (Pathfinder.closure pf ~label:cand base)
+                in
+                if
+                  List.for_all
+                    (fun q ->
+                      eval cand reach m.Bip.mu.(q) = List.mem q chosen)
+                    comp
+                then [ cand ]
+                else []
+              | q :: rest -> assign (q :: chosen) rest @ assign chosen rest
+            in
+            assign [] comp)
+        c0s
+    in
+    List.map
+      (fun c0 -> (c0, Pathfinder.closure pf ~label:c0 base))
+      (List.fold_left step [ Bitv.empty m.Bip.q_card ] components)
+  in
+  let ids = DfTbl.create 1024 in
+  let states = ref [] in
+  let count = ref 0 in
+  let transitions = ref 0 in
+  let provs : (Label.t * int array) list ref = ref [] in
+  (* Without counting atoms a child influences the parent only through
+     step_up(reach), so children can be deduplicated by that projection:
+     combos then range over the (much fewer) distinct step-up values,
+     with one representative state each for provenance. *)
+  let counting = has_counting m in
+  let su_tbl : (Bitv.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let su_reps = ref [] in
+  let n_sus = ref 0 in
+  let note_su id (_, n) =
+    if not counting then begin
+      let su = Pathfinder.step_up pf n in
+      if not (Hashtbl.mem su_tbl su) then begin
+        Hashtbl.add su_tbl su ();
+        su_reps := id :: !su_reps;
+        incr n_sus
+      end
+    end
+  in
+  let add label children_ids st =
+    (* Acceptance is a property of this very production (C depends on the
+       label), so test it before deduplication. *)
+    if not (Bitv.is_empty (Bitv.inter (fst st) m.Bip.final)) then begin
+      let provs = Array.of_list (List.rev !provs) in
+      let rec build id =
+        let label, kids = provs.(id) in
+        Data_tree.make label 0 (Array.to_list (Array.map build kids))
+      in
+      let children =
+        Array.to_list (Array.map build children_ids)
+      in
+      raise (Df_found (Data_tree.make label 0 children))
+    end;
+    (* Without counting atoms only the reach set is observable upward;
+       key the state table on it alone. *)
+    let key =
+      if counting then st else (Bitv.empty m.Bip.q_card, snd st)
+    in
+    if not (DfTbl.mem ids key) then begin
+      if !count >= config.max_states then raise (Limit "state budget");
+      DfTbl.add ids key !count;
+      states := st :: !states;
+      provs := (label, children_ids) :: !provs;
+      note_su !count st;
+      incr count;
+      true
+    end
+    else false
+  in
+  let width =
+    match config.width with Some w -> w | None -> paper_width m
+  in
+  let max_h = match config.max_height with Some h -> h | None -> max_int in
+  let stats height =
+    {
+      n_states = !count;
+      n_transitions = !transitions;
+      n_mergings = 0;
+      max_height_reached = height;
+    }
+  in
+  try
+    List.iter
+      (fun label ->
+        incr transitions;
+        List.iter
+          (fun st -> ignore (add label [||] st))
+          (decide_c0 ~label ~children:[]))
+      labels;
+    let all_states () = Array.of_list (List.rev !states) in
+    (* Distinct combos frequently share the same step-up union, which —
+       absent counting atoms — fully determines the transition; process
+       one representative per union. *)
+    let seen_unions : (Bitv.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let expand ~snapshot ~pool ~n ~fresh_from ~changed =
+      for w = 1 to min width (n + 1) do
+        iter_combos ~n ~w
+          ~is_fresh:(fun i -> i >= fresh_from)
+          (fun combo ->
+            let ids = Array.map (fun i -> pool.(i)) combo in
+            let children =
+              Array.to_list (Array.map (fun id -> snapshot.(id)) ids)
+            in
+            let skip =
+              (not counting)
+              &&
+              let u =
+                List.fold_left
+                  (fun acc (_, nset) ->
+                    Bitv.union acc (Pathfinder.step_up pf nset))
+                  (Bitv.empty pf.Pathfinder.n_states)
+                  children
+              in
+              if Hashtbl.mem seen_unions u then true
+              else begin
+                Hashtbl.add seen_unions u ();
+                false
+              end
+            in
+            if not skip then
+              List.iter
+                (fun label ->
+                  incr transitions;
+                  if !transitions > config.max_transitions then
+                    raise (Limit "transition budget");
+                  List.iter
+                    (fun st -> if add label ids st then changed := true)
+                    (decide_c0 ~label ~children))
+                labels)
+      done
+    in
+    let rec saturate height fresh_pool_from =
+      if height > max_h then (height - 1, true)
+      else begin
+        let snapshot = all_states () in
+        let pool =
+          if counting then Array.init (Array.length snapshot) Fun.id
+          else Array.of_list (List.rev !su_reps)
+        in
+        let n = Array.length pool - 1 in
+        let changed = ref false in
+        expand ~snapshot ~pool ~n ~fresh_from:fresh_pool_from ~changed;
+        if !changed then saturate (height + 1) (n + 1)
+        else (height - 1, false)
+      end
+    in
+    let reached, capped = saturate 2 0 in
+    let paper_complete =
+      match config.width with
+      | Some w -> w >= paper_width m
+      | None -> true
+    in
+    let outcome =
+      if capped || not paper_complete then Bounded_empty else Empty
+    in
+    (outcome, stats reached)
+  with
+  | Df_found w -> (Nonempty w, stats 0)
+  | Limit what -> (Resource_limit what, stats 0)
+
+(* --- main entry (general engine) --- *)
+
+let check_full ?(config = default_config) (m : Bip.t) =
+  let ctx = Transition.make_ctx ~project_pairs:true m in
+  let width =
+    match config.width with Some w -> w | None -> paper_width m
+  in
+  let paper_complete =
+    (match config.width with Some w -> w >= paper_width m | None -> true)
+    && (match config.t0 with
+       | Some t -> t >= Transition.t0_default m
+       | None -> true)
+    && config.dup_cap = None
+    && config.merge_budget = None
+  in
+  let s =
+    {
+      ctx;
+      cfg = config;
+      ids = StateTbl.create 1024;
+      states = [||];
+      provs = [||];
+      heights = [||];
+      count = 0;
+      transitions = 0;
+      mergings = 0;
+      final = m.Bip.final;
+    }
+  in
+  let stats height =
+    {
+      n_states = s.count;
+      n_transitions = s.transitions;
+      n_mergings = s.mergings;
+      max_height_reached = height;
+    }
+  in
+  let labels = m.Bip.labels in
+  try
+    (* Height 1: leaves. *)
+    List.iter
+      (fun label ->
+        bump_transitions s;
+        List.iter
+          (fun (r : Transition.result) ->
+            ignore
+              (add_state s r.Transition.state
+                 (PLeaf (label, r.Transition.class_values))
+                 1))
+          (Transition.leaf ?t0:config.t0 ?dup_cap:config.dup_cap ctx label))
+      labels;
+    let max_h =
+      match config.max_height with Some h -> h | None -> max_int
+    in
+    (* Returns (last height, true if we stopped because of the height
+       cap rather than saturation). *)
+    let rec saturate height fresh_from =
+      if height > max_h then (height - 1, true)
+      else begin
+        let prev_count = s.count in
+        let changed = round s ~labels ~width ~height ~fresh_from in
+        if changed then saturate (height + 1) prev_count
+        else (height - 1, false)
+      end
+    in
+    let reached, height_capped = saturate 2 0 in
+    let outcome =
+      if height_capped || not paper_complete then Bounded_empty else Empty
+    in
+    (outcome, stats reached)
+  with
+  | Found id ->
+    let witness = build_witness s id in
+    (Nonempty witness, stats s.heights.(id))
+  | Limit what -> (Resource_limit what, stats 0)
+
+let check_with_stats ?(config = default_config) (m : Bip.t) =
+  if data_free m then check_data_free ~config m else check_full ~config m
+
+let check ?config m = fst (check_with_stats ?config m)
+
+let is_nonempty ?config m =
+  match check ?config m with
+  | Nonempty _ -> Some true
+  | Empty -> Some false
+  | Bounded_empty | Resource_limit _ -> None

@@ -1,0 +1,70 @@
+type klass = { has_root : bool; members : (int * int) list }
+type t = klass list
+
+(* Restricted-growth enumeration: insert items left to right; each item
+   either joins an existing class (respecting the same-child constraint)
+   or opens a fresh one. Each partition is produced exactly once.
+
+   The optional [budget] bounds the number of items involved in actual
+   identifications: an item joining the root class costs 1, an item
+   turning a singleton class into a pair costs 2 (both members are now
+   "merged"), and an item joining an already non-singleton class costs 1.
+   Items left in singleton classes are free. The paper's procedure has no
+   such bound (budget None); the bound is a practical completeness knob
+   (DESIGN.md §3). *)
+let enumerate ?budget (items : (int * int) list) : t Seq.t =
+  let max_cost = match budget with Some b -> b | None -> max_int in
+  let compatible (child, _) klass =
+    not (List.exists (fun (c, _) -> c = child) klass.members)
+  in
+  let join_cost klass =
+    if klass.has_root then 1
+    else match klass.members with [ _ ] -> 2 | _ -> 1
+  in
+  let rec go built cost items () =
+    match items with
+    | [] ->
+      Seq.Cons
+        ( List.map (fun k -> { k with members = List.rev k.members }) built,
+          fun () -> Seq.Nil )
+    | item :: rest ->
+      let joins =
+        List.concat
+          (List.mapi
+             (fun i klass ->
+               let cost' = cost + join_cost klass in
+               if compatible item klass && cost' <= max_cost then
+                 [ ( List.mapi
+                       (fun j k ->
+                         if i = j then
+                           { k with members = item :: k.members }
+                         else k)
+                       built,
+                     cost' )
+                 ]
+               else [])
+             built)
+      in
+      let opened =
+        (built @ [ { has_root = false; members = [ item ] } ], cost)
+      in
+      Seq.concat_map
+        (fun (built', cost') -> go built' cost' rest)
+        (List.to_seq (joins @ [ opened ]))
+        ()
+  in
+  go [ { has_root = true; members = [] } ] 0 items
+
+let count ?budget items = Seq.length (enumerate ?budget items)
+
+let pp ppf classes =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+       (fun ppf k ->
+         if k.has_root then Format.fprintf ppf "root ";
+         Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+           (fun ppf (c, v) -> Format.fprintf ppf "%d.%d" c v)
+           ppf k.members))
+    classes

@@ -1,0 +1,37 @@
+(** Mergings of described data values (paper §4.1, "Merging data values").
+
+    A transition of the abstract tree automaton nondeterministically
+    chooses an equivalence relation [≡E] over the data values described
+    by the children's extended states plus the new root's own datum
+    ([root]); values in the same class are identified (equal), values in
+    different classes are distinct. Two constraints are structural: two
+    distinct described values of the {e same} child are never equal, and
+    the paper's [D=]-coherence is automatic in our representation because
+    a state never describes the same value twice.
+
+    Values whose description cannot take a single [up] step are invisible
+    to the parent and are left in singleton classes by the caller (they
+    are not passed as items), which prunes the enumeration soundly. *)
+
+type klass = {
+  has_root : bool;  (** the new root's datum belongs to this class *)
+  members : (int * int) list;
+      (** (child index, value index) pairs, at most one per child *)
+}
+
+type t = klass list
+
+val enumerate : ?budget:int -> (int * int) list -> t Seq.t
+(** All partitions of [items ∪ {root}] respecting the same-child
+    constraint, lazily. [items] must not repeat a pair. The class
+    containing [root] is always first. The number of partitions is a
+    (constrained) Bell number in [|items|]; the optional [budget] caps
+    the number of items taking part in identifications (items in the
+    root class or in classes of size ≥ 2), pruning the enumeration to a
+    polynomial family — a practical completeness knob, not part of the
+    paper's construction. *)
+
+val count : ?budget:int -> (int * int) list -> int
+(** Number of partitions {!enumerate} yields (forces the sequence). *)
+
+val pp : Format.formatter -> t -> unit

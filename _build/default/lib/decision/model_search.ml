@@ -1,0 +1,51 @@
+module Data_tree = Xpds_datatree.Data_tree
+module Tree_gen = Xpds_datatree.Tree_gen
+module Label = Xpds_datatree.Label
+open Xpds_xpath
+
+type outcome =
+  | Sat of Data_tree.t
+  | Unsat_within_bounds of int
+  | Budget_exhausted of int
+
+let formula_labels eta =
+  List.filter_map
+    (function Ast.Lab l -> Some l | _ -> None)
+    (Ast.node_subformulas eta)
+  |> List.sort_uniq Label.compare
+
+let search ?labels ?(max_height = 3) ?(max_width = 2) ?(max_data = 3)
+    ?(max_trees = 500_000) eta =
+  let labels =
+    match labels with
+    | Some ls -> ls
+    | None ->
+      formula_labels eta @ [ Label.of_string "@other" ]
+      |> List.sort_uniq Label.compare
+  in
+  let examined = ref 0 in
+  let result = ref None in
+  let exhausted = ref false in
+  (try
+     Tree_gen.enumerate ~labels ~max_height ~max_width ~max_data
+     |> Seq.iter (fun t ->
+            incr examined;
+            if !examined > max_trees then begin
+              exhausted := true;
+              raise Exit
+            end;
+            if Semantics.check t eta then begin
+              result := Some t;
+              raise Exit
+            end)
+   with Exit -> ());
+  match !result with
+  | Some t -> Sat t
+  | None ->
+    if !exhausted then Budget_exhausted !examined
+    else Unsat_within_bounds !examined
+
+let satisfiable ?labels ?max_height ?max_width ?max_data ?max_trees eta =
+  match search ?labels ?max_height ?max_width ?max_data ?max_trees eta with
+  | Sat _ -> true
+  | Unsat_within_bounds _ | Budget_exhausted _ -> false

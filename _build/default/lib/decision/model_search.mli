@@ -1,0 +1,39 @@
+(** Brute-force satisfiability by bounded model enumeration.
+
+    The baseline of experiment E12 and the ground-truth oracle for the
+    emptiness engine: enumerate every data tree (up to data bijection —
+    sound because the logic is invariant under them, §2.2) within the
+    bounds and evaluate the formula with the reference semantics. A [Sat]
+    answer is definitive; [Unsat_within_bounds] is definitive only when
+    the bounds dominate a small-model property for the fragment. *)
+
+type outcome =
+  | Sat of Xpds_datatree.Data_tree.t  (** a model, found by enumeration *)
+  | Unsat_within_bounds of int  (** number of trees examined *)
+  | Budget_exhausted of int
+      (** [max_trees] reached before the bounds were covered — no sound
+          negative answer *)
+
+val search :
+  ?labels:Xpds_datatree.Label.t list ->
+  ?max_height:int ->
+  ?max_width:int ->
+  ?max_data:int ->
+  ?max_trees:int ->
+  Xpds_xpath.Ast.node ->
+  outcome
+(** Find a data tree whose {e root} satisfies the formula (the downward
+    logic makes root satisfaction equivalent to Definition 1 up to the
+    [⟨↓∗[·]⟩] wrapper, which the caller chooses). Defaults: labels = the
+    formula's labels plus one fresh symbol (the paper's [a⊥]), height 3,
+    width 2, data 3, at most [max_trees] trees (default 500_000). *)
+
+val satisfiable :
+  ?labels:Xpds_datatree.Label.t list ->
+  ?max_height:int ->
+  ?max_width:int ->
+  ?max_data:int ->
+  ?max_trees:int ->
+  Xpds_xpath.Ast.node ->
+  bool
+(** [search] collapsed to a boolean (true = Sat within bounds). *)

@@ -1,0 +1,133 @@
+module Fragment = Xpds_xpath.Fragment
+module Semantics = Xpds_xpath.Semantics
+module Translate = Xpds_automata.Translate
+module Bip = Xpds_automata.Bip
+module Bip_run = Xpds_automata.Bip_run
+module Pathfinder = Xpds_automata.Pathfinder
+module Data_tree = Xpds_datatree.Data_tree
+
+type verdict =
+  | Sat of Data_tree.t
+  | Unsat
+  | Unsat_bounded of string
+  | Unknown of string
+
+type report = {
+  verdict : verdict;
+  fragment : Fragment.t;
+  algorithm : string;
+  stats : Emptiness.stats;
+  witness_verified : bool option;
+  automaton_q : int;
+  automaton_k : int;
+}
+
+let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
+    ?(merge_budget = Some 5) ?max_states ?max_transitions ?(verify = true)
+    ?(minimize = false) ?(extra_labels = []) eta =
+  let eta = Xpds_xpath.Rewrite.simplify eta in
+  let fragment = Fragment.classify eta in
+  let bound = Fragment.poly_depth_bound eta in
+  let m = Translate.bip_of_node ~labels:extra_labels (Xpds_xpath.Ast.Exists
+      (Xpds_xpath.Ast.Filter (Xpds_xpath.Ast.Axis Descendant, eta)))
+  in
+  let config =
+    {
+      Emptiness.default_config with
+      width = Some width;
+      t0 = (match t0 with Some _ -> t0 | None -> None);
+      dup_cap;
+      merge_budget;
+      max_height = bound;
+      max_states =
+        Option.value max_states
+          ~default:Emptiness.default_config.Emptiness.max_states;
+      max_transitions =
+        Option.value max_transitions
+          ~default:Emptiness.default_config.Emptiness.max_transitions;
+    }
+  in
+  let algorithm =
+    match bound with
+    | Some b ->
+      Printf.sprintf "height-bounded fixpoint (Thm 6, H=%d, width=%d)" b
+        width
+    | None -> Printf.sprintf "full fixpoint (Thm 4, width=%d)" width
+  in
+  let outcome, stats = Emptiness.check_with_stats ~config m in
+  let paper_complete_widths =
+    width >= Emptiness.paper_width m
+    && (match t0 with
+       | Some t -> t >= Transition.t0_default m
+       | None -> true)
+    && dup_cap = None && merge_budget = None
+  in
+  let verdict, witness_verified =
+    match outcome with
+    | Emptiness.Nonempty w ->
+      let w =
+        if minimize then
+          Witness_min.minimize
+            ~check:(fun t -> Semantics.check_somewhere t eta)
+            w eta
+        else w
+      in
+      let verified =
+        if verify then
+          Some (Semantics.check_somewhere w eta && Bip_run.accepts m w)
+        else None
+      in
+      (Sat w, verified)
+    | Emptiness.Empty -> (Unsat, None)
+    | Emptiness.Bounded_empty ->
+      if paper_complete_widths then
+        (* The height bound is the fragment's poly-depth bound, which is
+           exact; with paper-complete width/t0 the answer is certified. *)
+        (Unsat, None)
+      else
+        ( Unsat_bounded
+            (Printf.sprintf "saturated at width %d (paper bound %d)" width
+               (Emptiness.paper_width m)),
+          None )
+    | Emptiness.Resource_limit what -> (Unknown what, None)
+  in
+  {
+    verdict;
+    fragment;
+    algorithm;
+    stats;
+    witness_verified;
+    automaton_q = m.Bip.q_card;
+    automaton_k = m.Bip.pf.Pathfinder.n_states;
+  }
+
+let satisfiable ?width eta =
+  match (decide ?width ~verify:false eta).verdict with
+  | Sat _ -> Some true
+  | Unsat | Unsat_bounded _ -> Some false
+  | Unknown _ -> None
+
+let decide_string s =
+  match Xpds_xpath.Parser.formula_of_string s with
+  | Error e -> Error e
+  | Ok f -> Ok (decide (Xpds_xpath.Ast.as_node f))
+
+let pp_verdict ppf = function
+  | Sat w ->
+    Format.fprintf ppf "SAT, witness: %a" Data_tree.pp w
+  | Unsat -> Format.pp_print_string ppf "UNSAT (certified)"
+  | Unsat_bounded why -> Format.fprintf ppf "UNSAT (%s)" why
+  | Unknown why -> Format.fprintf ppf "UNKNOWN (%s)" why
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fragment: %s@,algorithm: %s@,automaton: |Q|=%d |K|=%d@,states \
+     explored: %d, transitions: %d, mergings: %d@,verdict: %a%a@]"
+    (Fragment.name r.fragment) r.algorithm r.automaton_q r.automaton_k
+    r.stats.Emptiness.n_states r.stats.Emptiness.n_transitions
+    r.stats.Emptiness.n_mergings pp_verdict r.verdict
+    (fun ppf -> function
+      | Some true -> Format.fprintf ppf "@,witness verified: yes"
+      | Some false -> Format.fprintf ppf "@,witness verified: NO (BUG)"
+      | None -> ())
+    r.witness_verified

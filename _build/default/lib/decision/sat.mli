@@ -1,0 +1,67 @@
+(** The top-level satisfiability solver.
+
+    Implements SAT-L (Definition 1) for every downward fragment of
+    Fig. 4: classify the formula ({!Xpds_xpath.Fragment}), translate to a
+    BIP automaton (Theorem 3, via the [⟨↓∗[η]⟩] wrapper so that
+    acceptance means [[η]] ≠ ∅), then run the emptiness fixpoint
+    (Theorem 4) — height-bounded (Theorem 6) when the fragment has the
+    poly-depth model property.
+
+    Honesty of answers: a [Sat] verdict always carries a witness tree
+    (replayed through the reference semantics when [verify] is set). An
+    unsatisfiability verdict is [Unsat] only when the search bounds meet
+    the paper's completeness bounds (u0/t0, and the fragment's depth
+    bound when height-bounded); the paper-complete branching width
+    [u0 = (2|K|²+|K|+2)|K|] is astronomically conservative, so with the
+    practical default width the saturated-but-not-provably-complete case
+    is reported as [Unsat_bounded] — empirically reliable (cross-checked
+    against {!Model_search} in the test suite) but not certified. *)
+
+type verdict =
+  | Sat of Xpds_datatree.Data_tree.t
+  | Unsat  (** certified: bounds meet the paper's completeness bounds *)
+  | Unsat_bounded of string
+      (** fixpoint saturated under the given (smaller) bounds *)
+  | Unknown of string  (** resource budget exhausted *)
+
+type report = {
+  verdict : verdict;
+  fragment : Xpds_xpath.Fragment.t;
+  algorithm : string;  (** human-readable description of the run *)
+  stats : Emptiness.stats;
+  witness_verified : bool option;
+      (** [Some true] iff a witness was replayed successfully through
+          both the reference semantics and the BIP run *)
+  automaton_q : int;  (** |Q| of the translated automaton *)
+  automaton_k : int;  (** |K| of its pathfinder *)
+}
+
+val decide :
+  ?width:int ->
+  ?t0:int option ->
+  ?dup_cap:int option ->
+  ?merge_budget:int option ->
+  ?max_states:int ->
+  ?max_transitions:int ->
+  ?verify:bool ->
+  ?minimize:bool ->
+  ?extra_labels:Xpds_datatree.Label.t list ->
+  Xpds_xpath.Ast.node ->
+  report
+(** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?).
+    Practical defaults: [width] 3, [t0] [Some 6], [dup_cap] [Some 2],
+    [merge_budget] [Some 5] (pass [None] explicitly for the
+    paper-complete behaviour of each); [verify] defaults to true;
+    [minimize] (default false) shrinks the witness with
+    {!Witness_min.minimize} before verification. *)
+
+val satisfiable : ?width:int -> Xpds_xpath.Ast.node -> bool option
+(** [Some b] when the verdict is [Sat]/[Unsat]/[Unsat_bounded] (the
+    latter trusted as [false]); [None] on [Unknown]. *)
+
+val decide_string : string -> (report, string) result
+(** Parse (either sort, per {!Xpds_xpath.Parser.formula_of_string}) and
+    decide. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit

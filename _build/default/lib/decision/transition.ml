@@ -1,0 +1,525 @@
+module Bip = Xpds_automata.Bip
+module Pathfinder = Xpds_automata.Pathfinder
+module Label = Xpds_datatree.Label
+open Xpds_xpath.Ast
+
+type result = { state : Ext_state.t; class_values : int array }
+
+type ctx = {
+  m : Bip.t;
+  components : int list list;
+  deps : Bitv.t array;
+  rev_read : (int * int) list array;
+      (** per target k: (q, source) non-moving edges into k *)
+  rev_up : int list array;  (** per target k'': sources k' with up-edges *)
+  pair_mask : Bitv.t option;
+      (** when set: the K x K pairs the automaton can ever consult; the
+          stored atom matrices are projected onto it, collapsing
+          extended states that differ only in unobservable pairs *)
+}
+
+let make_ctx ?(project_pairs = false) (m : Bip.t) =
+  let pf = m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let rev_read = Array.make k_card [] in
+  Array.iteri
+    (fun q per_k ->
+      Array.iteri
+        (fun k targets ->
+          List.iter
+            (fun k' -> rev_read.(k') <- (q, k) :: rev_read.(k'))
+            targets)
+        per_k)
+    pf.Pathfinder.read;
+  let rev_up = Array.make k_card [] in
+  Array.iteri
+    (fun k targets ->
+      List.iter (fun k' -> rev_up.(k') <- k :: rev_up.(k')) targets)
+    pf.Pathfinder.up;
+  let k_card_sq = k_card * k_card in
+  let pair_mask =
+    (* The mask closure is worst-case O(K^4); beyond ~128 pathfinder
+       states its cost outweighs the state-space savings. *)
+    if (not project_pairs) || k_card > 128 then None
+    else begin
+      (* Backward set under the *full* label (superset of any C0):
+         V_full(k) = sources whose one up-step can reach k. *)
+      let v_full =
+        Array.init k_card (fun k ->
+            let b = ref (Bitv.singleton k_card k) in
+            let stack = ref [ k ] in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | cur :: rest ->
+                stack := rest;
+                List.iter
+                  (fun ((_ : int), src) ->
+                    if not (Bitv.mem src !b) then begin
+                      b := Bitv.add src !b;
+                      stack := src :: !stack
+                    end)
+                  rev_read.(cur)
+            done;
+            Bitv.fold
+              (fun k'' acc ->
+                List.fold_left
+                  (fun acc k' -> Bitv.add k' acc)
+                  acc rev_up.(k''))
+              !b (Bitv.empty k_card))
+      in
+      (* Relevant pairs: the μ-atoms, the diagonal (used by the
+         structural invariants), closed under simultaneous backward
+         steps (the lifted case-1 queries). *)
+      let mask = ref (Bitv.empty k_card_sq) in
+      let queue = Queue.create () in
+      let add k1 k2 =
+        let p = (k1 * k_card) + k2 in
+        if not (Bitv.mem p !mask) then begin
+          mask := Bitv.add p (Bitv.add ((k2 * k_card) + k1) !mask);
+          Queue.add (k1, k2) queue;
+          if k1 <> k2 then Queue.add (k2, k1) queue
+        end
+      in
+      List.iter (fun (k1, k2, _) -> add k1 k2) (Bip.ex_atoms m);
+      for k = 0 to k_card - 1 do
+        add k k
+      done;
+      while not (Queue.is_empty queue) do
+        let k1, k2 = Queue.pop queue in
+        Bitv.iter
+          (fun k'1 -> Bitv.iter (fun k'2 -> add k'1 k'2) v_full.(k2))
+          v_full.(k1)
+      done;
+      Some !mask
+    end
+  in
+  {
+    m;
+    components = Bip.sccs m;
+    deps = Bip.dependencies m;
+    rev_read;
+    rev_up;
+    pair_mask;
+  }
+
+let bip_of ctx = ctx.m
+
+let t0_default (m : Bip.t) =
+  let k = m.pf.Pathfinder.n_states in
+  (2 * k * k) + 2
+
+let visible_values (m : Bip.t) children =
+  List.concat
+    (List.mapi
+       (fun i (c : Ext_state.t) ->
+         List.concat
+           (List.mapi
+              (fun v desc ->
+                if Bitv.is_empty (Pathfinder.step_up m.pf desc) then []
+                else [ (i, v) ])
+              (Array.to_list c.values)))
+       (Array.to_list children))
+
+(* Per-(partial C0) evaluation context: reach per class, the many set,
+   and the full ∃(k1,k2)~ matrices, stored as one bit-row per k1. The
+   matrices combine the paper's cases: values shared through a merging
+   class (cases 2-4), pairs lifted from a child's own valuation through
+   step-up + closure (case 1), and the many-source rule (case 4'). The
+   lifted part is a boolean matrix product  Uᵀ · eq_i · U  computed
+   row-wise on bit vectors, keeping a transition polynomial with a small
+   constant. *)
+type eval = {
+  r : Bitv.t array;  (** per merging class: reach at the root *)
+  many0 : Bitv.t;  (** M: states inheriting >= 2 values *)
+  nonzero : Bitv.t;  (** states retrieving at least one value *)
+  eq_rows : Bitv.t array;  (** eq_rows.(k1) = { k2 | ∃(k1,k2)= } *)
+  neq_rows : Bitv.t array;
+}
+
+let build_eval (m : Bip.t) ~c0 ~(children : Ext_state.t array)
+    ~(classes : Merging.klass list) =
+  let pf = m.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let cl x = Pathfinder.closure pf ~label:c0 x in
+  let r =
+    Array.of_list
+      (List.map
+         (fun (kl : Merging.klass) ->
+           let base =
+             List.fold_left
+               (fun acc (i, v) ->
+                 Bitv.union acc
+                   (Pathfinder.step_up pf children.(i).Ext_state.values.(v)))
+               (if kl.Merging.has_root then
+                  Bitv.singleton k_card pf.Pathfinder.initial
+                else Bitv.empty k_card)
+               kl.Merging.members
+           in
+           cl base)
+         classes)
+  in
+  let many_base =
+    Array.fold_left
+      (fun acc (c : Ext_state.t) ->
+        Bitv.union acc (Pathfinder.step_up pf c.many))
+      (Bitv.empty k_card) children
+  in
+  let many0 = cl many_base in
+  let nonzero =
+    Array.fold_left Bitv.union many0 r
+  in
+  let eq_rows = Array.make k_card (Bitv.empty k_card) in
+  let neq_rows = Array.make k_card (Bitv.empty k_card) in
+  (* Shared class values: all pairs within one class are equal; pairs
+     from two distinct classes are unequal. *)
+  let n_classes = Array.length r in
+  for e = 0 to n_classes - 1 do
+    let others = ref (Bitv.empty k_card) in
+    for e2 = 0 to n_classes - 1 do
+      if e2 <> e then others := Bitv.union !others r.(e2)
+    done;
+    Bitv.iter
+      (fun k1 ->
+        eq_rows.(k1) <- Bitv.union eq_rows.(k1) r.(e);
+        neq_rows.(k1) <- Bitv.union neq_rows.(k1) !others)
+      r.(e)
+  done;
+  (* Many-source inequality: a many state differs from anything
+     retrieving a value. *)
+  Bitv.iter
+    (fun k1 -> neq_rows.(k1) <- Bitv.union neq_rows.(k1) nonzero)
+    many0;
+  Bitv.iter
+    (fun k1 -> neq_rows.(k1) <- Bitv.union neq_rows.(k1) many0)
+    nonzero;
+  (* Case 1: lift each child's own matrices through U(k') =
+     cl(step_up {k'}). *)
+  Array.iteri
+    (fun i (c : Ext_state.t) ->
+      let u =
+        Array.init k_card (fun k' ->
+            cl (Pathfinder.step_up pf (Bitv.singleton k_card k')))
+      in
+      let lift_matrix child_rows target =
+        (* m1.(k'1) = ∪ { u.(k'2) | child k'1 ~ k'2 } *)
+        let m1 =
+          Array.init k_card (fun k'1 ->
+              Bitv.fold
+                (fun k'2 acc -> Bitv.union acc u.(k'2))
+                (child_rows k'1) (Bitv.empty k_card))
+        in
+        Array.iteri
+          (fun k'1 row ->
+            if not (Bitv.is_empty row) then
+              Bitv.iter
+                (fun k1 -> target.(k1) <- Bitv.union target.(k1) row)
+                u.(k'1))
+          m1
+      in
+      lift_matrix
+        (fun k1 -> Bitv.row c.Ext_state.eq ~row_width:k_card k1)
+        eq_rows;
+      lift_matrix
+        (fun k1 -> Bitv.row c.Ext_state.neq ~row_width:k_card k1)
+        neq_rows)
+    children;
+  { r; many0; nonzero; eq_rows; neq_rows }
+
+(* A light evaluation context for deciding C(v0): only the class reach
+   sets and the many set are materialized; case-1 lifted pairs are
+   answered per query through the backward sets
+   V(k) = { k' | one up-step from k' can reach k under C0 }, cached per
+   k. This keeps μ-evaluation cheap even for large pathfinders — the
+   full K x K matrices are only built once per assembled state. *)
+type light = {
+  lr : Bitv.t array;
+  lmany0 : Bitv.t;
+  v_cache : Bitv.t option array;
+  lc0 : Bitv.t;
+}
+
+let build_light (m : Bip.t) ~c0 ~(children : Ext_state.t array)
+    ~(classes : Merging.klass list) =
+  let pf = m.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let cl x = Pathfinder.closure pf ~label:c0 x in
+  let lr =
+    Array.of_list
+      (List.map
+         (fun (kl : Merging.klass) ->
+           let base =
+             List.fold_left
+               (fun acc (i, v) ->
+                 Bitv.union acc
+                   (Pathfinder.step_up pf children.(i).Ext_state.values.(v)))
+               (if kl.Merging.has_root then
+                  Bitv.singleton k_card pf.Pathfinder.initial
+                else Bitv.empty k_card)
+               kl.Merging.members
+           in
+           cl base)
+         classes)
+  in
+  let many_base =
+    Array.fold_left
+      (fun acc (c : Ext_state.t) ->
+        Bitv.union acc (Pathfinder.step_up pf c.many))
+      (Bitv.empty k_card) children
+  in
+  { lr; lmany0 = cl many_base; v_cache = Array.make k_card None; lc0 = c0 }
+
+let v_of ctx light k =
+  match light.v_cache.(k) with
+  | Some v -> v
+  | None ->
+    let k_card = Array.length light.v_cache in
+    (* Backward non-moving closure of {k} under the current root label. *)
+    let b = ref (Bitv.singleton k_card k) in
+    let stack = ref [ k ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | cur :: rest ->
+        stack := rest;
+        List.iter
+          (fun (q, src) ->
+            if Bitv.mem q light.lc0 && not (Bitv.mem src !b) then begin
+              b := Bitv.add src !b;
+              stack := src :: !stack
+            end)
+          ctx.rev_read.(cur)
+    done;
+    let v =
+      Bitv.fold
+        (fun k'' acc ->
+          List.fold_left (fun acc k' -> Bitv.add k' acc) acc ctx.rev_up.(k''))
+        !b (Bitv.empty k_card)
+    in
+    light.v_cache.(k) <- Some v;
+    v
+
+let light_nonzero light k =
+  Bitv.mem k light.lmany0 || Array.exists (fun r -> Bitv.mem k r) light.lr
+
+let light_atom ctx light (children : Ext_state.t array) k1 k2
+    (op : Xpds_xpath.Ast.op) =
+  let lifted matrix_at =
+    let v1 = v_of ctx light k1 and v2 = v_of ctx light k2 in
+    (not (Bitv.is_empty v1))
+    && (not (Bitv.is_empty v2))
+    && Array.exists
+         (fun (c : Ext_state.t) ->
+           Bitv.exists
+             (fun k'1 ->
+               Bitv.exists (fun k'2 -> matrix_at c k'1 k'2) v2)
+             v1)
+         children
+  in
+  match op with
+  | Eq ->
+    Array.exists (fun r -> Bitv.mem k1 r && Bitv.mem k2 r) light.lr
+    || lifted (fun c -> Ext_state.eq_at c)
+  | Neq ->
+    let n = Array.length light.lr in
+    let distinct_classes =
+      let found = ref false in
+      for e1 = 0 to n - 1 do
+        if (not !found) && Bitv.mem k1 light.lr.(e1) then
+          for e2 = 0 to n - 1 do
+            if (not !found) && e2 <> e1 && Bitv.mem k2 light.lr.(e2) then
+              found := true
+          done
+      done;
+      !found
+    in
+    distinct_classes
+    || (Bitv.mem k1 light.lmany0 && light_nonzero light k2)
+    || (Bitv.mem k2 light.lmany0 && light_nonzero light k1)
+    || lifted (fun c -> Ext_state.neq_at c)
+
+let rec eval_form_light ctx (children : Ext_state.t array) ~label ~light =
+  function
+  | Bip.FTrue -> true
+  | Bip.FFalse -> false
+  | Bip.FLab a -> Label.equal a label
+  | Bip.FNot f -> not (eval_form_light ctx children ~label ~light f)
+  | Bip.FAnd (f, g) ->
+    eval_form_light ctx children ~label ~light f
+    && eval_form_light ctx children ~label ~light g
+  | Bip.FOr (f, g) ->
+    eval_form_light ctx children ~label ~light f
+    || eval_form_light ctx children ~label ~light g
+  | Bip.FEx (k1, k2, op) ->
+    light_atom ctx (Lazy.force light) children k1 k2 op
+  | Bip.FCountGe (q, n) ->
+    List.length
+      (List.filter
+         (fun (c : Ext_state.t) -> Bitv.mem q c.states)
+         (Array.to_list children))
+    >= n
+  | Bip.FCountZero q ->
+    Array.for_all (fun (c : Ext_state.t) -> not (Bitv.mem q c.states))
+      children
+  | Bip.FCountLt (q, n) ->
+    List.length
+      (List.filter
+         (fun (c : Ext_state.t) -> Bitv.mem q c.states)
+         (Array.to_list children))
+    < n
+
+(* Decide C(v0) component by component; returns all consistent root
+   labels (singleton for stratified automata). *)
+let decide_c0 ctx ~label ~children ~classes =
+  let m = ctx.m in
+  let q_card = m.Bip.q_card in
+  let eval_with c0 f =
+    let light = lazy (build_light m ~c0 ~children ~classes) in
+    eval_form_light ctx children ~label ~light f
+  in
+  let step c0s component =
+    List.concat_map
+      (fun c0 ->
+        match component with
+        | [ q ] when not (Bitv.mem q ctx.deps.(q)) ->
+          if eval_with c0 m.Bip.mu.(q) then [ Bitv.add q c0 ] else [ c0 ]
+        | comp ->
+          (* Enumerate consistent labellings of the cyclic component. *)
+          let rec assign chosen = function
+            | [] ->
+              let candidate =
+                List.fold_left (fun acc q -> Bitv.add q acc) c0 chosen
+              in
+              if
+                List.for_all
+                  (fun q ->
+                    eval_with candidate m.Bip.mu.(q) = List.mem q chosen)
+                  comp
+              then [ candidate ]
+              else []
+            | q :: rest ->
+              assign (q :: chosen) rest @ assign chosen rest
+          in
+          assign [] comp)
+      c0s
+  in
+  List.fold_left step [ Bitv.empty q_card ] ctx.components
+
+(* Assemble the extended state for a fully decided root label. *)
+let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
+    ~classes ~c0 =
+  let m = ctx.m in
+  let pf = m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let t0 = match t0 with Some t -> t | None -> t0_default m in
+  let ev = build_eval m ~c0 ~children ~classes in
+  let n_classes = List.length classes in
+  (* Multiplicities. *)
+  let unique = Array.make k_card (-1) in
+  let many = ref (Bitv.empty k_card) in
+  for k = 0 to k_card - 1 do
+    let classes_of_k =
+      List.filter (fun e -> Bitv.mem k ev.r.(e)) (List.init n_classes Fun.id)
+    in
+    if Bitv.mem k ev.many0 || List.length classes_of_k >= 2 then
+      many := Bitv.add k !many
+    else
+      match classes_of_k with
+      | [ e ] -> unique.(k) <- e
+      | _ -> ()
+  done;
+  (* Atom matrices: flatten the row representation, projected onto the
+     observable pairs when the ctx asks for it. *)
+  let project m =
+    match ctx.pair_mask with None -> m | Some mask -> Bitv.inter m mask
+  in
+  let eq = project (Bitv.of_rows ~row_width:k_card ev.eq_rows) in
+  let neq = project (Bitv.of_rows ~row_width:k_card ev.neq_rows) in
+  (* Described values: every class with a nonempty reach, root first;
+     never drop the root class or a unique target when capping at t0. *)
+  let keep =
+    List.filter (fun e -> not (Bitv.is_empty ev.r.(e)))
+      (List.init n_classes Fun.id)
+  in
+  let mandatory e = e = 0 || Array.exists (fun u -> u = e) unique in
+  (* Values with identical descriptions are interchangeable except for
+     their pairwise distinctness; keep at most [dup_cap] copies of each
+     description among the optional ones (a practical knob — the paper
+     keeps everything up to t0). *)
+  let keep =
+    match dup_cap with
+    | None -> keep
+    | Some cap ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun e ->
+          if mandatory e then true
+          else begin
+            let key = Bitv.elements ev.r.(e) in
+            let n = Option.value (Hashtbl.find_opt seen key) ~default:0 in
+            Hashtbl.replace seen key (n + 1);
+            n < cap
+          end)
+        keep
+  in
+  let keep =
+    if List.length keep <= t0 then keep
+    else begin
+      let mand, opt = List.partition mandatory keep in
+      let budget = max 0 (t0 - List.length mand) in
+      let opt_sorted =
+        List.sort
+          (fun e1 e2 ->
+            Int.compare (Bitv.cardinal ev.r.(e2)) (Bitv.cardinal ev.r.(e1)))
+          opt
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      List.sort Int.compare (mand @ take budget opt_sorted)
+    end
+  in
+  (* Dropped classes: their unique pointers cannot exist (mandatory), but
+     their ks keep multiplicity; dropping only hides the description. *)
+  let kept_index = Array.make n_classes (-1) in
+  List.iteri (fun pos e -> kept_index.(e) <- pos) keep;
+  let values = Array.of_list (List.map (fun e -> ev.r.(e)) keep) in
+  let unique_kept =
+    Array.map (fun u -> if u >= 0 then kept_index.(u) else -1) unique
+  in
+  let state =
+    Ext_state.make ~states:c0 ~eq ~neq ~values ~unique:unique_kept
+      ~many:!many
+  in
+  (* Map each class to its index in the canonical (sorted) state: find the
+     position of its description. Equal descriptions are interchangeable,
+     so matching by multiset is sound; assign greedily. *)
+  let used = Array.make (Array.length state.Ext_state.values) false in
+  let class_values = Array.make n_classes (-1) in
+  List.iteri
+    (fun pos e ->
+      let desc = values.(pos) in
+      let found = ref (-1) in
+      Array.iteri
+        (fun j d ->
+          if !found < 0 && (not used.(j)) && Bitv.equal d desc then begin
+            used.(j) <- true;
+            found := j
+          end)
+        state.Ext_state.values;
+      class_values.(e) <- !found)
+    keep;
+  { state; class_values }
+
+let combine ?t0 ?dup_cap ctx label children (classes : Merging.t) =
+  let c0s = decide_c0 ctx ~label ~children ~classes in
+  List.map
+    (fun c0 -> assemble ?t0 ?dup_cap ctx ~label ~children ~classes ~c0)
+    c0s
+(* Distinct c0 give distinct states; no dedup needed. *)
+
+let leaf ?t0 ?dup_cap ctx label =
+  combine ?t0 ?dup_cap ctx label [||]
+    [ { Merging.has_root = true; members = [] } ]

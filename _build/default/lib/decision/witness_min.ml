@@ -1,0 +1,70 @@
+module Data_tree = Xpds_datatree.Data_tree
+
+(* Remove the subtree at [path] (1 step of the greedy loop). *)
+let rec delete_at tree = function
+  | [] -> None
+  | i :: rest ->
+    let children = Data_tree.children tree in
+    let children' =
+      List.concat
+        (List.mapi
+           (fun j c ->
+             if j <> i then [ c ]
+             else
+               match delete_at c rest with
+               | Some c' -> [ c' ]
+               | None -> [])
+           children)
+    in
+    Some
+      (Data_tree.make (Data_tree.label tree) (Data_tree.data tree) children')
+
+let minimize ?check tree phi =
+  let holds =
+    match check with
+    | Some f -> f
+    | None -> fun t -> Xpds_xpath.Semantics.check t phi
+  in
+  if not (holds tree) then
+    invalid_arg "Witness_min.minimize: input does not satisfy the formula";
+  (* Greedy pass: try deleting each non-root position (deepest first so
+     whole branches disappear in few steps); restart after a success
+     until a fixpoint. *)
+  let rec pass tree =
+    let candidates =
+      List.filter (fun p -> p <> []) (Data_tree.positions tree)
+      |> List.sort (fun a b ->
+             Int.compare (List.length b) (List.length a))
+    in
+    let rec try_delete = function
+      | [] -> None
+      | p :: rest -> (
+        match delete_at tree p with
+        | Some tree' when holds tree' -> Some tree'
+        | _ -> try_delete rest)
+    in
+    match try_delete candidates with
+    | Some tree' -> pass tree'
+    | None -> tree
+  in
+  (* Then coalesce data values where possible: map the i-th value onto an
+     earlier one when satisfaction survives. *)
+  let coalesce tree =
+    let values = Data_tree.data_values tree in
+    List.fold_left
+      (fun tree d ->
+        let earlier =
+          List.filter (fun d' -> d' < d) (Data_tree.data_values tree)
+        in
+        let rec try_merge = function
+          | [] -> tree
+          | d' :: rest ->
+            let tree' =
+              Data_tree.map_data (fun x -> if x = d then d' else x) tree
+            in
+            if holds tree' then tree' else try_merge rest
+        in
+        try_merge earlier)
+      tree values
+  in
+  Data_tree.canonicalize_data (coalesce (pass tree))

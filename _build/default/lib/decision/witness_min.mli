@@ -1,0 +1,20 @@
+(** Greedy minimization of satisfying data trees.
+
+    The emptiness procedure's witnesses (and the brute-force search's
+    models) can carry incidental structure; for presentation and for the
+    small-model measurements (experiment E8) it helps to shrink them.
+    Minimization is greedy and semantic: repeatedly delete a subtree or
+    merge two data values as long as the formula still holds at the
+    root, re-checking with the reference semantics each step. The result
+    is a local minimum — deleting any single remaining subtree breaks
+    satisfaction — not necessarily a global one. *)
+
+val minimize :
+  ?check:(Xpds_datatree.Data_tree.t -> bool) ->
+  Xpds_datatree.Data_tree.t ->
+  Xpds_xpath.Ast.node ->
+  Xpds_datatree.Data_tree.t
+(** [minimize w phi] — a subtree-deletion-minimal tree on which [phi]
+    still holds at the root. [?check] overrides the predicate kept true
+    (default: [fun t -> Semantics.check t phi]); the input must satisfy
+    it. @raise Invalid_argument if the input fails the predicate. *)

@@ -1,0 +1,1 @@
+lib/encodings/attr_xpath.ml: Array Int List Set Xpds_datatree Xpds_xpath

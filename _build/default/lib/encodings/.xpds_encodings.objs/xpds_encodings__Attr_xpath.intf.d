@@ -1,0 +1,1 @@
+lib/encodings/attr_xpath.mli: Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/encodings/qbf.ml: Array Format Fun List Random String

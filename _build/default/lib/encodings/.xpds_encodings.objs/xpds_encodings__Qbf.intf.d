@@ -1,0 +1,1 @@
+lib/encodings/qbf.mli: Format Random

@@ -1,0 +1,1 @@
+lib/encodings/qbf_encoding.ml: Build Fragment Int List Printf Qbf Xpds_xpath

@@ -1,0 +1,1 @@
+lib/encodings/qbf_encoding.mli: Qbf Xpds_xpath

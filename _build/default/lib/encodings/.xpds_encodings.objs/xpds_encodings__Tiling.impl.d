@@ -1,0 +1,1 @@
+lib/encodings/tiling.ml: Array Build Fragment Fun List Option Printf Tiling_game Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+lib/encodings/tiling.mli: Tiling_game Xpds_datatree Xpds_xpath

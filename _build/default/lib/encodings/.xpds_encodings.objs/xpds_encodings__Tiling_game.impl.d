@@ -1,0 +1,1 @@
+lib/encodings/tiling_game.ml: Array Hashtbl List

@@ -1,0 +1,196 @@
+module A = Xpds_xpath.Ast
+module B = Xpds_xpath.Build
+module Xml_doc = Xpds_datatree.Xml_doc
+
+type path =
+  | Self
+  | Child
+  | Descendant
+  | Seq of path * path
+  | Union of path * path
+  | Filter of path * node
+  | Guard of node * path
+  | Star of path
+
+and node =
+  | True
+  | False
+  | Tag of string
+  | Not of node
+  | And of node * node
+  | Or of node * node
+  | Exists of path
+  | Cmp of path * string * A.op * path * string
+
+let attribute_names eta =
+  let acc = ref [] in
+  let add a = if not (List.mem a !acc) then acc := a :: !acc in
+  let rec go_node = function
+    | True | False | Tag _ -> ()
+    | Not a -> go_node a
+    | And (a, b) | Or (a, b) ->
+      go_node a;
+      go_node b
+    | Exists p -> go_path p
+    | Cmp (p, a1, _, q, a2) ->
+      add a1;
+      add a2;
+      go_path p;
+      go_path q
+  and go_path = function
+    | Self | Child | Descendant -> ()
+    | Seq (p, q) | Union (p, q) ->
+      go_path p;
+      go_path q
+    | Filter (p, n) ->
+      go_path p;
+      go_node n
+    | Guard (n, p) ->
+      go_node n;
+      go_path p
+    | Star p -> go_path p
+  in
+  go_node eta;
+  List.rev !acc
+
+let rec tr_path = function
+  | Self -> A.Axis A.Self
+  | Child -> A.Axis A.Child
+  | Descendant -> A.Axis A.Descendant
+  | Seq (p, q) -> A.Seq (tr_path p, tr_path q)
+  | Union (p, q) -> A.Union (tr_path p, tr_path q)
+  | Filter (p, n) -> A.Filter (tr_path p, tr n)
+  | Guard (n, p) -> A.Guard (tr n, tr_path p)
+  | Star p -> A.Star (tr_path p)
+
+and tr = function
+  | True -> A.True
+  | False -> A.False
+  | Tag t -> B.lab t
+  | Not a -> A.Not (tr a)
+  | And (a, b) -> A.And (tr a, tr b)
+  | Or (a, b) -> A.Or (tr a, tr b)
+  | Exists p -> A.Exists (tr_path p)
+  | Cmp (p, a1, op, q, a2) ->
+    (* α@a1 ~ β@a2  becomes  α↓[a1] ~ β↓[a2]. *)
+    A.Cmp
+      ( A.Seq (tr_path p, B.child_lab a1),
+        op,
+        A.Seq (tr_path q, B.child_lab a2) )
+
+let attr_test attrs = B.disj (List.map B.lab attrs)
+
+let phi_struct ~attrs =
+  match attrs with
+  | [] -> A.True
+  | _ ->
+    B.not_
+      (B.somewhere (B.conj [ attr_test attrs; A.Exists (A.Axis A.Child) ]))
+
+let phi_struct_bounded ~attrs ~depth =
+  match attrs with
+  | [] -> A.True
+  | _ ->
+    let rec down k = if k = 0 then A.Axis A.Self else A.Seq (A.Axis A.Child, down (k - 1)) in
+    B.conj
+      (List.init (depth + 2) (fun k ->
+           B.not_
+             (A.Exists
+                (A.Filter
+                   ( down k,
+                     B.conj [ attr_test attrs; A.Exists (A.Axis A.Child) ]
+                   )))))
+
+let satisfiability_formula eta =
+  let attrs = attribute_names eta in
+  let translated = tr eta in
+  let features = Xpds_xpath.Fragment.features translated in
+  let struct_part =
+    if features.Xpds_xpath.Fragment.uses_descendant
+       || features.Xpds_xpath.Fragment.uses_star
+    then phi_struct ~attrs
+    else
+      phi_struct_bounded ~attrs
+        ~depth:(Xpds_xpath.Metrics.down_depth translated)
+  in
+  B.conj [ translated; struct_part ]
+
+(* --- direct reference semantics on XML documents --- *)
+
+let check_doc doc eta =
+  (* Index the document: each element gets an id; paths are relations on
+     element ids. *)
+  let nodes = ref [] in
+  let kids = ref [] in
+  let count = ref 0 in
+  let rec index d =
+    let id = !count in
+    incr count;
+    nodes := (id, d) :: !nodes;
+    let children = List.map index d.Xml_doc.elements in
+    kids := (id, children) :: !kids;
+    id
+  in
+  let (_ : int) = index doc in
+  let n = !count in
+  let elements = Array.make n doc in
+  List.iter (fun (id, d) -> elements.(id) <- d) !nodes;
+  let children_ids = Array.make n [] in
+  List.iter (fun (id, cs) -> children_ids.(id) <- cs) !kids;
+  let module ISet = Set.Make (Int) in
+  let rec desc_of x =
+    List.fold_left
+      (fun acc c -> ISet.union acc (desc_of c))
+      (ISet.singleton x) children_ids.(x)
+  in
+  let desc = Array.init n desc_of in
+  let rec eval_path p x : ISet.t =
+    match p with
+    | Self -> ISet.singleton x
+    | Child -> ISet.of_list children_ids.(x)
+    | Descendant -> desc.(x)
+    | Seq (a, b) ->
+      ISet.fold
+        (fun y acc -> ISet.union acc (eval_path b y))
+        (eval_path a x) ISet.empty
+    | Union (a, b) -> ISet.union (eval_path a x) (eval_path b x)
+    | Filter (a, phi) -> ISet.filter (fun y -> eval y phi) (eval_path a x)
+    | Guard (phi, a) -> if eval x phi then eval_path a x else ISet.empty
+    | Star a ->
+      let visited = ref (ISet.singleton x) in
+      let frontier = ref (ISet.singleton x) in
+      while not (ISet.is_empty !frontier) do
+        let next =
+          ISet.fold
+            (fun y acc -> ISet.union acc (eval_path a y))
+            !frontier ISet.empty
+        in
+        let fresh = ISet.diff next !visited in
+        visited := ISet.union !visited fresh;
+        frontier := fresh
+      done;
+      !visited
+  and eval x = function
+    | True -> true
+    | False -> false
+    | Tag t -> elements.(x).Xml_doc.tag = t
+    | Not a -> not (eval x a)
+    | And (a, b) -> eval x a && eval x b
+    | Or (a, b) -> eval x a || eval x b
+    | Exists p -> not (ISet.is_empty (eval_path p x))
+    | Cmp (p, a1, op, q, a2) ->
+      let values path attr =
+        ISet.fold
+          (fun y acc ->
+            match List.assoc_opt attr elements.(y).Xml_doc.attrs with
+            | Some v -> v :: acc
+            | None -> acc)
+          (eval_path path x) []
+      in
+      let vp = values p a1 and vq = values q a2 in
+      (match op with
+      | A.Eq -> List.exists (fun v -> List.mem v vq) vp
+      | A.Neq ->
+        List.exists (fun v -> List.exists (fun w -> v <> w) vq) vp)
+  in
+  eval 0 eta

@@ -1,0 +1,57 @@
+(** attrXPath: downward XPath over multi-attribute XML documents
+    (Appendix A).
+
+    Node expressions compare attributes of reachable elements:
+    [ϕ ::= a | ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩ | α@attr1 ~ β@attr2]. The appendix
+    reduces its satisfiability to data-tree satisfiability: encode
+    attributes as leaf children ({!Xpds_datatree.Xml_doc.to_data_tree}),
+    translate [α@a1 ~ β@a2] to [α↓[a1] ~ β↓[a2]] ([tr]), and conjoin
+    [ϕ_struct] forcing attribute-labelled nodes to be leaves — so all
+    Fig. 4 complexity results carry over to real XML documents. *)
+
+type path =
+  | Self
+  | Child
+  | Descendant
+  | Seq of path * path
+  | Union of path * path
+  | Filter of path * node
+  | Guard of node * path
+  | Star of path
+
+and node =
+  | True
+  | False
+  | Tag of string  (** element tag test *)
+  | Not of node
+  | And of node * node
+  | Or of node * node
+  | Exists of path
+  | Cmp of path * string * Xpds_xpath.Ast.op * path * string
+      (** [α@attr1 ~ β@attr2] *)
+
+val attribute_names : node -> string list
+(** The attribute names compared anywhere in the formula. *)
+
+val tr : node -> Xpds_xpath.Ast.node
+(** The appendix's [tr]: each [α@a1 ~ β@a2] becomes
+    [α↓[a1] = β↓[a2]] on encoded data trees. *)
+
+val phi_struct : attrs:string list -> Xpds_xpath.Ast.node
+(** [ϕ_struct]: every node labelled by an attribute name is a leaf
+    (the [↓∗]-based version). *)
+
+val phi_struct_bounded : attrs:string list -> depth:int -> Xpds_xpath.Ast.node
+(** The [↓]-only version of [ϕ_struct] for attrXPath(↓,=): the leaf
+    condition enforced up to the formula's [↓]-nesting depth — enough
+    for the region [tr ψ] can access (Appendix A). *)
+
+val satisfiability_formula : node -> Xpds_xpath.Ast.node
+(** [tr ψ ∧ ϕ_struct] with the appropriate [ϕ_struct] variant: the
+    data-tree formula that is satisfiable iff [ψ] is satisfiable over
+    multi-attribute XML documents. *)
+
+val check_doc : Xpds_datatree.Xml_doc.doc -> node -> bool
+(** Direct reference semantics of attrXPath on an XML document,
+    evaluated at the root — the oracle the translation is property-tested
+    against. *)

@@ -1,0 +1,119 @@
+type quant = Forall | Exists
+type t = { prefix : quant list; clauses : int list list }
+
+let n_vars q = List.length q.prefix
+
+let validate q =
+  if q.prefix = [] then Error "no quantified variables"
+  else if
+    List.exists
+      (fun clause ->
+        clause = []
+        || List.exists
+             (fun l -> l = 0 || abs l > List.length q.prefix)
+             clause)
+      q.clauses
+  then Error "clause with an out-of-range or zero literal"
+  else Ok ()
+
+let valid q =
+  (match validate q with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Qbf.valid: " ^ e));
+  let n = n_vars q in
+  let assignment = Array.make (n + 1) false in
+  let eval_matrix () =
+    List.for_all
+      (List.exists (fun l ->
+           if l > 0 then assignment.(l) else not assignment.(-l)))
+      q.clauses
+  in
+  let rec go i = function
+    | [] -> eval_matrix ()
+    | quant :: rest ->
+      let branch b =
+        assignment.(i) <- b;
+        go (i + 1) rest
+      in
+      (match quant with
+      | Exists -> branch true || branch false
+      | Forall -> branch true && branch false)
+  in
+  go 1 q.prefix
+
+let random ?state ~n_vars ~n_clauses () =
+  let st =
+    match state with Some s -> s | None -> Random.State.make_self_init ()
+  in
+  let prefix =
+    List.init n_vars (fun i -> if i mod 2 = 0 then Exists else Forall)
+  in
+  let clause () =
+    List.init 3 (fun _ ->
+        let v = 1 + Random.State.int st n_vars in
+        if Random.State.bool st then v else -v)
+  in
+  { prefix; clauses = List.init n_clauses (fun _ -> clause ()) }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Error "expected 'PREFIX: literals' with a colon"
+  | Some i ->
+    let prefix_part = String.trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let quants =
+      String.fold_right
+        (fun c acc ->
+          match c with
+          | 'E' | 'e' -> Some Exists :: acc
+          | 'A' | 'a' -> Some Forall :: acc
+          | ' ' -> None :: acc
+          | _ -> [ None ] @ acc)
+        prefix_part []
+      |> List.filter_map Fun.id
+    in
+    if quants = [] then Error "empty quantifier prefix"
+    else begin
+      let tokens =
+        String.split_on_char ' ' rest
+        |> List.concat_map (String.split_on_char '\n')
+        |> List.filter (fun t -> String.trim t <> "")
+      in
+      match List.map int_of_string tokens with
+      | exception _ -> Error "clauses must be integers"
+      | ints ->
+        let clauses, current =
+          List.fold_left
+            (fun (clauses, current) l ->
+              if l = 0 then
+                if current = [] then (clauses, [])
+                else (List.rev current :: clauses, [])
+              else (clauses, l :: current))
+            ([], []) ints
+        in
+        let clauses =
+          List.rev
+            (if current = [] then clauses
+             else List.rev current :: clauses)
+        in
+        let q = { prefix = quants; clauses } in
+        (match validate q with Ok () -> Ok q | Error e -> Error e)
+    end
+
+let pp ppf q =
+  List.iteri
+    (fun i quant ->
+      Format.fprintf ppf "%s%d."
+        (match quant with Forall -> "A" | Exists -> "E")
+        (i + 1))
+    q.prefix;
+  Format.fprintf ppf " %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+       (fun ppf clause ->
+         Format.fprintf ppf "(%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf "|")
+              (fun ppf l -> Format.fprintf ppf "%+d" l))
+           clause))
+    q.clauses

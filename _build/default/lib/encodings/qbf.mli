@@ -1,0 +1,35 @@
+(** Quantified boolean formulas in prenex CNF.
+
+    The substrate for the Prop-8 lower-bound reduction: instances of QBF
+    validity, a direct recursive solver for ground truth, and generators
+    of small instances for experiment E3. Variables are numbered
+    [1..n_vars]; a literal is [+v] or [-v]. *)
+
+type quant = Forall | Exists
+
+type t = {
+  prefix : quant list;  (** quantifier of variable [i+1] at position [i] *)
+  clauses : int list list;  (** CNF over literals [±v] *)
+}
+
+val validate : t -> (unit, string) result
+(** Every literal mentions a quantified variable; no empty instance. *)
+
+val n_vars : t -> int
+
+val valid : t -> bool
+(** Is the closed QBF true? Direct recursive evaluation — exponential,
+    fine for the small instances we cross-check against.
+    @raise Invalid_argument on an invalid instance. *)
+
+val random :
+  ?state:Random.State.t -> n_vars:int -> n_clauses:int -> unit -> t
+(** Random instance: alternating prefix starting with [∃], clauses of 3
+    random literals. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["EA: 1 2 0 -1 -2 0"]: a prefix word over [E]/[A] (variable
+    [i+1] gets the [i]-th quantifier), a colon, then DIMACS-style clauses
+    of integer literals terminated by [0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+open Xpds_xpath
+module B = Build
+
+let pos i = Printf.sprintf "p%d" i
+let neg i = Printf.sprintf "np%d" i
+
+let labels q =
+  let n = Qbf.n_vars q in
+  List.init n (fun i -> pos (i + 1))
+  @ List.init n (fun i -> neg (i + 1))
+  @ [ "X" ]
+
+let encode (q : Qbf.t) =
+  (match Qbf.validate q with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Qbf_encoding.encode: " ^ e));
+  let n = Qbf.n_vars q in
+  let v i = B.disj [ B.lab (pos i); B.lab (neg i) ] in
+  let somewhere_lab s = B.exists (B.desc_lab s) in
+  (* f_i: the branching required by quantifier i. *)
+  let f i quant =
+    if i = 1 then
+      match quant with
+      | Qbf.Forall ->
+        B.conj [ somewhere_lab (pos 1); somewhere_lab (neg 1) ]
+      | Qbf.Exists ->
+        B.disj [ somewhere_lab (pos 1); somewhere_lab (neg 1) ]
+    else
+      let branches =
+        match quant with
+        | Qbf.Forall ->
+          B.conj [ somewhere_lab (pos i); somewhere_lab (neg i) ]
+        | Qbf.Exists ->
+          B.disj [ somewhere_lab (pos i); somewhere_lab (neg i) ]
+      in
+      B.not_
+        (B.somewhere (B.conj [ v (i - 1); B.not_ branches ]))
+  in
+  let fs = List.mapi (fun idx quant -> f (idx + 1) quant) q.Qbf.prefix in
+  (* ϕ_X: below a full valuation there is always an X marker. *)
+  let phi_x =
+    let rec chain i =
+      if i = n then
+        B.filter B.desc (B.conj [ v n; B.not_ (somewhere_lab "X") ])
+      else B.seq [ B.filter B.desc (v i); chain (i + 1) ]
+    in
+    B.not_ (B.exists (chain 1))
+  in
+  (* ϕ_ψ: no branch falsifies a clause. The paper's appendix phrases
+     this as a test τ at each X node, but ⟨↓∗[t]⟩ from X looks below X
+     where the valuation does not lie; we state the equivalent branch
+     condition instead: a clause l1∨…∨lk is falsified by a branch iff
+     the complements of its literals all occur along it, and since the
+     branch lists variables in index order, that is a descending chain
+     we can forbid with a single path expression. Tautological clauses
+     are dropped. *)
+  let literal l = if l > 0 then pos l else neg (-l) in
+  let complement l = literal (-l) in
+  let phi_psi =
+    B.conj
+      (List.filter_map
+         (fun clause ->
+           let vars = List.sort_uniq Int.compare (List.map abs clause) in
+           let tautological =
+             List.exists
+               (fun v -> List.mem v clause && List.mem (-v) clause)
+               vars
+           in
+           if tautological then None
+           else
+             let complements =
+               List.sort_uniq Int.compare clause
+               |> List.sort (fun a b -> Int.compare (abs a) (abs b))
+               |> List.map complement
+             in
+             Some
+               (B.not_
+                  (B.exists
+                     (B.seq
+                        (List.map
+                           (fun s -> B.filter B.desc (B.lab s))
+                           complements)))))
+         q.Qbf.clauses)
+  in
+  (* ϕ_inc: no branch contains both p_i and np_i. *)
+  let phi_inc =
+    B.conj
+      (List.concat_map
+         (fun i ->
+           [ B.not_
+               (B.exists
+                  (B.seq
+                     [ B.filter B.desc (B.lab (pos i));
+                       B.filter B.desc (B.lab (neg i))
+                     ]));
+             B.not_
+               (B.exists
+                  (B.seq
+                     [ B.filter B.desc (B.lab (neg i));
+                       B.filter B.desc (B.lab (pos i))
+                     ]))
+           ])
+         (List.init n (fun i -> i + 1)))
+  in
+  B.conj (fs @ [ phi_x; phi_psi; phi_inc ])
+
+let is_data_free eta =
+  let f = Fragment.features eta in
+  (not f.Fragment.uses_data)
+  && (not f.Fragment.uses_child)
+  && not f.Fragment.uses_star

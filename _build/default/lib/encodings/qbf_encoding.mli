@@ -1,0 +1,19 @@
+(** The Prop-8 reduction: QBF validity → SAT-XPath(↓∗) (Appendix E).
+
+    The produced formula is {e data-free} and uses only the [↓∗] axis —
+    it witnesses PSpace-hardness of the weakest descendant fragment. A
+    model's branches spell out valuations [v1 … vn] (labels [pi]/[p̄i]
+    printed as [p3]/[np3]) terminated by an [X] marker; the quantifier
+    structure is coded by the branching conditions [f_i], the matrix by
+    [ϕ_ψ], and [ϕ_inc] bans contradictory valuations along a branch.
+    Satisfiability of the conjunction is equivalent to validity of the
+    QBF (Lemma 4). *)
+
+val encode : Qbf.t -> Xpds_xpath.Ast.node
+(** @raise Invalid_argument on an invalid instance. *)
+
+val labels : Qbf.t -> string list
+(** The alphabet [p1..pn, np1..npn, X]. *)
+
+val is_data_free : Xpds_xpath.Ast.node -> bool
+(** Sanity: no data tests, no [↓], no star. *)

@@ -1,0 +1,409 @@
+open Xpds_xpath
+module B = Build
+
+type elem = Col of int | Sep
+
+let n_bits (inst : Tiling_game.instance) =
+  if inst.s <= 1 then 1
+  else
+    max 1
+      (int_of_float
+         (ceil
+            (float_of_int (inst.n + 1)
+            *. (log (float_of_int inst.s) /. log 2.))))
+
+let label_of = function
+  | Col i -> Printf.sprintf "I%d" i
+  | Sep -> "#"
+
+let labels inst =
+  List.init inst.Tiling_game.n (fun i -> Printf.sprintf "I%d" (i + 1))
+  @ List.init inst.Tiling_game.s (fun i -> Printf.sprintf "T%d" (i + 1))
+  @ List.init (n_bits inst) (fun i -> Printf.sprintf "b%d" i)
+  @ [ "#"; "$" ]
+
+let encode (inst : Tiling_game.instance) =
+  (match Tiling_game.validate inst with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Tiling.encode: " ^ e));
+  let n = inst.Tiling_game.n and s = inst.Tiling_game.s in
+  let m = n_bits inst in
+  let lab e = B.lab (label_of e) in
+  let dollar = B.lab "$" in
+  let next = function
+    | Col i when i < n -> Col (i + 1)
+    | Col _ -> Sep
+    | Sep -> Col 1
+  in
+  let all_elems = Sep :: List.init n (fun i -> Col (i + 1)) in
+  let tiles = List.init s (fun i -> i + 1) in
+  let cols = List.init n (fun i -> i + 1) in
+  (* s^k_a(ϕ): ϕ holds k coded steps ahead (§4.2). *)
+  let rec step k a phi =
+    if k = 0 then B.conj [ lab a; phi ]
+    else
+      B.conj
+        [ lab a;
+          B.eq B.eps
+            (B.seq
+               [ B.filter B.desc (step (k - 1) (next a) phi);
+                 B.filter B.desc dollar
+               ])
+        ]
+  in
+  let tile j = B.eq B.eps (B.desc_lab (Printf.sprintf "T%d" j)) in
+  let bit i = B.eq B.eps (B.desc_lab (Printf.sprintf "b%d" i)) in
+  let g = B.everywhere in
+  let h_ok a b = List.mem (a, b) inst.Tiling_game.h in
+  let v_ok a b = List.mem (a, b) inst.Tiling_game.v in
+  (* 1. Key symbols denote fresh data values: two same-symbol elements
+     separated by a different symbol differ in datum. *)
+  let cond1 =
+    List.map
+      (fun a ->
+        B.not_
+          (B.somewhere
+             (B.conj
+                [ lab a;
+                  B.eq B.eps
+                    (B.seq
+                       [ B.filter B.desc (B.not_ (lab a));
+                         B.filter B.desc (lab a)
+                       ])
+                ])))
+      (all_elems
+      @ List.map (fun _ -> Sep) [])
+    @ List.map
+        (fun j ->
+          let tl = B.lab (Printf.sprintf "T%d" j) in
+          B.not_
+            (B.somewhere
+               (B.conj
+                  [ tl;
+                    B.eq B.eps
+                      (B.seq
+                         [ B.filter B.desc (B.not_ tl);
+                           B.filter B.desc tl
+                         ])
+                  ])))
+        tiles
+  in
+  (* 2. Progress: every non-winning column element and every separator
+     has a next element in its region. *)
+  let cond2 =
+    List.map
+      (fun i ->
+        g
+          (B.implies
+             (B.conj [ lab (Col i); B.not_ (tile s) ])
+             (step 1 (Col i) B.tt)))
+      cols
+    @ [ g (B.implies (lab Sep) (step 1 Sep B.tt)) ]
+  in
+  (* 3. $ elements are leaves (no non-$ strictly below). *)
+  let cond3 =
+    [ B.not_
+        (B.somewhere
+           (B.conj [ dollar; B.exists (B.filter B.desc (B.not_ dollar)) ]))
+    ]
+  in
+  (* 4. Every column element and separator owns a $ with its datum. *)
+  let cond4 =
+    List.map
+      (fun a -> g (B.implies (lab a) (B.eq B.eps (B.desc_lab "$"))))
+      all_elems
+  in
+  (* 5. At most one tile per element — and, implicitly in the paper,
+     every column element carries some tile. *)
+  let cond5 =
+    List.concat_map
+      (fun l ->
+        List.filter_map
+          (fun j ->
+            if l < j then Some (g (B.not_ (B.conj [ tile l; tile j ])))
+            else None)
+          tiles)
+      tiles
+    @ List.map
+        (fun i ->
+          g (B.implies (lab (Col i)) (B.disj (List.map tile tiles))))
+        cols
+  in
+  (* 6. Nested same-region successors agree on their tile. *)
+  let cond6 =
+    List.concat_map
+      (fun a ->
+        match next a with
+        | Sep -> []
+        | Col _ as b ->
+          List.concat_map
+            (fun j ->
+              List.filter_map
+                (fun k ->
+                  if j = k then None
+                  else
+                    Some
+                      (g
+                         (B.implies (lab a)
+                            (B.not_
+                               (B.eq B.eps
+                                  (B.seq
+                                     [ B.filter B.desc
+                                         (B.conj [ lab b; tile j ]);
+                                       B.filter B.desc
+                                         (B.conj [ lab b; tile k ]);
+                                       B.filter B.desc dollar
+                                     ]))))))
+                tiles)
+            tiles)
+      all_elems
+  in
+  (* 7. A region contains only successor elements (and no copy of its
+     owner below a successor). *)
+  let cond7 =
+    List.concat_map
+      (fun a ->
+        let b = next a in
+        List.filter_map
+          (fun c ->
+            if c = a || c = b then None
+            else
+              Some
+                (g
+                   (B.implies (lab a)
+                      (B.not_
+                         (B.eq B.eps
+                            (B.seq
+                               [ B.filter B.desc (lab c);
+                                 B.filter B.desc dollar
+                               ]))))))
+          all_elems
+        @ [ g
+              (B.implies (lab a)
+                 (B.not_
+                    (B.eq B.eps
+                       (B.seq
+                          [ B.filter B.desc (lab b);
+                            B.filter B.desc (lab a);
+                            B.filter B.desc dollar
+                          ]))))
+          ])
+      all_elems
+  in
+  (* 8. Horizontal and vertical compatibility. *)
+  let cond8 =
+    List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if k < n && not (h_ok i j) then
+                  Some
+                    (B.not_
+                       (B.somewhere
+                          (B.conj
+                             [ lab (Col k); tile i;
+                               step 1 (Col k) (tile j)
+                             ])))
+                else None)
+              tiles
+            @ List.filter_map
+                (fun j ->
+                  if not (v_ok i j) then
+                    Some
+                      (B.not_
+                         (B.somewhere
+                            (B.conj
+                               [ lab (Col k); tile i;
+                                 step (n + 1) (Col k) (tile j)
+                               ])))
+                  else None)
+                tiles)
+          tiles)
+      cols
+  in
+  (* 9. The first coded row matches the given initial row vertically. *)
+  let cond9 =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if not (v_ok inst.Tiling_game.initial.(i - 1) j) then
+              Some (B.not_ (step i Sep (tile j)))
+            else None)
+          tiles)
+      cols
+  in
+  (* 10. Every move Abelard can play is played in some branch. *)
+  let cond10 =
+    List.concat_map
+      (fun l ->
+        let col = 2 * l in
+        if col > n then []
+        else
+          List.concat_map
+            (fun i ->
+              List.concat_map
+                (fun j ->
+                  List.filter_map
+                    (fun k ->
+                      if h_ok j k && v_ok i k then
+                        Some
+                          (B.not_
+                             (B.somewhere
+                                (B.conj
+                                   [ lab (Col col); tile i;
+                                     step n (Col col)
+                                       (B.conj
+                                          [ tile j;
+                                            B.not_
+                                              (step 1
+                                                 (Col (col - 1))
+                                                 (tile k))
+                                          ])
+                                   ])))
+                      else None)
+                    tiles)
+                tiles)
+            tiles)
+      (List.init (n / 2) (fun l -> l + 1))
+  in
+  (* 11. The counter never reaches all-ones (Eloise wins within s^n
+     rows). *)
+  let cond11 =
+    [ B.not_
+        (B.somewhere
+           (B.conj (lab Sep :: List.init m bit)))
+    ]
+  in
+  (* 12. The counter increments from one # to the next. *)
+  let step_sep phi = step (n + 1) Sep phi in
+  let cond12 =
+    List.map
+      (fun i ->
+        let flip =
+          B.conj (B.not_ (bit i) :: List.init i bit)
+        in
+        let zero_lt =
+          B.conj (List.init i (fun j -> B.not_ (step_sep (bit j))))
+        in
+        let turn = B.not_ (step_sep (B.not_ (bit i))) in
+        let copy_gt =
+          B.conj
+            (List.filter_map
+               (fun j ->
+                 if j <= i then None
+                 else
+                   Some
+                     (B.disj
+                        [ B.conj
+                            [ bit j; B.not_ (step_sep (B.not_ (bit j))) ];
+                          B.conj [ B.not_ (bit j); B.not_ (step_sep (bit j)) ]
+                        ]))
+               (List.init m Fun.id))
+        in
+        g
+          (B.implies
+             (B.conj [ lab Sep; flip ])
+             (B.conj [ zero_lt; turn; copy_gt ])))
+      (List.init m Fun.id)
+  in
+  (* Root: the initial separator with an all-zero counter. *)
+  let root =
+    lab Sep :: List.init m (fun i -> B.not_ (bit i))
+  in
+  B.conj
+    (root @ cond1 @ cond2 @ cond3 @ cond4 @ cond5 @ cond6 @ cond7 @ cond8
+   @ cond9 @ cond10 @ cond11 @ cond12)
+
+let in_desc_fragment eta =
+  let f = Fragment.features eta in
+  (not f.Fragment.uses_child) && not f.Fragment.uses_star
+
+(* --- constructive witness from a winning strategy --- *)
+
+module Data_tree = Xpds_datatree.Data_tree
+
+let strategy_witness (inst : Tiling_game.instance) =
+  let rank_of = Tiling_game.win_rank inst in
+  match rank_of (Tiling_game.start inst) with
+  | None -> None
+  | Some _ ->
+    let n = inst.Tiling_game.n and s = inst.Tiling_game.s in
+    let m = n_bits inst in
+    let fresh = ref (-1) in
+    let next_datum () =
+      incr fresh;
+      !fresh
+    in
+    let leaf lbl d = Data_tree.node lbl d [] in
+    let bits_of row datum =
+      List.filter_map
+        (fun i ->
+          if row land (1 lsl i) <> 0 then
+            Some (leaf (Printf.sprintf "b%d" i) datum)
+          else None)
+        (List.init m Fun.id)
+    in
+    (* The element subtree(s) for the upcoming move at [pos]. Each
+       element hosts: the $ of the previous element, its tile leaf, and
+       either its successors or (after the winning tile) its own $. *)
+    let rec move_nodes pos ~prev_datum ~row =
+      let col = List.length pos.Tiling_game.partial + 1 in
+      let legal = Tiling_game.legal_moves inst pos in
+      let choices =
+        if Tiling_game.eloise_to_move pos then
+          if List.mem s legal then [ s ]
+          else
+            let ranked =
+              List.filter_map
+                (fun t ->
+                  Option.map
+                    (fun r -> (r, t))
+                    (rank_of (Tiling_game.advance inst pos t)))
+                legal
+            in
+            (match List.sort compare ranked with
+            | (_, t) :: _ -> [ t ]
+            | [] -> assert false (* pos is winning *))
+        else legal (* Abelard: one branch per legal reply (cond 10) *)
+      in
+      List.map
+        (fun t ->
+          let d = next_datum () in
+          let dollar_prev = leaf "$" prev_datum in
+          let tile_leaf = leaf (Printf.sprintf "T%d" t) d in
+          let rest =
+            if t = s then [ leaf "$" d ]
+            else begin
+              let pos' = Tiling_game.advance inst pos t in
+              if pos'.Tiling_game.partial = [] then
+                [ sep_node pos' ~prev_datum:d ~row:(row + 1) ]
+              else move_nodes pos' ~prev_datum:d ~row
+            end
+          in
+          Data_tree.node
+            (Printf.sprintf "I%d" col)
+            d
+            ((dollar_prev :: tile_leaf :: rest)))
+        choices
+    (* The # separator carrying the row counter. *)
+    and sep_node pos ~prev_datum ~row =
+      if row >= (1 lsl m) - 1 then
+        failwith
+          "Tiling.strategy_witness: row counter overflow (strategy \
+           longer than s^n rows)";
+      let d = next_datum () in
+      Data_tree.node "#" d
+        ((leaf "$" prev_datum :: bits_of row d)
+        @ move_nodes pos ~prev_datum:d ~row)
+    in
+    let d0 = next_datum () in
+    let root =
+      Data_tree.node "#" d0
+        (bits_of 0 d0
+        @ move_nodes (Tiling_game.start inst) ~prev_datum:d0 ~row:0)
+    in
+    ignore n;
+    Some root

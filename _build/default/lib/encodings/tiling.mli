@@ -1,0 +1,43 @@
+(** The Theorem-5 reduction: two-player corridor tiling → SAT-XPath(↓∗,=).
+
+    Produces, for a game instance, a node expression of XPath(↓∗,=)
+    (no [↓], no Kleene star, polynomial size) that is satisfiable iff
+    Eloise has a winning strategy. The encoding follows §4.2 exactly:
+
+    - symbols [I1..In] for the current column, [T1..Ts] for tiles,
+      [b0..b_{m-1}] for the row counter, [#] separating rows, and [$]
+      delimiting the "relaxed one-step" region of each element;
+    - an element's tile / counter bits are coded by data equality with a
+      descendant [Tj] / [bi] node ([t_j := ε = ↓∗[Tj]]);
+    - the step predicates [s^k_σ(ϕ)] walk [k] coded steps using
+      [ε = ↓∗[·]↓∗[$]];
+    - conditions 1–12 of the proof (plus the implicit "every column
+      carries some tile", which the vacuous-win reading of the
+      constraints would otherwise miss).
+
+    The tool's validation (experiment E4) checks satisfiability of the
+    encoding against {!Tiling_game.eloise_wins} on small instances. *)
+
+val encode : Tiling_game.instance -> Xpds_xpath.Ast.node
+(** The full conjunction, to be tested for satisfiability at the root.
+    @raise Invalid_argument on an invalid instance. *)
+
+val strategy_witness : Tiling_game.instance -> Xpds_datatree.Data_tree.t option
+(** When Eloise wins, the coding tree of a (rank-minimal) winning
+    strategy — the model the Theorem-5 proof describes: a chain of
+    column elements with tile/counter-bit leaves and [$] delimiters,
+    branching over every legal Abelard reply. By construction it
+    satisfies {!encode}'s formula, which the test suite checks through
+    the reference semantics — the feasible direction of validating the
+    reduction (solving the encoded SAT instance is ExpTime-hard by
+    design). [None] when Abelard wins. *)
+
+val n_bits : Tiling_game.instance -> int
+(** [m = max 1 ⌈(n+1)·log₂ s⌉] — counter bits. *)
+
+val labels : Tiling_game.instance -> string list
+(** The alphabet of the encoding. *)
+
+val in_desc_fragment : Xpds_xpath.Ast.node -> bool
+(** Sanity: the encoding lies in XPath(↓∗,=) — no [↓], no star
+    (Fig. 4 row 5). *)

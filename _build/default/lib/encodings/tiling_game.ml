@@ -1,0 +1,122 @@
+type instance = {
+  n : int;
+  s : int;
+  initial : int array;
+  h : (int * int) list;
+  v : (int * int) list;
+}
+
+let validate inst =
+  if inst.n < 2 || inst.n mod 2 <> 0 then
+    Error "corridor width must be even and >= 2"
+  else if inst.s < 1 then Error "need at least one tile"
+  else if Array.length inst.initial <> inst.n then
+    Error "initial row has the wrong length"
+  else if
+    Array.exists (fun t -> t < 1 || t > inst.s) inst.initial
+    || List.exists
+         (fun (a, b) -> a < 1 || a > inst.s || b < 1 || b > inst.s)
+         (inst.h @ inst.v)
+  then Error "tile out of range"
+  else Ok ()
+
+let validate_exn what inst =
+  match validate inst with
+  | Ok () -> ()
+  | Error e -> invalid_arg (what ^ ": " ^ e)
+
+(* A game position: the completed row below and the left-to-right prefix
+   of the row being filled. The next cell is column [List.length partial]
+   (0-based); Eloise plays even 0-based columns (odd 1-based ones). *)
+type position = { below : int list; partial : int list }
+
+let start inst = { below = Array.to_list inst.initial; partial = [] }
+
+let legal_moves inst pos =
+  let col = List.length pos.partial in
+  let below = List.nth pos.below col in
+  let h_ok a b = List.mem (a, b) inst.h in
+  let v_ok a b = List.mem (a, b) inst.v in
+  List.filter
+    (fun t ->
+      v_ok below t
+      && (col = 0 || h_ok (List.nth pos.partial (col - 1)) t))
+    (List.init inst.s (fun i -> i + 1))
+
+let advance inst pos t =
+  if List.length pos.partial = inst.n - 1 then
+    { below = pos.partial @ [ t ]; partial = [] }
+  else { pos with partial = pos.partial @ [ t ] }
+
+let eloise_to_move pos = List.length pos.partial mod 2 = 0
+
+(* Least fixpoint of the Eloise attractor over the reachable game graph;
+   the rank of a position is the round in which it entered the set. *)
+let attractor inst =
+  validate_exn "Tiling_game" inst;
+  let seen : (position, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let rec explore pos =
+    if not (Hashtbl.mem seen pos) then begin
+      Hashtbl.add seen pos ();
+      List.iter
+        (fun t -> if t <> inst.s then explore (advance inst pos t))
+        (legal_moves inst pos)
+    end
+  in
+  explore (start inst);
+  let rank : (position, int) Hashtbl.t = Hashtbl.create 1024 in
+  let winning round pos =
+    let moves = legal_moves inst pos in
+    let move_wins t =
+      t = inst.s
+      ||
+      match Hashtbl.find_opt rank (advance inst pos t) with
+      | Some r -> r < round
+      | None -> false
+    in
+    if eloise_to_move pos then List.exists move_wins moves
+    else moves <> [] && List.for_all move_wins moves
+  in
+  let changed = ref true in
+  let round = ref 1 in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun pos () ->
+        if (not (Hashtbl.mem rank pos)) && winning !round pos then begin
+          Hashtbl.add rank pos !round;
+          changed := true
+        end)
+      seen;
+    incr round
+  done;
+  rank
+
+let win_rank inst =
+  let rank = attractor inst in
+  fun pos -> Hashtbl.find_opt rank pos
+
+let eloise_wins inst =
+  let rank = attractor inst in
+  Hashtbl.mem rank (start inst)
+
+let example_win () =
+  (* Two tiles plus the winning tile 3. Everything is compatible, so
+     Eloise (column 1) can immediately place the winning tile. *)
+  {
+    n = 2;
+    s = 3;
+    initial = [| 1; 2 |];
+    h = [ (1, 1); (1, 2); (2, 1); (1, 3); (2, 3); (3, 3) ];
+    v = [ (1, 1); (1, 2); (2, 1); (1, 3); (2, 3) ];
+  }
+
+let example_lose () =
+  (* The winning tile 3 is never placeable: no vertical pair allows it. *)
+  {
+    n = 2;
+    s = 3;
+    initial = [| 1; 2 |];
+    h = [ (1, 1); (1, 2); (2, 1); (2, 2) ];
+    v = [ (1, 1); (1, 2); (2, 1); (2, 2) ];
+  }

@@ -1,0 +1,58 @@
+(** The two-player corridor tiling game (paper §4.2, after [Chlebus86]).
+
+    An instance fixes a corridor width [n] (even), a set of tiles
+    [1..s] with [s] the winning tile, an initial row, and horizontal /
+    vertical compatibility relations. Starting from the initial row, the
+    players fill the board cell by cell, left to right and bottom to top
+    — Eloise plays the odd columns, Abelard the even ones — always
+    respecting [h] against the left neighbour and [v] against the cell
+    below. Eloise wins iff the winning tile is ever placed; stuck or
+    infinite plays are won by Abelard.
+
+    {!eloise_wins} is the ground-truth solver used to validate the
+    Theorem-5 encoding (experiment E4): it computes the Eloise attractor
+    of the winning configurations on the (finite) game graph of
+    (previous row, partial current row) states — only practical for tiny
+    instances, which is the point (deciding the game is
+    ExpTime-complete). The position API and {!win_rank} are exposed so
+    {!Tiling.strategy_witness} can rebuild a winning strategy as a data
+    tree. *)
+
+type instance = {
+  n : int;  (** corridor width; must be even and ≥ 2 *)
+  s : int;  (** number of tiles; tile [s] is the winning tile *)
+  initial : int array;  (** the given first row, length [n] *)
+  h : (int * int) list;  (** allowed horizontal pairs (left, right) *)
+  v : (int * int) list;  (** allowed vertical pairs (below, above) *)
+}
+
+val validate : instance -> (unit, string) result
+
+type position = private {
+  below : int list;  (** the completed row underneath *)
+  partial : int list;  (** the left-to-right prefix of the current row *)
+}
+
+val start : instance -> position
+val legal_moves : instance -> position -> int list
+(** Tiles placeable at the next cell (column [|partial|], 0-based). *)
+
+val advance : instance -> position -> int -> position
+val eloise_to_move : position -> bool
+(** Eloise plays 0-based even columns (the paper's odd 1-based ones). *)
+
+val win_rank : instance -> position -> int option
+(** [Some r] iff the position is in Eloise's attractor, with [r] the
+    fixpoint round in which it entered (a forced win within [r] further
+    attractor stages); [None] if Abelard wins from it. Positions beyond
+    the reachable game graph return [None].
+    @raise Invalid_argument on an invalid instance. *)
+
+val eloise_wins : instance -> bool
+(** Does Eloise have a winning strategy (from {!start})? *)
+
+val example_win : unit -> instance
+(** A small instance where Eloise wins. *)
+
+val example_lose : unit -> instance
+(** A small instance where Abelard wins. *)

@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Hashtbl List Stdlib Xpds_datatree

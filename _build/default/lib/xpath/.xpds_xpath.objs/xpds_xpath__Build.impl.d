@@ -1,0 +1,1 @@
+lib/xpath/build.ml: Ast List Xpds_datatree

@@ -1,0 +1,1 @@
+lib/xpath/explain.ml: Ast Format List Pp Semantics Xpds_datatree

@@ -1,0 +1,1 @@
+lib/xpath/explain.mli: Ast Format Semantics Xpds_datatree

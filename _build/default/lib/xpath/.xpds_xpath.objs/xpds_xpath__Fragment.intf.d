@@ -1,0 +1,1 @@
+lib/xpath/fragment.mli: Ast

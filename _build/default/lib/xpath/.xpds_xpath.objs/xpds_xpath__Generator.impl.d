@@ -1,0 +1,1 @@
+lib/xpath/generator.ml: Ast Fragment List Random Xpds_datatree

@@ -1,0 +1,1 @@
+lib/xpath/generator.mli: Ast Fragment Random

@@ -1,0 +1,1 @@
+lib/xpath/lexer.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/metrics.ml: Ast List

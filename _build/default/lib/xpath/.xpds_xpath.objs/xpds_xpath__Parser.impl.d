@@ -1,0 +1,1 @@
+lib/xpath/parser.ml: Array Ast Lexer Printf Xpds_datatree

@@ -1,0 +1,1 @@
+lib/xpath/pp.ml: Ast Format List String Xpds_datatree

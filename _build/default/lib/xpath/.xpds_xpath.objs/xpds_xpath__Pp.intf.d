@@ -1,0 +1,1 @@
+lib/xpath/pp.mli: Ast Format

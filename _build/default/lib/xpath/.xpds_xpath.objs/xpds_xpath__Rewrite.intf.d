@@ -1,0 +1,1 @@
+lib/xpath/rewrite.mli: Ast

@@ -1,0 +1,1 @@
+lib/xpath/semantics.ml: Array Ast Hashtbl Int List Printf Set Xpds_datatree

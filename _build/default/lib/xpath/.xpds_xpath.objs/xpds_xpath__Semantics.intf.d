@@ -1,0 +1,1 @@
+lib/xpath/semantics.mli: Ast Xpds_datatree

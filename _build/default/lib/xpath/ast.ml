@@ -1,0 +1,109 @@
+type axis = Self | Child | Descendant
+type op = Eq | Neq
+
+type path =
+  | Axis of axis
+  | Seq of path * path
+  | Union of path * path
+  | Filter of path * node
+  | Guard of node * path
+  | Star of path
+
+and node =
+  | True
+  | False
+  | Lab of Xpds_datatree.Label.t
+  | Not of node
+  | And of node * node
+  | Or of node * node
+  | Exists of path
+  | Cmp of path * op * path
+
+type formula = Node of node | Path of path
+
+let as_node = function Node n -> n | Path p -> Exists p
+
+(* The AST is built from constructors and (private) integer labels only, so
+   the polymorphic comparison and hash are structurally correct. *)
+let equal_path (p : path) (q : path) = p = q
+let equal_node (m : node) (n : node) = m = n
+let compare_path (p : path) (q : path) = Stdlib.compare p q
+let compare_node (m : node) (n : node) = Stdlib.compare m n
+let hash_node (n : node) = Hashtbl.hash n
+let hash_path (p : path) = Hashtbl.hash p
+
+(* Collect subformulas without duplicates, preserving a bottom-up-friendly
+   order: subexpressions appear before the expressions containing them. *)
+let node_subformulas eta =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      acc := n :: !acc
+    end
+  in
+  let rec go_node n =
+    (match n with
+    | True | False | Lab _ -> ()
+    | Not m -> go_node m
+    | And (m1, m2) | Or (m1, m2) ->
+      go_node m1;
+      go_node m2
+    | Exists p -> go_path p
+    | Cmp (p, _, q) ->
+      go_path p;
+      go_path q);
+    add n
+  and go_path = function
+    | Axis _ -> ()
+    | Seq (p, q) | Union (p, q) ->
+      go_path p;
+      go_path q
+    | Filter (p, phi) ->
+      go_path p;
+      go_node phi
+    | Guard (phi, p) ->
+      go_node phi;
+      go_path p
+    | Star p -> go_path p
+  in
+  go_node eta;
+  List.rev !acc
+
+let path_subformulas eta =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let add p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      acc := p :: !acc
+    end
+  in
+  let rec go_node = function
+    | True | False | Lab _ -> ()
+    | Not m -> go_node m
+    | And (m1, m2) | Or (m1, m2) ->
+      go_node m1;
+      go_node m2
+    | Exists p -> go_path p
+    | Cmp (p, _, q) ->
+      go_path p;
+      go_path q
+  and go_path p =
+    (match p with
+    | Axis _ -> ()
+    | Seq (p1, p2) | Union (p1, p2) ->
+      go_path p1;
+      go_path p2
+    | Filter (p1, phi) ->
+      go_path p1;
+      go_node phi
+    | Guard (phi, p1) ->
+      go_node phi;
+      go_path p1
+    | Star p1 -> go_path p1);
+    add p
+  in
+  go_node eta;
+  List.rev !acc

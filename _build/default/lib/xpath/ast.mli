@@ -1,0 +1,59 @@
+(** Abstract syntax of downward XPath with data equality tests.
+
+    The logic is two-sorted (paper §2.2): {e path expressions}
+    [α ::= o | α[ϕ] | [ϕ]α | αβ | α∪β | α*] with [o ∈ {ε, ↓, ↓∗}], and
+    {e node expressions}
+    [ϕ ::= a | ¬ϕ | ϕ∧ψ | ⟨α⟩ | α~β] with [~ ∈ {=, ≠}]. We add [⊤], [⊥]
+    and [∨] as first-class constructors (all definable, but keeping them
+    primitive preserves formula size under rewriting). [↓∗] is the
+    reflexive–transitive descendant axis ([Star] of [↓] semantically, but
+    kept as an axis so that the star-free fragments of Fig. 4 are
+    syntactically identifiable). *)
+
+type axis =
+  | Self  (** [ε] — the identity relation. *)
+  | Child  (** [↓] — one step down. *)
+  | Descendant  (** [↓∗] — descendant-or-self. *)
+
+type op = Eq | Neq  (** The data comparison [~ ∈ {=, ≠}]. *)
+
+type path =
+  | Axis of axis
+  | Seq of path * path  (** [αβ] — composition. *)
+  | Union of path * path  (** [α ∪ β]. *)
+  | Filter of path * node  (** [α[ϕ]] — test at the endpoint. *)
+  | Guard of node * path  (** [[ϕ]α] — test at the start point. *)
+  | Star of path  (** [α*] — regXPath's Kleene star. *)
+
+and node =
+  | True
+  | False
+  | Lab of Xpds_datatree.Label.t  (** [a] — label test. *)
+  | Not of node
+  | And of node * node
+  | Or of node * node
+  | Exists of path  (** [⟨α⟩] — some [α]-reachable node exists. *)
+  | Cmp of path * op * path  (** [α ~ β] — data (in)equality test. *)
+
+type formula = Node of node | Path of path
+(** A formula of the logic is either sort (paper §2.2). For satisfiability
+    a path formula [α] is interchangeable with the node formula [⟨α⟩]. *)
+
+val as_node : formula -> node
+(** [as_node f] is [ϕ] for [Node ϕ] and [⟨α⟩] for [Path α]. *)
+
+val equal_path : path -> path -> bool
+val equal_node : node -> node -> bool
+val compare_path : path -> path -> int
+val compare_node : node -> node -> int
+val hash_node : node -> int
+val hash_path : path -> int
+
+val node_subformulas : node -> node list
+(** [sub(η)] restricted to node expressions: all node subexpressions of
+    [η] including [η] itself, in a fixed order, without duplicates
+    (used by the Theorem-3 translation, which allocates one BIP state per
+    node subformula). *)
+
+val path_subformulas : node -> path list
+(** All path subexpressions occurring in [η], without duplicates. *)

@@ -1,0 +1,44 @@
+open Ast
+
+let eps = Axis Self
+let down = Axis Child
+let desc = Axis Descendant
+
+let seq = function
+  | [] -> eps
+  | p :: ps -> List.fold_left (fun a b -> Seq (a, b)) p ps
+
+let union = function
+  | [] -> invalid_arg "Build.union: empty union"
+  | p :: ps -> List.fold_left (fun a b -> Union (a, b)) p ps
+
+let filter p phi = Filter (p, phi)
+let guard phi p = Guard (phi, p)
+let star p = Star p
+let tt = True
+let ff = False
+let lab s = Lab (Xpds_datatree.Label.of_string s)
+let not_ = function Not n -> n | True -> False | False -> True | n -> Not n
+
+let conj ns =
+  if List.exists (fun n -> n = False) ns then False
+  else
+    match List.filter (fun n -> n <> True) ns with
+    | [] -> True
+    | n :: rest -> List.fold_left (fun a b -> And (a, b)) n rest
+
+let disj ns =
+  if List.exists (fun n -> n = True) ns then True
+  else
+    match List.filter (fun n -> n <> False) ns with
+    | [] -> False
+    | n :: rest -> List.fold_left (fun a b -> Or (a, b)) n rest
+
+let implies a b = disj [ not_ a; b ]
+let exists p = Exists p
+let eq p q = Cmp (p, Eq, q)
+let neq p q = Cmp (p, Neq, q)
+let child_lab s = Filter (down, lab s)
+let desc_lab s = Filter (desc, lab s)
+let somewhere phi = Exists (Filter (desc, phi))
+let everywhere phi = not_ (somewhere (not_ phi))

@@ -1,0 +1,55 @@
+(** Combinators for building formulas programmatically.
+
+    The lower-bound encodings (Theorem 5, Prop 8) and the examples build
+    large formulas; these helpers keep those constructions readable and
+    also perform the obvious simplifications ([conj []] = [⊤], one-armed
+    unions, etc.), so generated formulas don't carry dead weight. *)
+
+open Ast
+
+val eps : path
+val down : path
+val desc : path
+
+val seq : path list -> path
+(** Composition of a list of paths; [seq []] is [ε]. *)
+
+val union : path list -> path
+(** Union of a nonempty list of paths.
+    @raise Invalid_argument on the empty list. *)
+
+val filter : path -> node -> path
+val guard : node -> path -> path
+val star : path -> path
+val tt : node
+val ff : node
+val lab : string -> node
+
+val not_ : node -> node
+(** Negation, collapsing double negations. *)
+
+val conj : node list -> node
+(** Conjunction; [conj []] is [⊤], [⊥] absorbs. *)
+
+val disj : node list -> node
+(** Disjunction; [disj []] is [⊥], [⊤] absorbs. *)
+
+val implies : node -> node -> node
+(** [implies a b] is [¬a ∨ b] — the paper writes [a → b] freely. *)
+
+val exists : path -> node
+val eq : path -> path -> node
+val neq : path -> path -> node
+
+val child_lab : string -> path
+(** [↓[a]]. *)
+
+val desc_lab : string -> path
+(** [↓∗[a]]. *)
+
+val everywhere : node -> node
+(** The paper's [G(ϕ) := ¬⟨↓∗[¬ϕ]⟩] — [ϕ] holds at every node of the
+    subtree rooted at the evaluation point (Theorem 5 proof). *)
+
+val somewhere : node -> node
+(** [⟨↓∗[ϕ]⟩]. *)

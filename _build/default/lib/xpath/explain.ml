@@ -1,0 +1,18 @@
+let subformula_table env eta =
+  List.map
+    (fun psi -> (psi, Semantics.sat_nodes env psi))
+    (Ast.node_subformulas eta)
+
+let pp ppf tree eta =
+  let env = Semantics.env_of_tree tree in
+  Format.fprintf ppf "@[<v>tree: %a@,@," Xpds_datatree.Data_tree.pp tree;
+  List.iter
+    (fun (psi, positions) ->
+      Format.fprintf ppf "%-50s {%a}@,"
+        (Pp.node_to_string psi)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Xpds_datatree.Path.pp)
+        positions)
+    (subformula_table env eta);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,15 @@
+(** Explanations: why a formula holds (or fails) on a concrete tree.
+
+    Renders the evaluation of every node subformula at every position —
+    the table a user needs to audit a verdict or a witness by hand, and
+    what the CLI's [explain] command prints. *)
+
+val subformula_table :
+  Semantics.env -> Ast.node ->
+  (Ast.node * Xpds_datatree.Path.t list) list
+(** For each node subformula (bottom-up order), the positions where it
+    holds. *)
+
+val pp :
+  Format.formatter -> Xpds_datatree.Data_tree.t -> Ast.node -> unit
+(** Pretty-print the tree followed by the subformula table. *)

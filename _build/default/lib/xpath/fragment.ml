@@ -1,0 +1,134 @@
+open Ast
+
+type features = {
+  uses_child : bool;
+  uses_descendant : bool;
+  uses_data : bool;
+  uses_star : bool;
+  uses_union : bool;
+  eps_free : bool;
+}
+
+(* Definition 3: α ::= ↓∗ | α[ϕ] | αβ | α∪β — no ε, no ↓, no [ϕ]α
+   prefix-test, no Kleene star; and recursively inside filters. *)
+let rec eps_free_path = function
+  | Axis Descendant -> true
+  | Axis (Self | Child) -> false
+  | Seq (p, q) | Union (p, q) -> eps_free_path p && eps_free_path q
+  | Filter (p, n) -> eps_free_path p && eps_free_node n
+  | Guard _ | Star _ -> false
+
+and eps_free_node = function
+  | True | False | Lab _ -> true
+  | Not n -> eps_free_node n
+  | And (a, b) | Or (a, b) -> eps_free_node a && eps_free_node b
+  | Exists p -> eps_free_path p
+  | Cmp (p, _, q) -> eps_free_path p && eps_free_path q
+
+let features eta =
+  let uses_child = ref false
+  and uses_descendant = ref false
+  and uses_data = ref false
+  and uses_star = ref false
+  and uses_union = ref false in
+  let rec go_node = function
+    | True | False | Lab _ -> ()
+    | Not n -> go_node n
+    | And (a, b) | Or (a, b) ->
+      go_node a;
+      go_node b
+    | Exists p -> go_path p
+    | Cmp (p, _, q) ->
+      uses_data := true;
+      go_path p;
+      go_path q
+  and go_path = function
+    | Axis Self -> ()
+    | Axis Child -> uses_child := true
+    | Axis Descendant -> uses_descendant := true
+    | Seq (p, q) ->
+      go_path p;
+      go_path q
+    | Union (p, q) ->
+      uses_union := true;
+      go_path p;
+      go_path q
+    | Filter (p, n) ->
+      go_path p;
+      go_node n
+    | Guard (n, p) ->
+      go_node n;
+      go_path p
+    | Star p ->
+      uses_star := true;
+      go_path p
+  in
+  go_node eta;
+  {
+    uses_child = !uses_child;
+    uses_descendant = !uses_descendant;
+    uses_data = !uses_data;
+    uses_star = !uses_star;
+    uses_union = !uses_union;
+    eps_free = eps_free_node eta;
+  }
+
+type t =
+  | XPath_child
+  | XPath_desc
+  | XPath_child_desc
+  | XPath_child_data
+  | XPath_desc_data_epsfree
+  | XPath_desc_data
+  | XPath_child_desc_data
+  | RegXPath_data
+
+let classify eta =
+  let f = features eta in
+  if f.uses_star then RegXPath_data
+  else
+    match (f.uses_child, f.uses_descendant, f.uses_data) with
+    | _, false, false -> XPath_child
+    | _, false, true -> XPath_child_data
+    | false, true, false -> XPath_desc
+    | false, true, true ->
+      if f.eps_free then XPath_desc_data_epsfree else XPath_desc_data
+    | true, true, false -> XPath_child_desc
+    | true, true, true -> XPath_child_desc_data
+
+type complexity = PSpace | ExpTime
+
+let complexity = function
+  | XPath_child | XPath_desc | XPath_child_data | XPath_desc_data_epsfree
+    ->
+    PSpace
+  | XPath_child_desc | XPath_desc_data | XPath_child_desc_data
+  | RegXPath_data ->
+    ExpTime
+
+let name = function
+  | XPath_child -> "XPath(v)"
+  | XPath_desc -> "XPath(v*)"
+  | XPath_child_desc -> "XPath(v,v*)"
+  | XPath_child_data -> "XPath(v,=)"
+  | XPath_desc_data_epsfree -> "XPath(v*,=)\\eps"
+  | XPath_desc_data -> "XPath(v*,=)"
+  | XPath_child_desc_data -> "XPath(v*,v,=)"
+  | RegXPath_data -> "regXPath(v,=)"
+
+(* The Appendix-D bound for XPath(↓∗,=)\ε: 2|η|² + (2|η|²+1)·|η|³ branch
+   elements. It dominates the |η|+1 bound sufficient for data-free
+   XPath(↓∗) (Prop 9's normal form puts the i-th witness of a path at
+   depth i ≤ |η|), so we use it for both ↓∗-PSpace rows. *)
+let appendix_d_bound n =
+  let n2 = 2 * n * n in
+  n2 + (((n2 + 1) * n * n * n) + 1)
+
+let poly_depth_bound eta =
+  match classify eta with
+  | XPath_child | XPath_child_data -> Some (Metrics.down_depth eta + 1)
+  | XPath_desc | XPath_desc_data_epsfree ->
+    Some (appendix_d_bound (Metrics.size_node eta))
+  | XPath_child_desc | XPath_desc_data | XPath_child_desc_data
+  | RegXPath_data ->
+    None

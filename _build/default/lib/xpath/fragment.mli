@@ -1,0 +1,54 @@
+(** Classification of formulas into the paper's downward fragments.
+
+    Figure 4 of the paper lists one complexity per combination of features:
+    which axes occur ([↓], [↓∗]), whether data tests occur ([=]), whether
+    the Kleene star occurs (regXPath), and whether the formula lies in the
+    ε-free fragment XPath(↓∗,=)\ε of Definition 3. The top-level solver
+    ({!Xpds_decision.Sat}) uses this classification to pick the algorithm
+    and its resource bounds. *)
+
+open Ast
+
+type features = {
+  uses_child : bool;  (** some [↓] axis occurs *)
+  uses_descendant : bool;  (** some [↓∗] axis occurs *)
+  uses_data : bool;  (** some [α~β] occurs *)
+  uses_star : bool;  (** some [α*] occurs (regXPath) *)
+  uses_union : bool;  (** some [α∪β] occurs (Fig. 4: results hold without) *)
+  eps_free : bool;  (** the formula is in XPath(↓∗,=)\ε (Def. 3) *)
+}
+
+val features : node -> features
+
+type t =
+  | XPath_child  (** XPath(↓) — PSpace-complete (Prop 3). *)
+  | XPath_desc  (** XPath(↓∗) — PSpace-complete (Prop 5). *)
+  | XPath_child_desc  (** XPath(↓,↓∗) — ExpTime-complete [BFG08]. *)
+  | XPath_child_data  (** XPath(↓,=) — PSpace-complete (Prop 3). *)
+  | XPath_desc_data_epsfree
+      (** XPath(↓∗,=)\ε — PSpace-complete (Prop 4). *)
+  | XPath_desc_data  (** XPath(↓∗,=) — ExpTime-complete (Cor 1, Thm 5). *)
+  | XPath_child_desc_data
+      (** XPath(↓∗,↓,=) — ExpTime-complete (Cor 1, Thm 5). *)
+  | RegXPath_data  (** regXPath(↓,=) — ExpTime-complete (Cor 1, Thm 5). *)
+
+val classify : node -> t
+(** The smallest Fig. 4 fragment containing the formula. A data-free
+    formula with a Kleene star is classified [RegXPath_data] (the paper
+    has no dedicated star-without-data row). *)
+
+type complexity = PSpace | ExpTime
+
+val complexity : t -> complexity
+(** The Fig. 4 complexity of the fragment (all entries are complete for
+    their class). *)
+
+val name : t -> string
+(** Human-readable fragment name, e.g. ["XPath(v*,=)"]. *)
+
+val poly_depth_bound : node -> int option
+(** If the formula lies in a fragment with the poly-depth model property
+    (Def. 2), the depth bound to use: the ↓-nesting depth for XPath(↓,=)
+    (Prop 3), and the Appendix-D bound [2|η|² + (2|η|²+1)·|η|³] for
+    XPath(↓∗,=)\ε and XPath(↓∗) (Prop 7 and the normal form of Prop 9).
+    [None] for the ExpTime fragments. *)

@@ -1,0 +1,123 @@
+open Ast
+
+type config = {
+  allow_child : bool;
+  allow_desc : bool;
+  allow_data : bool;
+  allow_star : bool;
+  allow_union : bool;
+  force_eps_free : bool;
+  labels : string list;
+  fuel : int;
+}
+
+let default =
+  {
+    allow_child = true;
+    allow_desc = true;
+    allow_data = true;
+    allow_star = true;
+    allow_union = true;
+    force_eps_free = false;
+    labels = [ "a"; "b"; "c" ];
+    fuel = 14;
+  }
+
+let fragment_config = function
+  | Fragment.XPath_child ->
+    { default with allow_desc = false; allow_data = false; allow_star = false }
+  | Fragment.XPath_desc ->
+    { default with allow_child = false; allow_data = false; allow_star = false }
+  | Fragment.XPath_child_desc ->
+    { default with allow_data = false; allow_star = false }
+  | Fragment.XPath_child_data ->
+    { default with allow_desc = false; allow_star = false }
+  | Fragment.XPath_desc_data_epsfree ->
+    { default with
+      allow_child = false;
+      allow_star = false;
+      force_eps_free = true
+    }
+  | Fragment.XPath_desc_data ->
+    { default with allow_child = false; allow_star = false }
+  | Fragment.XPath_child_desc_data -> { default with allow_star = false }
+  | Fragment.RegXPath_data -> default
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+let axes cfg =
+  List.concat
+    [ [ Axis Self ];
+      (if cfg.allow_child then [ Axis Child ] else []);
+      (if cfg.allow_desc then [ Axis Descendant ] else [])
+    ]
+
+let rec gen_node cfg st fuel =
+  if fuel <= 0 then
+    pick st
+      (True :: False
+      :: List.map (fun s -> Lab (Xpds_datatree.Label.of_string s)) cfg.labels
+      )
+  else
+    let sub () = gen_node cfg st (fuel / 2) in
+    let p () = gen_path cfg st (fuel / 2) in
+    let weighted =
+      [ (3, fun () -> Lab (Xpds_datatree.Label.of_string (pick st cfg.labels)));
+        (1, fun () -> True);
+        (1, fun () -> False);
+        (2, fun () -> Not (sub ()));
+        (2, fun () -> And (sub (), sub ()));
+        (2, fun () -> Or (sub (), sub ()));
+        (3, fun () -> Exists (p ()))
+      ]
+      @
+      if cfg.allow_data then
+        [ (3, fun () -> Cmp (p (), Eq, p ()));
+          (2, fun () -> Cmp (p (), Neq, p ()))
+        ]
+      else []
+    in
+    let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+    let rec choose n = function
+      | (w, f) :: rest -> if n < w then f () else choose (n - w) rest
+      | [] -> assert false
+    in
+    choose (Random.State.int st total) weighted
+
+and gen_path cfg st fuel =
+  if fuel <= 0 then
+    pick st (if cfg.force_eps_free then [ Axis Descendant ] else axes cfg)
+  else
+    let sub () = gen_path cfg st (fuel / 2) in
+    let n () = gen_node cfg st (fuel / 2) in
+    let weighted =
+      if cfg.force_eps_free then
+        (* Definition 3: α ::= ↓∗ | α[ϕ] | αβ | α∪β *)
+        [ (3, fun () -> Axis Descendant);
+          (2, fun () -> Seq (sub (), sub ()));
+          (3, fun () -> Filter (sub (), n ()));
+          (1, fun () -> Union (sub (), sub ()))
+        ]
+      else
+        [ (3, fun () -> pick st (axes cfg));
+          (2, fun () -> Seq (sub (), sub ()));
+          (3, fun () -> Filter (sub (), n ()));
+          (1, fun () -> Guard (n (), sub ()))
+        ]
+        @ (if cfg.allow_union then [ (1, fun () -> Union (sub (), sub ())) ]
+           else [])
+        @
+        if cfg.allow_star then [ (1, fun () -> Star (sub ())) ] else []
+    in
+    let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+    let rec choose n = function
+      | (w, f) :: rest -> if n < w then f () else choose (n - w) rest
+      | [] -> assert false
+    in
+    choose (Random.State.int st total) weighted
+
+let node ?(config = default) st =
+  gen_node config st (1 + Random.State.int st config.fuel)
+
+let path ?(config = default) st =
+  gen_path config st (1 + Random.State.int st config.fuel)

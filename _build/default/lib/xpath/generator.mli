@@ -1,0 +1,33 @@
+(** Seedable random formula generation, by fragment.
+
+    Shared by the property-based tests and the measurement harness
+    (experiment E7): generates node expressions within a configurable
+    fragment of Fig. 4, with approximate size control. Purely
+    [Random.State]-driven — deterministic for a fixed seed. *)
+
+type config = {
+  allow_child : bool;
+  allow_desc : bool;
+  allow_data : bool;
+  allow_star : bool;
+  allow_union : bool;
+  force_eps_free : bool;
+      (** restrict paths to Definition 3's grammar
+          [α ::= ↓∗ | α[ϕ] | αβ | α∪β] *)
+  labels : string list;
+  fuel : int;  (** approximate size budget *)
+}
+
+val default : config
+(** Everything allowed, labels [a;b;c], fuel 14. *)
+
+val fragment_config : Fragment.t -> config
+(** A configuration whose output always lies within the given Fig. 4
+    fragment (the ε-free and plain-descendant rows restrict paths
+    accordingly). *)
+
+val node : ?config:config -> Random.State.t -> Ast.node
+(** One random node expression. *)
+
+val path : ?config:config -> Random.State.t -> Ast.path
+(** One random path expression. *)

@@ -1,0 +1,149 @@
+type token =
+  | IDENT of string
+  | EPS
+  | DOWN
+  | DESC
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | SLASH
+  | PIPE
+  | AMP
+  | TILDE
+  | STAR
+  | EQ
+  | NEQ
+  | EOF
+
+exception Error of string * int
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '#' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '\'' -> true
+  | _ -> false
+
+let keyword = function
+  | "eps" -> Some EPS
+  | "down" -> Some DOWN
+  | "desc" -> Some DESC
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t off = toks := (t, off) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let off = !i in
+    let c = src.[off] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      emit LPAREN off;
+      incr i
+    | ')' ->
+      emit RPAREN off;
+      incr i
+    | '[' ->
+      emit LBRACKET off;
+      incr i
+    | ']' ->
+      emit RBRACKET off;
+      incr i
+    | '<' ->
+      emit LANGLE off;
+      incr i
+    | '>' ->
+      emit RANGLE off;
+      incr i
+    | '/' ->
+      emit SLASH off;
+      incr i
+    | '|' ->
+      emit PIPE off;
+      incr i
+    | '&' ->
+      emit AMP off;
+      incr i
+    | '~' ->
+      emit TILDE off;
+      incr i
+    | '*' ->
+      emit STAR off;
+      incr i
+    | '=' ->
+      emit EQ off;
+      incr i
+    | '!' ->
+      if off + 1 < n && src.[off + 1] = '=' then begin
+        emit NEQ off;
+        i := off + 2
+      end
+      else begin
+        (* '!' alone is an alias for negation '~'. *)
+        emit TILDE off;
+        incr i
+      end
+    | '"' ->
+      let buf = Buffer.create 8 in
+      let j = ref (off + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        (match src.[!j] with
+        | '"' -> closed := true
+        | '\\' when !j + 1 < n ->
+          Buffer.add_char buf src.[!j + 1];
+          incr j
+        | ch -> Buffer.add_char buf ch);
+        incr j
+      done;
+      if not !closed then raise (Error ("unterminated string literal", off));
+      emit (IDENT (Buffer.contents buf)) off;
+      i := !j
+    | c when is_ident_start c ->
+      let j = ref off in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src off (!j - off) in
+      (match keyword word with
+      | Some t -> emit t off
+      | None -> emit (IDENT word) off);
+      i := !j
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c, off)));
+    ()
+  done;
+  toks := (EOF, n) :: !toks;
+  Array.of_list (List.rev !toks)
+
+let describe = function
+  | IDENT s -> Printf.sprintf "label %S" s
+  | EPS -> "'eps'"
+  | DOWN -> "'down'"
+  | DESC -> "'desc'"
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | SLASH -> "'/'"
+  | PIPE -> "'|'"
+  | AMP -> "'&'"
+  | TILDE -> "'~'"
+  | STAR -> "'*'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | EOF -> "end of input"

@@ -1,0 +1,33 @@
+(** Tokenizer for the concrete formula syntax (see {!Pp}). *)
+
+type token =
+  | IDENT of string  (** a label, bare or from a ["quoted"] string *)
+  | EPS
+  | DOWN
+  | DESC
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | SLASH
+  | PIPE
+  | AMP
+  | TILDE
+  | STAR
+  | EQ
+  | NEQ
+  | EOF
+
+exception Error of string * int
+(** [Error (message, offset)] — lexical error at byte [offset]. *)
+
+val tokenize : string -> (token * int) array
+(** All tokens with their starting byte offsets; the last entry is [EOF].
+    @raise Error on an unexpected character or unterminated string. *)
+
+val describe : token -> string
+(** Human-readable token name for error messages. *)

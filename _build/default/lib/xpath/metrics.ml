@@ -1,0 +1,57 @@
+open Ast
+
+let rec size_node = function
+  | True | False | Lab _ -> 1
+  | Not n -> 1 + size_node n
+  | And (a, b) | Or (a, b) -> 1 + size_node a + size_node b
+  | Exists p -> 1 + size_path p
+  | Cmp (p, _, q) -> 1 + size_path p + size_path q
+
+and size_path = function
+  | Axis _ -> 1
+  | Seq (p, q) | Union (p, q) -> 1 + size_path p + size_path q
+  | Filter (p, n) -> 1 + size_path p + size_node n
+  | Guard (n, p) -> 1 + size_node n + size_path p
+  | Star p -> 1 + size_path p
+
+let data_tests eta =
+  List.length
+    (List.filter
+       (function Cmp _ -> true | _ -> false)
+       (node_subformulas eta))
+
+(* Saturating arithmetic: [max_int] stands for "unbounded horizon". *)
+let ( +! ) a b = if a = max_int || b = max_int then max_int else a + b
+
+let rec down_depth = function
+  | True | False | Lab _ -> 0
+  | Not n -> down_depth n
+  | And (a, b) | Or (a, b) -> max (down_depth a) (down_depth b)
+  | Exists p -> down_depth_path p
+  | Cmp (p, _, q) -> max (down_depth_path p) (down_depth_path q)
+
+and down_depth_path = function
+  | Axis Self -> 0
+  | Axis Child -> 1
+  | Axis Descendant -> max_int
+  | Seq (p, q) -> down_depth_path p +! down_depth_path q
+  | Union (p, q) -> max (down_depth_path p) (down_depth_path q)
+  | Filter (p, n) -> down_depth_path p +! down_depth n
+  | Guard (n, p) -> max (down_depth n) (down_depth_path p)
+  | Star _ -> max_int
+
+let rec star_height = function
+  | True | False | Lab _ -> 0
+  | Not n -> star_height n
+  | And (a, b) | Or (a, b) -> max (star_height a) (star_height b)
+  | Exists p -> star_height_path p
+  | Cmp (p, _, q) -> max (star_height_path p) (star_height_path q)
+
+and star_height_path = function
+  | Axis Descendant -> 1
+  | Axis _ -> 0
+  | Seq (p, q) | Union (p, q) ->
+    max (star_height_path p) (star_height_path q)
+  | Filter (p, n) -> max (star_height_path p) (star_height n)
+  | Guard (n, p) -> max (star_height n) (star_height_path p)
+  | Star p -> 1 + star_height_path p

@@ -1,0 +1,26 @@
+(** Size and depth measures of formulas.
+
+    These are the parameters the paper's bounds are stated in: [|η|] for
+    the Appendix-D depth bound of XPath(↓∗,=)\ε, the ↓-nesting depth for
+    the poly-depth model property of XPath(↓,=) (Prop 3), and counts used
+    by the translation-size experiment (E7). *)
+
+open Ast
+
+val size_node : node -> int
+(** Number of AST constructors in a node expression. *)
+
+val size_path : path -> int
+
+val data_tests : node -> int
+(** Number of [α~β] subformulas — 0 iff the formula is data-free. *)
+
+val down_depth : node -> int
+(** For star-free, [↓∗]-free formulas: the maximal number of nested [↓]
+    steps the formula can traverse from its evaluation point — the [n] of
+    Prop 3 such that satisfiability in [T] implies satisfiability in the
+    depth-[n] truncation [T↾n]. Returns [max_int] when the formula uses
+    [↓∗] or a Kleene star (no finite horizon). *)
+
+val star_height : node -> int
+(** Maximal nesting of [Star] (with [↓∗] counting as one star). *)

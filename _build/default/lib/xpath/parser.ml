@@ -1,0 +1,187 @@
+open Ast
+
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let offset st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st what =
+  raise
+    (Error
+       ( Printf.sprintf "expected %s, found %s" what
+           (Lexer.describe (peek st)),
+         offset st ))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st what
+
+(* --- paths --- *)
+
+let rec parse_path st =
+  let p = parse_seq st in
+  if peek st = Lexer.PIPE then begin
+    advance st;
+    Union (p, parse_path st)
+  end
+  else p
+
+and parse_seq st =
+  let p = parse_item st in
+  if peek st = Lexer.SLASH then begin
+    advance st;
+    Seq (p, parse_seq st)
+  end
+  else p
+
+and parse_item st =
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    let phi = parse_node st in
+    expect st Lexer.RBRACKET "']' closing a guard";
+    Guard (phi, parse_item st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let p = ref (parse_prim st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let phi = parse_node st in
+      expect st Lexer.RBRACKET "']' closing a filter";
+      p := Filter (!p, phi)
+    | Lexer.STAR ->
+      advance st;
+      p := Star !p
+    | _ -> continue := false
+  done;
+  !p
+
+and parse_prim st =
+  match peek st with
+  | Lexer.EPS ->
+    advance st;
+    Axis Self
+  | Lexer.DOWN ->
+    advance st;
+    Axis Child
+  | Lexer.DESC ->
+    advance st;
+    Axis Descendant
+  | Lexer.LPAREN ->
+    advance st;
+    let p = parse_path st in
+    expect st Lexer.RPAREN "')' closing a path";
+    p
+  | _ -> fail st "a path ('eps', 'down', 'desc', '(' or '[')"
+
+(* --- nodes --- *)
+
+and parse_node st =
+  let a = parse_and st in
+  if peek st = Lexer.PIPE then begin
+    advance st;
+    Or (a, parse_node st)
+  end
+  else a
+
+and parse_and st =
+  let a = parse_unary st in
+  if peek st = Lexer.AMP then begin
+    advance st;
+    And (a, parse_and st)
+  end
+  else a
+
+and parse_unary st =
+  match peek st with
+  | Lexer.TILDE ->
+    advance st;
+    Not (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_comparison st =
+  (* operand ('='|'!=') operand — operands are union-free paths. *)
+  let p = parse_seq st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Eq
+    | Lexer.NEQ -> Neq
+    | _ -> fail st "'=' or '!=' in a data comparison"
+  in
+  advance st;
+  let q = parse_seq st in
+  Cmp (p, op, q)
+
+and parse_atom st =
+  match peek st with
+  | Lexer.TRUE ->
+    advance st;
+    True
+  | Lexer.FALSE ->
+    advance st;
+    False
+  | Lexer.IDENT s ->
+    advance st;
+    Lab (Xpds_datatree.Label.of_string s)
+  | Lexer.LANGLE ->
+    advance st;
+    let p = parse_path st in
+    expect st Lexer.RANGLE "'>' closing '<path>'";
+    Exists p
+  | Lexer.EPS | Lexer.DOWN | Lexer.DESC | Lexer.LBRACKET ->
+    parse_comparison st
+  | Lexer.LPAREN -> (
+    (* Ambiguous: '(' may open a parenthesized node expression or the
+       first operand of a comparison. Try the comparison first (it is
+       the rarer form but fails fast), then the node expression. *)
+    let saved = st.pos in
+    match parse_comparison st with
+    | cmp -> cmp
+    | exception Error _ ->
+      st.pos <- saved;
+      advance st;
+      let n = parse_node st in
+      expect st Lexer.RPAREN "')' closing a node expression";
+      n)
+  | _ -> fail st "a node expression"
+
+(* --- entry points --- *)
+
+let run parse src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let v = parse st in
+  if peek st <> Lexer.EOF then fail st "end of input";
+  v
+
+let wrap parse src =
+  match run parse src with
+  | v -> Ok v
+  | exception Error (msg, off) ->
+    Error (Printf.sprintf "syntax error at offset %d: %s" off msg)
+  | exception Lexer.Error (msg, off) ->
+    Error (Printf.sprintf "lexical error at offset %d: %s" off msg)
+
+let node_of_string src = wrap parse_node src
+let path_of_string src = wrap parse_path src
+
+let formula_of_string src =
+  match node_of_string src with
+  | Ok n -> Ok (Node n)
+  | Error node_err -> (
+    match path_of_string src with
+    | Ok p -> Ok (Path p)
+    | Error _ -> Error node_err)
+
+let node_of_string_exn src = run parse_node src
+let path_of_string_exn src = run parse_path src
+
+let formula_of_string_exn src =
+  match formula_of_string src with
+  | Ok f -> f
+  | Error msg -> raise (Error (msg, 0))

@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the concrete formula syntax (see {!Pp}).
+
+    Grammar (tokens from {!Lexer}):
+    {v
+    node  := and ( '|' and )*
+    and   := unary ( '&' unary )*
+    unary := ('~'|'!') unary | atom
+    atom  := 'true' | 'false' | label | '<' path '>' | '(' node ')'
+           | operand ('='|'!=') operand
+    path  := seq ( '|' seq )*
+    seq   := item ( '/' item )*
+    item  := '[' node ']' item            (guard  [ϕ]α)
+           | prim ( '[' node ']' | '*' )* (filter α[ϕ], star α∗)
+    prim  := 'eps' | 'down' | 'desc' | '(' path ')'
+    operand := seq                        (no top-level union)
+    v}
+    A leading ['('] in an atom is disambiguated between a parenthesized
+    node expression and a comparison by backtracking. *)
+
+exception Error of string * int
+(** [Error (message, offset)] — syntax error at byte [offset] of the
+    input. *)
+
+val node_of_string : string -> (Ast.node, string) result
+(** Parse a node expression; the error string includes the offset. *)
+
+val path_of_string : string -> (Ast.path, string) result
+
+val formula_of_string : string -> (Ast.formula, string) result
+(** Parse either sort: tries a node expression first, then a bare path
+    expression (a path [α] is understood as the query [⟨α⟩] for
+    satisfiability purposes, cf. {!Ast.as_node}). *)
+
+val node_of_string_exn : string -> Ast.node
+(** @raise Error on syntax errors. *)
+
+val path_of_string_exn : string -> Ast.path
+val formula_of_string_exn : string -> Ast.formula

@@ -1,0 +1,136 @@
+open Ast
+
+let is_bare_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '#' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '\'' ->
+           true
+         | _ -> false)
+       s
+  && not (List.mem s [ "eps"; "down"; "desc"; "true"; "false" ])
+
+let pp_label ppf l =
+  let s = Xpds_datatree.Label.to_string l in
+  if is_bare_ident s then Format.pp_print_string ppf s
+  else Format.fprintf ppf "%S" s
+
+(* Binary operators are right-associative in the parser, so printers put
+   the left operand at the next-higher precedence level and the right
+   operand at the operator's own level.
+   Path levels: 0 = union, 1 = sequence, 2 = guard item, 3 = postfix. *)
+let rec pp_path_prec prec ppf p =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match p with
+  | Axis Self -> Format.pp_print_string ppf "eps"
+  | Axis Child -> Format.pp_print_string ppf "down"
+  | Axis Descendant -> Format.pp_print_string ppf "desc"
+  | Union (a, b) ->
+    paren (prec > 0) (fun ppf ->
+        Format.fprintf ppf "%a|%a" (pp_path_prec 1) a (pp_path_prec 0) b)
+  | Seq (a, b) ->
+    paren (prec > 1) (fun ppf ->
+        Format.fprintf ppf "%a/%a" (pp_path_prec 2) a (pp_path_prec 1) b)
+  | Guard (n, a) ->
+    paren (prec > 2) (fun ppf ->
+        Format.fprintf ppf "[%a]%a" (pp_node_prec 0) n (pp_path_prec 2) a)
+  | Filter (a, n) ->
+    Format.fprintf ppf "%a[%a]" (pp_path_prec 3) a (pp_node_prec 0) n
+  | Star a -> Format.fprintf ppf "%a*" (pp_path_prec 3) a
+
+(* Node levels: 0 = or, 1 = and, 2 = unary/atom. *)
+and pp_node_prec prec ppf n =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match n with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Lab l -> pp_label ppf l
+  | Or (a, b) ->
+    paren (prec > 0) (fun ppf ->
+        Format.fprintf ppf "%a | %a" (pp_node_prec 1) a (pp_node_prec 0) b)
+  | And (a, b) ->
+    paren (prec > 1) (fun ppf ->
+        Format.fprintf ppf "%a & %a" (pp_node_prec 2) a (pp_node_prec 1) b)
+  | Not a -> Format.fprintf ppf "~%a" (pp_node_prec 2) a
+  | Exists p -> Format.fprintf ppf "<%a>" (pp_path_prec 0) p
+  | Cmp (p, op, q) ->
+    let sym = match op with Eq -> "=" | Neq -> "!=" in
+    (* Comparison operands admit no top-level union in the grammar. *)
+    let pp_operand ppf p = pp_path_prec 1 ppf p in
+    Format.fprintf ppf "%a %s %a" pp_operand p sym pp_operand q
+
+let pp_node ppf n = pp_node_prec 0 ppf n
+let pp_path ppf p = pp_path_prec 0 ppf p
+
+let pp_formula ppf = function
+  | Node n -> pp_node ppf n
+  | Path p -> pp_path ppf p
+
+let node_to_string n = Format.asprintf "%a" pp_node n
+let path_to_string p = Format.asprintf "%a" pp_path p
+
+(* Paper-style unicode output (display only). *)
+let rec pp_fancy_path_prec prec ppf p =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match p with
+  | Axis Self -> Format.pp_print_string ppf "\xce\xb5"
+  | Axis Child -> Format.pp_print_string ppf "\xe2\x86\x93"
+  | Axis Descendant -> Format.pp_print_string ppf "\xe2\x86\x93*"
+  | Union (a, b) ->
+    paren (prec > 0) (fun ppf ->
+        Format.fprintf ppf "%a \xe2\x88\xaa %a"
+          (pp_fancy_path_prec 1)
+          a
+          (pp_fancy_path_prec 0)
+          b)
+  | Seq (a, b) ->
+    paren (prec > 1) (fun ppf ->
+        Format.fprintf ppf "%a%a"
+          (pp_fancy_path_prec 2)
+          a
+          (pp_fancy_path_prec 1)
+          b)
+  | Guard (n, a) ->
+    paren (prec > 2) (fun ppf ->
+        Format.fprintf ppf "[%a]%a" (pp_fancy_node_prec 0) n
+          (pp_fancy_path_prec 2)
+          a)
+  | Filter (a, n) ->
+    Format.fprintf ppf "%a[%a]"
+      (pp_fancy_path_prec 3)
+      a (pp_fancy_node_prec 0) n
+  | Star a -> Format.fprintf ppf "%a*" (pp_fancy_path_prec 3) a
+
+and pp_fancy_node_prec prec ppf n =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match n with
+  | True -> Format.pp_print_string ppf "\xe2\x8a\xa4"
+  | False -> Format.pp_print_string ppf "\xe2\x8a\xa5"
+  | Lab l -> pp_label ppf l
+  | Or (a, b) ->
+    paren (prec > 0) (fun ppf ->
+        Format.fprintf ppf "%a \xe2\x88\xa8 %a" (pp_fancy_node_prec 1) a
+          (pp_fancy_node_prec 0) b)
+  | And (a, b) ->
+    paren (prec > 1) (fun ppf ->
+        Format.fprintf ppf "%a \xe2\x88\xa7 %a" (pp_fancy_node_prec 2) a
+          (pp_fancy_node_prec 1) b)
+  | Not a -> Format.fprintf ppf "\xc2\xac%a" (pp_fancy_node_prec 2) a
+  | Exists p ->
+    Format.fprintf ppf "\xe2\x9f\xa8%a\xe2\x9f\xa9" (pp_fancy_path_prec 0) p
+  | Cmp (p, op, q) ->
+    let sym = match op with Eq -> "=" | Neq -> "\xe2\x89\xa0" in
+    Format.fprintf ppf "%a %s %a" (pp_fancy_path_prec 1) p sym
+      (pp_fancy_path_prec 1) q
+
+let pp_fancy_node ppf n = pp_fancy_node_prec 0 ppf n

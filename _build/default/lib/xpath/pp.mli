@@ -1,0 +1,22 @@
+(** Pretty-printing of formulas to the tool's concrete syntax.
+
+    The syntax (also accepted by {!Parser}):
+
+    - paths: [eps], [down] (↓), [desc] (↓∗), composition [α/β], union
+      [α|β], filter [α[ϕ]], guard [[ϕ]α], star [α*], parentheses;
+    - nodes: labels as identifiers (or ["quoted"] strings), [true],
+      [false], [~ϕ], [ϕ & ψ], [ϕ | ψ], [<α>], [α = β], [α != β].
+
+    Comparison operands are printed without top-level unions (a union
+    operand gets parentheses), matching the parser's grammar.
+    [Parser.node_of_string (node_to_string ϕ) = ϕ] is property-tested. *)
+
+val pp_node : Format.formatter -> Ast.node -> unit
+val pp_path : Format.formatter -> Ast.path -> unit
+val pp_formula : Format.formatter -> Ast.formula -> unit
+val node_to_string : Ast.node -> string
+val path_to_string : Ast.path -> string
+
+val pp_fancy_node : Format.formatter -> Ast.node -> unit
+(** Paper-style rendering with unicode (↓, ↓∗, ε, ¬, ∧, ∨, ⟨⟩, ≠) — for
+    human-facing output only; not parseable back. *)

@@ -1,0 +1,104 @@
+open Ast
+
+let rec nnf phi = positive phi
+
+and positive = function
+  | (True | False | Lab _) as a -> a
+  | Not a -> negative a
+  | And (a, b) -> And (positive a, positive b)
+  | Or (a, b) -> Or (positive a, positive b)
+  | Exists p -> Exists (nnf_path p)
+  | Cmp (p, op, q) -> Cmp (nnf_path p, op, nnf_path q)
+
+and negative = function
+  | True -> False
+  | False -> True
+  | Lab _ as a -> Not a
+  | Not a -> positive a
+  | And (a, b) -> Or (negative a, negative b)
+  | Or (a, b) -> And (negative a, negative b)
+  | Exists p -> Not (Exists (nnf_path p))
+  | Cmp (p, op, q) -> Not (Cmp (nnf_path p, op, nnf_path q))
+
+and nnf_path = function
+  | Axis _ as p -> p
+  | Seq (a, b) -> Seq (nnf_path a, nnf_path b)
+  | Union (a, b) -> Union (nnf_path a, nnf_path b)
+  | Filter (a, phi) -> Filter (nnf_path a, nnf phi)
+  | Guard (phi, a) -> Guard (nnf phi, nnf_path a)
+  | Star a -> Star (nnf_path a)
+
+let rec path_is_empty = function
+  | Axis _ -> false
+  | Seq (a, b) -> path_is_empty a || path_is_empty b
+  | Union (a, b) -> path_is_empty a && path_is_empty b
+  | Filter (a, phi) -> path_is_empty a || phi = False
+  | Guard (phi, a) -> path_is_empty a || phi = False
+  | Star _ -> false (* reflexive: always contains the identity *)
+
+let rec simplify phi =
+  match phi with
+  | True | False | Lab _ -> phi
+  | Not a -> (
+    match simplify a with
+    | True -> False
+    | False -> True
+    | Not b -> b
+    | b -> Not b)
+  | And (a, b) -> (
+    match (simplify a, simplify b) with
+    | False, _ | _, False -> False
+    | True, c | c, True -> c
+    | c, d -> if c = d then c else And (c, d))
+  | Or (a, b) -> (
+    match (simplify a, simplify b) with
+    | True, _ | _, True -> True
+    | False, c | c, False -> c
+    | c, d -> if c = d then c else Or (c, d))
+  | Exists p ->
+    let p = simplify_path p in
+    if path_is_empty p then False
+    else if never_fails p then True
+    else Exists p
+  | Cmp (p, op, q) ->
+    let p = simplify_path p and q = simplify_path q in
+    if path_is_empty p || path_is_empty q then False else Cmp (p, op, q)
+
+(* [never_fails α]: [[α]] relates every node to at least one node, so
+   ⟨α⟩ ≡ ⊤. Sound, not complete. *)
+and never_fails = function
+  | Axis Self | Axis Descendant -> true (* both are reflexive *)
+  | Axis Child -> false
+  | Seq (a, b) -> never_fails a && never_fails b
+  | Union (a, b) -> never_fails a || never_fails b
+  | Filter (a, phi) -> phi = True && never_fails a
+  | Guard (phi, a) -> phi = True && never_fails a
+  | Star _ -> true
+
+and simplify_path p =
+  match p with
+  | Axis _ -> p
+  | Seq (a, b) -> (
+    match (simplify_path a, simplify_path b) with
+    | Axis Self, c | c, Axis Self -> c
+    | a, b -> Seq (a, b))
+  | Union (a, b) -> (
+    match (simplify_path a, simplify_path b) with
+    | a, b when a = b -> a
+    | a, b when path_is_empty a -> b
+    | a, b when path_is_empty b -> a
+    | a, b -> Union (a, b))
+  | Filter (a, phi) -> (
+    match (simplify_path a, simplify phi) with
+    | a, True -> a
+    | a, phi -> Filter (a, phi))
+  | Guard (phi, a) -> (
+    match (simplify phi, simplify_path a) with
+    | True, a -> a
+    | phi, a -> Guard (phi, a))
+  | Star a -> (
+    match simplify_path a with
+    | Axis Self -> Axis Self
+    | Star b -> Star b
+    | Axis Child -> Axis Descendant
+    | a -> Star a)

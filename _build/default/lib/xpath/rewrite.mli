@@ -1,0 +1,25 @@
+(** Semantics-preserving rewriting of formulas.
+
+    Used to normalize formulas before translation and to keep generated
+    formulas (Theorem-5/Prop-8 encodings, random formulas) free of dead
+    weight. Every rewrite preserves [[·]] on all data trees (property
+    tested against {!Semantics}). *)
+
+open Ast
+
+val nnf : node -> node
+(** Negation normal form: negations pushed down to labels, [⟨α⟩] and
+    [α~β] (which have no dual in the logic and keep their negation),
+    [¬¬ϕ] collapsed, De Morgan applied. *)
+
+val simplify : node -> node
+(** Bottom-up constant folding: boolean identities, filters/guards by
+    [⊤] dropped, empty paths (e.g. [α[⊥]]) propagated into [⟨α⟩ ↦ ⊥] and
+    [α~β ↦ ⊥], [ε∪α* ↦ α*], idempotent unions. The result is never
+    larger than the input. *)
+
+val simplify_path : path -> path
+(** The path-level part of {!simplify}. *)
+
+val path_is_empty : path -> bool
+(** Syntactic emptiness: [[α]] = ∅ on every tree. Sound, not complete. *)

@@ -1,0 +1,196 @@
+open Ast
+module Data_tree = Xpds_datatree.Data_tree
+module Path_ = Xpds_datatree.Path
+module ISet = Set.Make (Int)
+
+type env = {
+  tree : Data_tree.t;
+  n : int;
+  label : int array;  (** preorder id -> label intern id *)
+  data : int array;
+  children : int array array;
+  subtree_size : int array;
+      (** preorder ids make each subtree a contiguous interval
+          [x .. x + subtree_size x - 1] *)
+  position : Path_.t array;
+  by_position : (Path_.t, int) Hashtbl.t;
+  node_memo : (node, bool array) Hashtbl.t;
+  path_memo : (path, ISet.t array) Hashtbl.t;
+}
+
+let env_of_tree tree =
+  let n = Data_tree.size tree in
+  let label = Array.make n 0 in
+  let data = Array.make n 0 in
+  let children = Array.make n [||] in
+  let subtree_size = Array.make n 0 in
+  let position = Array.make n [] in
+  let by_position = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  let rec index pos t =
+    let id = !next in
+    incr next;
+    label.(id) <- Xpds_datatree.Label.to_int (Data_tree.label t);
+    data.(id) <- Data_tree.data t;
+    position.(id) <- pos;
+    Hashtbl.add by_position pos id;
+    let kid_ids =
+      List.mapi
+        (fun i c -> index (pos @ [ i ]) c)
+        (Data_tree.children t)
+    in
+    children.(id) <- Array.of_list kid_ids;
+    subtree_size.(id) <- !next - id;
+    id
+  in
+  let (_ : int) = index [] tree in
+  {
+    tree;
+    n;
+    label;
+    data;
+    children;
+    subtree_size;
+    position;
+    by_position;
+    node_memo = Hashtbl.create 64;
+    path_memo = Hashtbl.create 64;
+  }
+
+let tree_of_env env = env.tree
+
+let rec eval_node env phi : bool array =
+  match Hashtbl.find_opt env.node_memo phi with
+  | Some r -> r
+  | None ->
+    let r =
+      match phi with
+      | True -> Array.make env.n true
+      | False -> Array.make env.n false
+      | Lab l ->
+        let li = Xpds_datatree.Label.to_int l in
+        Array.map (fun x -> x = li) env.label
+      | Not a -> Array.map not (eval_node env a)
+      | And (a, b) ->
+        let ra = eval_node env a and rb = eval_node env b in
+        Array.init env.n (fun i -> ra.(i) && rb.(i))
+      | Or (a, b) ->
+        let ra = eval_node env a and rb = eval_node env b in
+        Array.init env.n (fun i -> ra.(i) || rb.(i))
+      | Exists p ->
+        let rp = eval_path env p in
+        Array.map (fun s -> not (ISet.is_empty s)) rp
+      | Cmp (p, op, q) ->
+        let rp = eval_path env p and rq = eval_path env q in
+        let datum_set s =
+          ISet.fold (fun y acc -> ISet.add env.data.(y) acc) s ISet.empty
+        in
+        Array.init env.n (fun x ->
+            let dp = datum_set rp.(x) and dq = datum_set rq.(x) in
+            match op with
+            | Eq -> not (ISet.is_empty (ISet.inter dp dq))
+            | Neq ->
+              (* ∃ d ∈ dp, d' ∈ dq with d ≠ d': both nonempty and not
+                 both the same singleton. *)
+              (not (ISet.is_empty dp))
+              && (not (ISet.is_empty dq))
+              && ISet.cardinal (ISet.union dp dq) >= 2)
+    in
+    Hashtbl.add env.node_memo phi r;
+    r
+
+and eval_path env p : ISet.t array =
+  match Hashtbl.find_opt env.path_memo p with
+  | Some r -> r
+  | None ->
+    let r =
+      match p with
+      | Axis Self -> Array.init env.n ISet.singleton
+      | Axis Child ->
+        Array.init env.n (fun x ->
+            Array.fold_left
+              (fun acc c -> ISet.add c acc)
+              ISet.empty env.children.(x))
+      | Axis Descendant ->
+        (* descendant-or-self: the contiguous preorder interval. *)
+        Array.init env.n (fun x ->
+            let rec ints i acc =
+              if i < x then acc else ints (i - 1) (ISet.add i acc)
+            in
+            ints (x + env.subtree_size.(x) - 1) ISet.empty)
+      | Seq (a, b) ->
+        let ra = eval_path env a and rb = eval_path env b in
+        Array.map
+          (fun s ->
+            ISet.fold (fun y acc -> ISet.union rb.(y) acc) s ISet.empty)
+          ra
+      | Union (a, b) ->
+        let ra = eval_path env a and rb = eval_path env b in
+        Array.init env.n (fun x -> ISet.union ra.(x) rb.(x))
+      | Filter (a, phi) ->
+        let ra = eval_path env a and rphi = eval_node env phi in
+        Array.map (fun s -> ISet.filter (fun y -> rphi.(y)) s) ra
+      | Guard (phi, a) ->
+        let ra = eval_path env a and rphi = eval_node env phi in
+        Array.init env.n (fun x -> if rphi.(x) then ra.(x) else ISet.empty)
+      | Star a ->
+        let ra = eval_path env a in
+        (* Reflexive-transitive closure from each start node by BFS. *)
+        Array.init env.n (fun x ->
+            let visited = ref (ISet.singleton x) in
+            let frontier = ref (ISet.singleton x) in
+            while not (ISet.is_empty !frontier) do
+              let next =
+                ISet.fold
+                  (fun y acc -> ISet.union ra.(y) acc)
+                  !frontier ISet.empty
+              in
+              let fresh = ISet.diff next !visited in
+              visited := ISet.union !visited fresh;
+              frontier := fresh
+            done;
+            !visited)
+    in
+    Hashtbl.add env.path_memo p r;
+    r
+
+let sat_nodes env phi =
+  let r = eval_node env phi in
+  let acc = ref [] in
+  for i = env.n - 1 downto 0 do
+    if r.(i) then acc := env.position.(i) :: !acc
+  done;
+  !acc
+
+let id_of_position env pos =
+  match Hashtbl.find_opt env.by_position pos with
+  | Some id -> id
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Semantics: %s is not a position of the tree"
+         (Path_.to_string pos))
+
+let holds_at env phi pos = (eval_node env phi).(id_of_position env pos)
+let holds_at_root env phi = (eval_node env phi).(0)
+
+let path_pairs env p =
+  let r = eval_path env p in
+  let acc = ref [] in
+  for x = env.n - 1 downto 0 do
+    ISet.iter
+      (fun y -> acc := (env.position.(x), env.position.(y)) :: !acc)
+      r.(x)
+  done;
+  List.rev !acc
+
+let data_image env p pos =
+  let r = eval_path env p in
+  let s = r.(id_of_position env pos) in
+  ISet.elements
+    (ISet.fold (fun y acc -> ISet.add env.data.(y) acc) s ISet.empty)
+
+let check tree phi = holds_at_root (env_of_tree tree) phi
+
+let check_somewhere tree phi =
+  let env = env_of_tree tree in
+  Array.exists (fun b -> b) (eval_node env phi)

@@ -1,0 +1,42 @@
+(** Reference denotational semantics of the logic over a data tree
+    (paper §2.2).
+
+    This evaluator computes [[α]] and [[ϕ]] literally from the defining
+    equations; it is deliberately simple and serves as the ground-truth
+    oracle for the automata pipeline (Theorem 3 tests), the emptiness
+    witnesses, and the brute-force model search. Evaluation of all
+    subformulas is memoized within an {!env}; complexity is polynomial in
+    [|T|·|η|] (with node sets materialized per position). *)
+
+open Ast
+
+type env
+(** A data tree indexed for evaluation, with memo tables. *)
+
+val env_of_tree : Xpds_datatree.Data_tree.t -> env
+val tree_of_env : env -> Xpds_datatree.Data_tree.t
+
+val sat_nodes : env -> node -> Xpds_datatree.Path.t list
+(** [[ϕ]]: the positions where [ϕ] holds, in preorder. *)
+
+val holds_at : env -> node -> Xpds_datatree.Path.t -> bool
+(** [x ∈ [[ϕ]]]. @raise Invalid_argument if [x] is not a position. *)
+
+val holds_at_root : env -> node -> bool
+
+val path_pairs :
+  env -> path -> (Xpds_datatree.Path.t * Xpds_datatree.Path.t) list
+(** [[α]] as a relation on positions. *)
+
+val data_image : env -> path -> Xpds_datatree.Path.t -> int list
+(** [{δ(y) | (x,y) ∈ [[α]]}] — the data values [α] can retrieve from [x];
+    what the comparisons [α~β] quantify over. *)
+
+(** {1 One-shot helpers} *)
+
+val check : Xpds_datatree.Data_tree.t -> node -> bool
+(** [ϕ] holds at the root of [T] (fresh environment). *)
+
+val check_somewhere : Xpds_datatree.Data_tree.t -> node -> bool
+(** [[ϕ]]_T ≠ ∅ — the satisfaction relation of Definition 1. For the
+    downward logic this is equivalent to [check T ⟨↓∗[ϕ]⟩]. *)

@@ -1,0 +1,1 @@
+test/gen_helpers.ml: List QCheck QCheck_alcotest Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+test/t_abstraction.ml: Alcotest Array Ext_state Gen_helpers Hashtbl List Merging Option QCheck Transition Xpds_automata Xpds_datatree Xpds_decision Xpds_xpath

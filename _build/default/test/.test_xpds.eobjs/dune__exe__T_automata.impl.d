@@ -1,0 +1,1 @@
+test/t_automata.ml: Alcotest Bip Bip_run Bitv Gen_helpers Int Interleaving List Nfa Pathfinder Printf QCheck Set Translate Xpds_automata Xpds_datatree Xpds_xpath

@@ -1,0 +1,1 @@
+test/t_datatree.ml: Alcotest Gen_helpers List Seq Xpds_datatree

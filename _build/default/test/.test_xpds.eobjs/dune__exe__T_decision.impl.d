@@ -1,0 +1,1 @@
+test/t_decision.ml: Alcotest Array Containment Ext_state Gen_helpers Int List Merging Model_search QCheck Sat Seq Transition Witness_min Xpds_automata Xpds_datatree Xpds_decision Xpds_xpath

@@ -1,0 +1,1 @@
+test/t_encodings.ml: Alcotest Array Attr_xpath Format Gen_helpers List Printf Qbf Qbf_encoding Tiling Tiling_game Xpds_automata Xpds_datatree Xpds_decision Xpds_encodings Xpds_xpath

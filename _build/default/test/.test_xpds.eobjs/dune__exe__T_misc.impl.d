@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Array Explain Format Fun Gen_helpers List Parser Pp QCheck Semantics String Xpds Xpds_automata Xpds_datatree Xpds_decision Xpds_xpath

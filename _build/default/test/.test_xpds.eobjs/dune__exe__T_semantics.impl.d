@@ -1,0 +1,1 @@
+test/t_semantics.ml: Alcotest Ast Build Fmt Fragment Gen_helpers List Metrics Parser QCheck Rewrite Semantics Xpds_datatree Xpds_xpath

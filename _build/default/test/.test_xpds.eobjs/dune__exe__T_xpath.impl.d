@@ -1,0 +1,1 @@
+test/t_xpath.ml: Alcotest Ast Build Fragment Gen_helpers Generator List Metrics Parser Pp QCheck Random Xpds_xpath

@@ -1,0 +1,1 @@
+test/test_xpds.ml: Alcotest T_abstraction T_automata T_datatree T_decision T_encodings T_misc T_semantics T_xpath

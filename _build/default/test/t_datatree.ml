@@ -1,0 +1,144 @@
+(* Tests for the data-tree substrate. *)
+
+module Data_tree = Xpds_datatree.Data_tree
+module Tree_gen = Xpds_datatree.Tree_gen
+module Label = Xpds_datatree.Label
+module Path = Xpds_datatree.Path
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_label_interning () =
+  let a = Label.of_string "intern_a" in
+  let a' = Label.of_string "intern_a" in
+  let b = Label.of_string "intern_b" in
+  check "same string, same label" true (Label.equal a a');
+  check "distinct strings, distinct labels" false (Label.equal a b);
+  Alcotest.(check string) "round trip" "intern_a" (Label.to_string a)
+
+let test_example_fig1 () =
+  let t = Data_tree.example_fig1 () in
+  check_int "size" 9 (Data_tree.size t);
+  check_int "height" 4 (Data_tree.height t);
+  check_int "branching" 3 (Data_tree.branching t);
+  Alcotest.(check (list int))
+    "data values" [ 1; 2; 3; 5 ] (Data_tree.data_values t);
+  check_int "positions" 9 (List.length (Data_tree.positions t))
+
+let test_subtree () =
+  let t = Data_tree.example_fig1 () in
+  (match Data_tree.subtree t [ 0; 1 ] with
+  | Some s ->
+    check_int "subtree size" 4 (Data_tree.size s);
+    check_int "subtree datum" 1 (Data_tree.data s)
+  | None -> Alcotest.fail "position 0.1 should exist");
+  check "missing position" true (Data_tree.subtree t [ 3 ] = None);
+  check "root subtree" true (Data_tree.subtree_exn t [] == t)
+
+let test_positions_prefix_closed () =
+  let t = Data_tree.example_fig1 () in
+  let ps = Data_tree.positions t in
+  List.iter
+    (fun p ->
+      match Path.parent p with
+      | None -> check "only root has no parent" true (p = [])
+      | Some q -> check "parent is a position" true (List.mem q ps))
+    ps
+
+let test_canonicalize () =
+  let t = Data_tree.node "a" 42 [ Data_tree.node "b" 7 []; Data_tree.node "b" 42 [] ] in
+  let c = Data_tree.canonicalize_data t in
+  Alcotest.(check (list int)) "canonical values" [ 0; 1 ] (Data_tree.data_values c);
+  check_int "root" 0 (Data_tree.data c);
+  check "idempotent" true
+    (Data_tree.equal (Data_tree.canonicalize_data c) c)
+
+let test_map_data () =
+  let t = Data_tree.example_fig1 () in
+  let t' = Data_tree.map_data (fun d -> d + 100) t in
+  Alcotest.(check (list int))
+    "shifted" [ 101; 102; 103; 105 ] (Data_tree.data_values t');
+  check "structure preserved" true
+    (Data_tree.equal t (Data_tree.map_data (fun d -> d - 100) t'))
+
+let test_shared_data () =
+  let t1 = Data_tree.node "a" 1 [ Data_tree.node "b" 2 [] ] in
+  let t2 = Data_tree.node "a" 2 [ Data_tree.node "b" 3 [] ] in
+  Alcotest.(check (list int)) "shared" [ 2 ] (Data_tree.shared_data t1 t2)
+
+let labels_ab = List.map Label.of_string [ "a"; "b" ]
+
+let test_enumerate_leaves () =
+  (* Height 1 trees: one node, 2 labels, canonical datum 0 only. *)
+  check_int "leaves" 2
+    (Tree_gen.count ~labels:labels_ab ~max_height:1 ~max_width:3
+       ~max_data:3)
+
+let test_enumerate_h2 () =
+  (* Height ≤ 2, width ≤ 1, ≤ 2 data values, 1 label:
+     - single leaf (datum 0): 1
+     - root + one child: child datum ∈ {0 (reuse), 1 (fresh)}: 2 *)
+  check_int "h2 w1" 3
+    (Tree_gen.count
+       ~labels:[ Label.of_string "a" ]
+       ~max_height:2 ~max_width:1 ~max_data:2)
+
+let test_enumerate_canonical_data () =
+  (* Every enumerated tree must equal its own canonical form. *)
+  Tree_gen.enumerate ~labels:labels_ab ~max_height:3 ~max_width:2
+    ~max_data:2
+  |> Seq.iter (fun t ->
+         check "canonical" true
+           (Data_tree.equal t (Data_tree.canonicalize_data t)))
+
+let test_enumerate_distinct () =
+  let trees =
+    List.of_seq
+      (Tree_gen.enumerate ~labels:labels_ab ~max_height:2 ~max_width:2
+         ~max_data:2)
+  in
+  let n = List.length trees in
+  let distinct = List.sort_uniq Data_tree.compare trees in
+  check_int "no duplicates" n (List.length distinct)
+
+let prop_random_within_bounds =
+  Gen_helpers.qtest "random trees respect bounds"
+    (Gen_helpers.arb_tree ~max_height:4 ~max_width:3 ~max_data:3 ())
+    (fun t ->
+      Data_tree.height t <= 4
+      && Data_tree.branching t <= 3
+      && List.for_all (fun d -> d >= 0 && d < 3) (Data_tree.data_values t))
+
+let prop_size_vs_positions =
+  Gen_helpers.qtest "size = number of positions" (Gen_helpers.arb_tree ())
+    (fun t -> Data_tree.size t = List.length (Data_tree.positions t))
+
+let prop_canonical_bijective =
+  Gen_helpers.qtest "canonicalization is a data bijection"
+    (Gen_helpers.arb_tree ())
+    (fun t ->
+      let c = Data_tree.canonicalize_data t in
+      Data_tree.size c = Data_tree.size t
+      && List.length (Data_tree.data_values c)
+         = List.length (Data_tree.data_values t))
+
+let suite =
+  ( "datatree",
+    [ Alcotest.test_case "label interning" `Quick test_label_interning;
+      Alcotest.test_case "example fig1" `Quick test_example_fig1;
+      Alcotest.test_case "subtree access" `Quick test_subtree;
+      Alcotest.test_case "positions prefix-closed" `Quick
+        test_positions_prefix_closed;
+      Alcotest.test_case "canonicalize data" `Quick test_canonicalize;
+      Alcotest.test_case "map data" `Quick test_map_data;
+      Alcotest.test_case "shared data" `Quick test_shared_data;
+      Alcotest.test_case "enumerate leaves" `Quick test_enumerate_leaves;
+      Alcotest.test_case "enumerate height 2" `Quick test_enumerate_h2;
+      Alcotest.test_case "enumeration is canonical" `Quick
+        test_enumerate_canonical_data;
+      Alcotest.test_case "enumeration has no duplicates" `Quick
+        test_enumerate_distinct;
+      prop_random_within_bounds;
+      prop_size_vs_positions;
+      prop_canonical_bijective
+    ] )

@@ -1,0 +1,354 @@
+(* Tests for the decision procedures: merging enumeration, extended
+   states, the emptiness fixpoint (vs the brute-force oracle), witnesses,
+   and containment. *)
+
+open Xpds_decision
+module Ast = Xpds_xpath.Ast
+module Semantics = Xpds_xpath.Semantics
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+module Bitv = Xpds_automata.Bitv
+
+let parse s = Xpds_xpath.Parser.node_of_string_exn s
+
+(* --- Merging --- *)
+
+let test_merging_counts () =
+  (* No items: only the root-singleton partition. *)
+  Alcotest.(check int) "no items" 1 (Merging.count []);
+  (* One item: in the root class or alone. *)
+  Alcotest.(check int) "one item" 2 (Merging.count [ (0, 0) ]);
+  (* Two items from the same child can never be merged together:
+     partitions of {r, a, b} with a,b separated: r|a|b, ra|b, rb|a. *)
+  Alcotest.(check int) "same child" 3
+    (Merging.count [ (0, 0); (0, 1) ]);
+  (* Two items from different children: Bell(3) = 5 partitions, none
+     excluded. *)
+  Alcotest.(check int) "different children" 5
+    (Merging.count [ (0, 0); (1, 0) ])
+
+let test_merging_budget () =
+  let items = [ (0, 0); (1, 0); (2, 0) ] in
+  (* Budget 0 forbids any identification: only all-singletons. *)
+  Alcotest.(check int) "budget 0" 1 (Merging.count ~budget:0 items);
+  (* Budget 1 additionally allows exactly one item joining root. *)
+  Alcotest.(check int) "budget 1" 4 (Merging.count ~budget:1 items);
+  (* Unbounded = Bell(4) = 15. *)
+  Alcotest.(check int) "unbounded" 15 (Merging.count items)
+
+let test_merging_classes_wellformed () =
+  Merging.enumerate [ (0, 0); (1, 0); (1, 1); (2, 0) ]
+  |> Seq.iter (fun classes ->
+         (* Exactly one root class, first. *)
+         (match classes with
+         | first :: rest ->
+           Alcotest.(check bool) "root first" true first.Merging.has_root;
+           List.iter
+             (fun (k : Merging.klass) ->
+               Alcotest.(check bool) "single root" false k.Merging.has_root)
+             rest
+         | [] -> Alcotest.fail "no classes");
+         (* Same-child constraint. *)
+         List.iter
+           (fun (k : Merging.klass) ->
+             let children = List.map fst k.Merging.members in
+             Alcotest.(check int) "one value per child per class"
+               (List.length children)
+               (List.length (List.sort_uniq Int.compare children)))
+           classes)
+
+(* --- leaf transitions --- *)
+
+let leaf_states formula label =
+  let m = Xpds_automata.Translate.bip_of_node formula in
+  let ctx = Transition.make_ctx m in
+  List.map (fun r -> r.Transition.state) (Transition.leaf ctx (Label.of_string label))
+
+let test_leaf_state () =
+  (* For the formula "a", a leaf labelled a: the root state must contain
+     q_a, describe exactly one value (the root's datum), and k_I must
+     uniquely retrieve it. *)
+  let phi = parse "a" in
+  match leaf_states phi "a" with
+  | [ c ] ->
+    Alcotest.(check int) "one described value" 1
+      (Array.length c.Ext_state.values);
+    let m = Xpds_automata.Translate.bip_of_node phi in
+    let ki = m.Xpds_automata.Bip.pf.Xpds_automata.Pathfinder.initial in
+    Alcotest.(check bool) "kI reaches the root datum" true
+      (Bitv.mem ki c.Ext_state.values.(0));
+    Alcotest.(check int) "kI unique" 0 c.Ext_state.unique.(ki);
+    Alcotest.(check bool) "no many" true (Bitv.is_empty c.Ext_state.many);
+    Alcotest.(check bool) "diagonal eq for kI" true
+      (Ext_state.nonzero c ki);
+    Alcotest.(check bool) "no neq on a single datum" true
+      (Bitv.is_empty c.Ext_state.neq)
+  | l -> Alcotest.failf "expected 1 leaf state, got %d" (List.length l)
+
+(* --- solver vs known answers --- *)
+
+let verdict_of s =
+  match Sat.decide_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let is_sat r =
+  match r.Sat.verdict with Sat.Sat _ -> true | _ -> false
+
+let is_unsat r =
+  match r.Sat.verdict with
+  | Sat.Unsat | Sat.Unsat_bounded _ -> true
+  | _ -> false
+
+let test_known_sat () =
+  List.iter
+    (fun s ->
+      let r = verdict_of s in
+      Alcotest.(check bool) (s ^ " sat") true (is_sat r);
+      Alcotest.(check bool)
+        (s ^ " witness verified")
+        true
+        (r.Sat.witness_verified = Some true))
+    [ "a";
+      "<down[a]> & <down[b]> & <down[c]>";
+      "down != down";
+      "eps = desc[a] & eps != desc[a]";
+      "<desc[b & down[b] != down[b]]>";
+      "eps = down/down & ~(eps = down)";
+      "desc[a] = desc[b] & desc[a] != desc[b]";
+      "<(down[a]/down[b])*[b]> & ~<down[b]>";
+      (* needs an a-b chain *)
+      "eps = down/down/down & ~(eps = down) & ~(eps = down/down)"
+    ]
+
+let test_known_unsat () =
+  List.iter
+    (fun s ->
+      let r = verdict_of s in
+      Alcotest.(check bool) (s ^ " unsat") true (is_unsat r))
+    [ "a & ~a";
+      "a & b";
+      "~<desc[a]> & <desc[a]>";
+      "eps != eps";
+      "down[a] = down[b] & ~<down>";
+      "<down[a]> & ~<down>";
+      "eps = desc[a & ~a]"
+    ]
+
+(* The paper's running example is satisfiable, with a machine-checked
+   witness. *)
+let test_paper_formula_sat () =
+  let r = verdict_of "<desc[b & down[b] != down[b]]>" in
+  match r.Sat.verdict with
+  | Sat.Sat w ->
+    Alcotest.(check bool) "semantics replay" true
+      (Semantics.check_somewhere w
+         (parse "<desc[b & down[b] != down[b]]>"))
+  | _ -> Alcotest.fail "expected SAT"
+
+(* --- the central correctness property: solver vs brute force --- *)
+
+let gen_labels = List.map Label.of_string Gen_helpers.default_labels
+
+let prop_solver_vs_model_search =
+  Gen_helpers.qtest ~count:60 "emptiness agrees with bounded model search"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (fun phi ->
+      let r =
+        Sat.decide ~max_states:2_000 ~max_transitions:30_000
+          ~extra_labels:gen_labels phi
+      in
+      let oracle =
+        Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
+          ~max_trees:60_000
+          (Ast.Exists (Ast.Filter (Ast.Axis Ast.Descendant, phi)))
+      in
+      match (r.Sat.verdict, oracle) with
+      | Sat.Sat _, _ ->
+        (* The witness must replay — soundness. *)
+        r.Sat.witness_verified = Some true
+      | (Sat.Unsat | Sat.Unsat_bounded _), Model_search.Sat t ->
+        QCheck.Test.fail_reportf
+          "solver says UNSAT but %s is a model"
+          (Data_tree.to_string t)
+      | ( (Sat.Unsat | Sat.Unsat_bounded _),
+          ( Model_search.Unsat_within_bounds _
+          | Model_search.Budget_exhausted _ ) ) ->
+        true
+      | Sat.Unknown _, _ -> true)
+
+(* Same property on the regXPath fragment (Kleene stars). *)
+let prop_solver_vs_model_search_star =
+  Gen_helpers.qtest ~count:40 "emptiness agrees with oracle (regXPath)"
+    (Gen_helpers.arb_node_cfg Gen_helpers.full_cfg)
+    (fun phi ->
+      let r =
+        Sat.decide ~max_states:2_000 ~max_transitions:30_000
+          ~extra_labels:gen_labels phi
+      in
+      let oracle =
+        Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
+          ~max_trees:60_000
+          (Ast.Exists (Ast.Filter (Ast.Axis Ast.Descendant, phi)))
+      in
+      match (r.Sat.verdict, oracle) with
+      | Sat.Sat _, _ -> r.Sat.witness_verified = Some true
+      | (Sat.Unsat | Sat.Unsat_bounded _), Model_search.Sat t ->
+        QCheck.Test.fail_reportf "solver UNSAT but %s is a model"
+          (Data_tree.to_string t)
+      | _ -> true)
+
+(* --- small-model property (paper §6): witnesses have polynomial
+   branching and bounded shared values between disjoint subtrees --- *)
+
+let prop_witness_shape =
+  Gen_helpers.qtest ~count:40 "witnesses respect the small-model shape"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (fun phi ->
+      match
+        (Sat.decide ~max_states:2_000 ~max_transitions:30_000
+           ~extra_labels:gen_labels phi)
+          .Sat.verdict
+      with
+      | Sat.Sat w ->
+        (* Branching bounded by the width config (3 by default). *)
+        Data_tree.branching w <= 3
+      | _ -> true)
+
+(* --- the data-free fast path agrees with the general engine --- *)
+
+let prop_fast_path_consistent =
+  Gen_helpers.qtest ~count:60 "data-free fast path = general engine"
+    (Gen_helpers.arb_node_cfg Gen_helpers.data_free_cfg)
+    (fun phi ->
+      (* [phi] runs on the fast path; appending a vacuous off-diagonal
+         data atom forces the general engine without changing the
+         semantics. *)
+      let phi' =
+        Ast.Or (phi, Ast.Cmp (Ast.Axis Ast.Self, Ast.Neq, Ast.Axis Ast.Self))
+      in
+      let budgeted f =
+        Sat.decide ~max_states:2_000 ~max_transitions:30_000
+          ~extra_labels:gen_labels f
+      in
+      let fast = budgeted phi and general = budgeted phi' in
+      let b = function
+        | Sat.Sat _ -> Some true
+        | Sat.Unsat | Sat.Unsat_bounded _ -> Some false
+        | Sat.Unknown _ -> None
+      in
+      match (b fast.Sat.verdict, b general.Sat.verdict) with
+      | Some x, Some y -> x = y
+      | _ -> true)
+
+(* --- witness minimization --- *)
+
+let test_witness_min () =
+  let t =
+    Data_tree.of_string_exn "a:0(b:1(c:2),b:3,x:4(y:5))"
+  in
+  let phi = parse "<down[b]>" in
+  let m = Witness_min.minimize t phi in
+  (* Only the root and one b-child should survive. *)
+  Alcotest.(check int) "two nodes" 2 (Data_tree.size m);
+  Alcotest.(check bool) "still satisfies" true
+    (Semantics.check m phi)
+
+let prop_witness_min_sound =
+  Gen_helpers.qtest ~count:120 "minimization preserves satisfaction"
+    (QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()))
+    (fun (phi, t) ->
+      QCheck.assume (Semantics.check t phi);
+      let m = Witness_min.minimize t phi in
+      Semantics.check m phi && Data_tree.size m <= Data_tree.size t)
+
+let prop_witness_min_local_minimum =
+  Gen_helpers.qtest ~count:60 "minimized witnesses are deletion-minimal"
+    (QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()))
+    (fun (phi, t) ->
+      QCheck.assume (Semantics.check t phi);
+      let m = Witness_min.minimize t phi in
+      (* no single subtree can still be deleted *)
+      List.for_all
+        (fun p ->
+          p = []
+          ||
+          match
+            (* delete p and recheck *)
+            let rec del tree = function
+              | [] -> None
+              | i :: rest ->
+                let cs = Data_tree.children tree in
+                Some
+                  (Data_tree.make (Data_tree.label tree)
+                     (Data_tree.data tree)
+                     (List.concat
+                        (List.mapi
+                           (fun j c ->
+                             if j <> i then [ c ]
+                             else
+                               match del c rest with
+                               | Some c' -> [ c' ]
+                               | None -> [])
+                           cs)))
+            in
+            del m p
+          with
+          | Some m' -> not (Semantics.check m' phi)
+          | None -> true)
+        (Data_tree.positions m))
+
+(* --- containment --- *)
+
+let test_containment () =
+  let phi = parse "<down[a]>" in
+  let psi = parse "<down>" in
+  (match Containment.contained phi psi with
+  | Containment.Holds -> ()
+  | _ -> Alcotest.fail "<down[a]> should be contained in <down>");
+  (match Containment.contained psi phi with
+  | Containment.Fails w ->
+    (* The counterexample has a node with a child but no a-child. *)
+    Alcotest.(check bool) "counterexample valid" true
+      (Semantics.check_somewhere w
+         (Ast.And (psi, Xpds_xpath.Build.not_ phi)))
+  | _ -> Alcotest.fail "<down> contained in <down[a]> should fail");
+  match
+    Containment.equivalent (parse "<desc[a]>") (parse "<desc/desc[a]>")
+  with
+  | Containment.Holds, Containment.Holds -> ()
+  | _ -> Alcotest.fail "desc and desc/desc should be equivalent"
+
+let test_data_containment () =
+  (* ↓[a] ≠ ↓[a] implies ⟨↓[a]⟩ (two witnesses imply one). *)
+  let phi = parse "down[a] != down[a]" in
+  let psi = parse "<down[a]>" in
+  (match Containment.contained phi psi with
+  | Containment.Holds -> ()
+  | _ -> Alcotest.fail "≠ test should imply existence");
+  (* but not conversely *)
+  match Containment.contained psi phi with
+  | Containment.Fails _ -> ()
+  | _ -> Alcotest.fail "existence should not imply ≠"
+
+let suite =
+  ( "decision",
+    [ Alcotest.test_case "merging counts" `Quick test_merging_counts;
+      Alcotest.test_case "merging budget" `Quick test_merging_budget;
+      Alcotest.test_case "merging well-formed" `Quick
+        test_merging_classes_wellformed;
+      Alcotest.test_case "leaf extended state" `Quick test_leaf_state;
+      Alcotest.test_case "known sat formulas" `Quick test_known_sat;
+      Alcotest.test_case "known unsat formulas" `Quick test_known_unsat;
+      Alcotest.test_case "paper formula" `Quick test_paper_formula_sat;
+      prop_solver_vs_model_search;
+      prop_solver_vs_model_search_star;
+      prop_witness_shape;
+      prop_fast_path_consistent;
+      Alcotest.test_case "witness minimization" `Quick test_witness_min;
+      prop_witness_min_sound;
+      prop_witness_min_local_minimum;
+      Alcotest.test_case "containment" `Quick test_containment;
+      Alcotest.test_case "containment with data" `Quick
+        test_data_containment
+    ] )

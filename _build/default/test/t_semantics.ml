@@ -1,0 +1,204 @@
+(* Tests for the reference semantics and the rewriting passes. *)
+
+open Xpds_xpath
+module Data_tree = Xpds_datatree.Data_tree
+module B = Build
+
+let parse s = Parser.node_of_string_exn s
+let parse_p s = Parser.path_of_string_exn s
+
+let paths =
+  Alcotest.testable
+    (Fmt.Dump.list Xpds_datatree.Path.pp)
+    (List.equal Xpds_datatree.Path.equal)
+
+let test_example1_evaluation () =
+  (* Paper §2.2: on the Example-1 model,
+     [[⟨↓∗[b ∧ ↓[b] ≠ ↓[b]]⟩]] = {ε, 1, 12} (1-based); 0-based:
+     {ε, 0, 0.1}. *)
+  let t = Data_tree.example_fig1 () in
+  let env = Semantics.env_of_tree t in
+  let phi = parse "<desc[b & down[b] != down[b]]>" in
+  Alcotest.check paths "paper evaluation"
+    [ []; [ 0 ]; [ 0; 1 ] ]
+    (Semantics.sat_nodes env phi)
+
+let test_axes () =
+  let t = Data_tree.node "a" 0 [ Data_tree.node "b" 1 [ Data_tree.node "c" 2 [] ] ] in
+  let env = Semantics.env_of_tree t in
+  Alcotest.(check bool) "child of root" true
+    (List.sort compare (Semantics.path_pairs env B.down)
+    = [ ([], [ 0 ]); ([ 0 ], [ 0; 0 ]) ]);
+  Alcotest.(check int) "desc pairs" 6
+    (List.length (Semantics.path_pairs env B.desc));
+  Alcotest.(check bool) "eps identity" true
+    (List.for_all (fun (x, y) -> x = y) (Semantics.path_pairs env B.eps))
+
+let test_data_semantics () =
+  (* ⟨a,1⟩( ⟨b,1⟩, ⟨b,2⟩ ) *)
+  let t =
+    Data_tree.node "a" 1 [ Data_tree.node "b" 1 []; Data_tree.node "b" 2 [] ]
+  in
+  let holds s = Semantics.check t (parse s) in
+  Alcotest.(check bool) "eq via children" true (holds "eps = down[b]");
+  Alcotest.(check bool) "neq via children" true (holds "down = down");
+  Alcotest.(check bool) "neq needs two values" true (holds "down != down");
+  Alcotest.(check bool) "eq same singleton" false (holds "eps != eps");
+  Alcotest.(check bool) "neq root vs child" true (holds "eps != down")
+
+let test_star_semantics () =
+  (* (ab)+ chains: a-b alternation, checked with the Kleene star. *)
+  let t =
+    Data_tree.node "a" 0
+      [ Data_tree.node "b" 1 [ Data_tree.node "a" 2 [ Data_tree.node "b" 3 [] ] ] ]
+  in
+  let phi = parse "<(down[a]/down[b])*[b]>" in
+  (* From the root (labelled a): one (down[a]... ) step impossible —
+     first step needs a child labelled a. *)
+  Alcotest.(check bool) "no ab-step from root" false
+    (Semantics.check t phi);
+  let ab = parse "<(down[b]/down[a])*/down[b]>" in
+  Alcotest.(check bool) "b at odd depth" true (Semantics.check t ab);
+  (* Star is reflexive: ⟨α*⟩ always holds. *)
+  Alcotest.(check bool) "star reflexive" true
+    (Semantics.check t (parse "<(down[c])*>"))
+
+let test_data_image () =
+  let t = Data_tree.example_fig1 () in
+  let env = Semantics.env_of_tree t in
+  Alcotest.(check (list int))
+    "values of all b-descendants" [ 1; 2; 3; 5 ]
+    (Semantics.data_image env (parse_p "desc[b]") []);
+  Alcotest.(check (list int))
+    "values of a-descendants" [ 1 ]
+    (Semantics.data_image env (parse_p "desc[a]") [])
+
+let test_check_somewhere () =
+  let t = Data_tree.node "a" 0 [ Data_tree.node "b" 1 [] ] in
+  Alcotest.(check bool) "b holds somewhere" true
+    (Semantics.check_somewhere t (parse "b"));
+  Alcotest.(check bool) "b fails at root" false
+    (Semantics.check t (parse "b"));
+  Alcotest.(check bool) "equivalent to desc wrapping" true
+    (Semantics.check t (parse "<desc[b]>"))
+
+(* --- properties --- *)
+
+let arb_pair =
+  QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ())
+
+let prop_nnf_preserves =
+  Gen_helpers.qtest ~count:300 "nnf preserves semantics" arb_pair
+    (fun (phi, t) ->
+      Semantics.check t phi = Semantics.check t (Rewrite.nnf phi))
+
+let prop_simplify_preserves =
+  Gen_helpers.qtest ~count:300 "simplify preserves semantics" arb_pair
+    (fun (phi, t) ->
+      Semantics.check t phi = Semantics.check t (Rewrite.simplify phi))
+
+let prop_simplify_idempotent =
+  Gen_helpers.qtest ~count:300 "simplify is idempotent" Gen_helpers.arb_node
+    (fun phi ->
+      let once = Rewrite.simplify phi in
+      Ast.equal_node once (Rewrite.simplify once))
+
+let prop_nnf_is_nnf =
+  Gen_helpers.qtest ~count:300 "nnf leaves negation only on atoms"
+    Gen_helpers.arb_node
+    (fun phi ->
+      let rec check_node = function
+        | Ast.True | Ast.False | Ast.Lab _ -> true
+        | Ast.Not (Ast.Lab _ | Ast.Exists _ | Ast.Cmp _) -> true
+        | Ast.Not _ -> false
+        | Ast.And (a, b) | Ast.Or (a, b) -> check_node a && check_node b
+        | Ast.Exists p -> check_path p
+        | Ast.Cmp (p, _, q) -> check_path p && check_path q
+      and check_path = function
+        | Ast.Axis _ -> true
+        | Ast.Seq (a, b) | Ast.Union (a, b) -> check_path a && check_path b
+        | Ast.Filter (a, n) -> check_path a && check_node n
+        | Ast.Guard (n, a) -> check_node n && check_path a
+        | Ast.Star a -> check_path a
+      in
+      (* Negations of ⟨α⟩ and α~β remain (no dual); inner formulas are
+         still normalized. *)
+      let rec strip = function
+        | Ast.Not ((Ast.Exists _ | Ast.Cmp _) as inner) -> strip inner
+        | n -> n
+      in
+      check_node (strip (Rewrite.nnf phi)))
+
+let prop_simplify_shrinks =
+  Gen_helpers.qtest ~count:300 "simplify never grows" Gen_helpers.arb_node
+    (fun phi ->
+      Metrics.size_node (Rewrite.simplify phi) <= Metrics.size_node phi)
+
+let prop_desc_equals_star_down =
+  Gen_helpers.qtest ~count:200 "desc = (down)* semantically"
+    (Gen_helpers.arb_tree ())
+    (fun t ->
+      let with_desc = parse "<desc[c]>" in
+      let with_star = parse "<down*[c]>" in
+      Semantics.check t with_desc = Semantics.check t with_star)
+
+let prop_somewhere_equals_desc =
+  Gen_helpers.qtest ~count:200 "[[phi]] nonempty iff <desc[phi]> at root"
+    arb_pair
+    (fun (phi, t) ->
+      Semantics.check_somewhere t phi
+      = Semantics.check t (Ast.Exists (Ast.Filter (B.desc, phi))))
+
+let prop_data_bijection_invariance =
+  Gen_helpers.qtest ~count:200 "semantics invariant under data bijection"
+    arb_pair
+    (fun (phi, t) ->
+      (* x ↦ 2x+5 is injective on the values occurring in t. *)
+      let t' = Data_tree.map_data (fun d -> (2 * d) + 5) t in
+      Semantics.check t phi = Semantics.check t' phi)
+
+(* Appendix D's key observation: for ε-free formulas, ⟨p⟩/p~p' truths only
+   shrink when moving from a node to a descendant — equivalently, any
+   ε-free node expression of the form ⟨α⟩ true at a node is true at all
+   its ancestors. *)
+let prop_epsfree_antitone =
+  let arb = QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()) in
+  Gen_helpers.qtest ~count:300 "eps-free path formulas monotone to ancestors"
+    arb
+    (fun (phi, t) ->
+      (* For every ε-free path subformula α occurring anywhere in phi:
+         if ⟨α⟩ holds at x it holds at every ancestor of x (every such α
+         starts with ↓∗). *)
+      let env = Semantics.env_of_tree t in
+      List.for_all
+        (fun alpha ->
+          let sat = Semantics.sat_nodes env (Ast.Exists alpha) in
+          List.for_all
+            (fun x ->
+              match Xpds_datatree.Path.parent x with
+              | None -> true
+              | Some parent -> List.mem parent sat)
+            sat)
+        (List.filter
+           (fun alpha ->
+             (Fragment.features (Ast.Exists alpha)).eps_free)
+           (Ast.path_subformulas phi)))
+
+let suite =
+  ( "semantics",
+    [ Alcotest.test_case "paper example 1" `Quick test_example1_evaluation;
+      Alcotest.test_case "axes" `Quick test_axes;
+      Alcotest.test_case "data tests" `Quick test_data_semantics;
+      Alcotest.test_case "kleene star" `Quick test_star_semantics;
+      Alcotest.test_case "data image" `Quick test_data_image;
+      Alcotest.test_case "check somewhere" `Quick test_check_somewhere;
+      prop_nnf_preserves;
+      prop_simplify_preserves;
+      prop_simplify_idempotent;
+      prop_nnf_is_nnf;
+      prop_simplify_shrinks;
+      prop_desc_equals_star_down;
+      prop_somewhere_equals_desc;
+      prop_data_bijection_invariance;
+      prop_epsfree_antitone
+    ] )

@@ -1,0 +1,233 @@
+(* Tests for the XPath AST, parser, printer, metrics, fragments. *)
+
+open Xpds_xpath
+open Ast
+module B = Build
+
+let parse s =
+  match Parser.node_of_string s with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_path s =
+  match Parser.path_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse path %S: %s" s e
+
+let check_node msg expected actual =
+  Alcotest.(check string) msg (Pp.node_to_string expected)
+    (Pp.node_to_string actual);
+  Alcotest.(check bool) (msg ^ " (structural)") true
+    (Ast.equal_node expected actual)
+
+let test_parse_basics () =
+  check_node "label" (B.lab "a") (parse "a");
+  check_node "true" B.tt (parse "true");
+  check_node "not" (Not (B.lab "a")) (parse "~a");
+  check_node "bang alias" (Not (B.lab "a")) (parse "!a");
+  check_node "and" (And (B.lab "a", B.lab "b")) (parse "a & b");
+  check_node "or" (Or (B.lab "a", B.lab "b")) (parse "a | b");
+  check_node "precedence"
+    (Or (And (B.lab "a", B.lab "b"), B.lab "c"))
+    (parse "a & b | c")
+
+let test_parse_paths () =
+  let p = parse "<desc[b & down[b] != down[b]]>" in
+  let expected =
+    Exists
+      (Filter
+         ( B.desc,
+           And
+             ( B.lab "b",
+               Cmp (Filter (B.down, B.lab "b"), Neq,
+                    Filter (B.down, B.lab "b")) ) ))
+  in
+  check_node "paper example formula" expected p;
+  check_node "comparison with eps"
+    (Cmp (B.eps, Eq, Filter (B.desc, B.lab "a")))
+    (parse "eps = desc[a]");
+  check_node "guard"
+    (Exists (Guard (B.lab "a", B.down)))
+    (parse "<[a]down>");
+  check_node "star"
+    (Exists (Star (Seq (Filter (B.down, B.lab "a"),
+                        Filter (B.down, B.lab "b")))))
+    (parse "<(down[a]/down[b])*>")
+
+let test_parse_union_in_cmp () =
+  (* Top-level unions in comparison operands need parentheses. *)
+  check_node "parenthesized union operand"
+    (Cmp (Union (B.down, B.desc), Eq, B.eps))
+    (parse "(down|desc) = eps")
+
+let test_parse_paren_backtracking () =
+  check_node "parenthesized node" (And (B.lab "a", B.lab "b"))
+    (parse "(a & b)");
+  check_node "parenthesized path comparison"
+    (Cmp (Seq (B.down, B.down), Eq, B.eps))
+    (parse "(down/down) = eps")
+
+let test_parse_quoted_label () =
+  check_node "quoted" (B.lab "weird label!") (parse "\"weird label!\"")
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.node_of_string s with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" s
+    | Error _ -> ()
+  in
+  fails "";
+  fails "a &";
+  fails "<down";
+  fails "down =";
+  fails "a b";
+  fails "(a";
+  fails "desc[";
+  fails "~"
+
+let test_parse_formula_path () =
+  match Parser.formula_of_string "desc[a]" with
+  | Ok (Path p) ->
+    Alcotest.(check bool) "path formula" true
+      (Ast.equal_path p (Filter (B.desc, B.lab "a")))
+  | Ok (Node _) -> Alcotest.fail "expected a path formula"
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let prop_path_roundtrip =
+  let arb_path =
+    QCheck.make
+      ~print:Pp.path_to_string
+      (fun st ->
+        Xpds_xpath.Generator.path
+          ~config:Xpds_xpath.Generator.default st)
+  in
+  Gen_helpers.qtest ~count:500 "path parse . print = id" arb_path
+    (fun p ->
+      let printed = Pp.path_to_string p in
+      match Parser.path_of_string printed with
+      | Ok p' -> Ast.equal_path p p'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let prop_roundtrip =
+  Gen_helpers.qtest ~count:500 "parse . print = id" Gen_helpers.arb_node
+    (fun n ->
+      let printed = Pp.node_to_string n in
+      match Parser.node_of_string printed with
+      | Ok n' -> Ast.equal_node n n'
+      | Error e -> QCheck.Test.fail_reportf "%s on %s" e printed)
+
+let test_metrics () =
+  let phi = parse "<down/down[a & <down>]> & down = down/down" in
+  Alcotest.(check int) "down depth" 3 (Metrics.down_depth phi);
+  Alcotest.(check int) "data tests" 1 (Metrics.data_tests phi);
+  Alcotest.(check int) "star height" 0 (Metrics.star_height phi);
+  let psi = parse "<(down[a])*/desc>" in
+  Alcotest.(check int) "star height nested" 1 (Metrics.star_height psi);
+  Alcotest.(check bool) "unbounded depth" true
+    (Metrics.down_depth psi = max_int)
+
+let test_subformulas () =
+  let phi = parse "a & (a & <down[a]>)" in
+  (* node subformulas: a, a & <down[a]>, <down[a]>, whole — "a" counted
+     once. *)
+  Alcotest.(check int) "node subformulas" 4
+    (List.length (Ast.node_subformulas phi));
+  Alcotest.(check int) "path subformulas" 2
+    (List.length (Ast.path_subformulas phi))
+
+let classify s = Fragment.classify (parse s)
+
+let test_fragments () =
+  let check_frag msg s expected =
+    Alcotest.(check string) msg
+      (Fragment.name expected)
+      (Fragment.name (classify s))
+  in
+  check_frag "child only" "<down[a]>" Fragment.XPath_child;
+  check_frag "no axis at all" "a & ~b" Fragment.XPath_child;
+  check_frag "desc only" "<desc[a]>" Fragment.XPath_desc;
+  check_frag "child+desc" "<down/desc[a]>" Fragment.XPath_child_desc;
+  check_frag "child data" "down = down[a]" Fragment.XPath_child_data;
+  check_frag "desc data with eps" "eps = desc[a]" Fragment.XPath_desc_data;
+  check_frag "desc data eps-free" "desc[a] = desc[b]"
+    Fragment.XPath_desc_data_epsfree;
+  check_frag "full downward" "down = desc[a]"
+    Fragment.XPath_child_desc_data;
+  check_frag "regxpath" "<(down[a])*> & down = down"
+    Fragment.RegXPath_data
+
+let test_eps_free () =
+  let free s = (Fragment.features (parse s)).eps_free in
+  Alcotest.(check bool) "desc filters" true
+    (free "desc[a] = desc[b]/desc[c]");
+  Alcotest.(check bool) "eps breaks it" false (free "eps = desc[a]");
+  Alcotest.(check bool) "guard breaks it" false (free "<[a]desc>");
+  Alcotest.(check bool) "down breaks it" false (free "desc[a] = down");
+  Alcotest.(check bool) "nested filter checked" true
+    (free "<desc[a & desc[b] = desc[c]]>");
+  Alcotest.(check bool) "nested eps caught" false
+    (free "<desc[a & eps = desc[c]]>")
+
+let test_poly_depth_bound () =
+  (match Fragment.poly_depth_bound (parse "<down/down[a & <down>]>") with
+  | Some b -> Alcotest.(check int) "child bound" 4 b
+  | None -> Alcotest.fail "expected a bound");
+  (match Fragment.poly_depth_bound (parse "eps = desc[a]") with
+  | Some _ -> Alcotest.fail "ExpTime fragment should have no bound"
+  | None -> ());
+  match Fragment.poly_depth_bound (parse "<desc[a]>") with
+  | Some b -> Alcotest.(check bool) "desc poly bound" true (b > 0)
+  | None -> Alcotest.fail "XPath(desc) has the poly-depth property"
+
+let test_generator_fragments () =
+  let st = Random.State.make [| 42 |] in
+  let check_frag frag =
+    let cfg = Generator.fragment_config frag in
+    for _ = 1 to 100 do
+      let phi = Generator.node ~config:cfg st in
+      let actual = Fragment.classify phi in
+      (* The generated formula must lie inside the requested fragment:
+         its complexity row is at most the requested one. We check
+         feature containment. *)
+      let f = Fragment.features phi in
+      (match frag with
+      | Fragment.XPath_child ->
+        Alcotest.(check bool) "no desc/data/star" false
+          (f.Fragment.uses_descendant || f.Fragment.uses_data
+         || f.Fragment.uses_star)
+      | Fragment.XPath_desc ->
+        Alcotest.(check bool) "no child/data/star" false
+          (f.Fragment.uses_child || f.Fragment.uses_data
+         || f.Fragment.uses_star)
+      | Fragment.XPath_desc_data_epsfree ->
+        Alcotest.(check bool) "eps-free" true f.Fragment.eps_free
+      | _ -> ());
+      ignore actual
+    done
+  in
+  List.iter check_frag
+    [ Fragment.XPath_child; Fragment.XPath_desc;
+      Fragment.XPath_desc_data_epsfree; Fragment.RegXPath_data
+    ]
+
+let suite =
+  ( "xpath",
+    [ Alcotest.test_case "parse basics" `Quick test_parse_basics;
+      Alcotest.test_case "parse paths" `Quick test_parse_paths;
+      Alcotest.test_case "union in comparison" `Quick
+        test_parse_union_in_cmp;
+      Alcotest.test_case "paren backtracking" `Quick
+        test_parse_paren_backtracking;
+      Alcotest.test_case "quoted labels" `Quick test_parse_quoted_label;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "path formulas" `Quick test_parse_formula_path;
+      prop_roundtrip;
+      prop_path_roundtrip;
+      Alcotest.test_case "metrics" `Quick test_metrics;
+      Alcotest.test_case "subformulas" `Quick test_subformulas;
+      Alcotest.test_case "fragment classification" `Quick test_fragments;
+      Alcotest.test_case "eps-free fragment" `Quick test_eps_free;
+      Alcotest.test_case "poly depth bounds" `Quick test_poly_depth_bound;
+      Alcotest.test_case "generator respects fragments" `Quick
+        test_generator_fragments
+    ] )
