@@ -75,16 +75,18 @@ let () =
   if List.mem "--bechamel" args then bechamel_suite ()
   else begin
     let selected = List.filter (fun a -> a <> "--bechamel") args in
+    (* The service benchmark writes BENCH_service.json; opt-in only. *)
+    let named = ("service", Service_bench.run) :: Experiments.all in
     let to_run =
       if selected = [] then Experiments.all
       else
         List.filter_map
           (fun name ->
-            match List.assoc_opt name Experiments.all with
+            match List.assoc_opt name named with
             | Some f -> Some (name, f)
             | None ->
               Format.eprintf "unknown experiment %S (have: %s)@." name
-                (String.concat ", " (List.map fst Experiments.all));
+                (String.concat ", " (List.map fst named));
               exit 2)
           selected
     in

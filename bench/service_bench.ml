@@ -1,0 +1,169 @@
+(* Service benchmark: cold sequential vs parallel batch, warm (cached)
+   batch, verdict agreement and deadline behaviour over a mixed-fragment
+   corpus. Emits machine-readable BENCH_service.json in the cwd.
+
+   Run with: dune exec bench/main.exe -- service *)
+
+module Service = Xpds.Service
+module Json = Xpds.Json
+
+(* ≥100 formulas across the Fig. 4 fragments: every bench family at
+   several sizes, plus seeded random formulas (deterministic corpus). *)
+let formulas () =
+  let families =
+    List.concat
+      [ List.init 8 (fun i -> Families.child_chain ~sat:true (i + 1));
+        List.init 8 (fun i -> Families.child_chain ~sat:false (i + 1));
+        List.init 3 (fun i -> Families.data_chain ~sat:true (i + 2));
+        List.init 2 (fun i -> Families.data_chain ~sat:false (i + 2));
+        List.init 2 (fun i -> Families.desc_data ~sat:true (i + 1));
+        [ Families.desc_data ~sat:false 1 ];
+        List.init 3 (fun i -> Families.root_data (i + 1));
+        [ Families.reg_alternation ~sat:true ();
+          Families.reg_alternation ~sat:false ()
+        ];
+        List.init 5 (fun i -> Families.mixed_axes ~sat:true (i + 1));
+        List.init 5 (fun i -> Families.mixed_axes ~sat:false (i + 1))
+      ]
+  in
+  let random =
+    List.init 64 (fun i ->
+        Gen_formula.gen ~state:(Random.State.make [| 0xBE5E; i |]) ())
+  in
+  families @ random
+
+let requests fs =
+  List.mapi
+    (fun i phi ->
+      { Service.id = Printf.sprintf "f%03d" i;
+        formula = phi;
+        timeout_ms = None
+      })
+    fs
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let verdict_counts responses =
+  let count name =
+    List.length
+      (List.filter
+         (fun (r : Service.response) ->
+           Service.verdict_name r.Service.report.Xpds.Sat.verdict = name)
+         responses)
+  in
+  List.map
+    (fun n -> (n, Json.Num (float_of_int (count n))))
+    [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
+
+let run () =
+  let reqs = requests (formulas ()) in
+  let n = List.length reqs in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "service bench: %d formulas, %d core(s)@." n cores;
+
+  (* Cold runs on fresh services: sequential then jobs=4. *)
+  let seq_svc = Service.create () in
+  let seq, seq_s =
+    time (fun () -> Service.solve_batch ~jobs:1 seq_svc reqs)
+  in
+  Format.printf "  sequential: %.2f s@." seq_s;
+  let par_svc = Service.create () in
+  let par, par_s =
+    time (fun () -> Service.solve_batch ~jobs:4 par_svc reqs)
+  in
+  Format.printf "  jobs=4:     %.2f s@." par_s;
+  let agree =
+    List.for_all2
+      (fun (a : Service.response) (b : Service.response) ->
+        Service.verdict_name a.Service.report.Xpds.Sat.verdict
+        = Service.verdict_name b.Service.report.Xpds.Sat.verdict)
+      seq par
+  in
+  Format.printf "  verdicts agree: %b@." agree;
+
+  (* Warm re-run of the same batch: everything cacheable is a hit. *)
+  Service.reset_metrics par_svc;
+  let _, warm_s =
+    time (fun () -> Service.solve_batch ~jobs:4 par_svc reqs)
+  in
+  let m = Service.metrics par_svc in
+  let hit_rate =
+    float_of_int m.Xpds.Service_metrics.cache_hits /. float_of_int n
+  in
+  Format.printf "  warm re-run: %.3f s (hit rate %.2f)@." warm_s hit_rate;
+
+  (* Deadline: an unsat saturation with the budgets lifted cannot finish
+     in 150 ms, so the verdict must be Unknown "deadline exceeded". *)
+  let hard_svc =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver =
+            { Service.default_solver_config with
+              max_states = 100_000_000;
+              max_transitions = 100_000_000
+            }
+        }
+      ()
+  in
+  let hard, hard_s =
+    time (fun () ->
+        Service.solve hard_svc
+          { Service.id = "hard";
+            formula = Families.desc_data ~sat:false 3;
+            timeout_ms = Some 150.
+          })
+  in
+  let hard_verdict =
+    Service.verdict_name hard.Service.report.Xpds.Sat.verdict
+  in
+  Format.printf "  deadline probe: %s after %.0f ms@." hard_verdict
+    (hard_s *. 1000.);
+
+  let json =
+    Json.Obj
+      [ ("formulas", Json.Num (float_of_int n));
+        ("cores", Json.Num (float_of_int cores));
+        ("jobs_requested", Json.Num 4.);
+        ("jobs_effective", Json.Num (float_of_int (min 4 cores)));
+        ( "cold",
+          Json.Obj
+            [ ("sequential_s", Json.Num seq_s);
+              ("jobs4_s", Json.Num par_s);
+              ("parallel_speedup", Json.Num (seq_s /. par_s));
+              ( "sequential_throughput_per_s",
+                Json.Num (float_of_int n /. seq_s) );
+              ( "jobs4_throughput_per_s",
+                Json.Num (float_of_int n /. par_s) );
+              ("verdicts_agree", Json.Bool agree)
+            ] );
+        ( "warm_cache",
+          Json.Obj
+            [ ("rerun_s", Json.Num warm_s);
+              ("speedup", Json.Num (seq_s /. warm_s));
+              ("cache_hit_rate", Json.Num hit_rate)
+            ] );
+        ( "deadline",
+          Json.Obj
+            [ ("timeout_ms", Json.Num 150.);
+              ("verdict", Json.Str hard_verdict);
+              ("elapsed_ms", Json.Num (hard_s *. 1000.))
+            ] );
+        ("verdicts", Json.Obj (verdict_counts seq));
+        ( "note",
+          Json.Str
+            (if cores < 2 then
+               "single-core machine: the pool clamps jobs to 1, so the \
+                cold parallel_speedup is ~1; run on >1 core for domain \
+                parallelism"
+             else "") )
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote BENCH_service.json@."

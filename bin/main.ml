@@ -8,7 +8,9 @@
      contain    decide containment of two node expressions
      tiling     solve + encode the built-in tiling examples
      qbf        decide a QBF and its Prop-8 XPath encoding
-     xml        encode an XML file as a data tree (Appendix A) *)
+     xml        encode an XML file as a data tree (Appendix A)
+     serve      NDJSON request/response solver loop on stdin/stdout
+     batch      solve a file of formulas, optionally in parallel *)
 
 open Cmdliner
 
@@ -369,6 +371,138 @@ let xml_cmd =
        ~doc:"Encode an XML document as a data tree (Appendix A).")
     Term.(const run $ file_arg $ json_arg $ dot_arg)
 
+(* --- serve / batch (the solver service) --- *)
+
+let timeout_arg =
+  let doc =
+    "Default per-request deadline in milliseconds (a timed-out request \
+     answers verdict \"unknown\", never a wrong certified verdict); 0 \
+     means no deadline. Individual serve requests may override it with \
+     their own \"timeout_ms\" field."
+  in
+  Arg.(value & opt float 0. & info [ "timeout-ms" ] ~doc)
+
+let cache_arg =
+  let doc = "Capacity of the LRU result cache (entries)." in
+  Arg.(value & opt int 4096 & info [ "cache" ] ~doc)
+
+let stats_arg =
+  let doc = "Print service metrics (JSON, on stderr) when done." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let service_of ~cache_capacity ~jobs =
+  Xpds.Service.create
+    ~config:
+      { Xpds.Service.default_config with
+        cache_capacity;
+        jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
+      }
+    ()
+
+let default_timeout t = if t > 0. then Some t else None
+
+let print_metrics svc =
+  prerr_endline
+    (Xpds.Json.to_string
+       (Xpds.Service_metrics.to_json (Xpds.Service.metrics svc)))
+
+let serve_cmd =
+  let run timeout_ms cache stats =
+    let svc = service_of ~cache_capacity:cache ~jobs:0 in
+    let rec loop () =
+      match read_line () with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+        (match Xpds.Service.request_of_json line with
+        | Error e ->
+          print_endline
+            (Xpds.Json.to_string
+               (Xpds.Json.Obj [ ("error", Xpds.Json.Str e) ]))
+        | Ok req ->
+          let req =
+            match req.Xpds.Service.timeout_ms with
+            | Some _ -> req
+            | None ->
+              { req with
+                Xpds.Service.timeout_ms = default_timeout timeout_ms
+              }
+          in
+          print_endline
+            (Xpds.Service.response_to_json (Xpds.Service.solve svc req)));
+        flush stdout;
+        loop ()
+    in
+    loop ();
+    if stats then print_metrics svc
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Solver service: read NDJSON requests {\"id\":.., \
+          \"formula\":.., \"timeout_ms\":..} from stdin, answer \
+          {\"id\":.., \"verdict\":.., \"cached\":.., \"ms\":..} per \
+          line on stdout. Results are cached by canonical formula.")
+    Term.(const run $ timeout_arg $ cache_arg $ stats_arg)
+
+let batch_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "File with one formula per line (blank lines and lines \
+             starting with # are skipped).")
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains draining the batch (0 = the machine's \
+       recommended count)."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~doc)
+  in
+  let run file jobs timeout_ms cache stats =
+    let ic = open_in file in
+    let requests = ref [] in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         let text = String.trim line in
+         if text <> "" && text.[0] <> '#' then begin
+           match Xpds.Parser.formula_of_string text with
+           | Error e ->
+             Printf.eprintf "%s:%d: %s\n%!" file !lineno e;
+             exit 2
+           | Ok f ->
+             requests :=
+               { Xpds.Service.id = Printf.sprintf "L%d" !lineno;
+                 formula = Xpds.Ast.as_node f;
+                 timeout_ms = default_timeout timeout_ms
+               }
+               :: !requests
+         end
+       done
+     with End_of_file -> close_in ic);
+    let requests = List.rev !requests in
+    let svc = service_of ~cache_capacity:cache ~jobs in
+    let responses = Xpds.Service.solve_batch svc requests in
+    List.iter
+      (fun resp -> print_endline (Xpds.Service.response_to_json resp))
+      responses;
+    if stats then print_metrics svc
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Decide every formula in FILE on a pool of worker domains, \
+          printing one NDJSON response per formula.")
+    Term.(
+      const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
+      $ stats_arg)
+
 let () =
   let info =
     Cmd.info "xpds" ~version:"1.0.0"
@@ -380,5 +514,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
-            contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd
+            contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
+            serve_cmd; batch_cmd
           ]))

@@ -15,7 +15,11 @@
       (§4.1, Theorem 6);
     - {!Tiling_game}, {!Tiling}, {!Qbf}, {!Qbf_encoding}, {!Attr_xpath}:
       the lower-bound reductions and the attrXPath front end (§4.2,
-      Appendices A & E).
+      Appendices A & E);
+    - {!Service}, {!Service_metrics}, {!Lru}, {!Cache_key}, {!Pool},
+      {!Json}: the concurrent, cached solver service (worker pool,
+      deadlines, NDJSON protocol — the [xpds serve]/[xpds batch]
+      subcommands).
 
     Quick start:
     {[
@@ -62,6 +66,12 @@ module Tiling = Xpds_encodings.Tiling
 module Qbf = Xpds_encodings.Qbf
 module Qbf_encoding = Xpds_encodings.Qbf_encoding
 module Attr_xpath = Xpds_encodings.Attr_xpath
+module Service = Xpds_service.Service
+module Service_metrics = Xpds_service.Metrics
+module Lru = Xpds_service.Lru
+module Cache_key = Xpds_service.Cache_key
+module Pool = Xpds_service.Pool
+module Json = Xpds_service.Json
 
 (** [satisfiable s] parses and decides a formula with the default solver
     configuration; [Error] on syntax errors, [None] on resource

@@ -24,6 +24,7 @@ type config = {
   max_height : int option;
   max_states : int;
   max_transitions : int;
+  should_stop : (unit -> bool) option;
 }
 
 let default_config =
@@ -35,7 +36,9 @@ let default_config =
     max_height = None;
     max_states = 20_000;
     max_transitions = 200_000;
+    should_stop = None;
   }
+
 
 let paper_width (m : Bip.t) =
   let k = m.pf.Pathfinder.n_states in
@@ -55,6 +58,16 @@ type prov =
 
 exception Limit of string
 exception Found of int
+
+let deadline_exceeded = "deadline exceeded"
+
+(* Cooperative cancellation: polled at every transition application and
+   every 256 merging enumerations, so a deadline is noticed within one
+   transition's work. *)
+let poll_stop cfg =
+  match cfg.should_stop with
+  | Some stop when stop () -> raise (Limit deadline_exceeded)
+  | _ -> ()
 
 type search = {
   ctx : Transition.ctx;
@@ -114,6 +127,7 @@ let iter_combos ~n ~w ~is_fresh f =
   if w > 0 then go 0 0 false
 
 let bump_transitions s =
+  poll_stop s.cfg;
   s.transitions <- s.transitions + 1;
   if s.transitions > s.cfg.max_transitions then
     raise (Limit "transition budget")
@@ -165,6 +179,7 @@ let round s ~labels ~width ~height ~fresh_from =
                as a resource limit rather than an unbounded crawl. *)
             if s.mergings > 20 * s.cfg.max_transitions then
               raise (Limit "merging budget");
+            if s.mergings land 255 = 0 then poll_stop s.cfg;
             let key = merging_key merging in
             if not (Hashtbl.mem seen_keys key) then begin
               Hashtbl.add seen_keys key ();
@@ -416,6 +431,7 @@ let check_data_free ~config (m : Bip.t) =
   try
     List.iter
       (fun label ->
+        poll_stop config;
         incr transitions;
         List.iter
           (fun st -> ignore (add label [||] st))
@@ -454,6 +470,7 @@ let check_data_free ~config (m : Bip.t) =
             if not skip then
               List.iter
                 (fun label ->
+                  poll_stop config;
                   incr transitions;
                   if !transitions > config.max_transitions then
                     raise (Limit "transition budget");

@@ -49,7 +49,18 @@ type config = {
       (** Theorem-6 height bound; default: unbounded *)
   max_states : int;  (** resource budget; default 20_000 *)
   max_transitions : int;  (** resource budget; default 200_000 *)
+  should_stop : (unit -> bool) option;
+      (** cooperative cancellation hook (deadlines): polled at every
+          transition application and periodically inside merging
+          enumeration. When it returns [true] the search aborts with
+          [Resource_limit "deadline exceeded"] and the stats gathered so
+          far — never with a (possibly wrong) [Empty]/[Bounded_empty],
+          so the honesty model is preserved (see DESIGN.md). Default
+          [None]. *)
 }
+
+val deadline_exceeded : string
+(** The [Resource_limit] payload produced when [should_stop] fires. *)
 
 val default_config : config
 

@@ -23,8 +23,8 @@ type report = {
 }
 
 let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
-    ?(merge_budget = Some 5) ?max_states ?max_transitions ?(verify = true)
-    ?(minimize = false) ?(extra_labels = []) eta =
+    ?(merge_budget = Some 5) ?max_states ?max_transitions ?should_stop
+    ?(verify = true) ?(minimize = false) ?(extra_labels = []) eta =
   let eta = Xpds_xpath.Rewrite.simplify eta in
   let fragment = Fragment.classify eta in
   let bound = Fragment.poly_depth_bound eta in
@@ -45,6 +45,7 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
       max_transitions =
         Option.value max_transitions
           ~default:Emptiness.default_config.Emptiness.max_transitions;
+      should_stop;
     }
   in
   let algorithm =

@@ -43,6 +43,7 @@ val decide :
   ?merge_budget:int option ->
   ?max_states:int ->
   ?max_transitions:int ->
+  ?should_stop:(unit -> bool) ->
   ?verify:bool ->
   ?minimize:bool ->
   ?extra_labels:Xpds_datatree.Label.t list ->
@@ -51,7 +52,9 @@ val decide :
 (** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?).
     Practical defaults: [width] 3, [t0] [Some 6], [dup_cap] [Some 2],
     [merge_budget] [Some 5] (pass [None] explicitly for the
-    paper-complete behaviour of each); [verify] defaults to true;
+    paper-complete behaviour of each); [should_stop] is the cooperative
+    deadline hook of {!Emptiness.config} (a fired deadline yields
+    [Unknown "deadline exceeded"]); [verify] defaults to true;
     [minimize] (default false) shrinks the witness with
     {!Witness_min.minimize} before verification. *)
 

@@ -1,0 +1,11 @@
+type t = string
+
+let make ~config_fingerprint eta =
+  let canon = Xpds_xpath.Rewrite.canonical eta in
+  (* The concrete syntax round-trips (property-tested in t_xpath), so it
+     is an injective rendering of the canonical AST; label names keep
+     the key stable across processes, unlike interned label ids. *)
+  let text = Xpds_xpath.Pp.node_to_string canon in
+  (canon, Digest.string (config_fingerprint ^ "\x00" ^ text))
+
+let hex = Digest.to_hex

@@ -1,0 +1,22 @@
+(** Cache keys for solver requests.
+
+    Two requests share a key iff their formulas have the same
+    {!Xpds_xpath.Rewrite.canonical} form {e and} they run under the same
+    solver configuration (encoded in an opaque fingerprint string by
+    {!Service}). Canonicalization is semantics-preserving, so key
+    equality implies the requests have the same satisfiability verdict —
+    the soundness property the result cache rests on (property-tested in
+    [test/t_service.ml]). *)
+
+type t = string
+(** An MD5 digest ([Digest.string]) — fixed-size, cheap to hash and
+    compare. *)
+
+val make : config_fingerprint:string -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node * t
+(** [make ~config_fingerprint eta] is [(canon, key)]: the canonical form
+    of [eta] (the form the service actually solves, so that key-equal
+    requests run identically) and the digest of its concrete syntax
+    together with the fingerprint. *)
+
+val hex : t -> string
+(** Printable form of a key. *)

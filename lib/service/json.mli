@@ -1,0 +1,34 @@
+(** A minimal JSON reader/writer for the service's NDJSON protocol.
+
+    The repo deliberately has no external JSON dependency (the [--json]
+    CLI flags are emit-only, hand-rolled in {!Xpds.Serialize}); the
+    [xpds serve] loop additionally needs to {e read} requests, so this
+    module provides just enough of RFC 8259 for one request object per
+    line: objects, arrays, strings (with escapes, including [\uXXXX]
+    below U+0800), numbers, booleans, null. Numbers are represented as
+    [float], like every small JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering, suitable for NDJSON. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+(** [to_str] accepts [Str]; [to_float] accepts [Num]. *)
+
+val num_to_string : float -> string
+(** The number rendering used by {!to_string}: integral floats print
+    without a fractional part. *)

@@ -1,0 +1,73 @@
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option;  (* toward the MRU end *)
+  mutable next : 'a node option;  (* toward the LRU end *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;  (* most recently used *)
+  mutable last : 'a node option;  (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    first = None;
+    last = None;
+  }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.first <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  n.prev <- None;
+  (match t.first with
+  | Some f -> f.prev <- Some n
+  | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old ->
+    unlink t old;
+    Hashtbl.remove t.tbl key
+  | None -> ());
+  if Hashtbl.length t.tbl >= t.cap then (
+    match t.last with
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.tbl lru.key
+    | None -> ());
+  let n = { key; value; prev = None; next = None } in
+  push_front t n;
+  Hashtbl.replace t.tbl key n
+
+let mem t key = Hashtbl.mem t.tbl key
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None

@@ -1,0 +1,25 @@
+(** A bounded LRU map with string keys — the service's result cache.
+
+    O(1) [find]/[add] via a hash table over an intrusive doubly-linked
+    recency list; when full, [add] evicts the least-recently-used entry.
+    Not thread-safe on its own: {!Service} guards it with the service
+    mutex. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or replace) as most-recently-used, evicting the LRU entry if
+    the cache is at capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without promotion. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val clear : 'a t -> unit

@@ -1,0 +1,179 @@
+module Sat = Xpds_decision.Sat
+module Emptiness = Xpds_decision.Emptiness
+
+let window = 4096
+
+type t = {
+  mutable requests : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unsat_bounded : int;
+  mutable unknown : int;
+  mutable deadline_timeouts : int;
+  mutable latency_min : float;
+  mutable latency_max : float;
+  mutable latency_sum : float;
+  ring : float array;  (** last [window] latencies, for percentiles *)
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable fixpoint_states : int;
+  mutable fixpoint_transitions : int;
+  mutable fixpoint_mergings : int;
+}
+
+type snapshot = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  sat : int;
+  unsat : int;
+  unsat_bounded : int;
+  unknown : int;
+  deadline_timeouts : int;
+  latency_min_ms : float;
+  latency_mean_ms : float;
+  latency_p95_ms : float;
+  latency_max_ms : float;
+  fixpoint_states : int;
+  fixpoint_transitions : int;
+  fixpoint_mergings : int;
+}
+
+let create () =
+  {
+    requests = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    sat = 0;
+    unsat = 0;
+    unsat_bounded = 0;
+    unknown = 0;
+    deadline_timeouts = 0;
+    latency_min = infinity;
+    latency_max = 0.;
+    latency_sum = 0.;
+    ring = Array.make window 0.;
+    ring_len = 0;
+    ring_pos = 0;
+    fixpoint_states = 0;
+    fixpoint_transitions = 0;
+    fixpoint_mergings = 0;
+  }
+
+let reset (m : t) =
+  m.requests <- 0;
+  m.cache_hits <- 0;
+  m.cache_misses <- 0;
+  m.sat <- 0;
+  m.unsat <- 0;
+  m.unsat_bounded <- 0;
+  m.unknown <- 0;
+  m.deadline_timeouts <- 0;
+  m.latency_min <- infinity;
+  m.latency_max <- 0.;
+  m.latency_sum <- 0.;
+  m.ring_len <- 0;
+  m.ring_pos <- 0;
+  m.fixpoint_states <- 0;
+  m.fixpoint_transitions <- 0;
+  m.fixpoint_mergings <- 0
+
+let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
+  m.requests <- m.requests + 1;
+  if cached then m.cache_hits <- m.cache_hits + 1
+  else m.cache_misses <- m.cache_misses + 1;
+  (match verdict with
+  | Sat.Sat _ -> m.sat <- m.sat + 1
+  | Sat.Unsat -> m.unsat <- m.unsat + 1
+  | Sat.Unsat_bounded _ -> m.unsat_bounded <- m.unsat_bounded + 1
+  | Sat.Unknown why ->
+    m.unknown <- m.unknown + 1;
+    if why = Emptiness.deadline_exceeded then
+      m.deadline_timeouts <- m.deadline_timeouts + 1);
+  if ms < m.latency_min then m.latency_min <- ms;
+  if ms > m.latency_max then m.latency_max <- ms;
+  m.latency_sum <- m.latency_sum +. ms;
+  m.ring.(m.ring_pos) <- ms;
+  m.ring_pos <- (m.ring_pos + 1) mod window;
+  if m.ring_len < window then m.ring_len <- m.ring_len + 1;
+  if not cached then begin
+    m.fixpoint_states <- m.fixpoint_states + stats.Emptiness.n_states;
+    m.fixpoint_transitions <-
+      m.fixpoint_transitions + stats.Emptiness.n_transitions;
+    m.fixpoint_mergings <- m.fixpoint_mergings + stats.Emptiness.n_mergings
+  end
+
+let p95 (m : t) =
+  if m.ring_len = 0 then 0.
+  else begin
+    let xs = Array.sub m.ring 0 m.ring_len in
+    Array.sort Float.compare xs;
+    let rank =
+      min (m.ring_len - 1)
+        (int_of_float (Float.round (0.95 *. float_of_int (m.ring_len - 1))))
+    in
+    xs.(rank)
+  end
+
+let snapshot (m : t) : snapshot =
+  {
+    requests = m.requests;
+    cache_hits = m.cache_hits;
+    cache_misses = m.cache_misses;
+    sat = m.sat;
+    unsat = m.unsat;
+    unsat_bounded = m.unsat_bounded;
+    unknown = m.unknown;
+    deadline_timeouts = m.deadline_timeouts;
+    latency_min_ms = (if m.requests = 0 then 0. else m.latency_min);
+    latency_mean_ms =
+      (if m.requests = 0 then 0.
+       else m.latency_sum /. float_of_int m.requests);
+    latency_p95_ms = p95 m;
+    latency_max_ms = m.latency_max;
+    fixpoint_states = m.fixpoint_states;
+    fixpoint_transitions = m.fixpoint_transitions;
+    fixpoint_mergings = m.fixpoint_mergings;
+  }
+
+let to_json (s : snapshot) =
+  Json.Obj
+    [ ("requests", Json.Num (float_of_int s.requests));
+      ("cache_hits", Json.Num (float_of_int s.cache_hits));
+      ("cache_misses", Json.Num (float_of_int s.cache_misses));
+      ( "verdicts",
+        Json.Obj
+          [ ("sat", Json.Num (float_of_int s.sat));
+            ("unsat", Json.Num (float_of_int s.unsat));
+            ("unsat_bounded", Json.Num (float_of_int s.unsat_bounded));
+            ("unknown", Json.Num (float_of_int s.unknown))
+          ] );
+      ("deadline_timeouts", Json.Num (float_of_int s.deadline_timeouts));
+      ( "latency_ms",
+        Json.Obj
+          [ ("min", Json.Num s.latency_min_ms);
+            ("mean", Json.Num s.latency_mean_ms);
+            ("p95", Json.Num s.latency_p95_ms);
+            ("max", Json.Num s.latency_max_ms)
+          ] );
+      ( "fixpoint",
+        Json.Obj
+          [ ("states", Json.Num (float_of_int s.fixpoint_states));
+            ("transitions", Json.Num (float_of_int s.fixpoint_transitions));
+            ("mergings", Json.Num (float_of_int s.fixpoint_mergings))
+          ] )
+    ]
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "@[<v>requests: %d (hits %d, misses %d)@,\
+     verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
+     deadline)@,\
+     latency ms: min %.2f, mean %.2f, p95 %.2f, max %.2f@,\
+     fixpoint totals: %d states, %d transitions, %d mergings@]"
+    s.requests s.cache_hits s.cache_misses s.sat s.unsat s.unsat_bounded
+    s.unknown s.deadline_timeouts s.latency_min_ms s.latency_mean_ms
+    s.latency_p95_ms s.latency_max_ms s.fixpoint_states
+    s.fixpoint_transitions s.fixpoint_mergings

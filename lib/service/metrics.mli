@@ -1,0 +1,47 @@
+(** Service counters and latency statistics.
+
+    A mutable accumulator fed by {!Service} on every completed request
+    (guarded by the service mutex — not thread-safe on its own), and an
+    immutable {!snapshot} view with derived aggregates. Percentiles are
+    computed over a bounded ring of the most recent {!window} latencies,
+    so a long-lived server's memory stays constant; min/max/mean are
+    exact over the full lifetime. *)
+
+type t
+
+type snapshot = {
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  sat : int;
+  unsat : int;
+  unsat_bounded : int;
+  unknown : int;
+  deadline_timeouts : int;
+      (** the subset of [unknown] caused by a fired deadline *)
+  latency_min_ms : float;  (** 0 when no request was recorded *)
+  latency_mean_ms : float;
+  latency_p95_ms : float;  (** over the last {!window} requests *)
+  latency_max_ms : float;
+  fixpoint_states : int;  (** summed {!Xpds_decision.Emptiness.stats} *)
+  fixpoint_transitions : int;
+  fixpoint_mergings : int;
+}
+
+val window : int
+(** Size of the latency ring used for percentiles (4096). *)
+
+val create : unit -> t
+
+val record :
+  t ->
+  verdict:Xpds_decision.Sat.verdict ->
+  cached:bool ->
+  ms:float ->
+  stats:Xpds_decision.Emptiness.stats ->
+  unit
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+val to_json : snapshot -> Json.t
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,36 @@
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+let run ~jobs f items =
+  let n = Array.length items in
+  (* Oversubscribing domains is never a win for a CPU-bound pure
+     workload: every extra domain adds stop-the-world minor-GC
+     synchronization (measured 2.5x slower with 4 domains on 1 core). *)
+  let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
+  if jobs <= 1 || n < 2 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f items.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

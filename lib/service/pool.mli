@@ -1,0 +1,21 @@
+(** A fixed-size worker pool on OCaml 5 domains.
+
+    [run ~jobs f items] applies [f] to every element of [items] on up to
+    [jobs] domains and returns the results in order. Work is distributed
+    by an atomic next-index counter, so uneven item costs balance
+    automatically. The solver is pure (the one global — the label intern
+    table — is mutex-guarded), so requests are embarrassingly parallel.
+
+    If any application raises, the first exception (in item order) is
+    re-raised on the caller's domain after all workers have drained. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8 — translation
+    beyond that is rarely useful for a batch of solver calls. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [jobs] is clamped to [Domain.recommended_domain_count ()]:
+    oversubscribing domains only adds stop-the-world GC synchronization
+    for a CPU-bound workload. After clamping, [jobs <= 1] (or fewer than
+    2 items) degrades to a plain sequential [Array.map] on the calling
+    domain — no spawning. *)

@@ -1,0 +1,243 @@
+module Sat = Xpds_decision.Sat
+module Emptiness = Xpds_decision.Emptiness
+module Ast = Xpds_xpath.Ast
+module Parser = Xpds_xpath.Parser
+module Fragment = Xpds_xpath.Fragment
+module Data_tree = Xpds_datatree.Data_tree
+
+type solver_config = {
+  width : int;
+  t0 : int option;
+  dup_cap : int option;
+  merge_budget : int option;
+  max_states : int;
+  max_transitions : int;
+  verify : bool;
+}
+
+type config = {
+  solver : solver_config;
+  cache_capacity : int;
+  jobs : int;
+}
+
+let default_solver_config =
+  {
+    width = 3;
+    t0 = Some 6;
+    dup_cap = Some 2;
+    merge_budget = Some 5;
+    max_states = Emptiness.default_config.Emptiness.max_states;
+    max_transitions = Emptiness.default_config.Emptiness.max_transitions;
+    verify = true;
+  }
+
+let default_config =
+  {
+    solver = default_solver_config;
+    cache_capacity = 4096;
+    jobs = Pool.default_jobs ();
+  }
+
+type request = {
+  id : string;
+  formula : Ast.node;
+  timeout_ms : float option;
+}
+
+type response = {
+  id : string;
+  report : Sat.report;
+  cached : bool;
+  ms : float;
+  key : Cache_key.t;
+}
+
+type t = {
+  cfg : config;
+  fingerprint : string;
+  cache : Sat.report Lru.t;
+  meters : Metrics.t;
+  lock : Mutex.t;
+}
+
+let fingerprint_of (sc : solver_config) =
+  let opt = function None -> "-" | Some i -> string_of_int i in
+  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b" sc.width
+    (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget) sc.max_states
+    sc.max_transitions sc.verify
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    fingerprint = fingerprint_of config.solver;
+    cache = Lru.create ~capacity:config.cache_capacity;
+    meters = Metrics.create ();
+    lock = Mutex.create ();
+  }
+
+let config t = t.cfg
+let metrics t = Mutex.protect t.lock (fun () -> Metrics.snapshot t.meters)
+let reset_metrics t = Mutex.protect t.lock (fun () -> Metrics.reset t.meters)
+let cache_length t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
+
+(* A deadline verdict depends on wall-clock luck; every other verdict is
+   a deterministic function of (canonical formula, solver config) and
+   safe to replay from the cache — including budget-limited [Unknown]s,
+   which would exhaust the same budget again. *)
+let cacheable (report : Sat.report) =
+  match report.Sat.verdict with
+  | Sat.Unknown why -> why <> Emptiness.deadline_exceeded
+  | _ -> true
+
+let solve_uncached t ~timeout_ms canon =
+  let start = Unix.gettimeofday () in
+  let should_stop =
+    Option.map
+      (fun ms ->
+        let deadline = start +. (ms /. 1000.) in
+        fun () -> Unix.gettimeofday () > deadline)
+      timeout_ms
+  in
+  let sc = t.cfg.solver in
+  let report =
+    Sat.decide ~width:sc.width ~t0:sc.t0 ~dup_cap:sc.dup_cap
+      ~merge_budget:sc.merge_budget ~max_states:sc.max_states
+      ~max_transitions:sc.max_transitions ?should_stop ~verify:sc.verify
+      canon
+  in
+  (report, (Unix.gettimeofday () -. start) *. 1000.)
+
+let finish t (r : request) ~key ~report ~cached ~ms =
+  Mutex.protect t.lock (fun () ->
+      if (not cached) && cacheable report then Lru.add t.cache key report;
+      Metrics.record t.meters ~verdict:report.Sat.verdict ~cached ~ms
+        ~stats:report.Sat.stats);
+  { id = r.id; report; cached; ms; key }
+
+let solve t r =
+  let start = Unix.gettimeofday () in
+  let canon, key =
+    Cache_key.make ~config_fingerprint:t.fingerprint r.formula
+  in
+  match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
+  | Some report ->
+    let ms = (Unix.gettimeofday () -. start) *. 1000. in
+    finish t r ~key ~report ~cached:true ~ms
+  | None ->
+    let report, ms = solve_uncached t ~timeout_ms:r.timeout_ms canon in
+    finish t r ~key ~report ~cached:false ~ms
+
+let solve_batch ?jobs t requests =
+  let jobs = Option.value jobs ~default:t.cfg.jobs in
+  (* Canonicalize and key on the calling domain (this also interns every
+     label of the batch before the fan-out). *)
+  let keyed =
+    List.map
+      (fun r ->
+        let canon, key =
+          Cache_key.make ~config_fingerprint:t.fingerprint r.formula
+        in
+        (r, canon, key))
+      requests
+  in
+  (* One representative per distinct un-cached key; the worker pool only
+     sees those. *)
+  let rep_tbl : (Cache_key.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let work = ref [] in
+  let n_work = ref 0 in
+  List.iter
+    (fun (r, canon, key) ->
+      let in_cache =
+        Mutex.protect t.lock (fun () -> Lru.mem t.cache key)
+      in
+      if (not in_cache) && not (Hashtbl.mem rep_tbl key) then begin
+        Hashtbl.add rep_tbl key !n_work;
+        work := (canon, key, r.timeout_ms) :: !work;
+        incr n_work
+      end)
+    keyed;
+  let work = Array.of_list (List.rev !work) in
+  let solved =
+    Pool.run ~jobs
+      (fun (canon, _key, timeout_ms) -> solve_uncached t ~timeout_ms canon)
+      work
+  in
+  (* Assemble in request order. The representative of each solved key is
+     the batch's one miss for that key; in-batch duplicates and
+     cache hits report [cached]. *)
+  let claimed = Hashtbl.create 64 in
+  List.map
+    (fun (r, canon, key) ->
+      match Hashtbl.find_opt rep_tbl key with
+      | Some i ->
+        let report, ms = solved.(i) in
+        if Hashtbl.mem claimed key then
+          finish t r ~key ~report ~cached:true ~ms:0.
+        else begin
+          Hashtbl.add claimed key ();
+          finish t r ~key ~report ~cached:false ~ms
+        end
+      | None -> (
+        match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
+        | Some report -> finish t r ~key ~report ~cached:true ~ms:0.
+        | None ->
+          (* Was cached at dispatch time but evicted since: solve here. *)
+          let report, ms = solve_uncached t ~timeout_ms:r.timeout_ms canon in
+          finish t r ~key ~report ~cached:false ~ms))
+    keyed
+
+(* --- NDJSON wire format --- *)
+
+let verdict_name = function
+  | Sat.Sat _ -> "sat"
+  | Sat.Unsat -> "unsat"
+  | Sat.Unsat_bounded _ -> "unsat_bounded"
+  | Sat.Unknown _ -> "unknown"
+
+let request_of_json line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok v -> (
+    let id =
+      match Json.member "id" v with
+      | Some (Json.Str s) -> s
+      | Some (Json.Num f) -> Json.num_to_string f
+      | _ -> ""
+    in
+    let timeout_ms =
+      Option.bind (Json.member "timeout_ms" v) Json.to_float
+    in
+    match Option.bind (Json.member "formula" v) Json.to_str with
+    | None -> Error "missing \"formula\" field"
+    | Some text -> (
+      match Parser.formula_of_string text with
+      | Error e -> Error (Printf.sprintf "bad formula: %s" e)
+      | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms }))
+
+let response_to_json resp =
+  let report = resp.report in
+  let base =
+    [ ("id", Json.Str resp.id);
+      ("verdict", Json.Str (verdict_name report.Sat.verdict));
+      ("cached", Json.Bool resp.cached);
+      ("ms", Json.Num (Float.round (resp.ms *. 1000.) /. 1000.));
+      ("fragment", Json.Str (Fragment.name report.Sat.fragment));
+      ( "states",
+        Json.Num (float_of_int report.Sat.stats.Emptiness.n_states) );
+      ( "transitions",
+        Json.Num (float_of_int report.Sat.stats.Emptiness.n_transitions) )
+    ]
+  in
+  let extra =
+    match report.Sat.verdict with
+    | Sat.Sat w ->
+      [ ("witness", Json.Str (Data_tree.to_string w)) ]
+      @ (match report.Sat.witness_verified with
+        | Some ok -> [ ("verified", Json.Bool ok) ]
+        | None -> [])
+    | Sat.Unsat -> []
+    | Sat.Unsat_bounded why | Sat.Unknown why ->
+      [ ("reason", Json.Str why) ]
+  in
+  Json.to_string (Json.Obj (base @ extra))

@@ -1,0 +1,98 @@
+(** A concurrent, cached front end to {!Xpds_decision.Sat}.
+
+    The solver is an expensive pure kernel; this module puts the usual
+    serving machinery in front of it:
+
+    - {b canonical cache keys} ({!Cache_key}): requests whose formulas
+      agree up to {!Xpds_xpath.Rewrite.canonical} and run under the same
+      solver configuration share one cache entry;
+    - a {b bounded LRU result cache} ({!Lru}) — hits return the stored
+      {!Xpds_decision.Sat.report} physically unchanged, in O(1);
+    - a {b worker pool} on OCaml 5 domains ({!Pool}) draining batches in
+      parallel ([solve_batch]), with in-batch deduplication so each
+      distinct key is solved once;
+    - {b per-request deadlines}: [timeout_ms] arms the cooperative
+      [should_stop] hook of {!Xpds_decision.Emptiness.config}; a fired
+      deadline yields [Unknown "deadline exceeded"] — never a wrong
+      certified verdict — and such time-dependent results are {e not}
+      cached (every deterministic verdict, including budget-limited
+      [Unknown]s, is);
+    - {b metrics} ({!Metrics}): request/hit/verdict counters, latency
+      min/mean/p95/max, fixpoint-stats aggregates.
+
+    A service value is safe to share across domains: the cache and
+    metrics are guarded by one internal mutex, held only around O(1)
+    bookkeeping — solving happens outside it. Two concurrent [solve]
+    calls with the same key may both compute (no in-flight
+    deduplication); [solve_batch] dedupes within its batch. *)
+
+type solver_config = {
+  width : int;
+  t0 : int option;
+  dup_cap : int option;
+  merge_budget : int option;
+  max_states : int;
+  max_transitions : int;
+  verify : bool;
+}
+(** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
+    key, so changing them never serves stale verdicts. *)
+
+type config = {
+  solver : solver_config;
+  cache_capacity : int;  (** LRU entries; default 4096 *)
+  jobs : int;  (** default batch parallelism; {!Pool.default_jobs} *)
+}
+
+val default_solver_config : solver_config
+(** The practical defaults of {!Xpds_decision.Sat.decide}. *)
+
+val default_config : config
+
+type request = {
+  id : string;
+  formula : Xpds_xpath.Ast.node;
+  timeout_ms : float option;  (** per-request deadline *)
+}
+
+type response = {
+  id : string;
+  report : Xpds_decision.Sat.report;
+  cached : bool;  (** served from the result cache *)
+  ms : float;  (** wall-clock latency of this request *)
+  key : Cache_key.t;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val solve : t -> request -> response
+
+val solve_batch : ?jobs:int -> t -> request list -> response list
+(** Responses in request order. Cache hits are answered on the calling
+    domain; the distinct misses fan out over [jobs] domains (default
+    [(config t).jobs]). Duplicate keys within the batch are solved once
+    and the copies are reported [cached = true]. *)
+
+val metrics : t -> Metrics.snapshot
+val reset_metrics : t -> unit
+val cache_length : t -> int
+
+(* --- NDJSON wire format (the [xpds serve] / [xpds batch] protocol) --- *)
+
+val request_of_json : string -> (request, string) result
+(** One request per line:
+    [{"id": "r1", "formula": "<desc[a]> & ...", "timeout_ms": 500}].
+    [id] may be a JSON string or number (defaults to [""]); [formula] is
+    the concrete syntax of {!Xpds_xpath.Parser}; [timeout_ms] is
+    optional. *)
+
+val response_to_json : response -> string
+(** [{"id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
+    "states":.., "transitions":.., "reason":.. (when inconclusive),
+    "witness":.. (when sat), "verified":.. (when checked)}]. *)
+
+val verdict_name : Xpds_decision.Sat.verdict -> string
+(** ["sat" | "unsat" | "unsat_bounded" | "unknown"]. *)

@@ -102,3 +102,61 @@ and simplify_path p =
     | Star b -> Star b
     | Axis Child -> Axis Descendant
     | a -> Star a)
+
+(* --- canonicalization (cache keys) ---
+
+   [canonical] maps semantically-identical formulas that differ only in
+   the order/grouping of commutative connectives to one representative:
+   ∧/∨ chains and path unions are flattened, sorted and deduplicated,
+   and the operands of [α ~ β] are ordered (the comparison is symmetric:
+   it asks for {e some} pair of [α]/[β] endpoints with (un)equal data).
+   Runs after {!simplify}, so the result is also constant-folded.
+   Equality of canonical forms is the solver service's cache-key
+   equivalence. *)
+
+let rec flatten_and acc = function
+  | And (a, b) -> flatten_and (flatten_and acc a) b
+  | phi -> phi :: acc
+
+let rec flatten_or acc = function
+  | Or (a, b) -> flatten_or (flatten_or acc a) b
+  | phi -> phi :: acc
+
+let rec flatten_union acc = function
+  | Union (a, b) -> flatten_union (flatten_union acc a) b
+  | p -> p :: acc
+
+let rebuild join = function
+  | [] -> invalid_arg "Rewrite.rebuild: empty operand list"
+  | x :: rest -> List.fold_left join x rest
+
+let rec canon_node phi =
+  match phi with
+  | True | False | Lab _ -> phi
+  | Not a -> Not (canon_node a)
+  | And _ ->
+    flatten_and [] phi |> List.map canon_node
+    |> List.sort_uniq compare_node
+    |> rebuild (fun a b -> And (a, b))
+  | Or _ ->
+    flatten_or [] phi |> List.map canon_node
+    |> List.sort_uniq compare_node
+    |> rebuild (fun a b -> Or (a, b))
+  | Exists p -> Exists (canon_path p)
+  | Cmp (p, op, q) ->
+    let p = canon_path p and q = canon_path q in
+    if compare_path p q <= 0 then Cmp (p, op, q) else Cmp (q, op, p)
+
+and canon_path p =
+  match p with
+  | Axis _ -> p
+  | Seq (a, b) -> Seq (canon_path a, canon_path b)
+  | Union _ ->
+    flatten_union [] p |> List.map canon_path
+    |> List.sort_uniq compare_path
+    |> rebuild (fun a b -> Union (a, b))
+  | Filter (a, phi) -> Filter (canon_path a, canon_node phi)
+  | Guard (phi, a) -> Guard (canon_node phi, canon_path a)
+  | Star a -> Star (canon_path a)
+
+let canonical phi = canon_node (simplify phi)

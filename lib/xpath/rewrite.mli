@@ -21,5 +21,14 @@ val simplify : node -> node
 val simplify_path : path -> path
 (** The path-level part of {!simplify}. *)
 
+val canonical : node -> node
+(** {!simplify} followed by order-normalization of the commutative
+    connectives: [∧]/[∨] chains and path unions are flattened, sorted
+    and deduplicated, and the (symmetric) operands of [α ~ β] are
+    ordered. Semantics-preserving; two formulas that differ only in the
+    order/grouping/multiplicity of commutative operands map to the same
+    representative. Used by the solver service as its cache-key
+    equivalence ({!Xpds_service.Cache_key}). *)
+
 val path_is_empty : path -> bool
 (** Syntactic emptiness: [[α]] = ∅ on every tree. Sound, not complete. *)

@@ -1,0 +1,325 @@
+(* Tests for the solver service: LRU cache, JSON wire format, cache-key
+   soundness, parallel batch agreement, deadlines. *)
+
+module Service = Xpds_service.Service
+module Lru = Xpds_service.Lru
+module Json = Xpds_service.Json
+module Cache_key = Xpds_service.Cache_key
+module Rewrite = Xpds_xpath.Rewrite
+module Semantics = Xpds_xpath.Semantics
+module Sat = Xpds_decision.Sat
+module Emptiness = Xpds_decision.Emptiness
+
+open Xpds_xpath.Ast
+module B = Xpds_xpath.Build
+
+(* --- LRU --- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  (* "b" is now the LRU entry; adding "c" evicts it. *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  (* Replacement keeps one entry per key. *)
+  Lru.add c "c" 4;
+  Alcotest.(check (option int)) "replaced" (Some 4) (Lru.find c "c");
+  Alcotest.(check int) "length after replace" 2 (Lru.length c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c)
+
+let test_lru_promotion () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* Touch "a": eviction order becomes b, c, a. *)
+  ignore (Lru.find c "a");
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "b evicted first" None (Lru.find c "b");
+  Lru.add c "e" 5;
+  Alcotest.(check (option int)) "c evicted second" None (Lru.find c "c");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a")
+
+(* --- JSON --- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ {|{"id":"r1","formula":"<down[a]>","timeout_ms":250}|};
+      {|[1,-2.5,true,false,null,"x"]|};
+      {|{"nested":{"a":[{}]},"s":"q\"uo\\te\nnl"}|}
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+        match Json.parse (Json.to_string v) with
+        | Error e -> Alcotest.failf "reparse %s: %s" (Json.to_string v) e
+        | Ok v' ->
+          Alcotest.(check bool) ("roundtrip " ^ s) true (v = v')))
+    cases;
+  (match Json.parse {|{"a":1} trailing|} with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  match Json.parse {|{"u":"é"}|} with
+  | Ok (Json.Obj [ ("u", Json.Str s) ]) ->
+    Alcotest.(check string) "utf8 escape" "\xc3\xa9" s
+  | _ -> Alcotest.fail "\\u escape"
+
+let test_request_parsing () =
+  (match Service.request_of_json {|{"id":7,"formula":"<down[a]>"}|} with
+  | Ok r ->
+    Alcotest.(check string) "numeric id" "7" r.Service.id;
+    Alcotest.(check bool) "no timeout" true (r.Service.timeout_ms = None)
+  | Error e -> Alcotest.fail e);
+  (match Service.request_of_json {|{"formula":"<down["}|} with
+  | Ok _ -> Alcotest.fail "bad formula accepted"
+  | Error _ -> ());
+  match Service.request_of_json {|{"id":"x"}|} with
+  | Ok _ -> Alcotest.fail "missing formula accepted"
+  | Error _ -> ()
+
+(* --- cache-key soundness --- *)
+
+(* Random commutations/regroupings of the commutative connectives: the
+   result must always canonicalize to the same representative. *)
+let rec shuffle_node st phi =
+  let flip = Random.State.bool st in
+  match phi with
+  | True | False | Lab _ -> phi
+  | Not a -> Not (shuffle_node st a)
+  | And (a, b) ->
+    let a = shuffle_node st a and b = shuffle_node st b in
+    if flip then And (b, a) else And (a, b)
+  | Or (a, b) ->
+    let a = shuffle_node st a and b = shuffle_node st b in
+    if flip then Or (b, a) else Or (a, b)
+  | Exists p -> Exists (shuffle_path st p)
+  | Cmp (p, op, q) ->
+    let p = shuffle_path st p and q = shuffle_path st q in
+    if flip then Cmp (q, op, p) else Cmp (p, op, q)
+
+and shuffle_path st p =
+  let flip = Random.State.bool st in
+  match p with
+  | Axis _ -> p
+  | Seq (a, b) -> Seq (shuffle_path st a, shuffle_path st b)
+  | Union (a, b) ->
+    let a = shuffle_path st a and b = shuffle_path st b in
+    if flip then Union (b, a) else Union (a, b)
+  | Filter (a, phi) -> Filter (shuffle_path st a, shuffle_node st phi)
+  | Guard (phi, a) -> Guard (shuffle_node st phi, shuffle_path st a)
+  | Star a -> Star (shuffle_path st a)
+
+let prop_canonical_preserves_semantics =
+  Gen_helpers.qtest ~count:300 "canonical preserves [[.]]"
+    (QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()))
+    (fun (phi, t) ->
+      Semantics.check_somewhere t phi
+      = Semantics.check_somewhere t (Rewrite.canonical phi))
+
+let prop_commuted_same_key =
+  Gen_helpers.qtest ~count:300 "commuted operands share a cache key"
+    Gen_helpers.arb_node (fun phi ->
+      let st = Random.State.make [| Hashtbl.hash phi |] in
+      let phi' = shuffle_node st phi in
+      let _, k = Cache_key.make ~config_fingerprint:"t" phi in
+      let _, k' = Cache_key.make ~config_fingerprint:"t" phi' in
+      k = k')
+
+(* Normalization-equal formulas always produce the same verdict — and
+   the second solve is a cache hit returning the physically identical
+   report. Uses small data-free-ish formulas to keep solving cheap. *)
+let prop_key_equal_same_verdict =
+  Gen_helpers.qtest ~count:40 "key-equal formulas: same verdict via cache"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg) (fun phi ->
+      let svc = Service.create () in
+      let st = Random.State.make [| Hashtbl.hash phi; 17 |] in
+      let phi' = shuffle_node st phi in
+      let r1 =
+        Service.solve svc
+          { Service.id = "1"; formula = phi; timeout_ms = None }
+      in
+      let r2 =
+        Service.solve svc
+          { Service.id = "2"; formula = phi'; timeout_ms = None }
+      in
+      if not r2.Service.cached then
+        QCheck.Test.fail_reportf "no cache hit for commuted formula";
+      if not (r1.Service.report == r2.Service.report) then
+        QCheck.Test.fail_reportf "cache hit is not the identical report";
+      Service.verdict_name r1.Service.report.Sat.verdict
+      = Service.verdict_name r2.Service.report.Sat.verdict)
+
+(* --- batch: parallel agrees with sequential --- *)
+
+(* A mixed bag from the bench families (kept in sync by hand — the test
+   tree cannot depend on bench/). *)
+let family_formulas () =
+  let child_chain ~sat n =
+    let rec nest k =
+      if k = 0 then B.lab "a"
+      else B.exists (B.filter B.down (And (B.lab "a", nest (k - 1))))
+    in
+    if sat then nest n
+    else
+      And
+        ( nest n,
+          B.everywhere (B.not_ (B.exists (B.filter B.down (B.lab "a")))) )
+  in
+  let data_chain ~sat n =
+    let rec down_k k =
+      if k = 1 then B.down else Seq (B.down, down_k (k - 1))
+    in
+    let deep = B.eq B.eps (down_k n) in
+    let shallow =
+      List.init (n - 1) (fun i -> B.not_ (B.eq B.eps (down_k (i + 1))))
+    in
+    if sat then B.conj (deep :: shallow)
+    else B.conj ((deep :: shallow) @ [ B.not_ (B.exists B.down) ])
+  in
+  let desc_data ~sat k =
+    let li i = Printf.sprintf "a%d" i and ri i = Printf.sprintf "b%d" i in
+    let conjuncts =
+      List.init k (fun i ->
+          And
+            ( B.eq (B.desc_lab (li i)) (B.desc_lab (ri i)),
+              B.neq (B.desc_lab (li i)) (B.desc_lab (ri ((i + 1) mod k)))
+            ))
+    in
+    let base = B.conj conjuncts in
+    if sat then base
+    else And (base, B.everywhere (B.not_ (B.lab (li 0))))
+  in
+  List.concat
+    [ List.init 4 (fun i -> child_chain ~sat:true (i + 1));
+      List.init 2 (fun i -> child_chain ~sat:false (i + 1));
+      List.init 3 (fun i -> data_chain ~sat:true (i + 2));
+      [ data_chain ~sat:false 2; desc_data ~sat:true 1;
+        desc_data ~sat:true 2; desc_data ~sat:false 1
+      ];
+      (* duplicates exercise in-batch dedup *)
+      [ child_chain ~sat:true 2; data_chain ~sat:true 3 ]
+    ]
+
+let requests_of formulas =
+  List.mapi
+    (fun i phi ->
+      { Service.id = string_of_int i; formula = phi; timeout_ms = None })
+    formulas
+
+let test_batch_parallel_agrees () =
+  let formulas = family_formulas () in
+  let seq =
+    Service.solve_batch ~jobs:1 (Service.create ()) (requests_of formulas)
+  in
+  let par =
+    Service.solve_batch ~jobs:4 (Service.create ()) (requests_of formulas)
+  in
+  List.iter2
+    (fun (s : Service.response) (p : Service.response) ->
+      Alcotest.(check string) ("id " ^ s.Service.id) s.Service.id
+        p.Service.id;
+      Alcotest.(check string)
+        ("verdict for " ^ s.Service.id)
+        (Service.verdict_name s.Service.report.Sat.verdict)
+        (Service.verdict_name p.Service.report.Sat.verdict))
+    seq par;
+  (* The duplicated formulas must be served as in-batch cache hits. *)
+  let hits =
+    List.length (List.filter (fun r -> r.Service.cached) par)
+  in
+  Alcotest.(check bool) "some in-batch dedup hits" true (hits >= 2)
+
+let test_metrics_accounting () =
+  let svc = Service.create () in
+  let formulas = family_formulas () in
+  ignore (Service.solve_batch ~jobs:2 svc (requests_of formulas));
+  let m = Service.metrics svc in
+  let n = List.length formulas in
+  Alcotest.(check int) "requests" n m.Xpds_service.Metrics.requests;
+  Alcotest.(check int) "hits+misses" n
+    (m.Xpds_service.Metrics.cache_hits
+   + m.Xpds_service.Metrics.cache_misses);
+  Alcotest.(check bool) "some misses" true
+    (m.Xpds_service.Metrics.cache_misses > 0);
+  (* Run the same batch again: every request is now a cache hit. *)
+  Service.reset_metrics svc;
+  ignore (Service.solve_batch ~jobs:2 svc (requests_of formulas));
+  let m = Service.metrics svc in
+  Alcotest.(check int) "all hits on re-run" n
+    m.Xpds_service.Metrics.cache_hits
+
+(* --- deadlines --- *)
+
+(* A formula whose saturation blows past any small deadline once the
+   resource budgets are lifted: the unsat desc-data family forces the
+   full fixpoint. *)
+let hard_formula () =
+  let li i = Printf.sprintf "a%d" i and ri i = Printf.sprintf "b%d" i in
+  B.conj
+    (List.init 3 (fun i ->
+         And
+           ( B.eq (B.desc_lab (li i)) (B.desc_lab (ri i)),
+             B.neq (B.desc_lab (li i)) (B.desc_lab (ri ((i + 1) mod 3))) ))
+    @ [ B.everywhere (B.not_ (B.lab (li 0))) ])
+
+let test_deadline () =
+  let svc =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver =
+            { Service.default_solver_config with
+              max_states = 100_000_000;
+              max_transitions = 100_000_000
+            }
+        }
+      ()
+  in
+  let start = Unix.gettimeofday () in
+  let r =
+    Service.solve svc
+      { Service.id = "hard";
+        formula = hard_formula ();
+        timeout_ms = Some 150.
+      }
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. start) *. 1000. in
+  (match r.Service.report.Sat.verdict with
+  | Sat.Unknown why ->
+    Alcotest.(check string) "deadline reason" Emptiness.deadline_exceeded
+      why
+  | v ->
+    Alcotest.failf "expected Unknown, got %s"
+      (Service.verdict_name v));
+  (* Tolerance: the deadline is polled inside the fixpoint, so overshoot
+     is bounded by one transition's work, not by the full search. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "returned within tolerance (%.0f ms)" elapsed_ms)
+    true (elapsed_ms < 5_000.);
+  (* Deadline verdicts must not poison the cache. *)
+  Alcotest.(check int) "not cached" 0 (Service.cache_length svc)
+
+let suite =
+  ( "service",
+    [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
+      Alcotest.test_case "lru promotion" `Quick test_lru_promotion;
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "request parsing" `Quick test_request_parsing;
+      prop_canonical_preserves_semantics;
+      prop_commuted_same_key;
+      prop_key_equal_same_verdict;
+      Alcotest.test_case "parallel batch agrees" `Quick
+        test_batch_parallel_agrees;
+      Alcotest.test_case "metrics accounting" `Quick
+        test_metrics_accounting;
+      Alcotest.test_case "deadline honoured" `Quick test_deadline
+    ] )
