@@ -1,0 +1,38 @@
+(* The shared benchmark corpus: ≥100 formulas across the Fig. 4
+   fragments — every bench family at several sizes, plus seeded random
+   formulas. Deterministic by construction (fixed seeds), and shared by
+   the service and emptiness benchmarks so their wall-times are
+   comparable across PRs: do not reorder or resize without renaming the
+   emitted BENCH_*.json baselines. *)
+
+let formulas () =
+  let families =
+    List.concat
+      [ List.init 8 (fun i -> Families.child_chain ~sat:true (i + 1));
+        List.init 8 (fun i -> Families.child_chain ~sat:false (i + 1));
+        List.init 3 (fun i -> Families.data_chain ~sat:true (i + 2));
+        List.init 2 (fun i -> Families.data_chain ~sat:false (i + 2));
+        List.init 2 (fun i -> Families.desc_data ~sat:true (i + 1));
+        [ Families.desc_data ~sat:false 1 ];
+        List.init 3 (fun i -> Families.root_data (i + 1));
+        [ Families.reg_alternation ~sat:true ();
+          Families.reg_alternation ~sat:false ()
+        ];
+        List.init 5 (fun i -> Families.mixed_axes ~sat:true (i + 1));
+        List.init 5 (fun i -> Families.mixed_axes ~sat:false (i + 1))
+      ]
+  in
+  let random =
+    List.init 64 (fun i ->
+        Gen_formula.gen ~state:(Random.State.make [| 0xBE5E; i |]) ())
+  in
+  families @ random
+
+let requests fs =
+  List.mapi
+    (fun i phi ->
+      { Xpds.Service.id = Printf.sprintf "f%03d" i;
+        formula = phi;
+        timeout_ms = None
+      })
+    fs

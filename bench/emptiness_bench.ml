@@ -1,0 +1,176 @@
+(* Emptiness-engine benchmark: cold sequential wall-time over the
+   shared corpus, with engine throughput (states/s, mergings/s,
+   transitions/s) and a comparison against the recorded PR-1 baseline.
+   Emits BENCH_emptiness.json (or [out]).
+
+   [run ~quick:true] is the CI smoke mode: a handful of small families
+   under a tight transition budget, asserting the verdict each family
+   guarantees by construction. Returns 0 on success, 1 on any verdict
+   mismatch — a kernel regression that flips a verdict fails the step
+   rather than silently skewing the numbers.
+
+   Run with: xpds bench emptiness [--quick]
+         or: dune exec bench/main.exe -- emptiness *)
+
+module Service = Xpds.Service
+module Sat = Xpds.Sat
+module Emptiness = Xpds.Emptiness
+module Json = Xpds.Json
+
+(* BENCH_service.json cold sequential over the same corpus, recorded at
+   PR 1 on one core. The denominator of the reported speedup. *)
+let pr1_baseline_s = 119.235
+
+let verdict_of (r : Service.response) =
+  Service.verdict_name r.Service.report.Sat.verdict
+
+let verdict_counts responses =
+  let count name =
+    List.length
+      (List.filter (fun r -> verdict_of r = name) responses)
+  in
+  List.map
+    (fun n -> (n, Json.Num (float_of_int (count n))))
+    [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
+
+let write_json ~out json =
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote %s@." out
+
+let full ~out () =
+  let reqs = Corpus.requests (Corpus.formulas ()) in
+  let n = List.length reqs in
+  Format.printf "emptiness bench: %d formulas, cold sequential@." n;
+  let svc = Service.create () in
+  let t0 = Unix.gettimeofday () in
+  let resps = Service.solve_batch ~jobs:1 svc reqs in
+  let wall = Unix.gettimeofday () -. t0 in
+  let states, transitions, mergings =
+    List.fold_left
+      (fun (s, t, m) (r : Service.response) ->
+        let st = r.Service.report.Sat.stats in
+        ( s + st.Emptiness.n_states,
+          t + st.Emptiness.n_transitions,
+          m + st.Emptiness.n_mergings ))
+      (0, 0, 0) resps
+  in
+  let per_s x = float_of_int x /. wall in
+  let speedup = pr1_baseline_s /. wall in
+  Format.printf "  cold: %.2f s (%.1f formulas/s)@." wall
+    (float_of_int n /. wall);
+  Format.printf "  engine: %d states, %d transitions, %d mergings@."
+    states transitions mergings;
+  Format.printf "  throughput: %.0f states/s, %.0f mergings/s@."
+    (per_s states) (per_s mergings);
+  Format.printf "  vs PR-1 baseline %.3f s: %.2fx@." pr1_baseline_s
+    speedup;
+  let json =
+    Json.Obj
+      [ ("mode", Json.Str "full");
+        ("formulas", Json.Num (float_of_int n));
+        ("cold_wall_s", Json.Num wall);
+        ("formulas_per_s", Json.Num (float_of_int n /. wall));
+        ( "engine",
+          Json.Obj
+            [ ("states", Json.Num (float_of_int states));
+              ("transitions", Json.Num (float_of_int transitions));
+              ("mergings", Json.Num (float_of_int mergings));
+              ("states_per_s", Json.Num (per_s states));
+              ("transitions_per_s", Json.Num (per_s transitions));
+              ("mergings_per_s", Json.Num (per_s mergings))
+            ] );
+        ( "baseline",
+          Json.Obj
+            [ ("pr1_cold_sequential_s", Json.Num pr1_baseline_s);
+              ("speedup", Json.Num speedup)
+            ] );
+        ("verdicts", Json.Obj (verdict_counts resps))
+      ]
+  in
+  write_json ~out json;
+  0
+
+(* Small families only (each solves in milliseconds) under a tight
+   transition budget; every family's verdict is known by construction —
+   [`Sat] must come back "sat", [`Unsat] must come back "unsat" or
+   "unsat_bounded" (the engine is bounded), and anything else is a
+   regression. *)
+let quick_cases () =
+  [ ("child_chain_sat_3", Families.child_chain ~sat:true 3, `Sat);
+    ("child_chain_unsat_2", Families.child_chain ~sat:false 2, `Unsat);
+    ("data_chain_sat_2", Families.data_chain ~sat:true 2, `Sat);
+    ("data_chain_sat_3", Families.data_chain ~sat:true 3, `Sat);
+    ("data_chain_unsat_2", Families.data_chain ~sat:false 2, `Unsat);
+    ("desc_data_sat_1", Families.desc_data ~sat:true 1, `Sat);
+    ("root_data_2", Families.root_data 2, `Sat);
+    ("reg_alt_sat", Families.reg_alternation ~sat:true (), `Sat);
+    ("mixed_axes_sat_2", Families.mixed_axes ~sat:true 2, `Sat);
+    ("mixed_axes_unsat_2", Families.mixed_axes ~sat:false 2, `Unsat)
+  ]
+
+let smoke ~out () =
+  let cases = quick_cases () in
+  Format.printf "emptiness bench (quick): %d cases@."
+    (List.length cases);
+  let svc =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver =
+            { Service.default_solver_config with
+              max_transitions = 50_000
+            }
+        }
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun (name, phi, expect) ->
+        let resp =
+          Service.solve svc
+            { Service.id = name; formula = phi; timeout_ms = None }
+        in
+        let verdict = verdict_of resp in
+        let ok =
+          match (expect, verdict) with
+          | `Sat, "sat" -> true
+          | `Unsat, ("unsat" | "unsat_bounded") -> true
+          | _ -> false
+        in
+        Format.printf "  %-22s %-14s %s@." name verdict
+          (if ok then "ok" else "FAIL");
+        (name, verdict, ok))
+      cases
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let failed = List.filter (fun (_, _, ok) -> not ok) results in
+  Format.printf "  %d/%d ok in %.2f s@."
+    (List.length results - List.length failed)
+    (List.length results) wall;
+  let json =
+    Json.Obj
+      [ ("mode", Json.Str "quick");
+        ("cases", Json.Num (float_of_int (List.length results)));
+        ("failed", Json.Num (float_of_int (List.length failed)));
+        ("wall_s", Json.Num wall);
+        ( "results",
+          Json.Obj
+            (List.map
+               (fun (name, verdict, ok) ->
+                 ( name,
+                   Json.Obj
+                     [ ("verdict", Json.Str verdict);
+                       ("ok", Json.Bool ok)
+                     ] ))
+               results) )
+      ]
+  in
+  write_json ~out json;
+  if failed = [] then 0 else 1
+
+let run ?(quick = false) ?(out = "BENCH_emptiness.json") () =
+  if quick then smoke ~out () else full ~out ()

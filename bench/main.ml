@@ -75,8 +75,13 @@ let () =
   if List.mem "--bechamel" args then bechamel_suite ()
   else begin
     let selected = List.filter (fun a -> a <> "--bechamel") args in
-    (* The service benchmark writes BENCH_service.json; opt-in only. *)
-    let named = ("service", Service_bench.run) :: Experiments.all in
+    (* The service and emptiness benchmarks write BENCH_*.json; opt-in
+       only. *)
+    let named =
+      ("service", Service_bench.run)
+      :: ("emptiness", fun () -> ignore (Emptiness_bench.run ()))
+      :: Experiments.all
+    in
     let to_run =
       if selected = [] then Experiments.all
       else

@@ -7,39 +7,9 @@
 module Service = Xpds.Service
 module Json = Xpds.Json
 
-(* ≥100 formulas across the Fig. 4 fragments: every bench family at
-   several sizes, plus seeded random formulas (deterministic corpus). *)
-let formulas () =
-  let families =
-    List.concat
-      [ List.init 8 (fun i -> Families.child_chain ~sat:true (i + 1));
-        List.init 8 (fun i -> Families.child_chain ~sat:false (i + 1));
-        List.init 3 (fun i -> Families.data_chain ~sat:true (i + 2));
-        List.init 2 (fun i -> Families.data_chain ~sat:false (i + 2));
-        List.init 2 (fun i -> Families.desc_data ~sat:true (i + 1));
-        [ Families.desc_data ~sat:false 1 ];
-        List.init 3 (fun i -> Families.root_data (i + 1));
-        [ Families.reg_alternation ~sat:true ();
-          Families.reg_alternation ~sat:false ()
-        ];
-        List.init 5 (fun i -> Families.mixed_axes ~sat:true (i + 1));
-        List.init 5 (fun i -> Families.mixed_axes ~sat:false (i + 1))
-      ]
-  in
-  let random =
-    List.init 64 (fun i ->
-        Gen_formula.gen ~state:(Random.State.make [| 0xBE5E; i |]) ())
-  in
-  families @ random
-
-let requests fs =
-  List.mapi
-    (fun i phi ->
-      { Service.id = Printf.sprintf "f%03d" i;
-        formula = phi;
-        timeout_ms = None
-      })
-    fs
+(* The formula set lives in {!Corpus} (shared with the emptiness
+   benchmark so BENCH_service.json and BENCH_emptiness.json time the
+   same work). *)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -59,7 +29,7 @@ let verdict_counts responses =
     [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
 
 let run () =
-  let reqs = requests (formulas ()) in
+  let reqs = Corpus.requests (Corpus.formulas ()) in
   let n = List.length reqs in
   let cores = Domain.recommended_domain_count () in
   Format.printf "service bench: %d formulas, %d core(s)@." n cores;

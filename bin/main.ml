@@ -503,6 +503,44 @@ let batch_cmd =
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
       $ stats_arg)
 
+(* --- bench --- *)
+
+let bench_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Benchmark to run (currently only \"emptiness\").")
+  in
+  let quick_arg =
+    let doc =
+      "CI smoke mode: a handful of small families under a tight \
+       transition budget, asserting the verdict each family guarantees \
+       by construction; nonzero exit on any mismatch."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_emptiness.json"
+      & info [ "o"; "out" ] ~doc:"Where to write the JSON results.")
+  in
+  let run target quick out =
+    match target with
+    | "emptiness" -> exit (Emptiness_bench.run ~quick ~out ())
+    | other ->
+      prerr_endline ("unknown bench target " ^ other ^ " (have: emptiness)");
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run a repository benchmark and write machine-readable JSON \
+          (cold wall-time and engine throughput for \"emptiness\").")
+    Term.(const run $ target_arg $ quick_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "xpds" ~version:"1.0.0"
@@ -515,5 +553,5 @@ let () =
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
             contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
-            serve_cmd; batch_cmd
+            serve_cmd; batch_cmd; bench_cmd
           ]))

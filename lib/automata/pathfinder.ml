@@ -4,6 +4,7 @@ type t = {
   q_card : int;
   up : int list array;
   read : int list array array;
+  up_bits : Bitv.t array;
 }
 
 let create ~n_states ~initial ~q_card ~up ~read =
@@ -31,37 +32,96 @@ let create ~n_states ~initial ~q_card ~up ~read =
       check_k k';
       read_arr.(q).(k) <- k' :: read_arr.(q).(k))
     read;
-  { n_states; initial; q_card; up = up_arr; read = read_arr }
+  let up_bits =
+    Array.map (fun targets -> Bitv.of_list n_states targets) up_arr
+  in
+  { n_states; initial; q_card; up = up_arr; read = read_arr; up_bits }
 
 let closure p ~label ks =
   (* Worklist fixpoint over the non-moving transitions enabled by the
-     label. *)
-  let result = ref ks in
-  let stack = ref (Bitv.elements ks) in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | k :: rest ->
-      stack := rest;
-      Bitv.iter
-        (fun q ->
-          List.iter
-            (fun k' ->
-              if not (Bitv.mem k' !result) then begin
-                result := Bitv.add k' !result;
-                stack := k' :: !stack
-              end)
-            p.read.(q).(k))
-        label
-  done;
-  !result
+     label, on a mutable builder: each state enters the worklist at most
+     once, and membership tests / insertions are O(1) word operations. *)
+  if Bitv.is_empty label || Bitv.is_empty ks then ks
+  else begin
+    let b = Bitv.builder_of ks in
+    let stack = Array.make p.n_states 0 in
+    let sp = ref 0 in
+    Bitv.iter
+      (fun k ->
+        stack.(!sp) <- k;
+        incr sp)
+      ks;
+    let qs = Array.of_list (Bitv.elements label) in
+    let nq = Array.length qs in
+    while !sp > 0 do
+      decr sp;
+      let k = stack.(!sp) in
+      for i = 0 to nq - 1 do
+        List.iter
+          (fun k' ->
+            if not (Bitv.builder_mem k' b) then begin
+              Bitv.add_in_place k' b;
+              stack.(!sp) <- k';
+              incr sp
+            end)
+          p.read.(qs.(i)).(k)
+      done
+    done;
+    Bitv.freeze b
+  end
 
 let step_up p ks =
-  Bitv.fold
-    (fun k acc ->
-      List.fold_left (fun acc k' -> Bitv.add k' acc) acc p.up.(k))
-    ks
-    (Bitv.empty p.n_states)
+  let b = Bitv.builder p.n_states in
+  Bitv.iter (fun k -> ignore (Bitv.union_into p.up_bits.(k) b)) ks;
+  Bitv.freeze b
+
+(* --- per-search memoization ------------------------------------------
+
+   [closure] and [step_up] are pure functions of the pathfinder and
+   their set arguments, and the emptiness fixpoint asks for the same
+   (label, base) and step-up arguments over and over: every combo of
+   child states recomputes the step-up of the same described values, and
+   every candidate root label recomputes the same closures. A [memo]
+   carries one hash table per operation, keyed on the argument sets
+   (dedicated {!Bitv.hash} — not the polymorphic hash). Create one per
+   search (it grows with the search and is not thread-safe). *)
+
+module BvTbl = Hashtbl.Make (Bitv)
+
+module BvPairTbl = Hashtbl.Make (struct
+  type nonrec t = Bitv.t * Bitv.t
+
+  let equal (a1, b1) (a2, b2) = Bitv.equal a1 a2 && Bitv.equal b1 b2
+  let hash (a, b) = (Bitv.hash a * 0x9E3779B1) lxor Bitv.hash b
+end)
+
+type memo = {
+  pf : t;
+  closure_tbl : Bitv.t BvPairTbl.t;  (** (label, base) -> closure *)
+  step_tbl : Bitv.t BvTbl.t;  (** ks -> step_up *)
+}
+
+let memo pf =
+  { pf; closure_tbl = BvPairTbl.create 256; step_tbl = BvTbl.create 256 }
+
+let memo_pf m = m.pf
+
+let closure_m m ~label ks =
+  let key = (label, ks) in
+  match BvPairTbl.find_opt m.closure_tbl key with
+  | Some r -> r
+  | None ->
+    let r = closure m.pf ~label ks in
+    BvPairTbl.add m.closure_tbl key r;
+    r
+
+let step_up_m m ks =
+  match BvTbl.find_opt m.step_tbl ks with
+  | Some r -> r
+  | None ->
+    let r = step_up m.pf ks in
+    BvTbl.add m.step_tbl ks r;
+    r
 
 let pp ppf p =
   Format.fprintf ppf "@[<v>pathfinder: |K|=%d kI=%d |Q|=%d@," p.n_states

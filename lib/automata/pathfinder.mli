@@ -16,6 +16,9 @@ type t = private {
   q_card : int;  (** |Q| of the owning BIP automaton *)
   up : int list array;  (** [up.(k)] = ν(up, k) *)
   read : int list array array;  (** [read.(q).(k)] = ν(q, k) *)
+  up_bits : Bitv.t array;
+      (** [up_bits.(k)] = ν(up, k) as a bit set — precomputed at
+          {!create} so a step-up is a word-level union per member *)
 }
 
 val create :
@@ -40,5 +43,26 @@ val step_up : t -> Bitv.t -> Bitv.t
 (** [step_up p ks] = [{k' | k ∈ ks, k' ∈ ν(up, k)}] — one moving step for
     a set of run states (the first half of the paper's [step-up]; the
     closure at the parent is the second half). *)
+
+(** {2 Per-search memoization}
+
+    Both operations are pure in the pathfinder and their set arguments,
+    and the emptiness fixpoint issues the same queries over and over
+    (every combo recomputes the step-up of the same described values;
+    every candidate root label recomputes the same closures). A [memo]
+    caches results in hash tables keyed on the argument sets with the
+    dedicated {!Bitv.hash}. One memo per search: it only grows, and it
+    is not thread-safe — never share across domains. *)
+
+type memo
+
+val memo : t -> memo
+val memo_pf : memo -> t
+
+val closure_m : memo -> label:Bitv.t -> Bitv.t -> Bitv.t
+(** Memoized {!closure}, keyed on the (label, base) pair. *)
+
+val step_up_m : memo -> Bitv.t -> Bitv.t
+(** Memoized {!step_up}, keyed on the input set. *)
 
 val pp : Format.formatter -> t -> unit

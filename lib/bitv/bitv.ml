@@ -1,0 +1,307 @@
+(* Fixed-width immutable bit vectors, shared by the automata and decision
+   libraries (the emptiness engine's set kernel).
+
+   Representation: a [width] plus an array of [Sys.int_size]-bit words;
+   bits at positions >= width are kept at 0 (an invariant every operation
+   preserves), so equality, hashing and emptiness are plain word
+   comparisons. The scanning operations skip zero words and extract set
+   bits with lowest-set-bit arithmetic ([w land (-w)]) instead of probing
+   every position, and [cardinal] uses a SWAR popcount — on the sparse
+   sets the decision procedures manipulate this is the difference between
+   O(width) and O(set bits) per scan. *)
+
+type t = { width : int; bits : int array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+let words width = (width + bits_per_word - 1) / bits_per_word
+
+(* SWAR popcount adapted to OCaml's 63-bit words: the usual 64-bit
+   constants do not fit in an int literal, but the top (sign) bit is just
+   another data bit here, and truncating the odd-bit mask to bit 61
+   still covers every odd position of a 63-bit word. *)
+let popcount w =
+  let x = w - ((w lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* Number of trailing zeros of a one-bit word [b] (a power of two). *)
+let ntz_pow2 b = popcount (b - 1)
+
+let empty width =
+  if width < 0 then invalid_arg "Bitv.empty: negative width";
+  { width; bits = Array.make (words width) 0 }
+
+let check_index t i =
+  if i < 0 || i >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bitv: index %d out of bounds (width %d)" i t.width)
+
+let check_same a b =
+  if a.width <> b.width then invalid_arg "Bitv: width mismatch"
+
+let full width =
+  if width < 0 then invalid_arg "Bitv.full: negative width";
+  let n = words width in
+  let bits = Array.make n (-1) in
+  let tail = width mod bits_per_word in
+  if n > 0 && tail > 0 then bits.(n - 1) <- (1 lsl tail) - 1;
+  { width; bits }
+
+let mem i t =
+  check_index t i;
+  t.bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add i t =
+  check_index t i;
+  let bits = Array.copy t.bits in
+  bits.(i / bits_per_word) <-
+    bits.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  { t with bits }
+
+let remove i t =
+  check_index t i;
+  let bits = Array.copy t.bits in
+  bits.(i / bits_per_word) <-
+    bits.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+  { t with bits }
+
+let singleton width i = add i (empty width)
+let of_list width l = List.fold_left (fun acc i -> add i acc) (empty width) l
+let width t = t.width
+
+let union a b =
+  check_same a b;
+  let n = Array.length a.bits in
+  let bits = Array.make n 0 in
+  for i = 0 to n - 1 do
+    bits.(i) <- a.bits.(i) lor b.bits.(i)
+  done;
+  { width = a.width; bits }
+
+let inter a b =
+  check_same a b;
+  let n = Array.length a.bits in
+  let bits = Array.make n 0 in
+  for i = 0 to n - 1 do
+    bits.(i) <- a.bits.(i) land b.bits.(i)
+  done;
+  { width = a.width; bits }
+
+let diff a b =
+  check_same a b;
+  let n = Array.length a.bits in
+  let bits = Array.make n 0 in
+  for i = 0 to n - 1 do
+    bits.(i) <- a.bits.(i) land lnot b.bits.(i)
+  done;
+  { width = a.width; bits }
+
+let is_empty t =
+  let n = Array.length t.bits in
+  let rec go i = i >= n || (t.bits.(i) = 0 && go (i + 1)) in
+  go 0
+
+(* Short-circuits on the first word of [a] with a bit outside [b]. *)
+let subset a b =
+  check_same a b;
+  let n = Array.length a.bits in
+  let rec go i = i >= n || (a.bits.(i) land lnot b.bits.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal a b =
+  a.width = b.width
+  &&
+  let n = Array.length a.bits in
+  let rec go i = i >= n || (a.bits.(i) = b.bits.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c
+  else
+    let n = Array.length a.bits in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Int.compare a.bits.(i) b.bits.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(* Dedicated mixer (FNV-style over words): the polymorphic hash samples
+   only a prefix of the word array and hashes boxed structure; the
+   decision tables key on bit vectors heavily enough for that to show. *)
+let hash t =
+  let h = ref (t.width + 0x64) in
+  for i = 0 to Array.length t.bits - 1 do
+    let w = t.bits.(i) in
+    (* fold the 63-bit word into 31-bit halves before mixing, so the
+       result is stable across int sizes that can represent it *)
+    let w = w lxor (w lsr 31) in
+    h := (!h lxor (w land 0x3FFFFFFF)) * 0x01000193
+  done;
+  !h land max_int
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.bits
+
+(* Word-skipping scan: visit only set bits, lowest first. *)
+let iter f t =
+  let bits = t.bits in
+  for wi = 0 to Array.length bits - 1 do
+    let w = ref bits.(wi) in
+    if !w <> 0 then begin
+      let base = wi * bits_per_word in
+      while !w <> 0 do
+        let b = !w land - !w in
+        f (base + ntz_pow2 b);
+        w := !w lxor b
+      done
+    end
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let exists p t =
+  let n = Array.length t.bits in
+  let rec go_word wi =
+    wi < n
+    &&
+    let rec go_bits w base =
+      w <> 0
+      &&
+      let b = w land -w in
+      p (base + ntz_pow2 b) || go_bits (w lxor b) base
+    in
+    go_bits t.bits.(wi) (wi * bits_per_word) || go_word (wi + 1)
+  in
+  go_word 0
+
+let for_all p t = not (exists (fun i -> not (p i)) t)
+
+let choose t =
+  let n = Array.length t.bits in
+  let rec go wi =
+    if wi >= n then None
+    else
+      let w = t.bits.(wi) in
+      if w = 0 then go (wi + 1)
+      else Some ((wi * bits_per_word) + ntz_pow2 (w land -w))
+  in
+  go 0
+
+(* --- mutable builders -------------------------------------------------
+
+   The fixpoint loops (pathfinder closure, step-up unions, merging keys)
+   accumulate into one set across many small unions; doing that with the
+   immutable API costs a full-array copy per element added. A builder is
+   a private word array mutated in place and [freeze]d (copied) into an
+   immutable value once, when the loop is done. *)
+
+type builder = { b_width : int; b_bits : int array }
+
+let builder width =
+  if width < 0 then invalid_arg "Bitv.builder: negative width";
+  { b_width = width; b_bits = Array.make (words width) 0 }
+
+let builder_of t = { b_width = t.width; b_bits = Array.copy t.bits }
+
+let builder_width b = b.b_width
+
+let builder_reset b = Array.fill b.b_bits 0 (Array.length b.b_bits) 0
+
+let add_in_place i b =
+  if i < 0 || i >= b.b_width then
+    invalid_arg
+      (Printf.sprintf "Bitv.add_in_place: index %d out of bounds (width %d)" i
+         b.b_width);
+  b.b_bits.(i / bits_per_word) <-
+    b.b_bits.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let builder_mem i b =
+  i >= 0 && i < b.b_width
+  && b.b_bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+(* OR [src] into [b]; reports whether [b] gained any bit (the natural
+   "changed" test of a saturation loop). *)
+let union_into src b =
+  if src.width <> b.b_width then invalid_arg "Bitv.union_into: width mismatch";
+  let changed = ref false in
+  for i = 0 to Array.length src.bits - 1 do
+    let cur = b.b_bits.(i) in
+    let w = cur lor src.bits.(i) in
+    if w <> cur then begin
+      b.b_bits.(i) <- w;
+      changed := true
+    end
+  done;
+  !changed
+
+let freeze b = { width = b.b_width; bits = Array.copy b.b_bits }
+
+(* --- flattened boolean matrices -------------------------------------- *)
+
+let of_rows ~row_width rows =
+  Array.iter
+    (fun r ->
+      if r.width <> row_width then invalid_arg "Bitv.of_rows: width mismatch")
+    rows;
+  let width = row_width * Array.length rows in
+  let bits = Array.make (words width) 0 in
+  Array.iteri
+    (fun i r ->
+      let base = i * row_width in
+      let d0 = base / bits_per_word and sh = base mod bits_per_word in
+      Array.iteri
+        (fun j w ->
+          if w <> 0 then begin
+            let d = d0 + j in
+            bits.(d) <- bits.(d) lor (w lsl sh);
+            if sh > 0 then begin
+              let spill = w lsr (bits_per_word - sh) in
+              if spill <> 0 then bits.(d + 1) <- bits.(d + 1) lor spill
+            end
+          end)
+        r.bits)
+    rows;
+  { width; bits }
+
+let row m ~row_width i =
+  if row_width < 0 then invalid_arg "Bitv.row: negative width";
+  let n = words row_width in
+  let bits = Array.make n 0 in
+  let base = i * row_width in
+  let nm = Array.length m.bits in
+  for j = 0 to n - 1 do
+    let p = base + (j * bits_per_word) in
+    let d = p / bits_per_word and sh = p mod bits_per_word in
+    let w = if d >= 0 && d < nm then m.bits.(d) lsr sh else 0 in
+    let w =
+      if sh > 0 && d + 1 >= 0 && d + 1 < nm then
+        w lor (m.bits.(d + 1) lsl (bits_per_word - sh))
+      else w
+    in
+    bits.(j) <- w
+  done;
+  (* Clear anything beyond [row_width] (from the next row, or from the
+     matrix tail). *)
+  let tail = row_width mod bits_per_word in
+  if n > 0 && tail > 0 then bits.(n - 1) <- bits.(n - 1) land ((1 lsl tail) - 1);
+  { width = row_width; bits }
+
+let filter p t =
+  let b = builder t.width in
+  iter (fun i -> if p i then add_in_place i b) t;
+  freeze b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (elements t)

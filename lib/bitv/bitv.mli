@@ -1,0 +1,112 @@
+(** Fixed-width immutable bit vectors — the shared set kernel of the
+    automata and decision libraries.
+
+    The decision procedures manipulate many small sets of automaton
+    states (subsets of [K] and [Q]); extended states are hash-consed on
+    them, and the emptiness fixpoint unions them millions of times. Bit
+    vectors give O(width/63) set operations and cheap structural
+    equality/hashing; the scans ([iter], [fold], [exists], [choose])
+    skip zero words and extract set bits with lowest-set-bit arithmetic,
+    and [cardinal] is a SWAR popcount, so their cost tracks the number
+    of set bits rather than the width. All values of a given width are
+    comparable; mixing widths raises [Invalid_argument].
+
+    For accumulation loops, the {{!builders}mutable builder} API unions
+    in place and freezes once, avoiding a full copy per element. *)
+
+type t
+
+val empty : int -> t
+(** [empty width] is ∅ over the domain [0 .. width-1]. *)
+
+val full : int -> t
+(** [full width] is the whole domain. *)
+
+val singleton : int -> int -> t
+(** [singleton width i]. *)
+
+val of_list : int -> int list -> t
+val width : t -> int
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+(** Short-circuits on the first nonzero word. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — true iff every bit of [a] is in [b]; short-circuits
+    on the first word of [a] escaping [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Dedicated FNV-style mix over the whole word array (the polymorphic
+    hash samples only a prefix). Non-negative; equal vectors hash
+    equal. Suitable for [Hashtbl.Make]: [Bitv] itself satisfies
+    [Hashtbl.HashedType]. *)
+
+val cardinal : t -> int
+val elements : t -> int list
+(** Ascending. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visits set bits in ascending order, skipping zero words. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val choose : t -> int option
+(** The lowest set bit, found without materializing [elements]. *)
+
+(** {2:builders Mutable builders}
+
+    A [builder] is a mutable word array of a fixed width. Hot loops
+    (closure fixpoints, step-up unions, canonical merging keys)
+    accumulate into one with {!add_in_place}/{!union_into} — O(1)
+    amortized per bit, no intermediate copies — then {!freeze} it into
+    an immutable {!t} once. Builders are single-owner scratch space:
+    freezing copies, so a frozen result never aliases the builder. *)
+
+type builder
+
+val builder : int -> builder
+(** [builder width] is an empty mutable set over [0 .. width-1]. *)
+
+val builder_of : t -> builder
+(** A builder seeded with the bits of [t] (copied). *)
+
+val builder_width : builder -> int
+
+val builder_reset : builder -> unit
+(** Clear every bit, reusing the storage. *)
+
+val add_in_place : int -> builder -> unit
+val builder_mem : int -> builder -> bool
+
+val union_into : t -> builder -> bool
+(** [union_into src b] ORs [src] into [b]; returns whether [b] gained a
+    bit (the "changed" test of a saturation loop).
+    @raise Invalid_argument on width mismatch. *)
+
+val freeze : builder -> t
+(** An immutable snapshot (copy) of the builder's current contents. *)
+
+val of_rows : row_width:int -> t array -> t
+(** [of_rows ~row_width rows] concatenates equal-width rows into one
+    vector of width [row_width * Array.length rows]: bit [i·row_width+j]
+    is bit [j] of [rows.(i)]. Used to flatten K×K boolean matrices.
+    Word-level (shift-or), not per-bit.
+    @raise Invalid_argument if some row has a different width. *)
+
+val row : t -> row_width:int -> int -> t
+(** [row m ~row_width i] extracts row [i] of a matrix flattened by
+    {!of_rows}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -44,7 +44,7 @@ module Rewrite = Xpds_xpath.Rewrite
 module Generator = Xpds_xpath.Generator
 module Explain = Xpds_xpath.Explain
 module Interleaving = Xpds_automata.Interleaving
-module Bitv = Xpds_automata.Bitv
+module Bitv = Bitv
 module Nfa = Xpds_automata.Nfa
 module Pathfinder = Xpds_automata.Pathfinder
 module Bip = Xpds_automata.Bip

@@ -51,6 +51,35 @@ module StateTbl = Hashtbl.Make (struct
   let hash = Ext_state.hash
 end)
 
+module BvTbl = Hashtbl.Make (Bitv)
+
+(* Canonical merging keys: one entry per class, (has_root, stepped-up
+   base union), sorted — the multiset the resulting state depends on.
+   Dedicated equality/hash on the Bitv components; no polymorphic
+   hashing of element lists. *)
+module MergeKeyTbl = Hashtbl.Make (struct
+  type t = (bool * Bitv.t) array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let n = Array.length a in
+    let rec go i =
+      i >= n
+      ||
+      let r1, b1 = a.(i) and r2, b2 = b.(i) in
+      Bool.equal r1 r2 && Bitv.equal b1 b2 && go (i + 1)
+    in
+    go 0
+
+  let hash a =
+    Array.fold_left
+      (fun h (r, bv) ->
+        ((h * 0x01000193) lxor Bitv.hash bv lxor (if r then 0x9E37 else 0))
+        land max_int)
+      (Array.length a) a
+end)
+
 type prov =
   | PLeaf of Label.t * int array  (** label, class_values *)
   | PNode of Label.t * int array * Merging.t * int array
@@ -71,11 +100,18 @@ let poll_stop cfg =
 
 type search = {
   ctx : Transition.ctx;
+  memo : Pathfinder.memo;
   cfg : config;
   ids : int StateTbl.t;
   mutable states : Ext_state.t array;
   mutable provs : prov array;
   mutable heights : int array;
+  mutable val_su : Bitv.t array array;
+      (** per state id, per described value: step-up of its reach set —
+          computed once at discovery instead of per combo × merging *)
+  mutable visible : int array array;
+      (** per state id: the value indices with a nonempty step-up, i.e.
+          the items a merging partitions (ascending) *)
   mutable count : int;
   mutable transitions : int;
   mutable mergings : int;
@@ -100,11 +136,30 @@ let add_state s state prov height =
       s.provs <- provs';
       let heights' = Array.make cap max_int in
       Array.blit s.heights 0 heights' 0 id;
-      s.heights <- heights'
+      s.heights <- heights';
+      let val_su' = Array.make cap [||] in
+      Array.blit s.val_su 0 val_su' 0 id;
+      s.val_su <- val_su';
+      let visible' = Array.make cap [||] in
+      Array.blit s.visible 0 visible' 0 id;
+      s.visible <- visible'
     end;
     s.states.(id) <- state;
     s.provs.(id) <- prov;
     s.heights.(id) <- height;
+    (* Step-ups of the described values, once per state: every combo the
+       state joins reuses them for items and merging keys. *)
+    let sus =
+      Array.map
+        (fun desc -> Pathfinder.step_up_m s.memo desc)
+        state.Ext_state.values
+    in
+    s.val_su.(id) <- sus;
+    let vis = ref [] in
+    for v = Array.length sus - 1 downto 0 do
+      if not (Bitv.is_empty sus.(v)) then vis := v :: !vis
+    done;
+    s.visible.(id) <- Array.of_list !vis;
     s.count <- id + 1;
     StateTbl.add s.ids state id;
     if Ext_state.accepting state s.final then raise (Found id);
@@ -142,34 +197,46 @@ let round s ~labels ~width ~height ~fresh_from =
   let is_fresh id = id >= fresh_from in
   let m = Transition.bip_of s.ctx in
   let pf = m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
   for w = 1 to width do
     iter_combos ~n ~w ~is_fresh (fun combo ->
         let children = Array.map (fun id -> s.states.(id)) combo in
-        let items = Transition.visible_values m children in
+        (* Visible values and their step-ups were precomputed at state
+           discovery; a combo only gathers pointers. *)
+        let combo_su = Array.map (fun id -> s.val_su.(id)) combo in
+        let items =
+          List.concat
+            (List.mapi
+               (fun i id ->
+                 List.map (fun v -> (i, v)) (Array.to_list s.visible.(id)))
+               (Array.to_list combo))
+        in
         (* The resulting state depends on a merging only through the
            multiset of its classes' stepped-up bases (plus the root
            flag), so mergings with the same canonical key are
-           interchangeable: process one representative. *)
-        let su =
-          List.map
-            (fun (i, v) ->
-              ( (i, v),
-                Pathfinder.step_up pf children.(i).Ext_state.values.(v) ))
-            items
-        in
-        let seen_keys = Hashtbl.create 64 in
+           interchangeable: process one representative. The key is the
+           sorted array of per-class (root flag, base-union) pairs,
+           hashed with the dedicated Bitv hasher. *)
+        let seen_keys = MergeKeyTbl.create 64 in
         let merging_key (merging : Merging.t) =
-          List.map
-            (fun (kl : Merging.klass) ->
-              let base =
-                List.fold_left
-                  (fun acc item -> Bitv.union acc (List.assoc item su))
-                  (Bitv.empty pf.Pathfinder.n_states)
-                  kl.Merging.members
-              in
-              (kl.Merging.has_root, Bitv.elements base))
-            merging
-          |> List.sort Stdlib.compare
+          let key =
+            Array.of_list
+              (List.map
+                 (fun (kl : Merging.klass) ->
+                   let b = Bitv.builder k_card in
+                   List.iter
+                     (fun (i, v) ->
+                       ignore (Bitv.union_into combo_su.(i).(v) b))
+                     kl.Merging.members;
+                   (kl.Merging.has_root, Bitv.freeze b))
+                 merging)
+          in
+          Array.sort
+            (fun (r1, b1) (r2, b2) ->
+              let c = Bool.compare r1 r2 in
+              if c <> 0 then c else Bitv.compare b1 b2)
+            key;
+          key
         in
         Seq.iter
           (fun merging ->
@@ -181,8 +248,8 @@ let round s ~labels ~width ~height ~fresh_from =
               raise (Limit "merging budget");
             if s.mergings land 255 = 0 then poll_stop s.cfg;
             let key = merging_key merging in
-            if not (Hashtbl.mem seen_keys key) then begin
-              Hashtbl.add seen_keys key ();
+            if not (MergeKeyTbl.mem seen_keys key) then begin
+              MergeKeyTbl.add seen_keys key ();
               List.iter
                 (fun label ->
                   bump_transitions s;
@@ -294,7 +361,7 @@ module DfTbl = Hashtbl.Make (struct
   type t = Bitv.t * Bitv.t
 
   let equal (a1, b1) (a2, b2) = Bitv.equal a1 a2 && Bitv.equal b1 b2
-  let hash (a, b) = Hashtbl.hash (Bitv.hash a, Bitv.hash b)
+  let hash (a, b) = ((Bitv.hash a * 0x9E3779B1) lxor Bitv.hash b) land max_int
 end)
 
 exception Df_found of Data_tree.t
@@ -302,16 +369,20 @@ exception Df_found of Data_tree.t
 let check_data_free ~config (m : Bip.t) =
   let pf = m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
+  let memo = Pathfinder.memo pf in
   let components = Bip.sccs m in
   let deps = Bip.dependencies m in
   let labels = m.Bip.labels in
   (* Evaluate μ with reach-set semantics, SCC by SCC. *)
   let decide_c0 ~label ~(children : (Bitv.t * Bitv.t) list) =
     let base =
-      List.fold_left
-        (fun acc (_, n) -> Bitv.union acc (Pathfinder.step_up pf n))
-        (Bitv.singleton k_card pf.Pathfinder.initial)
-        children
+      let b = Bitv.builder k_card in
+      Bitv.add_in_place pf.Pathfinder.initial b;
+      List.iter
+        (fun (_, n) ->
+          ignore (Bitv.union_into (Pathfinder.step_up_m memo n) b))
+        children;
+      Bitv.freeze b
     in
     let rec eval c0 reach = function
       | Bip.FTrue -> true
@@ -334,7 +405,7 @@ let check_data_free ~config (m : Bip.t) =
     let step c0s component =
       List.concat_map
         (fun c0 ->
-          let reach = lazy (Pathfinder.closure pf ~label:c0 base) in
+          let reach = lazy (Pathfinder.closure_m memo ~label:c0 base) in
           match component with
           | [ q ] when not (Bitv.mem q deps.(q)) ->
             if eval c0 reach m.Bip.mu.(q) then [ Bitv.add q c0 ] else [ c0 ]
@@ -345,7 +416,7 @@ let check_data_free ~config (m : Bip.t) =
                   List.fold_left (fun acc q -> Bitv.add q acc) c0 chosen
                 in
                 let reach =
-                  lazy (Pathfinder.closure pf ~label:cand base)
+                  lazy (Pathfinder.closure_m memo ~label:cand base)
                 in
                 if
                   List.for_all
@@ -360,7 +431,7 @@ let check_data_free ~config (m : Bip.t) =
         c0s
     in
     List.map
-      (fun c0 -> (c0, Pathfinder.closure pf ~label:c0 base))
+      (fun c0 -> (c0, Pathfinder.closure_m memo ~label:c0 base))
       (List.fold_left step [ Bitv.empty m.Bip.q_card ] components)
   in
   let ids = DfTbl.create 1024 in
@@ -373,14 +444,14 @@ let check_data_free ~config (m : Bip.t) =
      combos then range over the (much fewer) distinct step-up values,
      with one representative state each for provenance. *)
   let counting = has_counting m in
-  let su_tbl : (Bitv.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let su_tbl : unit BvTbl.t = BvTbl.create 64 in
   let su_reps = ref [] in
   let n_sus = ref 0 in
   let note_su id (_, n) =
     if not counting then begin
-      let su = Pathfinder.step_up pf n in
-      if not (Hashtbl.mem su_tbl su) then begin
-        Hashtbl.add su_tbl su ();
+      let su = Pathfinder.step_up_m memo n in
+      if not (BvTbl.mem su_tbl su) then begin
+        BvTbl.add su_tbl su ();
         su_reps := id :: !su_reps;
         incr n_sus
       end
@@ -441,7 +512,7 @@ let check_data_free ~config (m : Bip.t) =
     (* Distinct combos frequently share the same step-up union, which —
        absent counting atoms — fully determines the transition; process
        one representative per union. *)
-    let seen_unions : (Bitv.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let seen_unions : unit BvTbl.t = BvTbl.create 1024 in
     let expand ~snapshot ~pool ~n ~fresh_from ~changed =
       for w = 1 to min width (n + 1) do
         iter_combos ~n ~w
@@ -455,15 +526,17 @@ let check_data_free ~config (m : Bip.t) =
               (not counting)
               &&
               let u =
-                List.fold_left
-                  (fun acc (_, nset) ->
-                    Bitv.union acc (Pathfinder.step_up pf nset))
-                  (Bitv.empty pf.Pathfinder.n_states)
-                  children
+                let b = Bitv.builder k_card in
+                List.iter
+                  (fun (_, nset) ->
+                    ignore
+                      (Bitv.union_into (Pathfinder.step_up_m memo nset) b))
+                  children;
+                Bitv.freeze b
               in
-              if Hashtbl.mem seen_unions u then true
+              if BvTbl.mem seen_unions u then true
               else begin
-                Hashtbl.add seen_unions u ();
+                BvTbl.add seen_unions u ();
                 false
               end
             in
@@ -527,11 +600,14 @@ let check_full ?(config = default_config) (m : Bip.t) =
   let s =
     {
       ctx;
+      memo = Transition.memo_of ctx;
       cfg = config;
       ids = StateTbl.create 1024;
       states = [||];
       provs = [||];
       heights = [||];
+      val_su = [||];
+      visible = [||];
       count = 0;
       transitions = 0;
       mergings = 0;

@@ -5,6 +5,8 @@ open Xpds_xpath.Ast
 
 type result = { state : Ext_state.t; class_values : int array }
 
+module BvTbl = Hashtbl.Make (Bitv)
+
 type ctx = {
   m : Bip.t;
   components : int list list;
@@ -16,6 +18,13 @@ type ctx = {
       (** when set: the K x K pairs the automaton can ever consult; the
           stored atom matrices are projected onto it, collapsing
           extended states that differ only in unobservable pairs *)
+  memo : Pathfinder.memo;
+      (** per-search closure/step-up caches (not thread-safe: a ctx must
+          stay on the domain that created it) *)
+  u_tbl : Bitv.t array BvTbl.t;
+      (** per root label c0: U(k') = cl(step_up {k'}), the case-1 lift *)
+  v_tbl : Bitv.t option array BvTbl.t;
+      (** per root label c0: per-k backward sets, filled on demand *)
 }
 
 let make_ctx ?(project_pairs = false) (m : Bip.t) =
@@ -101,9 +110,13 @@ let make_ctx ?(project_pairs = false) (m : Bip.t) =
     rev_read;
     rev_up;
     pair_mask;
+    memo = Pathfinder.memo pf;
+    u_tbl = BvTbl.create 64;
+    v_tbl = BvTbl.create 64;
   }
 
 let bip_of ctx = ctx.m
+let memo_of ctx = ctx.memo
 
 let t0_default (m : Bip.t) =
   let k = m.pf.Pathfinder.n_states in
@@ -121,6 +134,48 @@ let visible_values (m : Bip.t) children =
               (Array.to_list c.values)))
        (Array.to_list children))
 
+(* The case-1 lift U(k') = cl(step_up {k'}, c0): one closure per
+   pathfinder state per distinct root label — cached on the ctx because
+   every assembled state under the same c0 reuses the whole array. *)
+let u_of ctx ~c0 =
+  match BvTbl.find_opt ctx.u_tbl c0 with
+  | Some u -> u
+  | None ->
+    let pf = ctx.m.Bip.pf in
+    let u =
+      Array.init pf.Pathfinder.n_states (fun k' ->
+          Pathfinder.closure_m ctx.memo ~label:c0
+            pf.Pathfinder.up_bits.(k'))
+    in
+    BvTbl.add ctx.u_tbl c0 u;
+    u
+
+(* The per-class base at the root: step-ups of the members' described
+   values (all memoized), plus k_I for the root class. *)
+let class_base ctx ~(children : Ext_state.t array) (kl : Merging.klass) =
+  let pf = ctx.m.Bip.pf in
+  let k_card = pf.Pathfinder.n_states in
+  let b = Bitv.builder k_card in
+  if kl.Merging.has_root then Bitv.add_in_place pf.Pathfinder.initial b;
+  List.iter
+    (fun (i, v) ->
+      ignore
+        (Bitv.union_into
+           (Pathfinder.step_up_m ctx.memo
+              children.(i).Ext_state.values.(v))
+           b))
+    kl.Merging.members;
+  Bitv.freeze b
+
+let many_base ctx ~(children : Ext_state.t array) =
+  let pf = ctx.m.Bip.pf in
+  let b = Bitv.builder pf.Pathfinder.n_states in
+  Array.iter
+    (fun (c : Ext_state.t) ->
+      ignore (Bitv.union_into (Pathfinder.step_up_m ctx.memo c.many) b))
+    children;
+  Bitv.freeze b
+
 (* Per-(partial C0) evaluation context: reach per class, the many set,
    and the full ∃(k1,k2)~ matrices, stored as one bit-row per k1. The
    matrices combine the paper's cases: values shared through a merging
@@ -137,83 +192,62 @@ type eval = {
   neq_rows : Bitv.t array;
 }
 
-let build_eval (m : Bip.t) ~c0 ~(children : Ext_state.t array)
+let build_eval ctx ~c0 ~(children : Ext_state.t array)
     ~(classes : Merging.klass list) =
-  let pf = m.pf in
+  let pf = ctx.m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
-  let cl x = Pathfinder.closure pf ~label:c0 x in
+  let cl x = Pathfinder.closure_m ctx.memo ~label:c0 x in
   let r =
     Array.of_list
-      (List.map
-         (fun (kl : Merging.klass) ->
-           let base =
-             List.fold_left
-               (fun acc (i, v) ->
-                 Bitv.union acc
-                   (Pathfinder.step_up pf children.(i).Ext_state.values.(v)))
-               (if kl.Merging.has_root then
-                  Bitv.singleton k_card pf.Pathfinder.initial
-                else Bitv.empty k_card)
-               kl.Merging.members
-           in
-           cl base)
-         classes)
+      (List.map (fun kl -> cl (class_base ctx ~children kl)) classes)
   in
-  let many_base =
-    Array.fold_left
-      (fun acc (c : Ext_state.t) ->
-        Bitv.union acc (Pathfinder.step_up pf c.many))
-      (Bitv.empty k_card) children
-  in
-  let many0 = cl many_base in
-  let nonzero =
-    Array.fold_left Bitv.union many0 r
-  in
-  let eq_rows = Array.make k_card (Bitv.empty k_card) in
-  let neq_rows = Array.make k_card (Bitv.empty k_card) in
+  let many0 = cl (many_base ctx ~children) in
+  let nonzero = Array.fold_left Bitv.union many0 r in
+  let eq_rows = Array.init k_card (fun _ -> Bitv.builder k_card) in
+  let neq_rows = Array.init k_card (fun _ -> Bitv.builder k_card) in
   (* Shared class values: all pairs within one class are equal; pairs
      from two distinct classes are unequal. *)
   let n_classes = Array.length r in
   for e = 0 to n_classes - 1 do
-    let others = ref (Bitv.empty k_card) in
+    let others = Bitv.builder k_card in
     for e2 = 0 to n_classes - 1 do
-      if e2 <> e then others := Bitv.union !others r.(e2)
+      if e2 <> e then ignore (Bitv.union_into r.(e2) others)
     done;
+    let others = Bitv.freeze others in
     Bitv.iter
       (fun k1 ->
-        eq_rows.(k1) <- Bitv.union eq_rows.(k1) r.(e);
-        neq_rows.(k1) <- Bitv.union neq_rows.(k1) !others)
+        ignore (Bitv.union_into r.(e) eq_rows.(k1));
+        ignore (Bitv.union_into others neq_rows.(k1)))
       r.(e)
   done;
   (* Many-source inequality: a many state differs from anything
      retrieving a value. *)
   Bitv.iter
-    (fun k1 -> neq_rows.(k1) <- Bitv.union neq_rows.(k1) nonzero)
+    (fun k1 -> ignore (Bitv.union_into nonzero neq_rows.(k1)))
     many0;
   Bitv.iter
-    (fun k1 -> neq_rows.(k1) <- Bitv.union neq_rows.(k1) many0)
+    (fun k1 -> ignore (Bitv.union_into many0 neq_rows.(k1)))
     nonzero;
   (* Case 1: lift each child's own matrices through U(k') =
-     cl(step_up {k'}). *)
-  Array.iteri
-    (fun i (c : Ext_state.t) ->
-      let u =
-        Array.init k_card (fun k' ->
-            cl (Pathfinder.step_up pf (Bitv.singleton k_card k')))
-      in
+     cl(step_up {k'}) — the U array is shared per c0 via the ctx. *)
+  let u = u_of ctx ~c0 in
+  Array.iter
+    (fun (c : Ext_state.t) ->
       let lift_matrix child_rows target =
         (* m1.(k'1) = ∪ { u.(k'2) | child k'1 ~ k'2 } *)
         let m1 =
           Array.init k_card (fun k'1 ->
-              Bitv.fold
-                (fun k'2 acc -> Bitv.union acc u.(k'2))
-                (child_rows k'1) (Bitv.empty k_card))
+              let b = Bitv.builder k_card in
+              Bitv.iter
+                (fun k'2 -> ignore (Bitv.union_into u.(k'2) b))
+                (child_rows k'1);
+              Bitv.freeze b)
         in
         Array.iteri
           (fun k'1 row ->
             if not (Bitv.is_empty row) then
               Bitv.iter
-                (fun k1 -> target.(k1) <- Bitv.union target.(k1) row)
+                (fun k1 -> ignore (Bitv.union_into row target.(k1)))
                 u.(k'1))
           m1
       in
@@ -224,56 +258,49 @@ let build_eval (m : Bip.t) ~c0 ~(children : Ext_state.t array)
         (fun k1 -> Bitv.row c.Ext_state.neq ~row_width:k_card k1)
         neq_rows)
     children;
-  { r; many0; nonzero; eq_rows; neq_rows }
+  {
+    r;
+    many0;
+    nonzero;
+    eq_rows = Array.map Bitv.freeze eq_rows;
+    neq_rows = Array.map Bitv.freeze neq_rows;
+  }
 
 (* A light evaluation context for deciding C(v0): only the class reach
    sets and the many set are materialized; case-1 lifted pairs are
    answered per query through the backward sets
-   V(k) = { k' | one up-step from k' can reach k under C0 }, cached per
-   k. This keeps μ-evaluation cheap even for large pathfinders — the
-   full K x K matrices are only built once per assembled state. *)
+   V(k) = { k' | one up-step from k' can reach k under C0 }, memoized
+   per (c0, k) on the ctx. This keeps μ-evaluation cheap even for large
+   pathfinders — the full K x K matrices are only built once per
+   assembled state. *)
 type light = {
   lr : Bitv.t array;
   lmany0 : Bitv.t;
-  v_cache : Bitv.t option array;
   lc0 : Bitv.t;
 }
 
-let build_light (m : Bip.t) ~c0 ~(children : Ext_state.t array)
+let build_light ctx ~c0 ~(children : Ext_state.t array)
     ~(classes : Merging.klass list) =
-  let pf = m.pf in
-  let k_card = pf.Pathfinder.n_states in
-  let cl x = Pathfinder.closure pf ~label:c0 x in
+  let cl x = Pathfinder.closure_m ctx.memo ~label:c0 x in
   let lr =
     Array.of_list
-      (List.map
-         (fun (kl : Merging.klass) ->
-           let base =
-             List.fold_left
-               (fun acc (i, v) ->
-                 Bitv.union acc
-                   (Pathfinder.step_up pf children.(i).Ext_state.values.(v)))
-               (if kl.Merging.has_root then
-                  Bitv.singleton k_card pf.Pathfinder.initial
-                else Bitv.empty k_card)
-               kl.Merging.members
-           in
-           cl base)
-         classes)
+      (List.map (fun kl -> cl (class_base ctx ~children kl)) classes)
   in
-  let many_base =
-    Array.fold_left
-      (fun acc (c : Ext_state.t) ->
-        Bitv.union acc (Pathfinder.step_up pf c.many))
-      (Bitv.empty k_card) children
-  in
-  { lr; lmany0 = cl many_base; v_cache = Array.make k_card None; lc0 = c0 }
+  { lr; lmany0 = cl (many_base ctx ~children); lc0 = c0 }
 
 let v_of ctx light k =
-  match light.v_cache.(k) with
+  let k_card = ctx.m.Bip.pf.Xpds_automata.Pathfinder.n_states in
+  let cache =
+    match BvTbl.find_opt ctx.v_tbl light.lc0 with
+    | Some arr -> arr
+    | None ->
+      let arr = Array.make k_card None in
+      BvTbl.add ctx.v_tbl light.lc0 arr;
+      arr
+  in
+  match cache.(k) with
   | Some v -> v
   | None ->
-    let k_card = Array.length light.v_cache in
     (* Backward non-moving closure of {k} under the current root label. *)
     let b = ref (Bitv.singleton k_card k) in
     let stack = ref [ k ] in
@@ -296,7 +323,7 @@ let v_of ctx light k =
           List.fold_left (fun acc k' -> Bitv.add k' acc) acc ctx.rev_up.(k''))
         !b (Bitv.empty k_card)
     in
-    light.v_cache.(k) <- Some v;
+    cache.(k) <- Some v;
     v
 
 let light_nonzero light k =
@@ -374,7 +401,7 @@ let decide_c0 ctx ~label ~children ~classes =
   let m = ctx.m in
   let q_card = m.Bip.q_card in
   let eval_with c0 f =
-    let light = lazy (build_light m ~c0 ~children ~classes) in
+    let light = lazy (build_light ctx ~c0 ~children ~classes) in
     eval_form_light ctx children ~label ~light f
   in
   let step c0s component =
@@ -412,7 +439,7 @@ let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
   let pf = m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
   let t0 = match t0 with Some t -> t | None -> t0_default m in
-  let ev = build_eval m ~c0 ~children ~classes in
+  let ev = build_eval ctx ~c0 ~children ~classes in
   let n_classes = List.length classes in
   (* Multiplicities. *)
   let unique = Array.make k_card (-1) in
@@ -450,14 +477,14 @@ let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
     match dup_cap with
     | None -> keep
     | Some cap ->
-      let seen = Hashtbl.create 8 in
+      let seen = BvTbl.create 8 in
       List.filter
         (fun e ->
           if mandatory e then true
           else begin
-            let key = Bitv.elements ev.r.(e) in
-            let n = Option.value (Hashtbl.find_opt seen key) ~default:0 in
-            Hashtbl.replace seen key (n + 1);
+            let key = ev.r.(e) in
+            let n = Option.value (BvTbl.find_opt seen key) ~default:0 in
+            BvTbl.replace seen key (n + 1);
             n < cap
           end)
         keep

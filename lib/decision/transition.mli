@@ -39,6 +39,11 @@ val make_ctx : ?project_pairs:bool -> Xpds_automata.Bip.t -> ctx
     engine turns it on. *)
 val bip_of : ctx -> Xpds_automata.Bip.t
 
+val memo_of : ctx -> Xpds_automata.Pathfinder.memo
+(** The ctx's pathfinder memo (closure / step-up caches). The emptiness
+    engine shares it to precompute per-state step-ups once at state
+    discovery. A ctx and its memo are single-domain objects. *)
+
 val t0_default : Xpds_automata.Bip.t -> int
 (** The paper's bound [2|K|² + 2] on the number of described values. *)
 

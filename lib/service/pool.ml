@@ -1,12 +1,16 @@
 let default_jobs () = min 8 (Domain.recommended_domain_count ())
 
-let run ~jobs f items =
-  let n = Array.length items in
+let effective ~jobs n =
   (* Oversubscribing domains is never a win for a CPU-bound pure
      workload: every extra domain adds stop-the-world minor-GC
      synchronization (measured 2.5x slower with 4 domains on 1 core). *)
   let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
-  if jobs <= 1 || n < 2 then Array.map f items
+  if jobs <= 1 || n < 2 then 1 else min jobs n
+
+let run ~jobs f items =
+  let n = Array.length items in
+  let workers = effective ~jobs n in
+  if workers = 1 then Array.map f items
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -23,9 +27,7 @@ let run ~jobs f items =
       in
       loop ()
     in
-    let domains =
-      List.init (min jobs n) (fun _ -> Domain.spawn worker)
-    in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains;
     Array.map
       (function

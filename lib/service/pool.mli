@@ -13,9 +13,15 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8 — translation
     beyond that is rarely useful for a batch of solver calls. *)
 
+val effective : jobs:int -> int -> int
+(** [effective ~jobs n] is the worker count [run ~jobs f items] would
+    actually use on [n] items: [jobs] clamped to
+    [Domain.recommended_domain_count ()] (oversubscribing domains only
+    adds stop-the-world GC synchronization for a CPU-bound workload) and
+    to [n], with 1 for empty or singleton batches. Callers can test for
+    [= 1] to take a sequential fast path with no pool bookkeeping at
+    all. *)
+
 val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [jobs] is clamped to [Domain.recommended_domain_count ()]:
-    oversubscribing domains only adds stop-the-world GC synchronization
-    for a CPU-bound workload. After clamping, [jobs <= 1] (or fewer than
-    2 items) degrades to a plain sequential [Array.map] on the calling
-    domain — no spawning. *)
+(** When [effective ~jobs (Array.length items) = 1] this is a plain
+    sequential [Array.map] on the calling domain — no spawning. *)

@@ -16,7 +16,7 @@
 open Xpds_decision
 module Bip = Xpds_automata.Bip
 module Bip_run = Xpds_automata.Bip_run
-module Bitv = Xpds_automata.Bitv
+(* Bitv is the shared xpds.bitv library (unwrapped). *)
 module Translate = Xpds_automata.Translate
 module Data_tree = Xpds_datatree.Data_tree
 module Label = Xpds_datatree.Label

@@ -7,7 +7,7 @@ module Ast = Xpds_xpath.Ast
 module Semantics = Xpds_xpath.Semantics
 module Data_tree = Xpds_datatree.Data_tree
 module Label = Xpds_datatree.Label
-module Bitv = Xpds_automata.Bitv
+(* Bitv is the shared xpds.bitv library (unwrapped). *)
 
 let parse s = Xpds_xpath.Parser.node_of_string_exn s
 

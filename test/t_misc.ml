@@ -2,7 +2,7 @@
    cases, explanations, printing. *)
 
 open Xpds_xpath
-module Bitv = Xpds_automata.Bitv
+(* Bitv is the shared xpds.bitv library (unwrapped). *)
 module Data_tree = Xpds_datatree.Data_tree
 
 let parse = Parser.node_of_string_exn
