@@ -436,6 +436,7 @@ let e10 () =
         [ name;
           (match answer with
           | Xpds.Containment.Holds -> "holds"
+          | Xpds.Containment.Holds_bounded _ -> "holds*"
           | Xpds.Containment.Fails _ -> "fails"
           | Xpds.Containment.Unknown _ -> "unknown");
           Table.seconds t

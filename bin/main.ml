@@ -10,7 +10,12 @@
      qbf        decide a QBF and its Prop-8 XPath encoding
      xml        encode an XML file as a data tree (Appendix A)
      serve      NDJSON request/response solver loop on stdin/stdout
-     batch      solve a file of formulas, optionally in parallel *)
+     batch      solve a file of formulas, optionally in parallel
+     certify    re-check a stored certificate with the naive verifier
+
+   sat/serve/batch also take --certify: solve in certificate mode,
+   emit a checkable certificate per verdict and verify it on the spot
+   with the independent checker (lib/cert). *)
 
 open Cmdliner
 
@@ -43,26 +48,129 @@ let json_arg =
   let doc = "Emit JSON instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Solve in certificate mode and check the emitted certificate with \
+     the independent verifier before reporting."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+(* Build and check the certificate of a report solved with
+   ~certificate:true. Returns the JSON summary fields, the certificate
+   itself (for --cert-out / --cert-dir), and whether the pipeline is
+   healthy: an UNKNOWN verdict has no certificate and that is fine; an
+   emission error or a rejected check is a failure. Check outcomes are
+   recorded in [svc]'s metrics when a service is in play. *)
+let certify_report ?svc (report : Xpds.Sat.report) =
+  match report.Xpds.Sat.verdict with
+  | Xpds.Sat.Unknown _ ->
+    ([ ("certificate", Xpds.Json.Str "unavailable") ], None, true)
+  | _ -> (
+    match Xpds.Cert.of_report report with
+    | Error e ->
+      ( [ ("certificate", Xpds.Json.Str "emission failed");
+          ("certificate_error", Xpds.Json.Str e)
+        ],
+        None,
+        false )
+    | Ok cert ->
+      let t0 = Unix.gettimeofday () in
+      let result = Xpds.Cert.check cert in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Option.iter
+        (fun svc ->
+          Xpds.Service.record_cert svc ~ok:(Result.is_ok result) ~ms)
+        svc;
+      let ms_field =
+        ("certificate_ms", Xpds.Json.Num (Float.round (ms *. 1000.) /. 1000.))
+      in
+      let fields, ok =
+        match result with
+        | Ok v ->
+          ( [ ( "certificate",
+                Xpds.Json.Str (Format.asprintf "%a" Xpds.Cert.pp_verdict v) );
+              ms_field
+            ],
+            true )
+        | Error e ->
+          ( [ ("certificate", Xpds.Json.Str "rejected");
+              ("certificate_error", Xpds.Json.Str e);
+              ms_field
+            ],
+            false )
+      in
+      (fields, Some cert, ok))
+
+let pp_cert_fields fields =
+  List.iter
+    (fun (k, v) ->
+      Format.printf "%s: %s@." k
+        (match v with
+        | Xpds.Json.Str s -> s
+        | other -> Xpds.Json.to_string other))
+    fields
+
 let sat_cmd =
   let minimize_arg =
     Arg.(value & flag & info [ "minimize" ] ~doc:"Shrink the witness.")
   in
-  let run formula width verbose json minimize =
+  let cert_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the certificate (JSON) to $(docv); implies \
+             --certify.")
+  in
+  let run formula width verbose json minimize certify cert_out =
+    let certify = certify || cert_out <> None in
     let eta = or_die (parse_node formula) in
-    let report = Xpds.Sat.decide ~width ~minimize eta in
-    if json then print_endline (Xpds.Serialize.report_to_json report)
-    else if verbose then Format.printf "%a@." Xpds.Sat.pp_report report
-    else Format.printf "%a@." Xpds.Sat.pp_verdict report.Xpds.Sat.verdict;
+    let report =
+      Xpds.Sat.decide ~width ~minimize ~certificate:certify eta
+    in
+    let cert_fields, cert, cert_ok =
+      if certify then certify_report report else ([], None, true)
+    in
+    (match (cert_out, cert) with
+    | Some file, Some cert -> Xpds.Cert.to_file file cert
+    | Some file, None ->
+      Printf.eprintf "%s not written: no certificate emitted\n%!" file
+    | None, _ -> ());
+    if json then
+      (* report_to_json ends in "}": splice the certificate summary in
+         rather than printing a second document. *)
+      let base = Xpds.Serialize.report_to_json report in
+      if cert_fields = [] then print_endline base
+      else begin
+        let spliced =
+          String.sub base 0 (String.length base - 1)
+          ^ ","
+          ^
+          let obj = Xpds.Json.to_string (Xpds.Json.Obj cert_fields) in
+          String.sub obj 1 (String.length obj - 1)
+        in
+        print_endline spliced
+      end
+    else begin
+      if verbose then Format.printf "%a@." Xpds.Sat.pp_report report
+      else Format.printf "%a@." Xpds.Sat.pp_verdict report.Xpds.Sat.verdict;
+      pp_cert_fields cert_fields
+    end;
+    if not cert_ok then exit 4;
     match report.Xpds.Sat.verdict with
     | Xpds.Sat.Sat _ -> exit 0
     | Xpds.Sat.Unsat | Xpds.Sat.Unsat_bounded _ -> exit 1
     | Xpds.Sat.Unknown _ -> exit 3
   in
   Cmd.v
-    (Cmd.info "sat" ~doc:"Decide satisfiability (Definition 1).")
+    (Cmd.info "sat"
+       ~doc:
+         "Decide satisfiability (Definition 1). Exit: 0 sat, 1 unsat, \
+          3 unknown, 4 certificate failure (with --certify).")
     Term.(
       const run $ formula_arg $ width_arg $ verbose_arg $ json_arg
-      $ minimize_arg)
+      $ minimize_arg $ certify_arg $ cert_out_arg)
 
 (* --- classify --- *)
 
@@ -164,7 +272,10 @@ let contain_cmd =
     let psi = or_die (parse_node psi_s) in
     match Xpds.Containment.contained ~width phi psi with
     | Xpds.Containment.Holds ->
-      print_endline "containment holds";
+      print_endline "containment holds (certified)";
+      exit 0
+    | Xpds.Containment.Holds_bounded why ->
+      Printf.printf "containment holds (%s)\n" why;
       exit 0
     | Xpds.Containment.Fails w ->
       Format.printf "containment fails; counterexample: %a@."
@@ -390,10 +501,12 @@ let stats_arg =
   let doc = "Print service metrics (JSON, on stderr) when done." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let service_of ~cache_capacity ~jobs =
+let service_of ?(certificate = false) ~cache_capacity ~jobs () =
   Xpds.Service.create
     ~config:
       { Xpds.Service.default_config with
+        solver =
+          { Xpds.Service.default_solver_config with certificate };
         cache_capacity;
         jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
       }
@@ -407,8 +520,8 @@ let print_metrics svc =
        (Xpds.Service_metrics.to_json (Xpds.Service.metrics svc)))
 
 let serve_cmd =
-  let run timeout_ms cache stats =
-    let svc = service_of ~cache_capacity:cache ~jobs:0 in
+  let run timeout_ms cache stats certify =
+    let svc = service_of ~certificate:certify ~cache_capacity:cache ~jobs:0 () in
     let rec loop () =
       match read_line () with
       | exception End_of_file -> ()
@@ -428,8 +541,16 @@ let serve_cmd =
                 Xpds.Service.timeout_ms = default_timeout timeout_ms
               }
           in
-          print_endline
-            (Xpds.Service.response_to_json (Xpds.Service.solve svc req)));
+          let resp = Xpds.Service.solve svc req in
+          let extra =
+            if certify then
+              let fields, _, _ =
+                certify_report ~svc resp.Xpds.Service.report
+              in
+              fields
+            else []
+          in
+          print_endline (Xpds.Service.response_to_json ~extra resp));
         flush stdout;
         loop ()
     in
@@ -442,8 +563,10 @@ let serve_cmd =
          "Solver service: read NDJSON requests {\"id\":.., \
           \"formula\":.., \"timeout_ms\":..} from stdin, answer \
           {\"id\":.., \"verdict\":.., \"cached\":.., \"ms\":..} per \
-          line on stdout. Results are cached by canonical formula.")
-    Term.(const run $ timeout_arg $ cache_arg $ stats_arg)
+          line on stdout. Results are cached by canonical formula. \
+          With --certify each response carries a checked certificate \
+          summary.")
+    Term.(const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg)
 
 let batch_cmd =
   let file_arg =
@@ -462,7 +585,17 @@ let batch_cmd =
     in
     Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~doc)
   in
-  let run file jobs timeout_ms cache stats =
+  let cert_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write each response's certificate to $(docv)/<id>.cert.json; \
+             implies --certify.")
+  in
+  let run file jobs timeout_ms cache stats certify cert_dir =
+    let certify = certify || cert_dir <> None in
     let ic = open_in file in
     let requests = ref [] in
     let lineno = ref 0 in
@@ -487,21 +620,86 @@ let batch_cmd =
        done
      with End_of_file -> close_in ic);
     let requests = List.rev !requests in
-    let svc = service_of ~cache_capacity:cache ~jobs in
+    let svc = service_of ~certificate:certify ~cache_capacity:cache ~jobs () in
     let responses = Xpds.Service.solve_batch svc requests in
+    (match cert_dir with
+    | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+    | _ -> ());
+    let all_ok = ref true in
     List.iter
-      (fun resp -> print_endline (Xpds.Service.response_to_json resp))
+      (fun resp ->
+        let extra =
+          if certify then begin
+            let fields, cert, ok =
+              certify_report ~svc resp.Xpds.Service.report
+            in
+            if not ok then all_ok := false;
+            (match (cert_dir, cert) with
+            | Some dir, Some cert ->
+              Xpds.Cert.to_file
+                (Filename.concat dir (resp.Xpds.Service.id ^ ".cert.json"))
+                cert
+            | _ -> ());
+            fields
+          end
+          else []
+        in
+        print_endline (Xpds.Service.response_to_json ~extra resp))
       responses;
-    if stats then print_metrics svc
+    if stats then print_metrics svc;
+    if not !all_ok then exit 4
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Decide every formula in FILE on a pool of worker domains, \
-          printing one NDJSON response per formula.")
+          printing one NDJSON response per formula. With --certify \
+          every verdict is certified and independently re-checked \
+          (exit 4 if any certificate fails).")
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
-      $ stats_arg)
+      $ stats_arg $ certify_arg $ cert_dir_arg)
+
+(* --- certify --- *)
+
+let certify_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Certificate file (JSON).")
+  in
+  let budget_arg =
+    let doc =
+      "Work budget of the naive checker (transition evaluations); an \
+       exhausted budget is reported as inconclusive, not as a \
+       rejection."
+    in
+    Arg.(value & opt int 2_000_000 & info [ "budget" ] ~doc)
+  in
+  let run file budget =
+    match Xpds.Cert.of_file file with
+    | Error e ->
+      Printf.eprintf "%s: %s\n%!" file e;
+      exit 2
+    | Ok cert -> (
+      let t0 = Unix.gettimeofday () in
+      let result = Xpds.Cert.check ~work_budget:budget cert in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      match result with
+      | Ok v ->
+        Format.printf "%a (checked in %.1f ms)@." Xpds.Cert.pp_verdict v ms;
+        exit 0
+      | Error e ->
+        Format.printf "REJECTED: %s@." e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Re-check a stored certificate with the independent naive \
+          verifier. Exit: 0 certificate accepted, 1 rejected, 2 unreadable.")
+    Term.(const run $ file_arg $ budget_arg)
 
 (* --- bench --- *)
 
@@ -511,7 +709,7 @@ let bench_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
-          ~doc:"Benchmark to run (currently only \"emptiness\").")
+          ~doc:"Benchmark to run: \"emptiness\" or \"certify\".")
   in
   let quick_arg =
     let doc =
@@ -530,8 +728,12 @@ let bench_cmd =
   let run target quick out =
     match target with
     | "emptiness" -> exit (Emptiness_bench.run ~quick ~out ())
+    | "certify" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_certify.json" else out in
+      exit (Certify_bench.run ~quick ~out ())
     | other ->
-      prerr_endline ("unknown bench target " ^ other ^ " (have: emptiness)");
+      prerr_endline
+        ("unknown bench target " ^ other ^ " (have: emptiness, certify)");
       exit 2
   in
   Cmd.v
@@ -553,5 +755,5 @@ let () =
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
             contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
-            serve_cmd; batch_cmd; bench_cmd
+            serve_cmd; batch_cmd; certify_cmd; bench_cmd
           ]))

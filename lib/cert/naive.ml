@@ -1,0 +1,452 @@
+module Bip = Xpds_automata.Bip
+module Pathfinder = Xpds_automata.Pathfinder
+module Label = Xpds_datatree.Label
+module Ext_state = Xpds_decision.Ext_state
+
+module BvTbl = Hashtbl.Make (Bitv)
+
+module PairTbl = Hashtbl.Make (struct
+  type t = Bitv.t * Bitv.t
+
+  let equal (a1, b1) (a2, b2) = Bitv.equal a1 a2 && Bitv.equal b1 b2
+  let hash (a, b) = (Bitv.hash a * 31) + Bitv.hash b
+end)
+
+(* The caches memoize pure functions of the automaton ([step_up],
+   [closure], the per-C0 lift table [U]) — they change nothing about
+   what is computed, only how often, and share no logic with the
+   engine's evaluator. Checking a basis evaluates the same few closure
+   arguments millions of times across child combinations. *)
+type t = {
+  m : Bip.t;
+  k_card : int;
+  components : int list list;
+  deps : Bitv.t array;
+  step_cache : Bitv.t BvTbl.t;
+  cl_cache : Bitv.t PairTbl.t;  (* keyed by (c0, base) *)
+  u_cache : (Bitv.t array * Bitv.t array) BvTbl.t;  (* keyed by c0 *)
+}
+
+let create (m : Bip.t) =
+  {
+    m;
+    k_card = m.Bip.pf.Pathfinder.n_states;
+    components = Bip.sccs m;
+    deps = Bip.dependencies m;
+    step_cache = BvTbl.create 256;
+    cl_cache = PairTbl.create 1024;
+    u_cache = BvTbl.create 64;
+  }
+
+(* One moving step for a set of pathfinder states, straight off the
+   transition table. *)
+let step_up t ks =
+  match BvTbl.find_opt t.step_cache ks with
+  | Some r -> r
+  | None ->
+    let pf = t.m.Bip.pf in
+    let r =
+      Bitv.fold
+        (fun k acc ->
+          List.fold_left
+            (fun acc k' -> Bitv.add k' acc)
+            acc pf.Pathfinder.up.(k))
+        ks (Bitv.empty t.k_card)
+    in
+    BvTbl.replace t.step_cache ks r;
+    r
+
+(* Non-moving closure cl(ks, c0): saturate under every read transition
+   whose letter is in c0. Quadratic rescan-until-stable — no worklist. *)
+let closure t ~label ks =
+  match PairTbl.find_opt t.cl_cache (label, ks) with
+  | Some r -> r
+  | None ->
+    let pf = t.m.Bip.pf in
+    let cur = ref ks in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Bitv.iter
+        (fun q ->
+          Bitv.iter
+            (fun k ->
+              List.iter
+                (fun k' ->
+                  if not (Bitv.mem k' !cur) then begin
+                    cur := Bitv.add k' !cur;
+                    changed := true
+                  end)
+                pf.Pathfinder.read.(q).(k))
+            !cur)
+        label
+    done;
+    PairTbl.replace t.cl_cache (label, ks) !cur;
+    !cur
+
+let visible_items t (children : Ext_state.t array) =
+  List.concat
+    (List.mapi
+       (fun i (c : Ext_state.t) ->
+         List.concat
+           (List.mapi
+              (fun v desc ->
+                if Bitv.is_empty (step_up t desc) then [] else [ (i, v) ])
+              (Array.to_list c.Ext_state.values)))
+       (Array.to_list children))
+
+type klass = { has_root : bool; members : (int * int) list }
+
+(* The case-1 lift tables of a root label candidate: U(k') = cl(step_up
+   {k'}, c0) and its transpose V(k) = {k' | k ∈ U(k')}. Functions of
+   [c0] alone, memoized. *)
+let lift t ~c0 =
+  match BvTbl.find_opt t.u_cache c0 with
+  | Some uv -> uv
+  | None ->
+    let u =
+      Array.init t.k_card (fun k' ->
+          closure t ~label:c0 (step_up t (Bitv.singleton t.k_card k')))
+    in
+    let v = Array.make t.k_card (Bitv.empty t.k_card) in
+    Array.iteri
+      (fun k' uk' -> Bitv.iter (fun k -> v.(k) <- Bitv.add k' v.(k)) uk')
+      u;
+    BvTbl.replace t.u_cache c0 (u, v);
+    (u, v)
+
+(* Restricted-growth enumeration of partitions, identical in its
+   produced set and class order to the engine's (root class first, new
+   classes in first-member order), with the same identification-cost
+   budget. Eager — the checker walks every partition anyway. *)
+let mergings ?budget (items : (int * int) list) : klass list list =
+  let max_cost = match budget with Some b -> b | None -> max_int in
+  let same_child (c, _) kl = List.exists (fun (c', _) -> c' = c) kl.members in
+  let join_cost kl =
+    if kl.has_root then 1
+    else match kl.members with [ _ ] -> 2 | _ -> 1
+  in
+  let rec go built cost = function
+    | [] ->
+      [ List.map (fun kl -> { kl with members = List.rev kl.members }) built ]
+    | it :: rest ->
+      let joins =
+        List.concat
+          (List.mapi
+             (fun i kl ->
+               let cost' = cost + join_cost kl in
+               if (not (same_child it kl)) && cost' <= max_cost then
+                 go
+                   (List.mapi
+                      (fun j kl' ->
+                        if i = j then { kl' with members = it :: kl'.members }
+                        else kl')
+                      built)
+                   cost' rest
+               else [])
+             built)
+      in
+      joins @ go (built @ [ { has_root = false; members = [ it ] } ]) cost rest
+  in
+  go [ { has_root = true; members = [] } ] 0 items
+
+(* Full evaluation context for one (root label candidate, merging):
+   per-class reach, the many set, and the complete ∃(k1,k2)~ matrices,
+   built eagerly pair by pair. *)
+type eval = {
+  reach : Bitv.t array;
+  many0 : Bitv.t;
+  eq : Bitv.t;
+  neq : Bitv.t;
+}
+
+let build_eval t ~c0 ~(children : Ext_state.t array) ~(classes : klass list) =
+  let k_card = t.k_card in
+  let pf = t.m.Bip.pf in
+  let cl b = closure t ~label:c0 b in
+  let class_base kl =
+    let b =
+      if kl.has_root then Bitv.singleton k_card pf.Pathfinder.initial
+      else Bitv.empty k_card
+    in
+    List.fold_left
+      (fun acc (i, v) ->
+        Bitv.union acc (step_up t children.(i).Ext_state.values.(v)))
+      b kl.members
+  in
+  let reach = Array.of_list (List.map (fun kl -> cl (class_base kl)) classes) in
+  let many0 =
+    cl
+      (step_up t
+         (Array.fold_left
+            (fun acc (c : Ext_state.t) -> Bitv.union acc c.Ext_state.many)
+            (Bitv.empty k_card) children))
+  in
+  let nonzero = Array.fold_left Bitv.union many0 reach in
+  (* Accumulate the K×K matrices in mutable builders (O(1) per bit);
+     [matrix_add] would copy the whole matrix on every pair. *)
+  let eq_b = Bitv.builder (k_card * k_card) in
+  let neq_b = Bitv.builder (k_card * k_card) in
+  let add_eq k1 k2 =
+    Bitv.add_in_place (Ext_state.pair_index ~k_card k1 k2) eq_b;
+    Bitv.add_in_place (Ext_state.pair_index ~k_card k2 k1) eq_b
+  in
+  let add_neq k1 k2 =
+    Bitv.add_in_place (Ext_state.pair_index ~k_card k1 k2) neq_b;
+    Bitv.add_in_place (Ext_state.pair_index ~k_card k2 k1) neq_b
+  in
+  (* Values identified through one class are equal; values of distinct
+     classes are distinct (paper cases 2-4). *)
+  Array.iteri
+    (fun e re ->
+      Bitv.iter
+        (fun k1 ->
+          Bitv.iter (fun k2 -> add_eq k1 k2) re;
+          Array.iteri
+            (fun e2 re2 ->
+              if e2 <> e then Bitv.iter (fun k2 -> add_neq k1 k2) re2)
+            reach)
+        re)
+    reach;
+  (* A state inheriting ≥ 2 values differs from anything retrieving a
+     value (case 4'). *)
+  Bitv.iter (fun k1 -> Bitv.iter (fun k2 -> add_neq k1 k2) nonzero) many0;
+  Bitv.iter (fun k1 -> Bitv.iter (fun k2 -> add_neq k1 k2) many0) nonzero;
+  (* Case 1: lift each child's own valuation through U(k'). *)
+  let u, _ = lift t ~c0 in
+  Array.iter
+    (fun (c : Ext_state.t) ->
+      for k'1 = 0 to k_card - 1 do
+        for k'2 = 0 to k_card - 1 do
+          if Ext_state.eq_at c k'1 k'2 then
+            Bitv.iter
+              (fun k1 -> Bitv.iter (fun k2 -> add_eq k1 k2) u.(k'2))
+              u.(k'1);
+          if Ext_state.neq_at c k'1 k'2 then
+            Bitv.iter
+              (fun k1 -> Bitv.iter (fun k2 -> add_neq k1 k2) u.(k'2))
+              u.(k'1)
+        done
+      done)
+    children;
+  { reach; many0; eq = Bitv.freeze eq_b; neq = Bitv.freeze neq_b }
+
+(* Per-pair atom queries for one root label candidate — the lazy
+   counterpart of [build_eval]'s full matrices, answering exactly the
+   same membership question without materializing K² bits. Deciding C0
+   probes only the handful of atoms appearing in μ, so queries beat
+   matrices there; [assemble] still builds the full matrices once per
+   decided C0. *)
+type atoms = { eq_q : int -> int -> bool; neq_q : int -> int -> bool }
+
+let light_atoms t ~c0 ~(children : Ext_state.t array) ~(classes : klass list) =
+  let cl b = closure t ~label:c0 b in
+  let class_base kl =
+    let b =
+      if kl.has_root then
+        Bitv.singleton t.k_card t.m.Bip.pf.Pathfinder.initial
+      else Bitv.empty t.k_card
+    in
+    List.fold_left
+      (fun acc (i, v) ->
+        Bitv.union acc (step_up t children.(i).Ext_state.values.(v)))
+      b kl.members
+  in
+  let reach = List.mapi (fun e kl -> (e, cl (class_base kl))) classes in
+  let many0 =
+    cl
+      (step_up t
+         (Array.fold_left
+            (fun acc (c : Ext_state.t) -> Bitv.union acc c.Ext_state.many)
+            (Bitv.empty t.k_card) children))
+  in
+  let nonzero =
+    List.fold_left (fun acc (_, re) -> Bitv.union acc re) many0 reach
+  in
+  let _, v = lift t ~c0 in
+  let child_lift at k1 k2 =
+    Array.exists
+      (fun (c : Ext_state.t) ->
+        Bitv.exists
+          (fun k'1 -> Bitv.exists (fun k'2 -> at c k'1 k'2) v.(k2))
+          v.(k1))
+      children
+  in
+  let eq_q k1 k2 =
+    List.exists (fun (_, re) -> Bitv.mem k1 re && Bitv.mem k2 re) reach
+    || child_lift Ext_state.eq_at k1 k2
+  in
+  let neq_q k1 k2 =
+    List.exists
+      (fun (e1, re1) ->
+        Bitv.mem k1 re1
+        && List.exists
+             (fun (e2, re2) -> e2 <> e1 && Bitv.mem k2 re2)
+             reach)
+      reach
+    || (Bitv.mem k1 many0 && Bitv.mem k2 nonzero)
+    || (Bitv.mem k2 many0 && Bitv.mem k1 nonzero)
+    || child_lift Ext_state.neq_at k1 k2
+  in
+  { eq_q; neq_q }
+
+let rec eval_form ~label ~(children : Ext_state.t array)
+    (atoms : atoms Lazy.t) = function
+  | Bip.FTrue -> true
+  | Bip.FFalse -> false
+  | Bip.FLab a -> Label.equal a label
+  | Bip.FNot f -> not (eval_form ~label ~children atoms f)
+  | Bip.FAnd (f, g) ->
+    eval_form ~label ~children atoms f && eval_form ~label ~children atoms g
+  | Bip.FOr (f, g) ->
+    eval_form ~label ~children atoms f || eval_form ~label ~children atoms g
+  | Bip.FEx (k1, k2, op) ->
+    let a = Lazy.force atoms in
+    (match op with
+    | Xpds_xpath.Ast.Eq -> a.eq_q k1 k2
+    | Xpds_xpath.Ast.Neq -> a.neq_q k1 k2)
+  | Bip.FCountGe (q, n) ->
+    Array.fold_left
+      (fun acc (c : Ext_state.t) ->
+        if Bitv.mem q c.Ext_state.states then acc + 1 else acc)
+      0 children
+    >= n
+  | Bip.FCountZero q ->
+    Array.for_all
+      (fun (c : Ext_state.t) -> not (Bitv.mem q c.Ext_state.states))
+      children
+  | Bip.FCountLt (q, n) ->
+    Array.fold_left
+      (fun acc (c : Ext_state.t) ->
+        if Bitv.mem q c.Ext_state.states then acc + 1 else acc)
+      0 children
+    < n
+
+(* All consistent root run labels C0: decide SCC by SCC in topological
+   order (direct evaluation for acyclic states, guess-and-check for
+   cyclic components), probing atoms per pair via {!light_atoms} — one
+   memoized query context per candidate C0. *)
+let decide_c0 t ~label ~children ~classes =
+  let m = t.m in
+  let atoms_cache = BvTbl.create 16 in
+  let eval_with c0 f =
+    let atoms =
+      lazy
+        (match BvTbl.find_opt atoms_cache c0 with
+        | Some a -> a
+        | None ->
+          let a = light_atoms t ~c0 ~children ~classes in
+          BvTbl.replace atoms_cache c0 a;
+          a)
+    in
+    eval_form ~label ~children atoms f
+  in
+  let step c0s component =
+    List.concat_map
+      (fun c0 ->
+        match component with
+        | [ q ] when not (Bitv.mem q t.deps.(q)) ->
+          if eval_with c0 m.Bip.mu.(q) then [ Bitv.add q c0 ] else [ c0 ]
+        | comp ->
+          let rec assign chosen = function
+            | [] ->
+              let cand =
+                List.fold_left (fun acc q -> Bitv.add q acc) c0 chosen
+              in
+              if
+                List.for_all
+                  (fun q ->
+                    eval_with cand m.Bip.mu.(q) = List.mem q chosen)
+                  comp
+              then [ cand ]
+              else []
+            | q :: rest -> assign (q :: chosen) rest @ assign chosen rest
+          in
+          assign [] comp)
+      c0s
+  in
+  List.fold_left step [ Bitv.empty m.Bip.q_card ] t.components
+
+(* Assemble the extended state for a decided C0. The multiplicity rules
+   are the paper's; the t0 / dup_cap capping rules restate the engine's
+   documented bounded-mode behaviour (mandatory classes — the root's and
+   unique targets — are never dropped; duplicate descriptions beyond
+   [dup_cap] go first; then the largest-reach optionals fill the [t0]
+   budget, ties in class order). *)
+let assemble ?t0 ?dup_cap t ~(children : Ext_state.t array) ~classes ~c0 =
+  let k_card = t.k_card in
+  let t0 =
+    match t0 with Some x -> x | None -> (2 * k_card * k_card) + 2
+  in
+  let ev = build_eval t ~c0 ~children ~classes in
+  let n_classes = Array.length ev.reach in
+  let unique = Array.make k_card (-1) in
+  let many = ref (Bitv.empty k_card) in
+  for k = 0 to k_card - 1 do
+    let classes_of_k =
+      List.filter (fun e -> Bitv.mem k ev.reach.(e)) (List.init n_classes Fun.id)
+    in
+    if Bitv.mem k ev.many0 || List.length classes_of_k >= 2 then
+      many := Bitv.add k !many
+    else
+      match classes_of_k with [ e ] -> unique.(k) <- e | _ -> ()
+  done;
+  let keep =
+    List.filter
+      (fun e -> not (Bitv.is_empty ev.reach.(e)))
+      (List.init n_classes Fun.id)
+  in
+  let mandatory e = e = 0 || Array.exists (fun u -> u = e) unique in
+  let keep =
+    match dup_cap with
+    | None -> keep
+    | Some cap ->
+      let seen = BvTbl.create 8 in
+      List.filter
+        (fun e ->
+          if mandatory e then true
+          else begin
+            let key = ev.reach.(e) in
+            let n = Option.value (BvTbl.find_opt seen key) ~default:0 in
+            BvTbl.replace seen key (n + 1);
+            n < cap
+          end)
+        keep
+  in
+  let keep =
+    if List.length keep <= t0 then keep
+    else begin
+      let mand, opt = List.partition mandatory keep in
+      let budget = max 0 (t0 - List.length mand) in
+      let opt_sorted =
+        List.stable_sort
+          (fun e1 e2 ->
+            Int.compare
+              (Bitv.cardinal ev.reach.(e2))
+              (Bitv.cardinal ev.reach.(e1)))
+          opt
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      List.sort Int.compare (mand @ take budget opt_sorted)
+    end
+  in
+  let kept_index = Array.make n_classes (-1) in
+  List.iteri (fun pos e -> kept_index.(e) <- pos) keep;
+  let values = Array.of_list (List.map (fun e -> ev.reach.(e)) keep) in
+  let unique =
+    Array.map (fun u -> if u >= 0 then kept_index.(u) else -1) unique
+  in
+  Ext_state.make ~states:c0 ~eq:ev.eq ~neq:ev.neq ~values ~unique
+    ~many:!many
+
+let apply ?t0 ?dup_cap t label (children : Ext_state.t array)
+    (classes : klass list) =
+  let c0s = decide_c0 t ~label ~children ~classes in
+  List.map (fun c0 -> assemble ?t0 ?dup_cap t ~children ~classes ~c0) c0s
+
+let leaves ?t0 ?dup_cap t label =
+  apply ?t0 ?dup_cap t label [||] [ { has_root = true; members = [] } ]

@@ -1,0 +1,64 @@
+(** A deliberately naive transition evaluator for BIP extended states —
+    the independent half of the UNSAT certificate checker.
+
+    This module re-implements the abstract transition relation of paper
+    §4.1 (combine children's extended states under a merging and a root
+    label) from the published definitions, sharing {e no code} with the
+    optimized evaluator in [lib/decision/transition.ml]: no memoized
+    closures, no per-label lift caches, no lazy/backward atom
+    evaluation, no pair-mask projection, no canonical-merging
+    deduplication. It recomputes every closure from scratch with a
+    quadratic fixpoint and materializes the full [∃(k1,k2)~] matrices
+    for every candidate root label.
+
+    The only semantics it must reproduce {e exactly} are the engine's
+    practical completeness knobs — the [t0] value cap, the [dup_cap]
+    duplicate-description cap and the merging [budget] — because a
+    bounded certificate asserts inductive closure under precisely those
+    bounds (see {!Cert.check}). The capping rules are restated here from
+    their documentation, not shared as code. *)
+
+type t
+(** An evaluation context over one BIP automaton (plain precomputation:
+    SCCs of the same-node dependency graph; no caches). *)
+
+val create : Xpds_automata.Bip.t -> t
+
+type klass = { has_root : bool; members : (int * int) list }
+(** One class of a merging: the new root's datum optionally, plus
+    [(child index, value index)] described values. Mirrors the shape of
+    {!Xpds_decision.Merging.klass} (re-declared, not shared). *)
+
+val visible_items : t -> Xpds_decision.Ext_state.t array -> (int * int) list
+(** The [(child, value)] pairs a merging partitions: described values
+    whose reach set survives one up-step. Children in array order,
+    values ascending — the item order the engine uses. *)
+
+val mergings : ?budget:int -> (int * int) list -> klass list list
+(** All partitions of [items ∪ {root}] with the same-child constraint,
+    root class first, classes in first-member order; [budget] caps the
+    identification cost exactly as the engine's enumeration does
+    (join root class: 1; make a singleton a pair: 2; join a larger
+    class: 1). *)
+
+val apply :
+  ?t0:int ->
+  ?dup_cap:int ->
+  t ->
+  Xpds_datatree.Label.t ->
+  Xpds_decision.Ext_state.t array ->
+  klass list ->
+  Xpds_decision.Ext_state.t list
+(** All extended states resulting from one transition: children (in the
+    given order) combined under the given merging and root label — one
+    state per consistent root run label [C0]. [t0] defaults to the
+    paper's [2|K|²+2]. *)
+
+val leaves :
+  ?t0:int ->
+  ?dup_cap:int ->
+  t ->
+  Xpds_datatree.Label.t ->
+  Xpds_decision.Ext_state.t list
+(** The height-1 states: {!apply} with no children and the root-only
+    merging. *)

@@ -2,68 +2,57 @@ module Data_tree = Xpds_datatree.Data_tree
 module Label = Xpds_datatree.Label
 open Xpds_xpath.Ast
 
-(* Minimal JSON emission. *)
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* All rendering goes through the shared [Json] library (lib/json); this
+   module only decides the shape of each object. *)
 
-let str s = "\"" ^ escape s ^ "\""
-let obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
-  ^ "}"
+let str s = Json.Str s
+let int i = Json.Num (float_of_int i)
 
-let arr items = "[" ^ String.concat "," items ^ "]"
-
-let rec tree_to_json t =
-  obj
+let rec tree_json t =
+  Json.Obj
     [ ("label", str (Label.to_string (Data_tree.label t)));
-      ("data", string_of_int (Data_tree.data t));
-      ("children", arr (List.map tree_to_json (Data_tree.children t)))
+      ("data", int (Data_tree.data t));
+      ("children", Json.Arr (List.map tree_json (Data_tree.children t)))
     ]
 
-let axis_to_json = function
+let tree_to_json t = Json.to_string (tree_json t)
+
+let axis_json = function
   | Self -> str "self"
   | Child -> str "child"
   | Descendant -> str "descendant"
 
 let rec path_json = function
-  | Axis a -> obj [ ("kind", str "axis"); ("axis", axis_to_json a) ]
+  | Axis a -> Json.Obj [ ("kind", str "axis"); ("axis", axis_json a) ]
   | Seq (a, b) ->
-    obj [ ("kind", str "seq"); ("left", path_json a); ("right", path_json b) ]
+    Json.Obj
+      [ ("kind", str "seq"); ("left", path_json a); ("right", path_json b) ]
   | Union (a, b) ->
-    obj
+    Json.Obj
       [ ("kind", str "union"); ("left", path_json a); ("right", path_json b) ]
   | Filter (a, n) ->
-    obj [ ("kind", str "filter"); ("path", path_json a); ("test", node_json n) ]
+    Json.Obj
+      [ ("kind", str "filter"); ("path", path_json a); ("test", node_json n) ]
   | Guard (n, a) ->
-    obj [ ("kind", str "guard"); ("test", node_json n); ("path", path_json a) ]
-  | Star a -> obj [ ("kind", str "star"); ("path", path_json a) ]
+    Json.Obj
+      [ ("kind", str "guard"); ("test", node_json n); ("path", path_json a) ]
+  | Star a -> Json.Obj [ ("kind", str "star"); ("path", path_json a) ]
 
 and node_json = function
-  | True -> obj [ ("kind", str "true") ]
-  | False -> obj [ ("kind", str "false") ]
-  | Lab l -> obj [ ("kind", str "label"); ("label", str (Label.to_string l)) ]
-  | Not n -> obj [ ("kind", str "not"); ("arg", node_json n) ]
+  | True -> Json.Obj [ ("kind", str "true") ]
+  | False -> Json.Obj [ ("kind", str "false") ]
+  | Lab l ->
+    Json.Obj [ ("kind", str "label"); ("label", str (Label.to_string l)) ]
+  | Not n -> Json.Obj [ ("kind", str "not"); ("arg", node_json n) ]
   | And (a, b) ->
-    obj [ ("kind", str "and"); ("left", node_json a); ("right", node_json b) ]
+    Json.Obj
+      [ ("kind", str "and"); ("left", node_json a); ("right", node_json b) ]
   | Or (a, b) ->
-    obj [ ("kind", str "or"); ("left", node_json a); ("right", node_json b) ]
-  | Exists p -> obj [ ("kind", str "exists"); ("path", path_json p) ]
+    Json.Obj
+      [ ("kind", str "or"); ("left", node_json a); ("right", node_json b) ]
+  | Exists p -> Json.Obj [ ("kind", str "exists"); ("path", path_json p) ]
   | Cmp (p, op, q) ->
-    obj
+    Json.Obj
       [ ("kind", str "cmp");
         ("op", str (match op with Eq -> "eq" | Neq -> "neq"));
         ("left", path_json p);
@@ -71,8 +60,11 @@ and node_json = function
       ]
 
 let node_to_json n =
-  obj
-    [ ("text", str (Xpds_xpath.Pp.node_to_string n)); ("ast", node_json n) ]
+  Json.to_string
+    (Json.Obj
+       [ ("text", str (Xpds_xpath.Pp.node_to_string n));
+         ("ast", node_json n)
+       ])
 
 let report_to_json (r : Xpds_decision.Sat.report) =
   let verdict, witness =
@@ -82,27 +74,28 @@ let report_to_json (r : Xpds_decision.Sat.report) =
     | Xpds_decision.Sat.Unsat_bounded _ -> ("unsat_bounded", None)
     | Xpds_decision.Sat.Unknown _ -> ("unknown", None)
   in
-  obj
-    ([ ("verdict", str verdict);
-       ( "fragment",
-         str (Xpds_xpath.Fragment.name r.Xpds_decision.Sat.fragment) );
-       ("algorithm", str r.Xpds_decision.Sat.algorithm);
-       ( "states",
-         string_of_int
-           r.Xpds_decision.Sat.stats.Xpds_decision.Emptiness.n_states );
-       ( "transitions",
-         string_of_int
-           r.Xpds_decision.Sat.stats.Xpds_decision.Emptiness.n_transitions );
-       ( "automaton",
-         obj
-           [ ("q", string_of_int r.Xpds_decision.Sat.automaton_q);
-             ("k", string_of_int r.Xpds_decision.Sat.automaton_k)
-           ] )
-     ]
-    @ (match witness with
-      | Some w -> [ ("witness", tree_to_json w) ]
-      | None -> [])
-    @
-    match r.Xpds_decision.Sat.witness_verified with
-    | Some b -> [ ("witness_verified", string_of_bool b) ]
-    | None -> [])
+  Json.to_string
+    (Json.Obj
+       ([ ("verdict", str verdict);
+          ( "fragment",
+            str (Xpds_xpath.Fragment.name r.Xpds_decision.Sat.fragment) );
+          ("algorithm", str r.Xpds_decision.Sat.algorithm);
+          ( "states",
+            int r.Xpds_decision.Sat.stats.Xpds_decision.Emptiness.n_states );
+          ( "transitions",
+            int
+              r.Xpds_decision.Sat.stats
+                .Xpds_decision.Emptiness.n_transitions );
+          ( "automaton",
+            Json.Obj
+              [ ("q", int r.Xpds_decision.Sat.automaton_q);
+                ("k", int r.Xpds_decision.Sat.automaton_k)
+              ] )
+        ]
+       @ (match witness with
+         | Some w -> [ ("witness", tree_json w) ]
+         | None -> [])
+       @
+       match r.Xpds_decision.Sat.witness_verified with
+       | Some b -> [ ("witness_verified", Json.Bool b) ]
+       | None -> []))

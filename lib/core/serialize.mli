@@ -1,6 +1,6 @@
 (** JSON rendering of trees, formulas and solver reports — the CLI's
-    [--json] output, for piping into other tooling. Emit-only; the
-    encoders are hand-rolled (no external JSON dependency). *)
+    [--json] output, for piping into other tooling. Emit-only, built on
+    the shared {!Json} library (lib/json). *)
 
 val tree_to_json : Xpds_datatree.Data_tree.t -> string
 (** [{"label": "...", "data": d, "children": [...]}] *)

@@ -19,6 +19,9 @@
     - {!Service}, {!Service_metrics}, {!Lru}, {!Cache_key}, {!Pool},
       {!Json}: the concurrent, cached solver service (worker pool,
       deadlines, NDJSON protocol — the [xpds serve]/[xpds batch]
+      subcommands);
+    - {!Cert}, {!Cert_naive}: checkable SAT/UNSAT certificates and
+      their independent verifier (the [xpds certify]/[--certify]
       subcommands).
 
     Quick start:
@@ -71,7 +74,9 @@ module Service_metrics = Xpds_service.Metrics
 module Lru = Xpds_service.Lru
 module Cache_key = Xpds_service.Cache_key
 module Pool = Xpds_service.Pool
-module Json = Xpds_service.Json
+module Json = Json
+module Cert = Xpds_cert.Cert
+module Cert_naive = Xpds_cert.Naive
 
 (** [satisfiable s] parses and decides a formula with the default solver
     configuration; [Error] on syntax errors, [None] on resource

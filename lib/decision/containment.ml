@@ -2,6 +2,7 @@ open Xpds_xpath.Ast
 
 type answer =
   | Holds
+  | Holds_bounded of string
   | Fails of Xpds_datatree.Data_tree.t
   | Unknown of string
 
@@ -9,7 +10,12 @@ let contained ?width phi psi =
   let query = And (phi, Xpds_xpath.Build.not_ psi) in
   match (Sat.decide ?width query).Sat.verdict with
   | Sat.Sat w -> Fails w
-  | Sat.Unsat | Sat.Unsat_bounded _ -> Holds
+  | Sat.Unsat -> Holds
+  | Sat.Unsat_bounded why ->
+    (* The saturation was under practical bounds smaller than the
+       paper's: empirically reliable, but not a certified inclusion —
+       don't collapse it into [Holds]. *)
+    Holds_bounded why
   | Sat.Unknown why -> Unknown why
 
 let equivalent ?width phi psi =

@@ -7,7 +7,12 @@
     paper leaves inclusion of {e path} expressions open — so do we. *)
 
 type answer =
-  | Holds  (** certified or saturated-bounds unsatisfiability of ϕ∧¬ψ *)
+  | Holds  (** certified: the unsatisfiability of ϕ∧¬ψ met the paper's
+               completeness bounds *)
+  | Holds_bounded of string
+      (** the ϕ∧¬ψ search saturated under practical bounds smaller than
+          the paper's ([Sat.Unsat_bounded]) — no counterexample exists
+          {e within} those bounds; empirically reliable, not certified *)
   | Fails of Xpds_datatree.Data_tree.t
       (** counterexample tree: some node satisfies ϕ but not ψ *)
   | Unknown of string
@@ -19,4 +24,5 @@ val contained :
 val equivalent :
   ?width:int -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node ->
   answer * answer
-(** Both inclusions; equivalent iff both [Holds]. *)
+(** Both inclusions; equivalent iff both are [Holds] (certified) or
+    [Holds_bounded] (within the search bounds). *)

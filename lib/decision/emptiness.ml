@@ -584,8 +584,16 @@ let check_data_free ~config (m : Bip.t) =
 
 (* --- main entry (general engine) --- *)
 
-let check_full ?(config = default_config) (m : Bip.t) =
-  let ctx = Transition.make_ctx ~project_pairs:true m in
+(* [want_basis] additionally returns the saturated set of extended
+   states when the fixpoint terminated by genuine saturation (not by the
+   height cap): that set is an inductive invariant — leaves land in it,
+   transitions from it stay in it, and no member is accepting — i.e. an
+   UNSAT certificate checkable by an independent verifier (lib/cert).
+   Certificate runs keep the full atom matrices ([project_pairs:false]):
+   the pair-mask projection is an engine-internal state-space
+   optimization the naive checker deliberately knows nothing about. *)
+let check_full ?(config = default_config) ?(want_basis = false) (m : Bip.t) =
+  let ctx = Transition.make_ctx ~project_pairs:(not want_basis) m in
   let width =
     match config.width with Some w -> w | None -> paper_width m
   in
@@ -654,15 +662,29 @@ let check_full ?(config = default_config) (m : Bip.t) =
     let outcome =
       if height_capped || not paper_complete then Bounded_empty else Empty
     in
-    (outcome, stats reached)
+    let basis =
+      (* Only a genuinely saturated set is inductive: a height-capped
+         search may still have undiscovered states one level up. *)
+      if want_basis && not height_capped then
+        Some (Array.sub s.states 0 s.count)
+      else None
+    in
+    ((outcome, stats reached), basis)
   with
   | Found id ->
     let witness = build_witness s id in
-    (Nonempty witness, stats s.heights.(id))
-  | Limit what -> (Resource_limit what, stats 0)
+    ((Nonempty witness, stats s.heights.(id)), None)
+  | Limit what -> ((Resource_limit what, stats 0), None)
 
 let check_with_stats ?(config = default_config) (m : Bip.t) =
-  if data_free m then check_data_free ~config m else check_full ~config m
+  if data_free m then check_data_free ~config m
+  else fst (check_full ~config m)
+
+let check_with_basis ?(config = default_config) (m : Bip.t) =
+  (* Always the general engine: the data-free fast path's collapsed
+     (C, reach) states are not the certificate's state form. *)
+  let (outcome, stats), basis = check_full ~config ~want_basis:true m in
+  (outcome, stats, basis)
 
 let check ?config m = fst (check_with_stats ?config m)
 

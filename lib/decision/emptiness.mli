@@ -78,6 +78,22 @@ val data_free : Xpds_automata.Bip.t -> bool
 val check : ?config:config -> Xpds_automata.Bip.t -> outcome
 val check_with_stats : ?config:config -> Xpds_automata.Bip.t -> outcome * stats
 
+val check_with_basis :
+  ?config:config ->
+  Xpds_automata.Bip.t ->
+  outcome * stats * Ext_state.t array option
+(** Like {!check_with_stats}, but additionally returns the saturated set
+    of extended states when the search ended by genuine saturation (an
+    [Empty]/[Bounded_empty] not caused by the [max_height] cap): that
+    set is an inductive invariant — every leaf transition lands in it,
+    every bounded transition from it stays in it, and no member is
+    accepting — i.e. the basis of a checkable UNSAT certificate
+    ({!Xpds_cert.Cert}). Certificate runs always use the general engine
+    (never the data-free fast path) and keep the full, unprojected atom
+    matrices, so the basis states are exactly what an independent
+    transition evaluator reproduces. [None] on [Nonempty],
+    [Resource_limit], or a height-capped saturation. *)
+
 val is_nonempty : ?config:config -> Xpds_automata.Bip.t -> bool option
 (** [Some true]/[Some false] when conclusive under the given bounds
     ([Bounded_empty] counts as inconclusive [None] only if the bounds

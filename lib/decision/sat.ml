@@ -12,6 +12,18 @@ type verdict =
   | Unsat_bounded of string
   | Unknown of string
 
+type cert_seed = {
+  cs_formula : Xpds_xpath.Ast.node;
+      (** the simplified formula the automaton was translated from *)
+  cs_labels : Xpds_datatree.Label.t list;  (** the automaton alphabet Σ *)
+  cs_width : int;
+  cs_t0 : int option;
+  cs_dup_cap : int option;
+  cs_merge_budget : int option;
+  cs_basis : Ext_state.t array option;
+      (** the saturated extended-state set, when the fixpoint saturated *)
+}
+
 type report = {
   verdict : verdict;
   fragment : Fragment.t;
@@ -20,14 +32,22 @@ type report = {
   witness_verified : bool option;
   automaton_q : int;
   automaton_k : int;
+  cert_seed : cert_seed option;
 }
 
 let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
     ?(merge_budget = Some 5) ?max_states ?max_transitions ?should_stop
-    ?(verify = true) ?(minimize = false) ?(extra_labels = []) eta =
+    ?(verify = true) ?(minimize = false) ?(extra_labels = [])
+    ?(certificate = false) eta =
   let eta = Xpds_xpath.Rewrite.simplify eta in
   let fragment = Fragment.classify eta in
   let bound = Fragment.poly_depth_bound eta in
+  (* Certificate mode needs the fixpoint to saturate genuinely: a
+     height-capped basis is not inductively closed (the engine may
+     still discover states one level up), so the Theorem-6 height
+     shortcut is turned off and the search runs to a true fixpoint
+     within the width/t0/dup/merge bounds. *)
+  let bound = if certificate then None else bound in
   let m = Translate.bip_of_node ~labels:extra_labels (Xpds_xpath.Ast.Exists
       (Xpds_xpath.Ast.Filter (Xpds_xpath.Ast.Axis Descendant, eta)))
   in
@@ -55,7 +75,12 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
         width
     | None -> Printf.sprintf "full fixpoint (Thm 4, width=%d)" width
   in
-  let outcome, stats = Emptiness.check_with_stats ~config m in
+  let outcome, stats, basis =
+    if certificate then Emptiness.check_with_basis ~config m
+    else
+      let outcome, stats = Emptiness.check_with_stats ~config m in
+      (outcome, stats, None)
+  in
   let paper_complete_widths =
     width >= Emptiness.paper_width m
     && (match t0 with
@@ -92,6 +117,20 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
           None )
     | Emptiness.Resource_limit what -> (Unknown what, None)
   in
+  let cert_seed =
+    if certificate then
+      Some
+        {
+          cs_formula = eta;
+          cs_labels = m.Bip.labels;
+          cs_width = width;
+          cs_t0 = t0;
+          cs_dup_cap = dup_cap;
+          cs_merge_budget = merge_budget;
+          cs_basis = basis;
+        }
+    else None
+  in
   {
     verdict;
     fragment;
@@ -100,6 +139,7 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
     witness_verified;
     automaton_q = m.Bip.q_card;
     automaton_k = m.Bip.pf.Pathfinder.n_states;
+    cert_seed;
   }
 
 let satisfiable ?width eta =

@@ -24,6 +24,27 @@ type verdict =
       (** fixpoint saturated under the given (smaller) bounds *)
   | Unknown of string  (** resource budget exhausted *)
 
+type cert_seed = {
+  cs_formula : Xpds_xpath.Ast.node;
+      (** the simplified formula the automaton was translated from — the
+          exact input of the Theorem-3 translation, so an independent
+          checker re-deriving the automaton from it lands on the same
+          state numbering *)
+  cs_labels : Xpds_datatree.Label.t list;  (** the automaton alphabet Σ *)
+  cs_width : int;
+  cs_t0 : int option;
+  cs_dup_cap : int option;
+  cs_merge_budget : int option;
+  cs_basis : Ext_state.t array option;
+      (** the saturated extended-state set
+          ({!Emptiness.check_with_basis}); [None] unless the fixpoint
+          genuinely saturated *)
+}
+(** Everything {!Xpds_cert.Cert} needs to assemble a checkable
+    certificate from a report. Populated only on [decide ~certificate:true]
+    runs, which use the general engine with unprojected atom matrices
+    (slower, but reproducible by a naive independent evaluator). *)
+
 type report = {
   verdict : verdict;
   fragment : Xpds_xpath.Fragment.t;
@@ -34,6 +55,8 @@ type report = {
           both the reference semantics and the BIP run *)
   automaton_q : int;  (** |Q| of the translated automaton *)
   automaton_k : int;  (** |K| of its pathfinder *)
+  cert_seed : cert_seed option;
+      (** certificate material; [Some] iff [certificate] was set *)
 }
 
 val decide :
@@ -47,6 +70,7 @@ val decide :
   ?verify:bool ->
   ?minimize:bool ->
   ?extra_labels:Xpds_datatree.Label.t list ->
+  ?certificate:bool ->
   Xpds_xpath.Ast.node ->
   report
 (** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?).
@@ -56,7 +80,10 @@ val decide :
     deadline hook of {!Emptiness.config} (a fired deadline yields
     [Unknown "deadline exceeded"]); [verify] defaults to true;
     [minimize] (default false) shrinks the witness with
-    {!Witness_min.minimize} before verification. *)
+    {!Witness_min.minimize} before verification; [certificate] (default
+    false) runs the emptiness search in certificate mode and fills
+    {!field-report.cert_seed} so {!Xpds_cert.Cert.of_report} can emit a
+    checkable artifact. *)
 
 val satisfiable : ?width:int -> Xpds_xpath.Ast.node -> bool option
 (** [Some b] when the verdict is [Sat]/[Unsat]/[Unsat_bounded] (the

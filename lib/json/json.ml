@@ -213,3 +213,11 @@ let member key = function
 
 let to_float = function Num f -> Some f | _ -> None
 let to_str = function Str s -> Some s | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 1e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr items -> Some items | _ -> None

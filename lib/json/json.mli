@@ -1,11 +1,11 @@
-(** A minimal JSON reader/writer for the service's NDJSON protocol.
+(** The repository's one minimal JSON reader/writer.
 
-    The repo deliberately has no external JSON dependency (the [--json]
-    CLI flags are emit-only, hand-rolled in {!Xpds.Serialize}); the
-    [xpds serve] loop additionally needs to {e read} requests, so this
-    module provides just enough of RFC 8259 for one request object per
-    line: objects, arrays, strings (with escapes, including [\uXXXX]
-    below U+0800), numbers, booleans, null. Numbers are represented as
+    The repo deliberately has no external JSON dependency; this module
+    provides just enough of RFC 8259 for its three consumers — the
+    [xpds serve] NDJSON loop, the [--json] CLI renderings
+    ({!Xpds.Serialize}) and the certificate files ({!Xpds_cert}):
+    objects, arrays, strings (with escapes, including [\uXXXX] below
+    U+0800), numbers, booleans, null. Numbers are represented as
     [float], like every small JSON library. *)
 
 type t =
@@ -28,6 +28,12 @@ val member : string -> t -> t option
 val to_float : t -> float option
 val to_str : t -> string option
 (** [to_str] accepts [Str]; [to_float] accepts [Num]. *)
+
+val to_int : t -> int option
+(** Accepts [Num] holding an exactly-representable integer. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
 
 val num_to_string : float -> string
 (** The number rendering used by {!to_string}: integral floats print

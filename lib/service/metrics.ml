@@ -21,6 +21,10 @@ type t = {
   mutable fixpoint_states : int;
   mutable fixpoint_transitions : int;
   mutable fixpoint_mergings : int;
+  mutable certified : int;
+  mutable cert_check_failures : int;
+  mutable cert_latency_sum : float;
+  mutable cert_latency_max : float;
 }
 
 type snapshot = {
@@ -39,6 +43,10 @@ type snapshot = {
   fixpoint_states : int;
   fixpoint_transitions : int;
   fixpoint_mergings : int;
+  certified : int;
+  cert_check_failures : int;
+  cert_latency_mean_ms : float;
+  cert_latency_max_ms : float;
 }
 
 let create () =
@@ -60,6 +68,10 @@ let create () =
     fixpoint_states = 0;
     fixpoint_transitions = 0;
     fixpoint_mergings = 0;
+    certified = 0;
+    cert_check_failures = 0;
+    cert_latency_sum = 0.;
+    cert_latency_max = 0.;
   }
 
 let reset (m : t) =
@@ -78,7 +90,11 @@ let reset (m : t) =
   m.ring_pos <- 0;
   m.fixpoint_states <- 0;
   m.fixpoint_transitions <- 0;
-  m.fixpoint_mergings <- 0
+  m.fixpoint_mergings <- 0;
+  m.certified <- 0;
+  m.cert_check_failures <- 0;
+  m.cert_latency_sum <- 0.;
+  m.cert_latency_max <- 0.
 
 let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
   m.requests <- m.requests + 1;
@@ -104,6 +120,15 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
       m.fixpoint_transitions + stats.Emptiness.n_transitions;
     m.fixpoint_mergings <- m.fixpoint_mergings + stats.Emptiness.n_mergings
   end
+
+(* Certificate checks are recorded separately from requests: a check is
+   optional post-processing of a verdict, and its cost (the naive
+   verifier) must not pollute the solver latency distribution. *)
+let record_cert (m : t) ~ok ~ms =
+  if ok then m.certified <- m.certified + 1
+  else m.cert_check_failures <- m.cert_check_failures + 1;
+  m.cert_latency_sum <- m.cert_latency_sum +. ms;
+  if ms > m.cert_latency_max then m.cert_latency_max <- ms
 
 let p95 (m : t) =
   if m.ring_len = 0 then 0.
@@ -136,6 +161,12 @@ let snapshot (m : t) : snapshot =
     fixpoint_states = m.fixpoint_states;
     fixpoint_transitions = m.fixpoint_transitions;
     fixpoint_mergings = m.fixpoint_mergings;
+    certified = m.certified;
+    cert_check_failures = m.cert_check_failures;
+    cert_latency_mean_ms =
+      (let n = m.certified + m.cert_check_failures in
+       if n = 0 then 0. else m.cert_latency_sum /. float_of_int n);
+    cert_latency_max_ms = m.cert_latency_max;
   }
 
 let to_json (s : snapshot) =
@@ -163,6 +194,17 @@ let to_json (s : snapshot) =
           [ ("states", Json.Num (float_of_int s.fixpoint_states));
             ("transitions", Json.Num (float_of_int s.fixpoint_transitions));
             ("mergings", Json.Num (float_of_int s.fixpoint_mergings))
+          ] );
+      ( "certificates",
+        Json.Obj
+          [ ("certified", Json.Num (float_of_int s.certified));
+            ( "check_failures",
+              Json.Num (float_of_int s.cert_check_failures) );
+            ( "latency_ms",
+              Json.Obj
+                [ ("mean", Json.Num s.cert_latency_mean_ms);
+                  ("max", Json.Num s.cert_latency_max_ms)
+                ] )
           ] )
     ]
 
@@ -172,8 +214,11 @@ let pp ppf (s : snapshot) =
      verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
      deadline)@,\
      latency ms: min %.2f, mean %.2f, p95 %.2f, max %.2f@,\
-     fixpoint totals: %d states, %d transitions, %d mergings@]"
+     fixpoint totals: %d states, %d transitions, %d mergings@,\
+     certificates: %d certified, %d check failures (mean %.2f ms, max \
+     %.2f ms)@]"
     s.requests s.cache_hits s.cache_misses s.sat s.unsat s.unsat_bounded
     s.unknown s.deadline_timeouts s.latency_min_ms s.latency_mean_ms
     s.latency_p95_ms s.latency_max_ms s.fixpoint_states
-    s.fixpoint_transitions s.fixpoint_mergings
+    s.fixpoint_transitions s.fixpoint_mergings s.certified
+    s.cert_check_failures s.cert_latency_mean_ms s.cert_latency_max_ms

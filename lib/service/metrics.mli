@@ -26,6 +26,10 @@ type snapshot = {
   fixpoint_states : int;  (** summed {!Xpds_decision.Emptiness.stats} *)
   fixpoint_transitions : int;
   fixpoint_mergings : int;
+  certified : int;  (** certificate checks that passed *)
+  cert_check_failures : int;  (** certificate checks that were rejected *)
+  cert_latency_mean_ms : float;  (** mean certificate-check latency *)
+  cert_latency_max_ms : float;
 }
 
 val window : int
@@ -40,6 +44,11 @@ val record :
   ms:float ->
   stats:Xpds_decision.Emptiness.stats ->
   unit
+
+val record_cert : t -> ok:bool -> ms:float -> unit
+(** Count one certificate check (kept apart from request latencies; the
+    caller supplies the outcome, so this layer stays agnostic of the
+    certificate format — {!Xpds_cert} sits above the service). *)
 
 val snapshot : t -> snapshot
 val reset : t -> unit

@@ -13,6 +13,7 @@ type solver_config = {
   max_states : int;
   max_transitions : int;
   verify : bool;
+  certificate : bool;
 }
 
 type config = {
@@ -30,6 +31,7 @@ let default_solver_config =
     max_states = Emptiness.default_config.Emptiness.max_states;
     max_transitions = Emptiness.default_config.Emptiness.max_transitions;
     verify = true;
+    certificate = false;
   }
 
 let default_config =
@@ -63,9 +65,12 @@ type t = {
 
 let fingerprint_of (sc : solver_config) =
   let opt = function None -> "-" | Some i -> string_of_int i in
-  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b" sc.width
+  (* [certificate] is part of the key: certificate mode disables the
+     height cap (the fixpoint must genuinely saturate), which can
+     change the outcome class of a run. *)
+  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b" sc.width
     (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget) sc.max_states
-    sc.max_transitions sc.verify
+    sc.max_transitions sc.verify sc.certificate
 
 let create ?(config = default_config) () =
   {
@@ -78,6 +83,9 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 let metrics t = Mutex.protect t.lock (fun () -> Metrics.snapshot t.meters)
+
+let record_cert t ~ok ~ms =
+  Mutex.protect t.lock (fun () -> Metrics.record_cert t.meters ~ok ~ms)
 let reset_metrics t = Mutex.protect t.lock (fun () -> Metrics.reset t.meters)
 let cache_length t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
 
@@ -104,7 +112,7 @@ let solve_uncached t ~timeout_ms canon =
     Sat.decide ~width:sc.width ~t0:sc.t0 ~dup_cap:sc.dup_cap
       ~merge_budget:sc.merge_budget ~max_states:sc.max_states
       ~max_transitions:sc.max_transitions ?should_stop ~verify:sc.verify
-      canon
+      ~certificate:sc.certificate canon
   in
   (report, (Unix.gettimeofday () -. start) *. 1000.)
 
@@ -223,7 +231,7 @@ let request_of_json line =
       | Error e -> Error (Printf.sprintf "bad formula: %s" e)
       | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms }))
 
-let response_to_json resp =
+let response_to_json ?(extra = []) resp =
   let report = resp.report in
   let base =
     [ ("id", Json.Str resp.id);
@@ -237,7 +245,7 @@ let response_to_json resp =
         Json.Num (float_of_int report.Sat.stats.Emptiness.n_transitions) )
     ]
   in
-  let extra =
+  let verdict_fields =
     match report.Sat.verdict with
     | Sat.Sat w ->
       [ ("witness", Json.Str (Data_tree.to_string w)) ]
@@ -248,4 +256,4 @@ let response_to_json resp =
     | Sat.Unsat_bounded why | Sat.Unknown why ->
       [ ("reason", Json.Str why) ]
   in
-  Json.to_string (Json.Obj (base @ extra))
+  Json.to_string (Json.Obj (base @ verdict_fields @ extra))

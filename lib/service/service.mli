@@ -34,6 +34,10 @@ type solver_config = {
   max_states : int;
   max_transitions : int;
   verify : bool;
+  certificate : bool;
+      (** run in certificate mode: reports carry a
+          {!Xpds_decision.Sat.cert_seed} from which {!Xpds_cert.Cert}
+          builds a checkable certificate *)
 }
 (** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
     key, so changing them never serves stale verdicts. *)
@@ -80,6 +84,12 @@ val metrics : t -> Metrics.snapshot
 val reset_metrics : t -> unit
 val cache_length : t -> int
 
+val record_cert : t -> ok:bool -> ms:float -> unit
+(** Count one certificate check in this service's metrics (under the
+    service mutex). The service itself never builds or checks
+    certificates — the certificate layer sits above it — so the caller
+    reports the outcome. *)
+
 (* --- NDJSON wire format (the [xpds serve] / [xpds batch] protocol) --- *)
 
 val request_of_json : string -> (request, string) result
@@ -89,10 +99,13 @@ val request_of_json : string -> (request, string) result
     the concrete syntax of {!Xpds_xpath.Parser}; [timeout_ms] is
     optional. *)
 
-val response_to_json : response -> string
+val response_to_json : ?extra:(string * Json.t) list -> response -> string
 (** [{"id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
     "states":.., "transitions":.., "reason":.. (when inconclusive),
-    "witness":.. (when sat), "verified":.. (when checked)}]. *)
+    "witness":.. (when sat), "verified":.. (when checked)}]. [extra]
+    fields are appended verbatim — the [--certify] CLI layer uses this
+    for its per-response certificate summary, keeping the service
+    independent of the certificate format. *)
 
 val verdict_name : Xpds_decision.Sat.verdict -> string
 (** ["sat" | "unsat" | "unsat_bounded" | "unknown"]. *)

@@ -303,8 +303,11 @@ let prop_witness_min_local_minimum =
 let test_containment () =
   let phi = parse "<down[a]>" in
   let psi = parse "<down>" in
+  (* With the practical default width the saturation is below the
+     paper's bounds, so the sound answer is [Holds_bounded], never a
+     certified [Holds]. *)
   (match Containment.contained phi psi with
-  | Containment.Holds -> ()
+  | Containment.Holds | Containment.Holds_bounded _ -> ()
   | _ -> Alcotest.fail "<down[a]> should be contained in <down>");
   (match Containment.contained psi phi with
   | Containment.Fails w ->
@@ -316,7 +319,9 @@ let test_containment () =
   match
     Containment.equivalent (parse "<desc[a]>") (parse "<desc/desc[a]>")
   with
-  | Containment.Holds, Containment.Holds -> ()
+  | ( (Containment.Holds | Containment.Holds_bounded _),
+      (Containment.Holds | Containment.Holds_bounded _) ) ->
+    ()
   | _ -> Alcotest.fail "desc and desc/desc should be equivalent"
 
 let test_data_containment () =
@@ -324,7 +329,7 @@ let test_data_containment () =
   let phi = parse "down[a] != down[a]" in
   let psi = parse "<down[a]>" in
   (match Containment.contained phi psi with
-  | Containment.Holds -> ()
+  | Containment.Holds | Containment.Holds_bounded _ -> ()
   | _ -> Alcotest.fail "≠ test should imply existence");
   (* but not conversely *)
   match Containment.contained psi phi with

@@ -3,7 +3,7 @@
 
 module Service = Xpds_service.Service
 module Lru = Xpds_service.Lru
-module Json = Xpds_service.Json
+(* [Json] is the standalone xpds_json library (unwrapped). *)
 module Cache_key = Xpds_service.Cache_key
 module Rewrite = Xpds_xpath.Rewrite
 module Semantics = Xpds_xpath.Semantics
