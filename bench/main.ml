@@ -78,7 +78,7 @@ let () =
     (* The service and emptiness benchmarks write BENCH_*.json; opt-in
        only. *)
     let named =
-      ("service", Service_bench.run)
+      ("service", fun () -> ignore (Service_bench.run ()))
       :: ("emptiness", fun () -> ignore (Emptiness_bench.run ()))
       :: Experiments.all
     in

@@ -1,34 +1,83 @@
-(* Service benchmark: cold sequential vs parallel batch, warm (cached)
-   batch, verdict agreement and deadline behaviour over a mixed-fragment
-   corpus. Emits machine-readable BENCH_service.json in the cwd.
+(* Service benchmark and serving-layer smoke.
 
-   Run with: dune exec bench/main.exe -- service *)
+   Full mode: cold sequential vs parallel batch, warm (cached) batch,
+   verdict agreement and deadline behaviour over the shared corpus.
+   Emits BENCH_service.json (or [out]) plus a per-request trace sample
+   in BENCH_service_trace.json — the phase breakdown CI uploads as an
+   artifact.
+
+   [run ~quick:true] is the CI smoke mode for the hardened serving
+   layer: verdicts by construction on a parallel batch, a forced
+   deadline (monotonic, admission-anchored, uncached), a 0 ms deadline
+   (deterministic), a poisoned batch item (crash isolation: the rest of
+   the batch must survive), a degraded-bounds retry, and a
+   malformed-input sweep through the NDJSON entry point (the serve loop
+   must answer {"error":..}, never die). Returns 0 on success, 1 on any
+   violated expectation.
+
+   Run with: xpds bench service [--quick]
+         or: dune exec bench/main.exe -- service *)
 
 module Service = Xpds.Service
+module Trace = Xpds.Trace
 module Json = Xpds.Json
-
-(* The formula set lives in {!Corpus} (shared with the emptiness
-   benchmark so BENCH_service.json and BENCH_emptiness.json time the
-   same work). *)
 
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let verdict_of (r : Service.response) =
+  Service.verdict_name r.Service.report.Xpds.Sat.verdict
+
 let verdict_counts responses =
   let count name =
-    List.length
-      (List.filter
-         (fun (r : Service.response) ->
-           Service.verdict_name r.Service.report.Xpds.Sat.verdict = name)
-         responses)
+    List.length (List.filter (fun r -> verdict_of r = name) responses)
   in
   List.map
     (fun n -> (n, Json.Num (float_of_int (count n))))
     [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
 
-let run () =
+let write_json ~out json =
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote %s@." out
+
+let trace_out out =
+  (if Filename.check_suffix out ".json" then Filename.chop_suffix out ".json"
+   else out)
+  ^ "_trace.json"
+
+let trace_sample (resps : Service.response list) =
+  Json.Arr
+    (List.map
+       (fun (r : Service.response) ->
+         Json.Obj
+           [ ("id", Json.Str r.Service.id);
+             ("verdict", Json.Str (verdict_of r));
+             ("cached", Json.Bool r.Service.cached);
+             ("trace", Trace.to_json r.Service.trace)
+           ])
+       resps)
+
+(* A service with the resource budgets lifted, so only the deadline can
+   stop the saturation of a hard unsat formula. *)
+let unbounded_svc ?(retry_degraded = false) () =
+  Service.create
+    ~config:
+      { Service.default_config with
+        solver =
+          { Service.default_solver_config with
+            max_states = 100_000_000;
+            max_transitions = 100_000_000;
+            retry_degraded
+          }
+      }
+    ()
+
+let full ~out () =
   let reqs = Corpus.requests (Corpus.formulas ()) in
   let n = List.length reqs in
   let cores = Domain.recommended_domain_count () in
@@ -48,15 +97,14 @@ let run () =
   let agree =
     List.for_all2
       (fun (a : Service.response) (b : Service.response) ->
-        Service.verdict_name a.Service.report.Xpds.Sat.verdict
-        = Service.verdict_name b.Service.report.Xpds.Sat.verdict)
+        verdict_of a = verdict_of b)
       seq par
   in
   Format.printf "  verdicts agree: %b@." agree;
 
   (* Warm re-run of the same batch: everything cacheable is a hit. *)
   Service.reset_metrics par_svc;
-  let _, warm_s =
+  let warm, warm_s =
     time (fun () -> Service.solve_batch ~jobs:4 par_svc reqs)
   in
   let m = Service.metrics par_svc in
@@ -67,18 +115,7 @@ let run () =
 
   (* Deadline: an unsat saturation with the budgets lifted cannot finish
      in 150 ms, so the verdict must be Unknown "deadline exceeded". *)
-  let hard_svc =
-    Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            { Service.default_solver_config with
-              max_states = 100_000_000;
-              max_transitions = 100_000_000
-            }
-        }
-      ()
-  in
+  let hard_svc = unbounded_svc () in
   let hard, hard_s =
     time (fun () ->
         Service.solve hard_svc
@@ -87,11 +124,17 @@ let run () =
             timeout_ms = Some 150.
           })
   in
-  let hard_verdict =
-    Service.verdict_name hard.Service.report.Xpds.Sat.verdict
-  in
+  let hard_verdict = verdict_of hard in
   Format.printf "  deadline probe: %s after %.0f ms@." hard_verdict
     (hard_s *. 1000.);
+
+  (* Phase breakdown artifact: the first few cold responses plus the
+     deadline probe (queue/fixpoint-heavy and deadline-shaped traces). *)
+  write_json ~out:(trace_out out)
+    (trace_sample
+       (List.filteri (fun i _ -> i < 8) seq
+       @ List.filteri (fun i _ -> i < 2) warm
+       @ [ hard ]));
 
   let json =
     Json.Obj
@@ -132,8 +175,191 @@ let run () =
              else "") )
       ]
   in
-  let oc = open_out "BENCH_service.json" in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote BENCH_service.json@."
+  write_json ~out json;
+  if agree then 0 else 1
+
+(* --- CI smoke mode --- *)
+
+let smoke ~out () =
+  let checks = ref [] in
+  let check name ok =
+    Format.printf "  %-38s %s@." name (if ok then "ok" else "FAIL");
+    checks := (name, ok) :: !checks
+  in
+
+  (* 1. Verdicts by construction, solved as a parallel batch (pool +
+     in-batch dedup under per-item result isolation). *)
+  let cases =
+    [ ("child_chain_sat_3", Families.child_chain ~sat:true 3, `Sat);
+      ("child_chain_unsat_2", Families.child_chain ~sat:false 2, `Unsat);
+      ("data_chain_sat_2", Families.data_chain ~sat:true 2, `Sat);
+      ("data_chain_unsat_2", Families.data_chain ~sat:false 2, `Unsat);
+      ("desc_data_sat_1", Families.desc_data ~sat:true 1, `Sat);
+      (* duplicate key: must be served as an in-batch hit *)
+      ("child_chain_sat_3_dup", Families.child_chain ~sat:true 3, `Sat)
+    ]
+  in
+  let svc = Service.create () in
+  let resps =
+    Service.solve_batch ~jobs:2 svc
+      (List.map
+         (fun (name, phi, _) ->
+           { Service.id = name; formula = phi; timeout_ms = None })
+         cases)
+  in
+  List.iter2
+    (fun (name, _, expect) resp ->
+      let ok =
+        match (expect, verdict_of resp) with
+        | `Sat, "sat" -> true
+        | `Unsat, ("unsat" | "unsat_bounded") -> true
+        | _ -> false
+      in
+      check name ok)
+    cases resps;
+  check "in_batch_dedup_hit"
+    (List.exists (fun r -> r.Service.cached) resps);
+
+  (* 2. Forced deadline: monotonic, admission-anchored, honest and
+     uncached. *)
+  let hard_svc = unbounded_svc () in
+  let hard =
+    Service.solve hard_svc
+      { Service.id = "hard";
+        formula = Families.desc_data ~sat:false 3;
+        timeout_ms = Some 150.
+      }
+  in
+  check "forced_timeout_unknown" (verdict_of hard = "unknown");
+  check "forced_timeout_uncached" (Service.cache_length hard_svc = 0);
+  let dm = Service.metrics hard_svc in
+  check "forced_timeout_counted"
+    (dm.Xpds.Service_metrics.deadline_timeouts = 1);
+
+  (* 3. A 0 ms budget fires deterministically at admission. *)
+  let zero =
+    Service.solve hard_svc
+      { Service.id = "zero";
+        formula = Families.child_chain ~sat:true 2;
+        timeout_ms = Some 0.
+      }
+  in
+  check "zero_timeout_unknown" (verdict_of zero = "unknown");
+  check "zero_timeout_uncached" (Service.cache_length hard_svc = 0);
+
+  (* 4. Crash isolation: one poisoned item, the rest of the batch keeps
+     its verdicts. *)
+  let crash_svc = Service.create () in
+  Service.Chaos.set crash_svc
+    (Some (fun id -> if id = "poison" then failwith "chaos"));
+  let crash_resps =
+    Service.solve_batch ~jobs:2 crash_svc
+      [ { Service.id = "ok1";
+          formula = Families.child_chain ~sat:true 2;
+          timeout_ms = None
+        };
+        { Service.id = "poison";
+          formula = Families.data_chain ~sat:true 2;
+          timeout_ms = None
+        };
+        { Service.id = "ok2";
+          formula = Families.child_chain ~sat:false 2;
+          timeout_ms = None
+        }
+      ]
+  in
+  (match crash_resps with
+  | [ a; b; c ] ->
+    check "crash_isolated_item" (verdict_of b = "unknown");
+    check "crash_rest_of_batch_survives"
+      (verdict_of a = "sat"
+      && (verdict_of c = "unsat" || verdict_of c = "unsat_bounded"));
+    check "crash_counted"
+      ((Service.metrics crash_svc).Xpds.Service_metrics.crashes = 1)
+  | _ -> check "crash_batch_arity" false);
+  Service.Chaos.set crash_svc None;
+
+  (* 5. Graceful degradation: a budget too small to conclude, retried
+     once under degraded bounds. *)
+  let tiny_svc =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver =
+            { Service.default_solver_config with
+              max_states = 10;
+              max_transitions = 40;
+              retry_degraded = true
+            }
+        }
+      ()
+  in
+  let degraded =
+    Service.solve tiny_svc
+      { Service.id = "degraded";
+        formula = Families.desc_data ~sat:false 1;
+        timeout_ms = None
+      }
+  in
+  check "degraded_retry_flagged" degraded.Service.degraded;
+  check "degraded_retry_counted"
+    ((Service.metrics tiny_svc).Xpds.Service_metrics.degraded_retries = 1);
+
+  (* 6. Malformed input through the NDJSON entry point: structured
+     errors, never an escaped exception. *)
+  let garbage =
+    [ "this is not json";
+      "{\"id\":1}";
+      "{\"formula\": \"<down[\"}";
+      "{\"formula\": 42}";
+      "[]";
+      "{\"formula\": \"<down[a]>\", \"timeout_ms\": \"soon\"}"
+    ]
+  in
+  let is_error line =
+    match Json.parse line with
+    | Ok v -> Json.member "error" v <> None
+    | Error _ -> false
+  in
+  check "malformed_lines_answer_error"
+    (List.for_all
+       (fun l -> is_error (Service.handle_line svc l))
+       (List.filteri (fun i _ -> i < 5) garbage));
+  (* the last one parses (timeout_ms is just ignored as non-numeric) *)
+  check "garbage_timeout_still_solves"
+    (not (is_error (Service.handle_line svc (List.nth garbage 5))));
+  let good = {|{"id":"g1","formula":"<down[a]>"}|} in
+  let good_line = Service.handle_line ~trace:true svc good in
+  check "good_line_solves"
+    (match Json.parse good_line with
+    | Ok v -> (
+      match Json.member "verdict" v with
+      | Some (Json.Str "sat") -> Json.member "trace" v <> None
+      | _ -> false)
+    | Error _ -> false);
+
+  (* Trace artifact: the smoke batch + the deadline and degraded
+     probes. *)
+  write_json ~out:(trace_out out)
+    (trace_sample (resps @ [ hard; zero; degraded ]));
+
+  let results = List.rev !checks in
+  let failed = List.filter (fun (_, ok) -> not ok) results in
+  Format.printf "  %d/%d ok@."
+    (List.length results - List.length failed)
+    (List.length results);
+  write_json ~out
+    (Json.Obj
+       [ ("mode", Json.Str "quick");
+         ("checks", Json.Num (float_of_int (List.length results)));
+         ("failed", Json.Num (float_of_int (List.length failed)));
+         ( "results",
+           Json.Obj
+             (List.map (fun (name, ok) -> (name, Json.Bool ok)) results)
+         )
+       ]);
+  if failed = [] then 0 else 1
+
+let run ?(quick = false) ?(out = "BENCH_service.json") () =
+  Format.printf "service bench%s:@." (if quick then " (quick)" else "");
+  if quick then smoke ~out () else full ~out ()

@@ -61,7 +61,7 @@ let certify_arg =
    healthy: an UNKNOWN verdict has no certificate and that is fine; an
    emission error or a rejected check is a failure. Check outcomes are
    recorded in [svc]'s metrics when a service is in play. *)
-let certify_report ?svc (report : Xpds.Sat.report) =
+let certify_report ?svc ?trace (report : Xpds.Sat.report) =
   match report.Xpds.Sat.verdict with
   | Xpds.Sat.Unknown _ ->
     ([ ("certificate", Xpds.Json.Str "unavailable") ], None, true)
@@ -74,13 +74,14 @@ let certify_report ?svc (report : Xpds.Sat.report) =
         None,
         false )
     | Ok cert ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Xpds.Trace.now_ms () in
       let result = Xpds.Cert.check cert in
-      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let ms = Xpds.Trace.now_ms () -. t0 in
       Option.iter
         (fun svc ->
           Xpds.Service.record_cert svc ~ok:(Result.is_ok result) ~ms)
         svc;
+      Option.iter (fun tr -> Xpds.Trace.add_ms tr "certificate" ms) trace;
       let ms_field =
         ("certificate_ms", Xpds.Json.Num (Float.round (ms *. 1000.) /. 1000.))
       in
@@ -501,12 +502,16 @@ let stats_arg =
   let doc = "Print service metrics (JSON, on stderr) when done." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let service_of ?(certificate = false) ~cache_capacity ~jobs () =
+let service_of ?(certificate = false) ?(retry_degraded = false)
+    ~cache_capacity ~jobs () =
   Xpds.Service.create
     ~config:
       { Xpds.Service.default_config with
         solver =
-          { Xpds.Service.default_solver_config with certificate };
+          { Xpds.Service.default_solver_config with
+            certificate;
+            retry_degraded
+          };
         cache_capacity;
         jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
       }
@@ -514,43 +519,54 @@ let service_of ?(certificate = false) ~cache_capacity ~jobs () =
 
 let default_timeout t = if t > 0. then Some t else None
 
+let trace_arg =
+  let doc =
+    "Attach per-request phase timings (parse, canonicalize, cache \
+     probe, queue wait, translate/fixpoint/verify, certificate) to \
+     every response as a \"trace\" object."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let degrade_arg =
+  let doc =
+    "Graceful degradation: retry a budget-exhausted \"unknown\" once \
+     under smaller search bounds (responses gain \"degraded\":true) \
+     instead of giving up."
+  in
+  Arg.(value & flag & info [ "degrade" ] ~doc)
+
 let print_metrics svc =
   prerr_endline
     (Xpds.Json.to_string
        (Xpds.Service_metrics.to_json (Xpds.Service.metrics svc)))
 
 let serve_cmd =
-  let run timeout_ms cache stats certify =
-    let svc = service_of ~certificate:certify ~cache_capacity:cache ~jobs:0 () in
+  let run timeout_ms cache stats certify trace degrade =
+    let svc =
+      service_of ~certificate:certify ~retry_degraded:degrade
+        ~cache_capacity:cache ~jobs:0 ()
+    in
+    let extra_of (resp : Xpds.Service.response) =
+      if certify then
+        let fields, _, _ =
+          certify_report ~svc ~trace:resp.Xpds.Service.trace
+            resp.Xpds.Service.report
+        in
+        fields
+      else []
+    in
+    (* [handle_line] never raises: malformed JSON, unparsable formulas
+       and even a crashing solve answer a structured {"error": ...}
+       line — garbage on the socket must not kill the server. *)
     let rec loop () =
       match read_line () with
       | exception End_of_file -> ()
       | line when String.trim line = "" -> loop ()
       | line ->
-        (match Xpds.Service.request_of_json line with
-        | Error e ->
-          print_endline
-            (Xpds.Json.to_string
-               (Xpds.Json.Obj [ ("error", Xpds.Json.Str e) ]))
-        | Ok req ->
-          let req =
-            match req.Xpds.Service.timeout_ms with
-            | Some _ -> req
-            | None ->
-              { req with
-                Xpds.Service.timeout_ms = default_timeout timeout_ms
-              }
-          in
-          let resp = Xpds.Service.solve svc req in
-          let extra =
-            if certify then
-              let fields, _, _ =
-                certify_report ~svc resp.Xpds.Service.report
-              in
-              fields
-            else []
-          in
-          print_endline (Xpds.Service.response_to_json ~extra resp));
+        print_endline
+          (Xpds.Service.handle_line
+             ?default_timeout_ms:(default_timeout timeout_ms) ~trace
+             ~extra_of svc line);
         flush stdout;
         loop ()
     in
@@ -563,10 +579,14 @@ let serve_cmd =
          "Solver service: read NDJSON requests {\"id\":.., \
           \"formula\":.., \"timeout_ms\":..} from stdin, answer \
           {\"id\":.., \"verdict\":.., \"cached\":.., \"ms\":..} per \
-          line on stdout. Results are cached by canonical formula. \
-          With --certify each response carries a checked certificate \
-          summary.")
-    Term.(const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg)
+          line on stdout (a structured {\"error\":..} line for \
+          malformed input — the loop never dies). Results are cached \
+          by canonical formula; concurrent equal requests share one \
+          solve. With --certify each response carries a checked \
+          certificate summary; with --trace, per-phase timings.")
+    Term.(
+      const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
+      $ trace_arg $ degrade_arg)
 
 let batch_cmd =
   let file_arg =
@@ -594,7 +614,7 @@ let batch_cmd =
             "Write each response's certificate to $(docv)/<id>.cert.json; \
              implies --certify.")
   in
-  let run file jobs timeout_ms cache stats certify cert_dir =
+  let run file jobs timeout_ms cache stats certify cert_dir trace degrade =
     let certify = certify || cert_dir <> None in
     let ic = open_in file in
     let requests = ref [] in
@@ -620,7 +640,10 @@ let batch_cmd =
        done
      with End_of_file -> close_in ic);
     let requests = List.rev !requests in
-    let svc = service_of ~certificate:certify ~cache_capacity:cache ~jobs () in
+    let svc =
+      service_of ~certificate:certify ~retry_degraded:degrade
+        ~cache_capacity:cache ~jobs ()
+    in
     let responses = Xpds.Service.solve_batch svc requests in
     (match cert_dir with
     | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
@@ -631,7 +654,8 @@ let batch_cmd =
         let extra =
           if certify then begin
             let fields, cert, ok =
-              certify_report ~svc resp.Xpds.Service.report
+              certify_report ~svc ~trace:resp.Xpds.Service.trace
+                resp.Xpds.Service.report
             in
             if not ok then all_ok := false;
             (match (cert_dir, cert) with
@@ -644,7 +668,7 @@ let batch_cmd =
           end
           else []
         in
-        print_endline (Xpds.Service.response_to_json ~extra resp))
+        print_endline (Xpds.Service.response_to_json ~trace ~extra resp))
       responses;
     if stats then print_metrics svc;
     if not !all_ok then exit 4
@@ -653,12 +677,15 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Decide every formula in FILE on a pool of worker domains, \
-          printing one NDJSON response per formula. With --certify \
-          every verdict is certified and independently re-checked \
-          (exit 4 if any certificate fails).")
+          printing one NDJSON response per formula (a crashing item \
+          yields an {\"error\":..} response; the rest of the batch \
+          still completes). With --certify every verdict is certified \
+          and independently re-checked (exit 4 if any certificate \
+          fails); with --trace, per-phase timings.")
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
-      $ stats_arg $ certify_arg $ cert_dir_arg)
+      $ stats_arg $ certify_arg $ cert_dir_arg $ trace_arg
+      $ degrade_arg)
 
 (* --- certify --- *)
 
@@ -709,7 +736,8 @@ let bench_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
-          ~doc:"Benchmark to run: \"emptiness\" or \"certify\".")
+          ~doc:"Benchmark to run: \"emptiness\", \"certify\" or \
+                \"service\".")
   in
   let quick_arg =
     let doc =
@@ -731,9 +759,13 @@ let bench_cmd =
     | "certify" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_certify.json" else out in
       exit (Certify_bench.run ~quick ~out ())
+    | "service" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_service.json" else out in
+      exit (Service_bench.run ~quick ~out ())
     | other ->
       prerr_endline
-        ("unknown bench target " ^ other ^ " (have: emptiness, certify)");
+        ("unknown bench target " ^ other
+       ^ " (have: emptiness, certify, service)");
       exit 2
   in
   Cmd.v

@@ -16,10 +16,11 @@
     - {!Tiling_game}, {!Tiling}, {!Qbf}, {!Qbf_encoding}, {!Attr_xpath}:
       the lower-bound reductions and the attrXPath front end (§4.2,
       Appendices A & E);
-    - {!Service}, {!Service_metrics}, {!Lru}, {!Cache_key}, {!Pool},
-      {!Json}: the concurrent, cached solver service (worker pool,
-      deadlines, NDJSON protocol — the [xpds serve]/[xpds batch]
-      subcommands);
+    - {!Service}, {!Service_metrics}, {!Trace}, {!Lru}, {!Cache_key},
+      {!Pool}, {!Json}: the concurrent, cached solver service
+      (single-flight dedup, worker pool, monotonic admission-anchored
+      deadlines, per-request phase traces, NDJSON protocol — the
+      [xpds serve]/[xpds batch] subcommands);
     - {!Cert}, {!Cert_naive}: checkable SAT/UNSAT certificates and
       their independent verifier (the [xpds certify]/[--certify]
       subcommands).
@@ -71,6 +72,7 @@ module Qbf_encoding = Xpds_encodings.Qbf_encoding
 module Attr_xpath = Xpds_encodings.Attr_xpath
 module Service = Xpds_service.Service
 module Service_metrics = Xpds_service.Metrics
+module Trace = Xpds_service.Trace
 module Lru = Xpds_service.Lru
 module Cache_key = Xpds_service.Cache_key
 module Pool = Xpds_service.Pool

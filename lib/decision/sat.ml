@@ -37,8 +37,9 @@ type report = {
 
 let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
     ?(merge_budget = Some 5) ?max_states ?max_transitions ?should_stop
-    ?(verify = true) ?(minimize = false) ?(extra_labels = [])
-    ?(certificate = false) eta =
+    ?(on_phase = fun _ -> ()) ?(verify = true) ?(minimize = false)
+    ?(extra_labels = []) ?(certificate = false) eta =
+  on_phase "translate";
   let eta = Xpds_xpath.Rewrite.simplify eta in
   let fragment = Fragment.classify eta in
   let bound = Fragment.poly_depth_bound eta in
@@ -76,6 +77,7 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
     | None -> Printf.sprintf "full fixpoint (Thm 4, width=%d)" width
   in
   let outcome, stats, basis =
+    on_phase "fixpoint";
     if certificate then Emptiness.check_with_basis ~config m
     else
       let outcome, stats = Emptiness.check_with_stats ~config m in
@@ -91,6 +93,7 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
   let verdict, witness_verified =
     match outcome with
     | Emptiness.Nonempty w ->
+      on_phase "verify";
       let w =
         if minimize then
           Witness_min.minimize

@@ -67,6 +67,7 @@ val decide :
   ?max_states:int ->
   ?max_transitions:int ->
   ?should_stop:(unit -> bool) ->
+  ?on_phase:(string -> unit) ->
   ?verify:bool ->
   ?minimize:bool ->
   ?extra_labels:Xpds_datatree.Label.t list ->
@@ -78,7 +79,11 @@ val decide :
     [merge_budget] [Some 5] (pass [None] explicitly for the
     paper-complete behaviour of each); [should_stop] is the cooperative
     deadline hook of {!Emptiness.config} (a fired deadline yields
-    [Unknown "deadline exceeded"]); [verify] defaults to true;
+    [Unknown "deadline exceeded"]); [on_phase] is its observability
+    sibling — invoked with ["translate"], ["fixpoint"], and (on a
+    nonempty outcome) ["verify"] as the run enters each stage, so a
+    serving layer can attribute wall-clock to phases without wrapping
+    the solver (default: ignore); [verify] defaults to true;
     [minimize] (default false) shrinks the witness with
     {!Witness_min.minimize} before verification; [certificate] (default
     false) runs the emptiness search in certificate mode and fills

@@ -25,6 +25,10 @@ type t = {
   mutable cert_check_failures : int;
   mutable cert_latency_sum : float;
   mutable cert_latency_max : float;
+  mutable single_flight : int;
+  mutable crashes : int;
+  mutable degraded_retries : int;
+  phase_ms : (string, float ref) Hashtbl.t;
 }
 
 type snapshot = {
@@ -47,6 +51,10 @@ type snapshot = {
   cert_check_failures : int;
   cert_latency_mean_ms : float;
   cert_latency_max_ms : float;
+  single_flight : int;
+  crashes : int;
+  degraded_retries : int;
+  phases_ms : (string * float) list;
 }
 
 let create () =
@@ -72,6 +80,10 @@ let create () =
     cert_check_failures = 0;
     cert_latency_sum = 0.;
     cert_latency_max = 0.;
+    single_flight = 0;
+    crashes = 0;
+    degraded_retries = 0;
+    phase_ms = Hashtbl.create 16;
   }
 
 let reset (m : t) =
@@ -94,7 +106,11 @@ let reset (m : t) =
   m.certified <- 0;
   m.cert_check_failures <- 0;
   m.cert_latency_sum <- 0.;
-  m.cert_latency_max <- 0.
+  m.cert_latency_max <- 0.;
+  m.single_flight <- 0;
+  m.crashes <- 0;
+  m.degraded_retries <- 0;
+  Hashtbl.reset m.phase_ms
 
 let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
   m.requests <- m.requests + 1;
@@ -120,6 +136,20 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
       m.fixpoint_transitions + stats.Emptiness.n_transitions;
     m.fixpoint_mergings <- m.fixpoint_mergings + stats.Emptiness.n_mergings
   end
+
+let record_single_flight (m : t) = m.single_flight <- m.single_flight + 1
+let record_crash (m : t) = m.crashes <- m.crashes + 1
+
+let record_degraded (m : t) =
+  m.degraded_retries <- m.degraded_retries + 1
+
+let record_trace (m : t) trace =
+  List.iter
+    (fun (name, ms) ->
+      match Hashtbl.find_opt m.phase_ms name with
+      | Some r -> r := !r +. ms
+      | None -> Hashtbl.add m.phase_ms name (ref ms))
+    (Trace.spans trace)
 
 (* Certificate checks are recorded separately from requests: a check is
    optional post-processing of a verdict, and its cost (the naive
@@ -167,6 +197,14 @@ let snapshot (m : t) : snapshot =
       (let n = m.certified + m.cert_check_failures in
        if n = 0 then 0. else m.cert_latency_sum /. float_of_int n);
     cert_latency_max_ms = m.cert_latency_max;
+    single_flight = m.single_flight;
+    crashes = m.crashes;
+    degraded_retries = m.degraded_retries;
+    phases_ms =
+      (* Sorted for a deterministic JSON rendering. *)
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) m.phase_ms []);
   }
 
 let to_json (s : snapshot) =
@@ -182,6 +220,15 @@ let to_json (s : snapshot) =
             ("unknown", Json.Num (float_of_int s.unknown))
           ] );
       ("deadline_timeouts", Json.Num (float_of_int s.deadline_timeouts));
+      ("single_flight", Json.Num (float_of_int s.single_flight));
+      ("crashes", Json.Num (float_of_int s.crashes));
+      ("degraded_retries", Json.Num (float_of_int s.degraded_retries));
+      ( "phase_totals_ms",
+        Json.Obj
+          (List.map
+             (fun (name, ms) ->
+               (name, Json.Num (Float.round (ms *. 1000.) /. 1000.)))
+             s.phases_ms) );
       ( "latency_ms",
         Json.Obj
           [ ("min", Json.Num s.latency_min_ms);
@@ -210,15 +257,25 @@ let to_json (s : snapshot) =
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
-    "@[<v>requests: %d (hits %d, misses %d)@,\
+    "@[<v>requests: %d (hits %d, misses %d, single-flight %d)@,\
      verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
      deadline)@,\
+     robustness: %d crashes isolated, %d degraded retries@,\
      latency ms: min %.2f, mean %.2f, p95 %.2f, max %.2f@,\
+     phase totals ms:%a@,\
      fixpoint totals: %d states, %d transitions, %d mergings@,\
      certificates: %d certified, %d check failures (mean %.2f ms, max \
      %.2f ms)@]"
-    s.requests s.cache_hits s.cache_misses s.sat s.unsat s.unsat_bounded
-    s.unknown s.deadline_timeouts s.latency_min_ms s.latency_mean_ms
-    s.latency_p95_ms s.latency_max_ms s.fixpoint_states
-    s.fixpoint_transitions s.fixpoint_mergings s.certified
-    s.cert_check_failures s.cert_latency_mean_ms s.cert_latency_max_ms
+    s.requests s.cache_hits s.cache_misses s.single_flight s.sat s.unsat
+    s.unsat_bounded s.unknown s.deadline_timeouts s.crashes
+    s.degraded_retries s.latency_min_ms s.latency_mean_ms
+    s.latency_p95_ms s.latency_max_ms
+    (fun ppf phases ->
+      if phases = [] then Format.pp_print_string ppf " (none)"
+      else
+        List.iter
+          (fun (name, ms) -> Format.fprintf ppf " %s %.2f;" name ms)
+          phases)
+    s.phases_ms s.fixpoint_states s.fixpoint_transitions
+    s.fixpoint_mergings s.certified s.cert_check_failures
+    s.cert_latency_mean_ms s.cert_latency_max_ms

@@ -30,6 +30,17 @@ type snapshot = {
   cert_check_failures : int;  (** certificate checks that were rejected *)
   cert_latency_mean_ms : float;  (** mean certificate-check latency *)
   cert_latency_max_ms : float;
+  single_flight : int;
+      (** the subset of [cache_hits] that joined an in-flight
+          computation instead of probing the cache *)
+  crashes : int;
+      (** requests whose solve raised and was isolated into an error
+          response *)
+  degraded_retries : int;
+      (** budget-exhausted requests retried once with degraded bounds *)
+  phases_ms : (string * float) list;
+      (** total milliseconds spent per {!Trace} phase, sorted by phase
+          name *)
 }
 
 val window : int
@@ -44,6 +55,18 @@ val record :
   ms:float ->
   stats:Xpds_decision.Emptiness.stats ->
   unit
+
+val record_single_flight : t -> unit
+(** Count one request that was served by joining an in-flight solve. *)
+
+val record_crash : t -> unit
+(** Count one isolated solver crash (an error response was served). *)
+
+val record_degraded : t -> unit
+(** Count one degraded-bounds retry after a budget-exhausted verdict. *)
+
+val record_trace : t -> Trace.t -> unit
+(** Fold a completed request's phase spans into the per-phase totals. *)
 
 val record_cert : t -> ok:bool -> ms:float -> unit
 (** Count one certificate check (kept apart from request latencies; the

@@ -1,0 +1,18 @@
+/* Monotonic wall clock for the serving layer.
+
+   Deadlines and phase timings must not jump when the system clock is
+   stepped (NTP, manual adjustment), so they are anchored to
+   CLOCK_MONOTONIC rather than gettimeofday.  OCaml 5.1's Unix library
+   has no clock_gettime binding; this is the minimal one. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value xpds_monotonic_now_ms(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec * 1000.0
+                          + (double)ts.tv_nsec / 1.0e6);
+}

@@ -7,21 +7,21 @@ let effective ~jobs n =
   let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
   if jobs <= 1 || n < 2 then 1 else min jobs n
 
+exception Lost
+
 let run ~jobs f items =
   let n = Array.length items in
   let workers = effective ~jobs n in
-  if workers = 1 then Array.map f items
+  let apply x = match f x with v -> Ok v | exception e -> Error e in
+  if workers = 1 then Array.map apply items
   else begin
-    let results = Array.make n None in
+    let results = Array.make n (Error Lost) in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (results.(i) <-
-             (match f items.(i) with
-             | v -> Some (Ok v)
-             | exception e -> Some (Error e)));
+          results.(i) <- apply items.(i);
           loop ()
         end
       in
@@ -29,10 +29,5 @@ let run ~jobs f items =
     in
     let domains = List.init workers (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
+    results
   end

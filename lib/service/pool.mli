@@ -1,16 +1,20 @@
 (** A fixed-size worker pool on OCaml 5 domains.
 
     [run ~jobs f items] applies [f] to every element of [items] on up to
-    [jobs] domains and returns the results in order. Work is distributed
-    by an atomic next-index counter, so uneven item costs balance
-    automatically. The solver is pure (the one global — the label intern
-    table — is mutex-guarded), so requests are embarrassingly parallel.
+    [jobs] domains and returns the per-item outcomes in order. Work is
+    distributed by an atomic next-index counter, so uneven item costs
+    balance automatically. The solver is pure (the one global — the
+    label intern table — is mutex-guarded), so requests are
+    embarrassingly parallel.
 
-    If any application raises, the first exception (in item order) is
-    re-raised on the caller's domain after all workers have drained. *)
+    Crash isolation: an application that raises poisons {e only its own
+    slot} — its exception is captured as [Error] in that slot and every
+    other item still runs to completion and keeps its [Ok] result. No
+    exception of [f] ever escapes [run] and no completed work is ever
+    discarded. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8 — translation
+(** [Domain.recommended_domain_count ()], capped at 8 — parallelism
     beyond that is rarely useful for a batch of solver calls. *)
 
 val effective : jobs:int -> int -> int
@@ -19,9 +23,16 @@ val effective : jobs:int -> int -> int
     [Domain.recommended_domain_count ()] (oversubscribing domains only
     adds stop-the-world GC synchronization for a CPU-bound workload) and
     to [n], with 1 for empty or singleton batches. Callers can test for
-    [= 1] to take a sequential fast path with no pool bookkeeping at
-    all. *)
+    [= 1] to predict the sequential fast path. *)
 
-val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+exception Lost
+(** Placeholder filled into a slot no worker ever wrote. Unreachable
+    with the current workers (every claimed index is written exactly
+    once, and [f]'s exceptions are captured per-slot), but kept as an
+    honest sentinel instead of an [assert false]: if a worker domain
+    were ever torn down mid-item, the batch would degrade to
+    [Error Lost] for that item rather than crash the caller. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** When [effective ~jobs (Array.length items) = 1] this is a plain
-    sequential [Array.map] on the calling domain — no spawning. *)
+    sequential map on the calling domain — no spawning. *)

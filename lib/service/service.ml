@@ -14,6 +14,7 @@ type solver_config = {
   max_transitions : int;
   verify : bool;
   certificate : bool;
+  retry_degraded : bool;
 }
 
 type config = {
@@ -32,6 +33,7 @@ let default_solver_config =
     max_transitions = Emptiness.default_config.Emptiness.max_transitions;
     verify = true;
     certificate = false;
+    retry_degraded = false;
   }
 
 let default_config =
@@ -51,8 +53,22 @@ type response = {
   id : string;
   report : Sat.report;
   cached : bool;
+  degraded : bool;
   ms : float;
   key : Cache_key.t;
+  trace : Trace.t;
+}
+
+(* One in-flight computation per cache key: the first missing request
+   becomes the leader and solves; concurrent requests on the same key
+   wait on [cond] instead of burning a second ExpTime fixpoint. *)
+type flight = {
+  mutable outcome : (Sat.report * bool) option;
+      (** [(report, degraded)]; [None] after landing only if the leader
+          died before producing a report *)
+  mutable landed : bool;
+  mutable waiters : int;
+  cond : Condition.t;
 }
 
 type t = {
@@ -61,16 +77,20 @@ type t = {
   cache : Sat.report Lru.t;
   meters : Metrics.t;
   lock : Mutex.t;
+  inflight : (Cache_key.t, flight) Hashtbl.t;
+  chaos : (string -> unit) option Atomic.t;
 }
 
 let fingerprint_of (sc : solver_config) =
   let opt = function None -> "-" | Some i -> string_of_int i in
   (* [certificate] is part of the key: certificate mode disables the
      height cap (the fixpoint must genuinely saturate), which can
-     change the outcome class of a run. *)
-  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b" sc.width
-    (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget) sc.max_states
-    sc.max_transitions sc.verify sc.certificate
+     change the outcome class of a run. [retry_degraded] is too: a
+     degraded retry can turn a budget [Unknown] into [Unsat_bounded]. *)
+  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b;rd=%b"
+    sc.width (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget)
+    sc.max_states sc.max_transitions sc.verify sc.certificate
+    sc.retry_degraded
 
 let create ?(config = default_config) () =
   {
@@ -79,6 +99,8 @@ let create ?(config = default_config) () =
     cache = Lru.create ~capacity:config.cache_capacity;
     meters = Metrics.create ();
     lock = Mutex.create ();
+    inflight = Hashtbl.create 64;
+    chaos = Atomic.make None;
   }
 
 let config t = t.cfg
@@ -89,64 +111,234 @@ let record_cert t ~ok ~ms =
 let reset_metrics t = Mutex.protect t.lock (fun () -> Metrics.reset t.meters)
 let cache_length t = Mutex.protect t.lock (fun () -> Lru.length t.cache)
 
-(* A deadline verdict depends on wall-clock luck; every other verdict is
-   a deterministic function of (canonical formula, solver config) and
-   safe to replay from the cache — including budget-limited [Unknown]s,
-   which would exhaust the same budget again. *)
+let inflight_waiters t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun _ fl acc -> acc + fl.waiters) t.inflight 0)
+
+module Chaos = struct
+  let set t f = Atomic.set t.chaos f
+end
+
+let crash_prefix = "crash: "
+
+let is_crash (report : Sat.report) =
+  match report.Sat.verdict with
+  | Sat.Unknown why -> String.starts_with ~prefix:crash_prefix why
+  | _ -> false
+
+(* A deadline verdict depends on wall-clock luck and a crash verdict on
+   a hopefully-transient fault; every other verdict is a deterministic
+   function of (canonical formula, solver config) and safe to replay
+   from the cache — including budget-limited [Unknown]s, which would
+   exhaust the same budget again. *)
 let cacheable (report : Sat.report) =
   match report.Sat.verdict with
-  | Sat.Unknown why -> why <> Emptiness.deadline_exceeded
+  | Sat.Unknown why ->
+    why <> Emptiness.deadline_exceeded
+    && not (String.starts_with ~prefix:crash_prefix why)
   | _ -> true
 
-let solve_uncached t ~timeout_ms canon =
-  let start = Unix.gettimeofday () in
-  let should_stop =
-    Option.map
-      (fun ms ->
-        let deadline = start +. (ms /. 1000.) in
-        fun () -> Unix.gettimeofday () > deadline)
-      timeout_ms
-  in
+let zero_stats =
+  {
+    Emptiness.n_states = 0;
+    n_transitions = 0;
+    n_mergings = 0;
+    max_height_reached = 0;
+  }
+
+let synthetic_report ~algorithm canon why =
+  {
+    Sat.verdict = Sat.Unknown why;
+    fragment = Fragment.classify canon;
+    algorithm;
+    stats = zero_stats;
+    witness_verified = None;
+    automaton_q = 0;
+    automaton_k = 0;
+    cert_seed = None;
+  }
+
+(* The degraded bounds of the graceful-degradation retry: a strictly
+   smaller search space, so a formula that exhausted the state budget
+   under the primary bounds has a chance to saturate (yielding an honest
+   [Unsat_bounded]/[Sat]) instead of answering a bare [Unknown]. *)
+let degrade (sc : solver_config) =
+  {
+    sc with
+    width = max 1 (sc.width - 1);
+    t0 = Some (match sc.t0 with Some t -> max 2 (t / 2) | None -> 3);
+    dup_cap = Some 1;
+    merge_budget = Some 2;
+  }
+
+(* Runs on the solving domain (a pool worker for batch items). The
+   deadline is an absolute [Trace.now_ms] timestamp anchored at the
+   request's admission, so time spent queued counts against the budget
+   and a batch item can never exceed its caller-visible deadline.
+   Never raises: a crashing solver (or chaos hook) is folded into a
+   [crash:] error report. *)
+let solve_uncached t ~trace ~deadline ~id canon =
+  Trace.mark trace "solve";
   let sc = t.cfg.solver in
-  let report =
+  let expired () =
+    match deadline with
+    | Some d -> Trace.now_ms () >= d
+    | None -> false
+  in
+  let run (sc : solver_config) =
+    let should_stop =
+      Option.map (fun d () -> Trace.now_ms () > d) deadline
+    in
     Sat.decide ~width:sc.width ~t0:sc.t0 ~dup_cap:sc.dup_cap
       ~merge_budget:sc.merge_budget ~max_states:sc.max_states
-      ~max_transitions:sc.max_transitions ?should_stop ~verify:sc.verify
+      ~max_transitions:sc.max_transitions ?should_stop
+      ~on_phase:(Trace.mark trace) ~verify:sc.verify
       ~certificate:sc.certificate canon
   in
-  (report, (Unix.gettimeofday () -. start) *. 1000.)
+  let crash e =
+    synthetic_report ~algorithm:"aborted: the solver raised" canon
+      (crash_prefix ^ Printexc.to_string e)
+  in
+  let report, degraded =
+    if expired () then
+      (* Admission-anchored budget already gone (e.g. timeout_ms = 0, or
+         the queue wait consumed it): answer deterministically without
+         starting a fixpoint. *)
+      ( synthetic_report ~algorithm:"rejected: deadline at admission"
+          canon Emptiness.deadline_exceeded,
+        false )
+    else
+      match
+        (match Atomic.get t.chaos with Some f -> f id | None -> ());
+        run sc
+      with
+      | exception e -> (crash e, false)
+      | report -> (
+        match report.Sat.verdict with
+        | Sat.Unknown why
+          when sc.retry_degraded && why <> Emptiness.deadline_exceeded ->
+          (* Budget exhausted, not a deadline: one retry under degraded
+             bounds (still subject to the same absolute deadline). *)
+          Trace.mark trace "retry_degraded";
+          (match run (degrade sc) with
+          | exception e -> (crash e, true)
+          | report' -> (report', true))
+        | _ -> (report, false))
+  in
+  Trace.finish trace;
+  (report, degraded)
 
-let finish t (r : request) ~key ~report ~cached ~ms =
+let deadline_of trace timeout_ms =
+  Option.map (fun ms -> Trace.admitted trace +. ms) timeout_ms
+
+let finish t (r : request) ~key ~trace ~report ~cached ~degraded ~flight =
+  Trace.finish trace;
+  let ms = Trace.elapsed_ms trace in
   Mutex.protect t.lock (fun () ->
       if (not cached) && cacheable report then Lru.add t.cache key report;
       Metrics.record t.meters ~verdict:report.Sat.verdict ~cached ~ms
-        ~stats:report.Sat.stats);
-  { id = r.id; report; cached; ms; key }
+        ~stats:report.Sat.stats;
+      if flight then Metrics.record_single_flight t.meters;
+      if (not cached) && degraded then Metrics.record_degraded t.meters;
+      if (not cached) && is_crash report then Metrics.record_crash t.meters;
+      Metrics.record_trace t.meters trace);
+  { id = r.id; report; cached; degraded; ms; key; trace }
 
-let solve t r =
-  let start = Unix.gettimeofday () in
+let solve ?trace t r =
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  Trace.mark tr "canonicalize";
   let canon, key =
     Cache_key.make ~config_fingerprint:t.fingerprint r.formula
   in
-  match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
-  | Some report ->
-    let ms = (Unix.gettimeofday () -. start) *. 1000. in
-    finish t r ~key ~report ~cached:true ~ms
-  | None ->
-    let report, ms = solve_uncached t ~timeout_ms:r.timeout_ms canon in
-    finish t r ~key ~report ~cached:false ~ms
+  let deadline = deadline_of tr r.timeout_ms in
+  let rec attempt () =
+    Trace.mark tr "cache_probe";
+    let decision =
+      Mutex.protect t.lock (fun () ->
+          match Lru.find t.cache key with
+          | Some report -> `Hit report
+          | None -> (
+            match Hashtbl.find_opt t.inflight key with
+            | Some fl ->
+              fl.waiters <- fl.waiters + 1;
+              `Join fl
+            | None ->
+              let fl =
+                { outcome = None;
+                  landed = false;
+                  waiters = 0;
+                  cond = Condition.create ()
+                }
+              in
+              Hashtbl.replace t.inflight key fl;
+              `Lead fl))
+    in
+    match decision with
+    | `Hit report ->
+      finish t r ~key ~trace:tr ~report ~cached:true ~degraded:false
+        ~flight:false
+    | `Join fl -> (
+      Trace.mark tr "flight_wait";
+      let outcome =
+        Mutex.protect t.lock (fun () ->
+            while not fl.landed do
+              Condition.wait fl.cond t.lock
+            done;
+            fl.waiters <- fl.waiters - 1;
+            fl.outcome)
+      in
+      match outcome with
+      | Some (report, degraded) when cacheable report ->
+        finish t r ~key ~trace:tr ~report ~cached:true ~degraded
+          ~flight:true
+      | _ ->
+        (* The leader crashed or produced a time-dependent verdict
+           (deadline) that must not be shared: try again ourselves —
+           our own admission-anchored deadline still applies, so a
+           request whose budget died waiting answers [Unknown
+           "deadline exceeded"] immediately. *)
+        attempt ())
+    | `Lead fl ->
+      let publish outcome =
+        Mutex.protect t.lock (fun () ->
+            fl.outcome <- outcome;
+            fl.landed <- true;
+            Hashtbl.remove t.inflight key;
+            Condition.broadcast fl.cond)
+      in
+      (match solve_uncached t ~trace:tr ~deadline ~id:r.id canon with
+      | report, degraded ->
+        publish (Some (report, degraded));
+        finish t r ~key ~trace:tr ~report ~cached:false ~degraded
+          ~flight:false
+      | exception e ->
+        (* [solve_uncached] never raises; this is pure paranoia so a
+           bug there can never strand the waiters. *)
+        publish None;
+        raise e)
+  in
+  attempt ()
 
 let solve_batch ?jobs t requests =
   let jobs = Option.value jobs ~default:t.cfg.jobs in
-  (* Canonicalize and key on the calling domain (this also interns every
-     label of the batch before the fan-out). *)
+  (* Admission: every request's trace — and therefore its deadline — is
+     anchored now, on the calling domain (which also canonicalizes and
+     interns every label of the batch before the fan-out). The open
+     "queue" span is closed by the worker picking the item up. *)
   let keyed =
     List.map
-      (fun r ->
+      (fun (r : request) ->
+        let tr = Trace.create () in
+        Trace.mark tr "canonicalize";
         let canon, key =
           Cache_key.make ~config_fingerprint:t.fingerprint r.formula
         in
-        (r, canon, key))
+        Trace.mark tr "cache_probe";
+        let in_cache =
+          Mutex.protect t.lock (fun () -> Lru.mem t.cache key)
+        in
+        Trace.mark tr "queue";
+        (r, canon, key, tr, in_cache))
       requests
   in
   (* One representative per distinct un-cached key; the worker pool only
@@ -155,52 +347,65 @@ let solve_batch ?jobs t requests =
   let work = ref [] in
   let n_work = ref 0 in
   List.iter
-    (fun (r, canon, key) ->
-      let in_cache =
-        Mutex.protect t.lock (fun () -> Lru.mem t.cache key)
-      in
+    (fun ((r : request), canon, key, tr, in_cache) ->
       if (not in_cache) && not (Hashtbl.mem rep_tbl key) then begin
         Hashtbl.add rep_tbl key !n_work;
-        work := (canon, key, r.timeout_ms) :: !work;
+        work := (r.id, canon, tr, deadline_of tr r.timeout_ms) :: !work;
         incr n_work
       end)
     keyed;
   let work = Array.of_list (List.rev !work) in
-  let solve_one (canon, _key, timeout_ms) =
-    solve_uncached t ~timeout_ms canon
+  let solve_one (id, canon, tr, deadline) =
+    solve_uncached t ~trace:tr ~deadline ~id canon
   in
-  let solved =
-    (* A single effective worker (1-core machine, jobs=1, or a batch
-       with at most one miss) gains nothing from the pool: skip the
-       domain spawn/join entirely and solve on this domain.
-       BENCH_service.json recorded a 0.91x "speedup" on one core from
-       exactly that overhead. *)
-    if Pool.effective ~jobs (Array.length work) = 1 then
-      Array.map solve_one work
-    else Pool.run ~jobs solve_one work
-  in
+  (* [Pool.run] falls back to a sequential map on the calling domain
+     when only one worker would be effective (1-core machine, jobs=1,
+     or a batch with at most one miss) — BENCH_service.json recorded a
+     0.91x "speedup" on one core from the spawn/join overhead. Each
+     slot is a [result]: one poisoned item degrades to an error
+     response below while the rest of the batch completes. *)
+  let solved = Pool.run ~jobs solve_one work in
   (* Assemble in request order. The representative of each solved key is
-     the batch's one miss for that key; in-batch duplicates and
-     cache hits report [cached]. *)
+     the batch's one miss for that key; in-batch duplicates and cache
+     hits report [cached]. *)
   let claimed = Hashtbl.create 64 in
   List.map
-    (fun (r, canon, key) ->
+    (fun (r, canon, key, tr, _) ->
       match Hashtbl.find_opt rep_tbl key with
-      | Some i ->
-        let report, ms = solved.(i) in
-        if Hashtbl.mem claimed key then
-          finish t r ~key ~report ~cached:true ~ms:0.
-        else begin
-          Hashtbl.add claimed key ();
-          finish t r ~key ~report ~cached:false ~ms
-        end
+      | Some i -> (
+        match solved.(i) with
+        | Ok (report, degraded) ->
+          if Hashtbl.mem claimed key then
+            finish t r ~key ~trace:tr ~report ~cached:true ~degraded
+              ~flight:false
+          else begin
+            Hashtbl.add claimed key ();
+            finish t r ~key ~trace:tr ~report ~cached:false ~degraded
+              ~flight:false
+          end
+        | Error e ->
+          (* The worker itself was lost mid-item. [solve_uncached]
+             already folds solver exceptions into a crash report, so
+             this arm is the last-resort isolation. *)
+          let report =
+            synthetic_report ~algorithm:"aborted: worker lost" canon
+              (crash_prefix ^ Printexc.to_string e)
+          in
+          finish t r ~key ~trace:tr ~report ~cached:false
+            ~degraded:false ~flight:false)
       | None -> (
         match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
-        | Some report -> finish t r ~key ~report ~cached:true ~ms:0.
+        | Some report ->
+          finish t r ~key ~trace:tr ~report ~cached:true ~degraded:false
+            ~flight:false
         | None ->
           (* Was cached at dispatch time but evicted since: solve here. *)
-          let report, ms = solve_uncached t ~timeout_ms:r.timeout_ms canon in
-          finish t r ~key ~report ~cached:false ~ms))
+          let report, degraded =
+            solve_uncached t ~trace:tr
+              ~deadline:(deadline_of tr r.timeout_ms) ~id:r.id canon
+          in
+          finish t r ~key ~trace:tr ~report ~cached:false ~degraded
+            ~flight:false))
     keyed
 
 (* --- NDJSON wire format --- *)
@@ -231,7 +436,7 @@ let request_of_json line =
       | Error e -> Error (Printf.sprintf "bad formula: %s" e)
       | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms }))
 
-let response_to_json ?(extra = []) resp =
+let response_to_json ?(trace = false) ?(extra = []) resp =
   let report = resp.report in
   let base =
     [ ("id", Json.Str resp.id);
@@ -256,4 +461,58 @@ let response_to_json ?(extra = []) resp =
     | Sat.Unsat_bounded why | Sat.Unknown why ->
       [ ("reason", Json.Str why) ]
   in
-  Json.to_string (Json.Obj (base @ verdict_fields @ extra))
+  let robustness_fields =
+    (if resp.degraded then [ ("degraded", Json.Bool true) ] else [])
+    @
+    if is_crash report then
+      (* A poisoned request: same structured ["error"] field the serve
+         loop uses for unparsable lines, so clients have one place to
+         look. *)
+      match report.Sat.verdict with
+      | Sat.Unknown why -> [ ("error", Json.Str why) ]
+      | _ -> []
+    else []
+  in
+  let trace_fields =
+    if trace then [ ("trace", Trace.to_json resp.trace) ] else []
+  in
+  Json.to_string
+    (Json.Obj (base @ verdict_fields @ robustness_fields @ trace_fields @ extra))
+
+let error_to_json ?id msg =
+  Json.to_string
+    (Json.Obj
+       ((match id with Some id -> [ ("id", Json.Str id) ] | None -> [])
+       @ [ ("error", Json.Str msg) ]))
+
+(* One line in, one line out, and no exception ever escapes: a served
+   socket must survive arbitrary garbage. *)
+let handle_line ?default_timeout_ms ?(trace = false)
+    ?(extra_of = fun _ -> []) t line =
+  let tr = Trace.create () in
+  Trace.mark tr "parse";
+  let parsed =
+    (* The parser reports syntax errors as [Error], but a hostile line
+       can still blow a recursion limit (deeply nested input): fold any
+       escapee into the same structured error. *)
+    match request_of_json line with
+    | r -> r
+    | exception e ->
+      Error (Printf.sprintf "bad request: %s" (Printexc.to_string e))
+  in
+  match parsed with
+  | Error e -> error_to_json e
+  | Ok req -> (
+    let req =
+      match req.timeout_ms with
+      | Some _ -> req
+      | None -> { req with timeout_ms = default_timeout_ms }
+    in
+    match
+      let resp = solve ~trace:tr t req in
+      response_to_json ~trace ~extra:(extra_of resp) resp
+    with
+    | line -> line
+    | exception e ->
+      error_to_json ~id:req.id
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e)))

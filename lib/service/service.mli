@@ -1,4 +1,5 @@
-(** A concurrent, cached front end to {!Xpds_decision.Sat}.
+(** A concurrent, cached, fault-tolerant front end to
+    {!Xpds_decision.Sat}.
 
     The solver is an expensive pure kernel; this module puts the usual
     serving machinery in front of it:
@@ -8,23 +9,52 @@
       solver configuration share one cache entry;
     - a {b bounded LRU result cache} ({!Lru}) — hits return the stored
       {!Xpds_decision.Sat.report} physically unchanged, in O(1);
+    - {b single-flight deduplication}: concurrent [solve] calls on the
+      same key share {e one} computation — the first miss leads and
+      solves, the rest wait on its result and report [cached = true]
+      (counted separately in {!Metrics.snapshot.single_flight}). Only
+      deterministic (cacheable) verdicts are shared: if the leader times
+      out or crashes, each waiter retries under its own deadline;
     - a {b worker pool} on OCaml 5 domains ({!Pool}) draining batches in
       parallel ([solve_batch]), with in-batch deduplication so each
       distinct key is solved once;
-    - {b per-request deadlines}: [timeout_ms] arms the cooperative
-      [should_stop] hook of {!Xpds_decision.Emptiness.config}; a fired
-      deadline yields [Unknown "deadline exceeded"] — never a wrong
-      certified verdict — and such time-dependent results are {e not}
-      cached (every deterministic verdict, including budget-limited
-      [Unknown]s, is);
+    - {b monotonic, admission-anchored deadlines}: [timeout_ms] arms the
+      cooperative [should_stop] hook of
+      {!Xpds_decision.Emptiness.config} against
+      [CLOCK_MONOTONIC] ({!Trace.now_ms} — immune to wall-clock steps),
+      with the budget anchored at the request's {e admission}: a batch
+      item burns its budget while queued and can never exceed its
+      caller-visible deadline. A fired deadline yields
+      [Unknown "deadline exceeded"] — never a wrong certified verdict —
+      and such time-dependent results are {e not} cached (every
+      deterministic verdict, including budget-limited [Unknown]s, is);
+    - {b crash isolation}: a request whose solve raises is folded into
+      an [Unknown "crash: ..."] error report (never cached, surfaced as
+      an ["error"] field on the wire); in a batch the poisoned item
+      degrades alone and every other verdict is still returned;
+    - {b graceful degradation}: with [retry_degraded] set, a
+      budget-exhausted [Unknown] (not a deadline) is retried once under
+      strictly smaller bounds, trading completeness for an honest
+      [Unsat_bounded]/[Sat] instead of an opaque [Unknown] — the
+      response is flagged [degraded];
+    - {b per-request tracing} ({!Trace}): every response carries phase
+      timings (parse → canonicalize → cache probe → queue →
+      translate/fixpoint/verify → certificate) plus queue-wait,
+      aggregated per-phase into {!Metrics};
     - {b metrics} ({!Metrics}): request/hit/verdict counters, latency
-      min/mean/p95/max, fixpoint-stats aggregates.
+      min/mean/p95/max, fixpoint-stats aggregates, robustness counters.
 
-    A service value is safe to share across domains: the cache and
-    metrics are guarded by one internal mutex, held only around O(1)
-    bookkeeping — solving happens outside it. Two concurrent [solve]
-    calls with the same key may both compute (no in-flight
-    deduplication); [solve_batch] dedupes within its batch. *)
+    A service value is safe to share across domains: the cache, the
+    in-flight table and the metrics are guarded by one internal mutex,
+    held only around O(1) bookkeeping — solving happens outside it.
+
+    Caveat on shared flights: a waiter blocks until the leader lands,
+    even past its own deadline when the leader's is longer (the shared
+    verdict is deterministic, so this only ever trades latency, never
+    honesty); a waiter whose budget died waiting then answers
+    [Unknown "deadline exceeded"] immediately. [solve_batch] dedupes
+    within its batch and against the cache, not against in-flight
+    [solve] calls. *)
 
 type solver_config = {
   width : int;
@@ -38,6 +68,10 @@ type solver_config = {
       (** run in certificate mode: reports carry a
           {!Xpds_decision.Sat.cert_seed} from which {!Xpds_cert.Cert}
           builds a checkable certificate *)
+  retry_degraded : bool;
+      (** retry a budget-exhausted [Unknown] once under degraded bounds
+          (width−1, halved t0, dup_cap 1, merge_budget 2) instead of
+          giving up — graceful degradation for fired budgets *)
 }
 (** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
     key, so changing them never serves stale verdicts. *)
@@ -49,22 +83,30 @@ type config = {
 }
 
 val default_solver_config : solver_config
-(** The practical defaults of {!Xpds_decision.Sat.decide}. *)
+(** The practical defaults of {!Xpds_decision.Sat.decide};
+    [retry_degraded] off. *)
 
 val default_config : config
 
 type request = {
   id : string;
   formula : Xpds_xpath.Ast.node;
-  timeout_ms : float option;  (** per-request deadline *)
+  timeout_ms : float option;
+      (** per-request deadline, anchored at admission *)
 }
 
 type response = {
   id : string;
   report : Xpds_decision.Sat.report;
-  cached : bool;  (** served from the result cache *)
-  ms : float;  (** wall-clock latency of this request *)
+  cached : bool;
+      (** served without a fresh solve: from the result cache, by
+          joining an in-flight computation, or as an in-batch duplicate *)
+  degraded : bool;
+      (** this verdict came from a degraded-bounds retry *)
+  ms : float;
+      (** caller-visible latency: admission to completion, monotonic *)
   key : Cache_key.t;
+  trace : Trace.t;  (** phase timings of this request *)
 }
 
 type t
@@ -72,23 +114,42 @@ type t
 val create : ?config:config -> unit -> t
 val config : t -> config
 
-val solve : t -> request -> response
+val solve : ?trace:Trace.t -> t -> request -> response
+(** [?trace] threads in a pre-admitted trace (e.g. one that already
+    carries the wire-parse span and anchors the deadline at line
+    receipt); by default a fresh one is created on entry. *)
 
 val solve_batch : ?jobs:int -> t -> request list -> response list
 (** Responses in request order. Cache hits are answered on the calling
     domain; the distinct misses fan out over [jobs] domains (default
     [(config t).jobs]). Duplicate keys within the batch are solved once
-    and the copies are reported [cached = true]. *)
+    and the copies are reported [cached = true]. Deadlines are anchored
+    at batch admission, so queue wait counts against each item's
+    budget. A raising item yields an error response for that item only
+    — completed work is never discarded. *)
 
 val metrics : t -> Metrics.snapshot
 val reset_metrics : t -> unit
 val cache_length : t -> int
+
+val inflight_waiters : t -> int
+(** Number of requests currently blocked on another request's in-flight
+    computation (an ops gauge; also what the single-flight tests pin). *)
 
 val record_cert : t -> ok:bool -> ms:float -> unit
 (** Count one certificate check in this service's metrics (under the
     service mutex). The service itself never builds or checks
     certificates — the certificate layer sits above it — so the caller
     reports the outcome. *)
+
+module Chaos : sig
+  val set : t -> (string -> unit) option -> unit
+  (** Fault-injection hook for tests and resilience drills: called with
+      the request id on the solving domain just before the fixpoint
+      starts; an exception it raises is handled exactly like a solver
+      crash (isolated error response). [None] (the default) disables
+      it. *)
+end
 
 (* --- NDJSON wire format (the [xpds serve] / [xpds batch] protocol) --- *)
 
@@ -99,13 +160,36 @@ val request_of_json : string -> (request, string) result
     the concrete syntax of {!Xpds_xpath.Parser}; [timeout_ms] is
     optional. *)
 
-val response_to_json : ?extra:(string * Json.t) list -> response -> string
+val response_to_json :
+  ?trace:bool -> ?extra:(string * Json.t) list -> response -> string
 (** [{"id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
     "states":.., "transitions":.., "reason":.. (when inconclusive),
-    "witness":.. (when sat), "verified":.. (when checked)}]. [extra]
-    fields are appended verbatim — the [--certify] CLI layer uses this
-    for its per-response certificate summary, keeping the service
-    independent of the certificate format. *)
+    "witness":.. (when sat), "verified":.. (when checked),
+    "degraded":true (after a degraded retry), "error":.. (when the
+    solve crashed), "trace":{..} (with [~trace:true])}]. [extra] fields
+    are appended verbatim — the [--certify] CLI layer uses this for its
+    per-response certificate summary, keeping the service independent
+    of the certificate format. *)
+
+val error_to_json : ?id:string -> string -> string
+(** The structured error object the serve loop answers for lines it
+    cannot turn into a response: [{"id":.. (when known), "error":..}]. *)
+
+val handle_line :
+  ?default_timeout_ms:float ->
+  ?trace:bool ->
+  ?extra_of:(response -> (string * Json.t) list) ->
+  t ->
+  string ->
+  string
+(** One NDJSON exchange: parse the line (the [parse] trace span; the
+    trace is admitted — and the deadline anchored — at line receipt),
+    solve, serialize. {b Never raises}: malformed JSON, unparsable
+    formulas, and even a crashing solve all answer {!error_to_json} —
+    feeding a served socket garbage must not kill the server.
+    [extra_of] computes trailing response fields (the [--certify]
+    layer); [default_timeout_ms] applies to requests without their own
+    [timeout_ms]. *)
 
 val verdict_name : Xpds_decision.Sat.verdict -> string
 (** ["sat" | "unsat" | "unsat_bounded" | "unknown"]. *)

@@ -308,6 +308,260 @@ let test_deadline () =
   (* Deadline verdicts must not poison the cache. *)
   Alcotest.(check int) "not cached" 0 (Service.cache_length svc)
 
+(* A 0 ms budget is already exhausted at admission: the response must be
+   a deterministic [Unknown "deadline exceeded"] — no fixpoint work, no
+   cache pollution, every time. *)
+let test_zero_timeout () =
+  let svc = Service.create () in
+  for i = 1 to 3 do
+    let r =
+      Service.solve svc
+        { Service.id = "z" ^ string_of_int i;
+          formula = B.lab "a";
+          timeout_ms = Some 0.
+        }
+    in
+    (match r.Service.report.Sat.verdict with
+    | Sat.Unknown why ->
+      Alcotest.(check string) "deadline reason"
+        Emptiness.deadline_exceeded why
+    | v ->
+      Alcotest.failf "expected Unknown, got %s" (Service.verdict_name v));
+    Alcotest.(check bool) "not served from cache" false r.Service.cached
+  done;
+  Alcotest.(check int) "never cached" 0 (Service.cache_length svc);
+  (* The same formula with budget solves fine: the deadline verdict did
+     not poison anything. *)
+  let r =
+    Service.solve svc
+      { Service.id = "ok"; formula = B.lab "a"; timeout_ms = None }
+  in
+  Alcotest.(check string) "solves after 0ms probes" "sat"
+    (Service.verdict_name r.Service.report.Sat.verdict)
+
+(* --- single-flight --- *)
+
+(* Four domains race the same formula. The chaos hook parks the leader
+   until the other three are observably waiting on its flight, so
+   exactly one fixpoint runs — pinned by the metrics: 1 miss, 3
+   single-flight joins. *)
+let test_single_flight () =
+  let svc = Service.create () in
+  let release = Atomic.make false in
+  Service.Chaos.set svc
+    (Some
+       (fun _ ->
+         while not (Atomic.get release) do
+           Domain.cpu_relax ()
+         done));
+  let phi = family_formulas () |> List.hd in
+  let racer i =
+    Domain.spawn (fun () ->
+        Service.solve svc
+          { Service.id = string_of_int i; formula = phi; timeout_ms = None })
+  in
+  let domains = List.init 4 racer in
+  (* Wait (bounded) for the three followers to block on the flight, then
+     release the leader. Releasing on timeout keeps a regression from
+     hanging the suite — the waiter assertion below then fails. *)
+  let give_up = Xpds_service.Trace.now_ms () +. 10_000. in
+  while
+    Service.inflight_waiters svc < 3
+    && Xpds_service.Trace.now_ms () < give_up
+  do
+    Domain.cpu_relax ()
+  done;
+  let waiters = Service.inflight_waiters svc in
+  Atomic.set release true;
+  let resps = List.map Domain.join domains in
+  Service.Chaos.set svc None;
+  Alcotest.(check int) "three followers waited" 3 waiters;
+  let verdicts =
+    List.map
+      (fun (r : Service.response) ->
+        Service.verdict_name r.Service.report.Sat.verdict)
+      resps
+  in
+  List.iter
+    (fun v -> Alcotest.(check string) "all agree" (List.hd verdicts) v)
+    verdicts;
+  Alcotest.(check int) "three shared responses" 3
+    (List.length (List.filter (fun r -> r.Service.cached) resps));
+  let m = Service.metrics svc in
+  Alcotest.(check int) "requests" 4 m.Xpds_service.Metrics.requests;
+  Alcotest.(check int) "exactly one fixpoint ran" 1
+    m.Xpds_service.Metrics.cache_misses;
+  Alcotest.(check int) "single-flight joins" 3
+    m.Xpds_service.Metrics.single_flight
+
+(* --- crash isolation --- *)
+
+let test_batch_crash_isolation () =
+  let svc = Service.create () in
+  Service.Chaos.set svc
+    (Some (fun id -> if id = "poison" then failwith "injected"));
+  let reqs =
+    [ { Service.id = "ok1";
+        formula = B.lab "a";
+        timeout_ms = None
+      };
+      { Service.id = "poison";
+        formula = B.exists (B.filter B.down (B.lab "b"));
+        timeout_ms = None
+      };
+      { Service.id = "ok2";
+        formula = And (B.lab "c", B.not_ (B.lab "c"));
+        timeout_ms = None
+      }
+    ]
+  in
+  let resps = Service.solve_batch ~jobs:2 svc reqs in
+  Service.Chaos.set svc None;
+  Alcotest.(check int) "every item answered" 3 (List.length resps);
+  List.iter2
+    (fun (r : Service.request) (resp : Service.response) ->
+      Alcotest.(check string) "request order" r.Service.id
+        resp.Service.id)
+    reqs resps;
+  (match resps with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "ok1 unaffected" "sat"
+      (Service.verdict_name a.Service.report.Sat.verdict);
+    (match b.Service.report.Sat.verdict with
+    | Sat.Unknown why ->
+      Alcotest.(check bool) "crash-tagged reason" true
+        (String.length why >= 7 && String.sub why 0 7 = "crash: ")
+    | v ->
+      Alcotest.failf "poisoned item: expected Unknown, got %s"
+        (Service.verdict_name v));
+    Alcotest.(check bool) "ok2 unaffected" true
+      (match Service.verdict_name c.Service.report.Sat.verdict with
+      | "unsat" | "unsat_bounded" -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "arity");
+  let m = Service.metrics svc in
+  Alcotest.(check int) "crash counted" 1 m.Xpds_service.Metrics.crashes;
+  (* The crash report is never cached; the healthy verdicts are. *)
+  Alcotest.(check int) "only healthy verdicts cached" 2
+    (Service.cache_length svc);
+  (* With the hook disarmed the same request heals. *)
+  let healed =
+    Service.solve svc
+      { Service.id = "poison";
+        formula = B.exists (B.filter B.down (B.lab "b"));
+        timeout_ms = None
+      }
+  in
+  Alcotest.(check string) "poisoned key heals" "sat"
+    (Service.verdict_name healed.Service.report.Sat.verdict)
+
+(* --- serve loop robustness --- *)
+
+let test_handle_line_garbage () =
+  let svc = Service.create () in
+  let garbage =
+    [ "";
+      "this is not json";
+      "{\"id\":\"g\"}";
+      "{\"formula\": \"<down[\"}";
+      "{\"formula\": [1,2]}";
+      "[\"not\",\"an\",\"object\"]";
+      "{\"formula\": \"<down[a]>\""
+    ]
+  in
+  List.iter
+    (fun line ->
+      let reply = Service.handle_line svc line in
+      match Json.parse reply with
+      | Error e -> Alcotest.failf "reply not JSON for %S: %s" line e
+      | Ok v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "structured error for %S" line)
+          true
+          (Json.member "error" v <> None))
+    garbage;
+  (* The service survived the abuse: a well-formed line still solves. *)
+  let reply =
+    Service.handle_line ~trace:true svc
+      {|{"id":"good","formula":"<down[a]>"}|}
+  in
+  match Json.parse reply with
+  | Error e -> Alcotest.failf "good reply not JSON: %s" e
+  | Ok v ->
+    (match Json.member "verdict" v with
+    | Some (Json.Str s) -> Alcotest.(check string) "solves" "sat" s
+    | _ -> Alcotest.fail "no verdict on good line");
+    Alcotest.(check bool) "trace attached" true
+      (Json.member "trace" v <> None)
+
+(* --- per-request tracing --- *)
+
+let test_trace_phases () =
+  let svc = Service.create () in
+  let req =
+    { Service.id = "t";
+      formula = B.exists (B.filter B.down (B.lab "a"));
+      timeout_ms = None
+    }
+  in
+  let phases r =
+    List.map fst (Xpds_service.Trace.spans r.Service.trace)
+  in
+  let cold = Service.solve svc req in
+  let cold_phases = phases cold in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("cold trace has " ^ p) true
+        (List.mem p cold_phases))
+    [ "canonicalize"; "cache_probe"; "solve"; "translate"; "fixpoint" ];
+  let warm = Service.solve svc req in
+  Alcotest.(check bool) "warm solve is a hit" true warm.Service.cached;
+  Alcotest.(check bool) "warm trace has no fixpoint" false
+    (List.mem "fixpoint" (phases warm));
+  (* The phase totals fed the metrics aggregate. *)
+  let m = Service.metrics svc in
+  Alcotest.(check bool) "fixpoint aggregated in metrics" true
+    (List.mem_assoc "fixpoint" m.Xpds_service.Metrics.phases_ms)
+
+(* --- graceful degradation --- *)
+
+let test_degraded_retry () =
+  let tiny retry_degraded =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver =
+            { Service.default_solver_config with
+              max_states = 10;
+              max_transitions = 40;
+              retry_degraded
+            }
+        }
+      ()
+  in
+  let req =
+    { Service.id = "d"; formula = hard_formula (); timeout_ms = None }
+  in
+  (* Without the flag the budget-exhausted Unknown stands. *)
+  let plain = Service.solve (tiny false) req in
+  (match plain.Service.report.Sat.verdict with
+  | Sat.Unknown _ -> ()
+  | v ->
+    Alcotest.failf "expected budget Unknown, got %s"
+      (Service.verdict_name v));
+  Alcotest.(check bool) "not flagged without the knob" false
+    plain.Service.degraded;
+  (* With it, the retry runs under smaller bounds and is flagged. *)
+  let svc = tiny true in
+  let r = Service.solve svc req in
+  Alcotest.(check bool) "degraded retry flagged" true r.Service.degraded;
+  let m = Service.metrics svc in
+  Alcotest.(check int) "degraded retry counted" 1
+    m.Xpds_service.Metrics.degraded_retries;
+  Alcotest.(check bool) "retry phase traced" true
+    (List.mem_assoc "retry_degraded"
+       (Xpds_service.Trace.spans r.Service.trace))
+
 let suite =
   ( "service",
     [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
@@ -321,5 +575,14 @@ let suite =
         test_batch_parallel_agrees;
       Alcotest.test_case "metrics accounting" `Quick
         test_metrics_accounting;
-      Alcotest.test_case "deadline honoured" `Quick test_deadline
+      Alcotest.test_case "deadline honoured" `Quick test_deadline;
+      Alcotest.test_case "zero timeout deterministic" `Quick
+        test_zero_timeout;
+      Alcotest.test_case "single-flight dedup" `Quick test_single_flight;
+      Alcotest.test_case "batch crash isolation" `Quick
+        test_batch_crash_isolation;
+      Alcotest.test_case "serve loop survives garbage" `Quick
+        test_handle_line_garbage;
+      Alcotest.test_case "trace phases" `Quick test_trace_phases;
+      Alcotest.test_case "degraded retry" `Quick test_degraded_retry
     ] )
