@@ -40,11 +40,19 @@ let write_json ~out json =
   close_out oc;
   Format.printf "  wrote %s@." out
 
-let full ~out () =
+let full ~out ~domains () =
   let reqs = Corpus.requests (Corpus.formulas ()) in
   let n = List.length reqs in
-  Format.printf "emptiness bench: %d formulas, cold sequential@." n;
-  let svc = Service.create () in
+  Format.printf "emptiness bench: %d formulas, cold, %d domain(s)@." n
+    domains;
+  let svc =
+    Service.create
+      ~config:
+        { Service.default_config with
+          solver = { Service.default_solver_config with domains }
+        }
+      ()
+  in
   let t0 = Unix.gettimeofday () in
   let resps = Service.solve_batch ~jobs:1 svc reqs in
   let wall = Unix.gettimeofday () -. t0 in
@@ -70,6 +78,7 @@ let full ~out () =
   let json =
     Json.Obj
       [ ("mode", Json.Str "full");
+        ("domains", Json.Num (float_of_int domains));
         ("formulas", Json.Num (float_of_int n));
         ("cold_wall_s", Json.Num wall);
         ("formulas_per_s", Json.Num (float_of_int n /. wall));
@@ -111,6 +120,57 @@ let quick_cases () =
     ("mixed_axes_unsat_2", Families.mixed_axes ~sat:false 2, `Unsat)
   ]
 
+(* Sequential-vs-parallel agreement and timing on the heavier quick
+   families: the same formula decided at 1 and 4 domains must return
+   the same verdict and the same engine counters (the parallel merge is
+   deterministic), and we record both wall times in the JSON so CI
+   tracks the crossover. Agreement failures fail the run; a slower
+   parallel time does not (these instances are small — the speedup
+   criterion lives in the full-corpus mode). *)
+let seq_vs_par () =
+  let cases =
+    [ ("data_chain_sat_4", Families.data_chain ~sat:true 4);
+      ("data_chain_unsat_3", Families.data_chain ~sat:false 3);
+      ("mixed_axes_sat_3", Families.mixed_axes ~sat:true 3)
+    ]
+  in
+  let decide_with domains phi =
+    let options = Sat.Options.(default |> with_domains domains) in
+    let t0 = Unix.gettimeofday () in
+    let report = Sat.decide ~options phi in
+    (report, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Format.printf "  seq-vs-par agreement:@.";
+  let rows =
+    List.map
+      (fun (name, phi) ->
+        let seq, seq_ms = decide_with 1 phi in
+        let par, par_ms = decide_with 4 phi in
+        let v r = Service.verdict_name r.Sat.verdict in
+        let counters (r : Sat.report) =
+          let st = r.Sat.stats in
+          ( st.Emptiness.n_states,
+            st.Emptiness.n_transitions,
+            st.Emptiness.n_mergings,
+            st.Emptiness.max_height_reached )
+        in
+        let ok = v seq = v par && counters seq = counters par in
+        Format.printf "    %-22s seq %.1f ms, par %.1f ms  %s@." name
+          seq_ms par_ms
+          (if ok then "agree" else "DISAGREE");
+        ( name,
+          Json.Obj
+            [ ("verdict", Json.Str (v seq));
+              ("seq_ms", Json.Num seq_ms);
+              ("par_ms", Json.Num par_ms);
+              ("agree", Json.Bool ok)
+            ],
+          ok ))
+      cases
+  in
+  ( Json.Obj (List.map (fun (n, j, _) -> (n, j)) rows),
+    List.for_all (fun (_, _, ok) -> ok) rows )
+
 let smoke ~out () =
   let cases = quick_cases () in
   Format.printf "emptiness bench (quick): %d cases@."
@@ -151,6 +211,7 @@ let smoke ~out () =
   Format.printf "  %d/%d ok in %.2f s@."
     (List.length results - List.length failed)
     (List.length results) wall;
+  let par_json, par_ok = seq_vs_par () in
   let json =
     Json.Obj
       [ ("mode", Json.Str "quick");
@@ -166,11 +227,13 @@ let smoke ~out () =
                      [ ("verdict", Json.Str verdict);
                        ("ok", Json.Bool ok)
                      ] ))
-               results) )
+               results) );
+        ("seq_vs_par", par_json)
       ]
   in
   write_json ~out json;
-  if failed = [] then 0 else 1
+  if failed = [] && par_ok then 0 else 1
 
-let run ?(quick = false) ?(out = "BENCH_emptiness.json") () =
-  if quick then smoke ~out () else full ~out ()
+let run ?(quick = false) ?(out = "BENCH_emptiness.json") ?(domains = 1)
+    () =
+  if quick then smoke ~out () else full ~out ~domains ()

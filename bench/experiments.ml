@@ -8,7 +8,12 @@ let solver_budget = 20_000
 
 let decide ?(width = 3) ?(max_states = solver_budget)
     ?(max_transitions = 400_000) phi =
-  Xpds.Sat.decide ~width ~max_states ~max_transitions phi
+  let options =
+    Xpds.Sat.Options.(
+      default |> with_width width |> with_max_states max_states
+      |> with_max_transitions max_transitions)
+  in
+  Xpds.Sat.decide ~options phi
 
 (* --- E1: XPath(↓) — PSpace row, Prop 3 --- *)
 
@@ -99,7 +104,7 @@ let e3 () =
           Table.print_row columns
             [ string_of_int n;
               string_of_bool truth;
-              string_of_int (Xpds.Metrics.size_node phi);
+              string_of_int (Xpds.Measure.size_node phi);
               Table.verdict_string r.Xpds.Sat.verdict;
               (match sat with
               | Some b -> if b = truth then "yes" else "NO!"
@@ -146,8 +151,8 @@ let e4 ?(solve = true) () =
         Table.print_row columns
           [ name;
             string_of_bool wins;
-            string_of_int (Xpds.Metrics.size_node phi);
-            string_of_int (Xpds.Metrics.data_tests phi);
+            string_of_int (Xpds.Measure.size_node phi);
+            string_of_int (Xpds.Measure.data_tests phi);
             Table.verdict_string r.Xpds.Sat.verdict;
             (match sat with
             | Some b -> if b = wins then "yes" else "NO!"
@@ -159,8 +164,8 @@ let e4 ?(solve = true) () =
         Table.print_row columns
           [ name;
             string_of_bool wins;
-            string_of_int (Xpds.Metrics.size_node phi);
-            string_of_int (Xpds.Metrics.data_tests phi);
+            string_of_int (Xpds.Measure.size_node phi);
+            string_of_int (Xpds.Measure.data_tests phi);
             "(skip)";
             "-";
             "-"
@@ -201,7 +206,7 @@ let e4 ?(solve = true) () =
         }
       in
       Format.printf "(n=%d,s=%d):%d " n s
-        (Xpds.Metrics.size_node (Xpds.Tiling.encode inst)))
+        (Xpds.Measure.size_node (Xpds.Tiling.encode inst)))
     [ (2, 2); (2, 3); (4, 3); (4, 4); (6, 4); (6, 5) ];
   Format.printf "@."
 
@@ -290,7 +295,7 @@ let e7 () =
       let samples = ref [] in
       while List.length !samples < 40 do
         let phi = gen () in
-        let size = Xpds.Metrics.size_node phi in
+        let size = Xpds.Measure.size_node phi in
         if size >= lo && size <= hi then samples := phi :: !samples
       done;
       let qs, ks, sizes =
@@ -299,7 +304,7 @@ let e7 () =
             let m = Xpds.Translate.bip_of_node phi in
             ( m.Xpds.Bip.q_card :: qs,
               m.Xpds.Bip.pf.Xpds.Pathfinder.n_states :: ks,
-              Xpds.Metrics.size_node phi :: sizes ))
+              Xpds.Measure.size_node phi :: sizes ))
           ([], [], []) !samples
       in
       let avg l =
@@ -351,7 +356,7 @@ let e8 () =
       in
       Table.print_row columns
         [ name;
-          string_of_int (Xpds.Metrics.size_node phi);
+          string_of_int (Xpds.Measure.size_node phi);
           string_of_int (Xpds.Data_tree.height w);
           string_of_int (Xpds.Data_tree.branching w);
           string_of_int (List.length (Xpds.Data_tree.data_values w));
@@ -560,8 +565,14 @@ let e13 () =
   let run knob value ~width ~merge_budget ~dup_cap ~t0 =
     let r, t =
       Table.time (fun () ->
-          Xpds.Sat.decide ~width ~merge_budget ~dup_cap ~t0
-            ~max_states:20_000 ~max_transitions:150_000 ~verify:false phi)
+          let options =
+            Xpds.Sat.Options.(
+              default |> with_width width |> with_merge_budget merge_budget
+              |> with_dup_cap dup_cap |> with_t0 t0
+              |> with_max_states 20_000 |> with_max_transitions 150_000
+              |> with_verify false)
+          in
+          Xpds.Sat.decide ~options phi)
     in
     Table.print_row columns
       [ knob;

@@ -42,6 +42,20 @@ let verbose_arg =
   let doc = "Print the full report rather than just the verdict." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the emptiness saturation (the parallel engine \
+     of Theorem 4's fixpoint). 0 means the default: \\$(b,XPDS_DOMAINS) \
+     when set, else 1 (sequential). Verdicts, statistics and \
+     certificates are bit-identical across domain counts."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~doc)
+
+(* 0 = "not set on the command line": fall back to Sat.Options.default,
+   which reads XPDS_DOMAINS. *)
+let resolve_domains d =
+  if d > 0 then d else Xpds.Sat.Options.default.Xpds.Sat.Options.domains
+
 (* --- sat --- *)
 
 let json_arg =
@@ -124,12 +138,16 @@ let sat_cmd =
             "Write the certificate (JSON) to $(docv); implies \
              --certify.")
   in
-  let run formula width verbose json minimize certify cert_out =
+  let run formula width verbose json minimize certify cert_out domains =
     let certify = certify || cert_out <> None in
     let eta = or_die (parse_node formula) in
-    let report =
-      Xpds.Sat.decide ~width ~minimize ~certificate:certify eta
+    let options =
+      Xpds.Sat.Options.(
+        default |> with_width width |> with_minimize minimize
+        |> with_certificate certify
+        |> with_domains (resolve_domains domains))
     in
+    let report = Xpds.Sat.decide ~options eta in
     let cert_fields, cert, cert_ok =
       if certify then certify_report report else ([], None, true)
     in
@@ -171,7 +189,7 @@ let sat_cmd =
           3 unknown, 4 certificate failure (with --certify).")
     Term.(
       const run $ formula_arg $ width_arg $ verbose_arg $ json_arg
-      $ minimize_arg $ certify_arg $ cert_out_arg)
+      $ minimize_arg $ certify_arg $ cert_out_arg $ domains_arg)
 
 (* --- classify --- *)
 
@@ -184,8 +202,8 @@ let classify_cmd =
       (match Xpds.Fragment.complexity fragment with
       | Xpds.Fragment.PSpace -> "PSpace-complete"
       | Xpds.Fragment.ExpTime -> "ExpTime-complete");
-    Format.printf "size:       %d@." (Xpds.Metrics.size_node eta);
-    Format.printf "data tests: %d@." (Xpds.Metrics.data_tests eta);
+    Format.printf "size:       %d@." (Xpds.Measure.size_node eta);
+    Format.printf "data tests: %d@." (Xpds.Measure.data_tests eta);
     (match Xpds.Fragment.poly_depth_bound eta with
     | Some b -> Format.printf "poly-depth model bound: %d@." b
     | None -> Format.printf "poly-depth model bound: none (ExpTime row)@.")
@@ -301,7 +319,7 @@ let tiling_cmd =
         let phi = Xpds.Tiling.encode inst in
         Format.printf "%s: Eloise wins = %b; encoding size = %d (%s)@."
           name wins
-          (Xpds.Metrics.size_node phi)
+          (Xpds.Measure.size_node phi)
           (Xpds.Fragment.name (Xpds.Fragment.classify phi)))
       [ ("example_win", Xpds.Tiling_game.example_win ());
         ("example_lose", Xpds.Tiling_game.example_lose ())
@@ -330,9 +348,13 @@ let qbf_cmd =
     Format.printf "QBF %a@.valid: %b@." Xpds.Qbf.pp q truth;
     let phi = Xpds.Qbf_encoding.encode q in
     Format.printf "encoding: size %d in %s@."
-      (Xpds.Metrics.size_node phi)
+      (Xpds.Measure.size_node phi)
       (Xpds.Fragment.name (Xpds.Fragment.classify phi));
-    let report = Xpds.Sat.decide ~width phi in
+    let report =
+      Xpds.Sat.decide
+        ~options:Xpds.Sat.Options.(default |> with_width width)
+        phi
+    in
     Format.printf "encoding satisfiable: %a@." Xpds.Sat.pp_verdict
       report.Xpds.Sat.verdict
   in
@@ -503,14 +525,15 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc)
 
 let service_of ?(certificate = false) ?(retry_degraded = false)
-    ~cache_capacity ~jobs () =
+    ?(domains = 0) ~cache_capacity ~jobs () =
   Xpds.Service.create
     ~config:
       { Xpds.Service.default_config with
         solver =
           { Xpds.Service.default_solver_config with
             certificate;
-            retry_degraded
+            retry_degraded;
+            domains = resolve_domains domains
           };
         cache_capacity;
         jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
@@ -541,9 +564,9 @@ let print_metrics svc =
        (Xpds.Service_metrics.to_json (Xpds.Service.metrics svc)))
 
 let serve_cmd =
-  let run timeout_ms cache stats certify trace degrade =
+  let run timeout_ms cache stats certify trace degrade domains =
     let svc =
-      service_of ~certificate:certify ~retry_degraded:degrade
+      service_of ~certificate:certify ~retry_degraded:degrade ~domains
         ~cache_capacity:cache ~jobs:0 ()
     in
     let extra_of (resp : Xpds.Service.response) =
@@ -586,7 +609,7 @@ let serve_cmd =
           certificate summary; with --trace, per-phase timings.")
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
-      $ trace_arg $ degrade_arg)
+      $ trace_arg $ degrade_arg $ domains_arg)
 
 let batch_cmd =
   let file_arg =
@@ -614,7 +637,8 @@ let batch_cmd =
             "Write each response's certificate to $(docv)/<id>.cert.json; \
              implies --certify.")
   in
-  let run file jobs timeout_ms cache stats certify cert_dir trace degrade =
+  let run file jobs timeout_ms cache stats certify cert_dir trace degrade
+      domains =
     let certify = certify || cert_dir <> None in
     let ic = open_in file in
     let requests = ref [] in
@@ -641,7 +665,7 @@ let batch_cmd =
      with End_of_file -> close_in ic);
     let requests = List.rev !requests in
     let svc =
-      service_of ~certificate:certify ~retry_degraded:degrade
+      service_of ~certificate:certify ~retry_degraded:degrade ~domains
         ~cache_capacity:cache ~jobs ()
     in
     let responses = Xpds.Service.solve_batch svc requests in
@@ -685,7 +709,7 @@ let batch_cmd =
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
       $ stats_arg $ certify_arg $ cert_dir_arg $ trace_arg
-      $ degrade_arg)
+      $ degrade_arg $ domains_arg)
 
 (* --- certify --- *)
 
@@ -753,9 +777,12 @@ let bench_cmd =
       & opt string "BENCH_emptiness.json"
       & info [ "o"; "out" ] ~doc:"Where to write the JSON results.")
   in
-  let run target quick out =
+  let run target quick out domains =
     match target with
-    | "emptiness" -> exit (Emptiness_bench.run ~quick ~out ())
+    | "emptiness" ->
+      exit
+        (Emptiness_bench.run ~quick ~out
+           ~domains:(resolve_domains domains) ())
     | "certify" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_certify.json" else out in
       exit (Certify_bench.run ~quick ~out ())
@@ -773,7 +800,7 @@ let bench_cmd =
        ~doc:
          "Run a repository benchmark and write machine-readable JSON \
           (cold wall-time and engine throughput for \"emptiness\").")
-    Term.(const run $ target_arg $ quick_arg $ out_arg)
+    Term.(const run $ target_arg $ quick_arg $ out_arg $ domains_arg)
 
 let () =
   let info =

@@ -86,7 +86,11 @@ let () =
      within the example's budget the solver may answer UNKNOWN — never
      a wrong SAT (the honesty policy of the README). *)
   Format.printf "contradictory query: %a@." Xpds.Sat.pp_verdict
-    (Xpds.Sat.decide ~max_states:2_000 ~max_transitions:40_000 formula)
+    (Xpds.Sat.decide
+       ~options:
+         Xpds.Sat.Options.(
+           default |> with_max_states 2_000 |> with_max_transitions 40_000)
+       formula)
       .Xpds.Sat.verdict;
 
   (* Query containment on the translated queries: the self-reference

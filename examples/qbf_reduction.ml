@@ -11,12 +11,16 @@ let show name q =
   Format.printf "direct solver: %s@." (if truth then "valid" else "invalid");
   let phi = Xpds.Qbf_encoding.encode q in
   Format.printf "encoding: %d AST nodes in %s (data-free)@."
-    (Xpds.Metrics.size_node phi)
+    (Xpds.Measure.size_node phi)
     (Xpds.Fragment.name (Xpds.Fragment.classify phi));
   assert (Xpds.Qbf_encoding.is_data_free phi);
   let report =
-    Xpds.Sat.decide ~max_states:100_000 ~max_transitions:2_000_000
-      ~minimize:true phi
+    Xpds.Sat.decide
+      ~options:
+        Xpds.Sat.Options.(
+          default |> with_max_states 100_000
+          |> with_max_transitions 2_000_000 |> with_minimize true)
+      phi
   in
   (match report.Xpds.Sat.verdict with
   | Xpds.Sat.Sat w ->

@@ -47,7 +47,11 @@ let () =
   let phi' = Xpds.Parser.node_of_string_exn contradictory in
   Format.printf "@.now with all data equal to the root:@.%a@."
     Xpds.Sat.pp_report
-    (Xpds.Sat.decide ~max_states:2_000 ~max_transitions:40_000 phi');
+    (Xpds.Sat.decide
+       ~options:
+         Xpds.Sat.Options.(
+           default |> with_max_states 2_000 |> with_max_transitions 40_000)
+       phi');
   (match
      Xpds.Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
        ~max_trees:2_000_000

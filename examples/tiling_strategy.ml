@@ -15,8 +15,8 @@ let describe name (inst : Xpds.Tiling_game.instance) =
     (if wins then "wins" else "loses");
   let phi = Xpds.Tiling.encode inst in
   Format.printf "encoding: %d AST nodes, %d data tests, fragment %s@."
-    (Xpds.Metrics.size_node phi)
-    (Xpds.Metrics.data_tests phi)
+    (Xpds.Measure.size_node phi)
+    (Xpds.Measure.data_tests phi)
     (Xpds.Fragment.name (Xpds.Fragment.classify phi));
   assert (Xpds.Tiling.in_desc_fragment phi);
   wins
@@ -57,5 +57,5 @@ let () =
       in
       let phi = Xpds.Tiling.encode inst in
       Format.printf "  n=%d s=%d  ->  size %d@." n s
-        (Xpds.Metrics.size_node phi))
+        (Xpds.Measure.size_node phi))
     [ (2, 2); (2, 3); (4, 3); (4, 4); (6, 4) ]

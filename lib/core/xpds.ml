@@ -7,7 +7,7 @@
     - {!Label}, {!Path}, {!Data_tree}, {!Tree_gen}, {!Xml_doc}: data
       trees and XML (§2.1, Appendix A);
     - {!Ast}, {!Parser}, {!Pp}, {!Build}, {!Semantics}, {!Fragment},
-      {!Metrics}, {!Rewrite}: the logic (§2.2, Fig. 4);
+      {!Measure}, {!Rewrite}: the logic (§2.2, Fig. 4);
     - {!Nfa}, {!Pathfinder}, {!Bip}, {!Bip_run}, {!Translate},
       {!Doctype}: the automata (§3, §4.1 extensions);
     - {!Ext_state}, {!Merging}, {!Transition}, {!Emptiness}, {!Bounded},
@@ -43,7 +43,7 @@ module Pp = Xpds_xpath.Pp
 module Build = Xpds_xpath.Build
 module Semantics = Xpds_xpath.Semantics
 module Fragment = Xpds_xpath.Fragment
-module Metrics = Xpds_xpath.Metrics
+module Measure = Xpds_xpath.Measure
 module Rewrite = Xpds_xpath.Rewrite
 module Generator = Xpds_xpath.Generator
 module Explain = Xpds_xpath.Explain

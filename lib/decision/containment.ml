@@ -8,7 +8,12 @@ type answer =
 
 let contained ?width phi psi =
   let query = And (phi, Xpds_xpath.Build.not_ psi) in
-  match (Sat.decide ?width query).Sat.verdict with
+  let options =
+    match width with
+    | Some w -> { Sat.Options.default with Sat.Options.width = w }
+    | None -> Sat.Options.default
+  in
+  match (Sat.decide ~options query).Sat.verdict with
   | Sat.Sat w -> Fails w
   | Sat.Unsat -> Holds
   | Sat.Unsat_bounded why ->

@@ -35,11 +35,69 @@ type report = {
   cert_seed : cert_seed option;
 }
 
-let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
-    ?(merge_budget = Some 5) ?max_states ?max_transitions ?should_stop
-    ?(on_phase = fun _ -> ()) ?(verify = true) ?(minimize = false)
-    ?(extra_labels = []) ?(certificate = false) eta =
-  on_phase "translate";
+module Options = struct
+  type t = {
+    width : int;
+    t0 : int option;
+    dup_cap : int option;
+    merge_budget : int option;
+    max_states : int;
+    max_transitions : int;
+    domains : int;
+    should_stop : (unit -> bool) option;
+    on_phase : string -> unit;
+    verify : bool;
+    minimize : bool;
+    extra_labels : Xpds_datatree.Label.t list;
+    certificate : bool;
+  }
+
+  (* The environment default lets a harness (CI runs the test suite
+     under XPDS_DOMAINS=1 and =4) steer every default-options solve
+     without threading a flag through each call site. *)
+  let domains_from_env () =
+    match Sys.getenv_opt "XPDS_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> 1)
+    | None -> 1
+
+  let default =
+    {
+      width = 3;
+      t0 = Some 6;
+      dup_cap = Some 2;
+      merge_budget = Some 5;
+      max_states = Emptiness.default_config.Emptiness.max_states;
+      max_transitions = Emptiness.default_config.Emptiness.max_transitions;
+      domains = domains_from_env ();
+      should_stop = None;
+      on_phase = ignore;
+      verify = true;
+      minimize = false;
+      extra_labels = [];
+      certificate = false;
+    }
+
+  let with_width width o = { o with width }
+  let with_t0 t0 o = { o with t0 }
+  let with_dup_cap dup_cap o = { o with dup_cap }
+  let with_merge_budget merge_budget o = { o with merge_budget }
+  let with_max_states max_states o = { o with max_states }
+  let with_max_transitions max_transitions o = { o with max_transitions }
+  let with_domains domains o = { o with domains = max 1 domains }
+  let with_should_stop should_stop o = { o with should_stop }
+  let with_on_phase on_phase o = { o with on_phase }
+  let with_verify verify o = { o with verify }
+  let with_minimize minimize o = { o with minimize }
+  let with_extra_labels extra_labels o = { o with extra_labels }
+  let with_certificate certificate o = { o with certificate }
+end
+
+let decide ?(options = Options.default) eta =
+  let o = options in
+  o.Options.on_phase "translate";
   let eta = Xpds_xpath.Rewrite.simplify eta in
   let fragment = Fragment.classify eta in
   let bound = Fragment.poly_depth_bound eta in
@@ -48,61 +106,68 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
      still discover states one level up), so the Theorem-6 height
      shortcut is turned off and the search runs to a true fixpoint
      within the width/t0/dup/merge bounds. *)
-  let bound = if certificate then None else bound in
-  let m = Translate.bip_of_node ~labels:extra_labels (Xpds_xpath.Ast.Exists
-      (Xpds_xpath.Ast.Filter (Xpds_xpath.Ast.Axis Descendant, eta)))
+  let bound = if o.Options.certificate then None else bound in
+  let m = Translate.bip_of_node ~labels:o.Options.extra_labels
+      (Xpds_xpath.Ast.Exists
+         (Xpds_xpath.Ast.Filter (Xpds_xpath.Ast.Axis Descendant, eta)))
   in
   let config =
     {
       Emptiness.default_config with
-      width = Some width;
-      t0 = (match t0 with Some _ -> t0 | None -> None);
-      dup_cap;
-      merge_budget;
+      width = Some o.Options.width;
+      t0 = o.Options.t0;
+      dup_cap = o.Options.dup_cap;
+      merge_budget = o.Options.merge_budget;
       max_height = bound;
-      max_states =
-        Option.value max_states
-          ~default:Emptiness.default_config.Emptiness.max_states;
-      max_transitions =
-        Option.value max_transitions
-          ~default:Emptiness.default_config.Emptiness.max_transitions;
-      should_stop;
+      max_states = o.Options.max_states;
+      max_transitions = o.Options.max_transitions;
+      should_stop = o.Options.should_stop;
+      domains = o.Options.domains;
     }
   in
   let algorithm =
     match bound with
     | Some b ->
       Printf.sprintf "height-bounded fixpoint (Thm 6, H=%d, width=%d)" b
-        width
-    | None -> Printf.sprintf "full fixpoint (Thm 4, width=%d)" width
+        o.Options.width
+    | None ->
+      Printf.sprintf "full fixpoint (Thm 4, width=%d)" o.Options.width
+  in
+  (* The data-free fast path is always sequential; only the general
+     engine (which certificate mode forces) parallelizes. *)
+  let parallel_engine =
+    o.Options.domains > 1
+    && (o.Options.certificate || not (Emptiness.data_free m))
   in
   let outcome, stats, basis =
-    on_phase "fixpoint";
-    if certificate then Emptiness.check_with_basis ~config m
+    o.Options.on_phase
+      (if parallel_engine then "fixpoint_parallel" else "fixpoint");
+    if o.Options.certificate then Emptiness.check_with_basis ~config m
     else
       let outcome, stats = Emptiness.check_with_stats ~config m in
       (outcome, stats, None)
   in
   let paper_complete_widths =
-    width >= Emptiness.paper_width m
-    && (match t0 with
+    o.Options.width >= Emptiness.paper_width m
+    && (match o.Options.t0 with
        | Some t -> t >= Transition.t0_default m
        | None -> true)
-    && dup_cap = None && merge_budget = None
+    && o.Options.dup_cap = None
+    && o.Options.merge_budget = None
   in
   let verdict, witness_verified =
     match outcome with
     | Emptiness.Nonempty w ->
-      on_phase "verify";
+      o.Options.on_phase "verify";
       let w =
-        if minimize then
+        if o.Options.minimize then
           Witness_min.minimize
             ~check:(fun t -> Semantics.check_somewhere t eta)
             w eta
         else w
       in
       let verified =
-        if verify then
+        if o.Options.verify then
           Some (Semantics.check_somewhere w eta && Bip_run.accepts m w)
         else None
       in
@@ -115,21 +180,21 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
         (Unsat, None)
       else
         ( Unsat_bounded
-            (Printf.sprintf "saturated at width %d (paper bound %d)" width
-               (Emptiness.paper_width m)),
+            (Printf.sprintf "saturated at width %d (paper bound %d)"
+               o.Options.width (Emptiness.paper_width m)),
           None )
     | Emptiness.Resource_limit what -> (Unknown what, None)
   in
   let cert_seed =
-    if certificate then
+    if o.Options.certificate then
       Some
         {
           cs_formula = eta;
           cs_labels = m.Bip.labels;
-          cs_width = width;
-          cs_t0 = t0;
-          cs_dup_cap = dup_cap;
-          cs_merge_budget = merge_budget;
+          cs_width = o.Options.width;
+          cs_t0 = o.Options.t0;
+          cs_dup_cap = o.Options.dup_cap;
+          cs_merge_budget = o.Options.merge_budget;
           cs_basis = basis;
         }
     else None
@@ -145,8 +210,40 @@ let decide ?(width = 3) ?(t0 = Some 6) ?(dup_cap = Some 2)
     cert_seed;
   }
 
+(* Transitional wrapper over the pre-Options 12-optional-argument
+   surface; deprecated, removed next PR. *)
+let decide_legacy ?width ?t0 ?dup_cap ?merge_budget ?max_states
+    ?max_transitions ?should_stop ?on_phase ?verify ?minimize ?extra_labels
+    ?certificate eta =
+  let d = Options.default in
+  let options =
+    {
+      Options.width = Option.value width ~default:d.Options.width;
+      t0 = Option.value t0 ~default:d.Options.t0;
+      dup_cap = Option.value dup_cap ~default:d.Options.dup_cap;
+      merge_budget = Option.value merge_budget ~default:d.Options.merge_budget;
+      max_states = Option.value max_states ~default:d.Options.max_states;
+      max_transitions =
+        Option.value max_transitions ~default:d.Options.max_transitions;
+      domains = d.Options.domains;
+      should_stop =
+        (match should_stop with Some f -> Some f | None -> None);
+      on_phase = Option.value on_phase ~default:d.Options.on_phase;
+      verify = Option.value verify ~default:d.Options.verify;
+      minimize = Option.value minimize ~default:d.Options.minimize;
+      extra_labels = Option.value extra_labels ~default:d.Options.extra_labels;
+      certificate = Option.value certificate ~default:d.Options.certificate;
+    }
+  in
+  decide ~options eta
+
 let satisfiable ?width eta =
-  match (decide ?width ~verify:false eta).verdict with
+  let options =
+    match width with
+    | Some w -> { Options.default with Options.width = w; verify = false }
+    | None -> { Options.default with Options.verify = false }
+  in
+  match (decide ~options eta).verdict with
   | Sat _ -> Some true
   | Unsat | Unsat_bounded _ -> Some false
   | Unknown _ -> None

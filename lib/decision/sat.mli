@@ -59,7 +59,78 @@ type report = {
       (** certificate material; [Some] iff [certificate] was set *)
 }
 
-val decide :
+(** Solver options, replacing the twelve optional arguments [decide]
+    had accreted. Build one by functional update from {!Options.default}
+    ([{ Options.default with width = 5 }]) or with the [with_*]
+    combinators ([Options.(default |> with_width 5 |> with_domains 4)]).
+    The search-bound fields ([width] … [domains]) deliberately mirror
+    {!Emptiness.config} field-for-field, with the option-typed budgets
+    resolved to the practical defaults. *)
+module Options : sig
+  type t = {
+    width : int;  (** branching bound; practical default 3 *)
+    t0 : int option;
+        (** description bound; default [Some 6], [None] = paper bound *)
+    dup_cap : int option;
+        (** duplicate-description cap; default [Some 2], [None] = paper *)
+    merge_budget : int option;
+        (** merging identification budget; default [Some 5] *)
+    max_states : int;  (** resource budget; default 20_000 *)
+    max_transitions : int;  (** resource budget; default 200_000 *)
+    domains : int;
+        (** worker domains for the emptiness fixpoint (default: the
+            [XPDS_DOMAINS] environment variable, else 1). Any value is
+            safe: verdicts, core stats and certificate bases are
+            bit-identical across domain counts, and requests beyond the
+            machine or the shared {!Xpds_parallel.Parallel} permit pool
+            degrade to fewer workers. *)
+    should_stop : (unit -> bool) option;
+        (** cooperative deadline hook ({!Emptiness.config}); a fired
+            deadline yields [Unknown "deadline exceeded"] *)
+    on_phase : string -> unit;
+        (** observability hook: invoked with ["translate"],
+            ["fixpoint"] (or ["fixpoint_parallel"] when the parallel
+            engine is selected), and — on a nonempty outcome —
+            ["verify"], as the run enters each stage *)
+    verify : bool;  (** replay the witness (default true) *)
+    minimize : bool;
+        (** shrink the witness with {!Witness_min.minimize} first *)
+    extra_labels : Xpds_datatree.Label.t list;
+        (** force labels into the automaton alphabet *)
+    certificate : bool;
+        (** run in certificate mode and fill
+            {!field-report.cert_seed} *)
+  }
+
+  val default : t
+
+  val domains_from_env : unit -> int
+  (** [XPDS_DOMAINS] parsed and clamped to [>= 1]; 1 when unset or
+      unparsable. [default.domains] is initialised from this. *)
+
+  val with_width : int -> t -> t
+  val with_t0 : int option -> t -> t
+  val with_dup_cap : int option -> t -> t
+  val with_merge_budget : int option -> t -> t
+  val with_max_states : int -> t -> t
+  val with_max_transitions : int -> t -> t
+
+  val with_domains : int -> t -> t
+  (** clamps to [>= 1] *)
+
+  val with_should_stop : (unit -> bool) option -> t -> t
+  val with_on_phase : (string -> unit) -> t -> t
+  val with_verify : bool -> t -> t
+  val with_minimize : bool -> t -> t
+  val with_extra_labels : Xpds_datatree.Label.t list -> t -> t
+  val with_certificate : bool -> t -> t
+end
+
+val decide : ?options:Options.t -> Xpds_xpath.Ast.node -> report
+(** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?)
+    under {!Options.default} or the given options. *)
+
+val decide_legacy :
   ?width:int ->
   ?t0:int option ->
   ?dup_cap:int option ->
@@ -74,21 +145,11 @@ val decide :
   ?certificate:bool ->
   Xpds_xpath.Ast.node ->
   report
-(** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?).
-    Practical defaults: [width] 3, [t0] [Some 6], [dup_cap] [Some 2],
-    [merge_budget] [Some 5] (pass [None] explicitly for the
-    paper-complete behaviour of each); [should_stop] is the cooperative
-    deadline hook of {!Emptiness.config} (a fired deadline yields
-    [Unknown "deadline exceeded"]); [on_phase] is its observability
-    sibling — invoked with ["translate"], ["fixpoint"], and (on a
-    nonempty outcome) ["verify"] as the run enters each stage, so a
-    serving layer can attribute wall-clock to phases without wrapping
-    the solver (default: ignore); [verify] defaults to true;
-    [minimize] (default false) shrinks the witness with
-    {!Witness_min.minimize} before verification; [certificate] (default
-    false) runs the emptiness search in certificate mode and fills
-    {!field-report.cert_seed} so {!Xpds_cert.Cert.of_report} can emit a
-    checkable artifact. *)
+[@@ocaml.deprecated
+  "use Sat.decide ?options with Sat.Options.t; this wrapper lasts one PR"]
+(** Transitional wrapper over the pre-{!Options} argument surface.
+    Identical semantics ([domains] comes from {!Options.default}, i.e.
+    [XPDS_DOMAINS]); will be removed in the next PR. *)
 
 val satisfiable : ?width:int -> Xpds_xpath.Ast.node -> bool option
 (** [Some b] when the verdict is [Sat]/[Unsat]/[Unsat_bounded] (the

@@ -118,6 +118,18 @@ let make_ctx ?(project_pairs = false) (m : Bip.t) =
 let bip_of ctx = ctx.m
 let memo_of ctx = ctx.memo
 
+(* Domain-local replica: shares every immutable precomputation (the
+   automaton, SCCs, dependency sets, reverse indices, pair mask) but
+   gets fresh, empty memo/U/V caches so each worker domain can mutate
+   its own scratch without synchronisation. *)
+let clone_ctx ctx =
+  {
+    ctx with
+    memo = Pathfinder.memo (Pathfinder.memo_pf ctx.memo);
+    u_tbl = BvTbl.create 64;
+    v_tbl = BvTbl.create 64;
+  }
+
 let t0_default (m : Bip.t) =
   let k = m.pf.Pathfinder.n_states in
   (2 * k * k) + 2

@@ -67,4 +67,15 @@ let minimize ?check tree phi =
         try_merge earlier)
       tree values
   in
-  Data_tree.canonicalize_data (coalesce (pass tree))
+  (* Deletion and coalescing interact: identifying two data values can
+     make a subtree deletable that wasn't (a data test it alone
+     satisfied is now satisfied elsewhere), so a single
+     pass-then-coalesce is not a local minimum. Alternate the two until
+     neither changes the tree — each iteration either shrinks the tree
+     or strictly reduces the number of distinct values, so this
+     terminates. *)
+  let rec go tree =
+    let tree' = coalesce (pass tree) in
+    if Data_tree.equal tree' tree then tree else go tree'
+  in
+  Data_tree.canonicalize_data (go tree)

@@ -111,7 +111,7 @@ let satisfiability_formula eta =
     then phi_struct ~attrs
     else
       phi_struct_bounded ~attrs
-        ~depth:(Xpds_xpath.Metrics.down_depth translated)
+        ~depth:(Xpds_xpath.Measure.down_depth translated)
   in
   B.conj [ translated; struct_part ]
 

@@ -1,0 +1,92 @@
+(* Global domain-permit pool.
+
+   One process-wide Atomic counter holds the number of *extra* domains
+   (beyond the initial one) the whole process may have live at once.  Any
+   parallel construct CASes permits out before spawning and always returns
+   them.  Nested parallelism therefore composes by starvation: inner
+   constructs find no permits and run sequentially on their caller. *)
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+(* Pool capacity, in *extra* domains beyond the caller. The floor of 3
+   matters: on a small machine an explicit [~domains:4] request gets
+   genuine (timeshared) domains rather than a silent sequential
+   downgrade — results are bit-identical either way, so this only
+   trades a little scheduling overhead for actually exercising the
+   parallel engine wherever the test suite runs. *)
+let capacity = max (recommended () - 1) 3
+
+let permits = Atomic.make capacity
+
+let total_permits () = capacity
+
+let available_permits () = Atomic.get permits
+
+(* Claim up to [want] permits; returns how many were actually claimed. *)
+let rec acquire want =
+  if want <= 0 then 0
+  else
+    let avail = Atomic.get permits in
+    if avail <= 0 then 0
+    else
+      let take = min want avail in
+      if Atomic.compare_and_set permits avail (avail - take) then take
+      else acquire want
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add permits n)
+
+let effective ~domains n =
+  if domains <= 1 || n <= 1 then 1
+  else min domains (min n (capacity + 1))
+
+let run_workers want body =
+  if want <= 1 then begin
+    body 0;
+    1
+  end
+  else begin
+    let extra = acquire (want - 1) in
+    if extra = 0 then begin
+      body 0;
+      1
+    end
+    else begin
+      let w = extra + 1 in
+      let errs = Array.make w None in
+      let doms =
+        Array.init extra (fun i ->
+            Domain.spawn (fun () ->
+                try body (i + 1) with e -> errs.(i + 1) <- Some e))
+      in
+      (try body 0 with e -> errs.(0) <- Some e);
+      Array.iter Domain.join doms;
+      release extra;
+      Array.iter (function Some e -> raise e | None -> ()) errs;
+      w
+    end
+  end
+
+exception Lost
+
+let map_result ~domains f items =
+  let n = Array.length items in
+  let w = effective ~domains n in
+  if n = 0 then [||]
+  else if w = 1 then
+    Array.map (fun x -> try Ok (f x) with e -> Error e) items
+  else begin
+    let out = Array.make n (Error Lost) in
+    let next = Atomic.make 0 in
+    let _ =
+      run_workers w (fun _slot ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              out.(i) <- (try Ok (f items.(i)) with e -> Error e);
+              loop ()
+            end
+          in
+          loop ())
+    in
+    out
+  end

@@ -1,0 +1,60 @@
+(** Shared domain pool with global permit accounting.
+
+    Every parallel construct in the system — the service batch fan-out and
+    the domain-parallel emptiness saturation — draws its extra domains from
+    one process-wide permit pool sized to the machine.  This is what keeps
+    nested parallelism composable: a parallel solve running inside a
+    parallel batch finds the permits already claimed by the batch workers
+    and silently degrades to sequential execution instead of oversubscribing
+    the machine (OCaml 5 domains synchronise on every minor collection, so
+    oversubscription is far worse than in a thread-per-task runtime).
+
+    The pool is cooperative and lock-free: permits are an [Atomic] counter,
+    acquired with CAS and always released.  Nothing blocks waiting for a
+    permit — callers that cannot get extra domains simply run with fewer
+    workers (possibly just themselves). *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val total_permits : unit -> int
+(** Size of the permit pool: [recommended () - 1] extra domains beyond
+    the initial one, with a floor of 3 so that an explicit small
+    [~domains] request (e.g. the test suite's [~domains:4] agreement
+    properties) gets genuine — if timeshared — parallelism even on a
+    single-core machine. Results are bit-identical either way. *)
+
+val available_permits : unit -> int
+(** Permits currently unclaimed.  Advisory — another domain may claim them
+    between this call and a subsequent acquire. *)
+
+val effective : domains:int -> int -> int
+(** [effective ~domains n] clamps a requested worker count to something
+    sane for [n] work items: at least 1, at most [domains], at most [n],
+    and at most [total_permits () + 1].  [domains <= 1] or [n <= 1]
+    gives 1.
+    This does not consult the permit pool — the actual grant happens at
+    [run_workers] time. *)
+
+val run_workers : int -> (int -> unit) -> int
+(** [run_workers want body] runs [body slot] on up to [want] workers:
+    it acquires up to [want - 1] permits from the global pool, spawns that
+    many domains, and runs [body 0] on the calling domain while the spawned
+    domains run [body 1] … [body (k-1)].  All domains are joined and all
+    permits released before the call returns, even if a body raises (the
+    first exception, by slot order, is re-raised).  Returns the number of
+    workers actually used (>= 1).  [want <= 1] runs [body 0] inline and
+    returns 1. *)
+
+exception Lost
+(** A worker died so badly its result slot was never filled.  Only
+    observable through [map_result] and kept for compatibility with the
+    service pool's historical API. *)
+
+val map_result : domains:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [map_result ~domains f items] maps [f] over [items] on up to [domains]
+    workers (sequentially when [effective] says 1).  Each element's outcome
+    is isolated: [Ok (f x)] or [Error exn] if [f x] raised.  Order is
+    preserved.  The permit pool is consulted, so nesting [map_result] (or a
+    [run_workers]-based solve) inside a [map_result] worker degrades
+    gracefully instead of oversubscribing. *)

@@ -21,6 +21,11 @@ type t = {
   mutable fixpoint_states : int;
   mutable fixpoint_transitions : int;
   mutable fixpoint_mergings : int;
+  mutable par_rounds : int;
+  mutable par_waves : int;
+  mutable par_combos : int;
+  mutable par_imbalance_max_pct : int;
+  mutable domains_used_max : int;
   mutable certified : int;
   mutable cert_check_failures : int;
   mutable cert_latency_sum : float;
@@ -47,6 +52,12 @@ type snapshot = {
   fixpoint_states : int;
   fixpoint_transitions : int;
   fixpoint_mergings : int;
+  par_rounds : int;  (** saturation rounds that dispatched parallel work *)
+  par_waves : int;  (** parallel frontier waves run *)
+  par_combos : int;  (** combos evaluated by parallel workers *)
+  par_imbalance_max_pct : int;
+      (** worst per-wave load imbalance seen (100 = perfectly even) *)
+  domains_used_max : int;  (** most worker domains granted to one solve *)
   certified : int;
   cert_check_failures : int;
   cert_latency_mean_ms : float;
@@ -76,6 +87,11 @@ let create () =
     fixpoint_states = 0;
     fixpoint_transitions = 0;
     fixpoint_mergings = 0;
+    par_rounds = 0;
+    par_waves = 0;
+    par_combos = 0;
+    par_imbalance_max_pct = 0;
+    domains_used_max = 1;
     certified = 0;
     cert_check_failures = 0;
     cert_latency_sum = 0.;
@@ -103,6 +119,11 @@ let reset (m : t) =
   m.fixpoint_states <- 0;
   m.fixpoint_transitions <- 0;
   m.fixpoint_mergings <- 0;
+  m.par_rounds <- 0;
+  m.par_waves <- 0;
+  m.par_combos <- 0;
+  m.par_imbalance_max_pct <- 0;
+  m.domains_used_max <- 1;
   m.certified <- 0;
   m.cert_check_failures <- 0;
   m.cert_latency_sum <- 0.;
@@ -134,7 +155,15 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
     m.fixpoint_states <- m.fixpoint_states + stats.Emptiness.n_states;
     m.fixpoint_transitions <-
       m.fixpoint_transitions + stats.Emptiness.n_transitions;
-    m.fixpoint_mergings <- m.fixpoint_mergings + stats.Emptiness.n_mergings
+    m.fixpoint_mergings <- m.fixpoint_mergings + stats.Emptiness.n_mergings;
+    let p = stats.Emptiness.par in
+    m.par_rounds <- m.par_rounds + p.Emptiness.par_rounds;
+    m.par_waves <- m.par_waves + p.Emptiness.par_waves;
+    m.par_combos <- m.par_combos + p.Emptiness.par_combos;
+    if p.Emptiness.par_imbalance_pct > m.par_imbalance_max_pct then
+      m.par_imbalance_max_pct <- p.Emptiness.par_imbalance_pct;
+    if p.Emptiness.domains_used > m.domains_used_max then
+      m.domains_used_max <- p.Emptiness.domains_used
   end
 
 let record_single_flight (m : t) = m.single_flight <- m.single_flight + 1
@@ -191,6 +220,11 @@ let snapshot (m : t) : snapshot =
     fixpoint_states = m.fixpoint_states;
     fixpoint_transitions = m.fixpoint_transitions;
     fixpoint_mergings = m.fixpoint_mergings;
+    par_rounds = m.par_rounds;
+    par_waves = m.par_waves;
+    par_combos = m.par_combos;
+    par_imbalance_max_pct = m.par_imbalance_max_pct;
+    domains_used_max = m.domains_used_max;
     certified = m.certified;
     cert_check_failures = m.cert_check_failures;
     cert_latency_mean_ms =
@@ -240,7 +274,13 @@ let to_json (s : snapshot) =
         Json.Obj
           [ ("states", Json.Num (float_of_int s.fixpoint_states));
             ("transitions", Json.Num (float_of_int s.fixpoint_transitions));
-            ("mergings", Json.Num (float_of_int s.fixpoint_mergings))
+            ("mergings", Json.Num (float_of_int s.fixpoint_mergings));
+            ("par_rounds", Json.Num (float_of_int s.par_rounds));
+            ("par_waves", Json.Num (float_of_int s.par_waves));
+            ("par_combos", Json.Num (float_of_int s.par_combos));
+            ( "par_imbalance_max_pct",
+              Json.Num (float_of_int s.par_imbalance_max_pct) );
+            ("domains_used_max", Json.Num (float_of_int s.domains_used_max))
           ] );
       ( "certificates",
         Json.Obj
@@ -264,6 +304,8 @@ let pp ppf (s : snapshot) =
      latency ms: min %.2f, mean %.2f, p95 %.2f, max %.2f@,\
      phase totals ms:%a@,\
      fixpoint totals: %d states, %d transitions, %d mergings@,\
+     parallel: %d rounds, %d waves, %d combos (worst imbalance %d%%, \
+     max %d domains)@,\
      certificates: %d certified, %d check failures (mean %.2f ms, max \
      %.2f ms)@]"
     s.requests s.cache_hits s.cache_misses s.single_flight s.sat s.unsat
@@ -277,5 +319,6 @@ let pp ppf (s : snapshot) =
           (fun (name, ms) -> Format.fprintf ppf " %s %.2f;" name ms)
           phases)
     s.phases_ms s.fixpoint_states s.fixpoint_transitions
-    s.fixpoint_mergings s.certified s.cert_check_failures
-    s.cert_latency_mean_ms s.cert_latency_max_ms
+    s.fixpoint_mergings s.par_rounds s.par_waves s.par_combos
+    s.par_imbalance_max_pct s.domains_used_max s.certified
+    s.cert_check_failures s.cert_latency_mean_ms s.cert_latency_max_ms

@@ -26,6 +26,16 @@ type snapshot = {
   fixpoint_states : int;  (** summed {!Xpds_decision.Emptiness.stats} *)
   fixpoint_transitions : int;
   fixpoint_mergings : int;
+  par_rounds : int;
+      (** summed parallel-engine counters
+          ({!Xpds_decision.Emptiness.par_stats}): saturation rounds that
+          dispatched parallel work *)
+  par_waves : int;  (** parallel frontier waves run *)
+  par_combos : int;  (** combos evaluated by parallel workers *)
+  par_imbalance_max_pct : int;
+      (** worst per-wave load imbalance seen (100 = perfectly even) *)
+  domains_used_max : int;
+      (** most worker domains granted to a single solve *)
   certified : int;  (** certificate checks that passed *)
   cert_check_failures : int;  (** certificate checks that were rejected *)
   cert_latency_mean_ms : float;  (** mean certificate-check latency *)

@@ -1,33 +1,18 @@
-let default_jobs () = min 8 (Domain.recommended_domain_count ())
+module Parallel = Xpds_parallel.Parallel
+
+let default_jobs () = min 8 (Parallel.recommended ())
 
 let effective ~jobs n =
   (* Oversubscribing domains is never a win for a CPU-bound pure
      workload: every extra domain adds stop-the-world minor-GC
      synchronization (measured 2.5x slower with 4 domains on 1 core). *)
-  let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
-  if jobs <= 1 || n < 2 then 1 else min jobs n
+  if n < 2 then 1 else Parallel.effective ~domains:jobs n
 
-exception Lost
+exception Lost = Parallel.Lost
 
-let run ~jobs f items =
-  let n = Array.length items in
-  let workers = effective ~jobs n in
-  let apply x = match f x with v -> Ok v | exception e -> Error e in
-  if workers = 1 then Array.map apply items
-  else begin
-    let results = Array.make n (Error Lost) in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- apply items.(i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = List.init workers (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains;
-    results
-  end
+(* Delegates to the process-wide permit pool so batch workers and the
+   domain-parallel emptiness fixpoint share one domain budget: a
+   ~domains solve running inside a batch worker finds the permits
+   claimed by the batch and runs sequentially instead of
+   oversubscribing. *)
+let run ~jobs f items = Parallel.map_result ~domains:jobs f items

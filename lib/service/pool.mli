@@ -1,4 +1,9 @@
-(** A fixed-size worker pool on OCaml 5 domains.
+(** A fixed-size worker pool on OCaml 5 domains — since PR 5 a thin
+    facade over {!Xpds_parallel.Parallel}, the process-wide permit pool
+    shared with the domain-parallel emptiness fixpoint. Composition is
+    the point: a [~domains] solve dispatched from inside a batch worker
+    finds the permits already claimed by the batch and degrades to a
+    sequential fixpoint instead of oversubscribing the machine.
 
     [run ~jobs f items] applies [f] to every element of [items] on up to
     [jobs] domains and returns the per-item outcomes in order. Work is

@@ -15,6 +15,11 @@ type solver_config = {
   verify : bool;
   certificate : bool;
   retry_degraded : bool;
+  domains : int;
+      (** worker domains per solve ({!Xpds_decision.Sat.Options});
+          deliberately NOT part of the cache fingerprint — parallel and
+          sequential runs produce bit-identical reports, so their cache
+          entries are interchangeable *)
 }
 
 type config = {
@@ -34,6 +39,7 @@ let default_solver_config =
     verify = true;
     certificate = false;
     retry_degraded = false;
+    domains = Sat.Options.default.Sat.Options.domains;
   }
 
 let default_config =
@@ -86,7 +92,10 @@ let fingerprint_of (sc : solver_config) =
   (* [certificate] is part of the key: certificate mode disables the
      height cap (the fixpoint must genuinely saturate), which can
      change the outcome class of a run. [retry_degraded] is too: a
-     degraded retry can turn a budget [Unknown] into [Unsat_bounded]. *)
+     degraded retry can turn a budget [Unknown] into [Unsat_bounded].
+     [domains] is deliberately NOT: the parallel engine's deterministic
+     merge makes reports bit-identical across domain counts, so cache
+     entries are interchangeable — a feature, pinned by tests. *)
   Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b;rd=%b"
     sc.width (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget)
     sc.max_states sc.max_transitions sc.verify sc.certificate
@@ -144,6 +153,7 @@ let zero_stats =
     n_transitions = 0;
     n_mergings = 0;
     max_height_reached = 0;
+    par = Emptiness.seq_par_stats;
   }
 
 let synthetic_report ~algorithm canon why =
@@ -189,11 +199,23 @@ let solve_uncached t ~trace ~deadline ~id canon =
     let should_stop =
       Option.map (fun d () -> Trace.now_ms () > d) deadline
     in
-    Sat.decide ~width:sc.width ~t0:sc.t0 ~dup_cap:sc.dup_cap
-      ~merge_budget:sc.merge_budget ~max_states:sc.max_states
-      ~max_transitions:sc.max_transitions ?should_stop
-      ~on_phase:(Trace.mark trace) ~verify:sc.verify
-      ~certificate:sc.certificate canon
+    let options =
+      {
+        Sat.Options.default with
+        Sat.Options.width = sc.width;
+        t0 = sc.t0;
+        dup_cap = sc.dup_cap;
+        merge_budget = sc.merge_budget;
+        max_states = sc.max_states;
+        max_transitions = sc.max_transitions;
+        domains = sc.domains;
+        should_stop;
+        on_phase = Trace.mark trace;
+        verify = sc.verify;
+        certificate = sc.certificate;
+      }
+    in
+    Sat.decide ~options canon
   in
   let crash e =
     synthetic_report ~algorithm:"aborted: the solver raised" canon
@@ -408,7 +430,9 @@ let solve_batch ?jobs t requests =
             ~flight:false))
     keyed
 
-(* --- NDJSON wire format --- *)
+(* --- NDJSON wire format (versioned; see docs/protocol.md) --- *)
+
+let protocol_version = 1
 
 let verdict_name = function
   | Sat.Sat _ -> "sat"
@@ -416,30 +440,63 @@ let verdict_name = function
   | Sat.Unsat_bounded _ -> "unsat_bounded"
   | Sat.Unknown _ -> "unknown"
 
+let known_request_fields = [ "v"; "id"; "formula"; "timeout_ms" ]
+
 let request_of_json line =
   match Json.parse line with
   | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
-  | Ok v -> (
-    let id =
-      match Json.member "id" v with
-      | Some (Json.Str s) -> s
-      | Some (Json.Num f) -> Json.num_to_string f
-      | _ -> ""
-    in
-    let timeout_ms =
-      Option.bind (Json.member "timeout_ms" v) Json.to_float
-    in
-    match Option.bind (Json.member "formula" v) Json.to_str with
-    | None -> Error "missing \"formula\" field"
-    | Some text -> (
-      match Parser.formula_of_string text with
-      | Error e -> Error (Printf.sprintf "bad formula: %s" e)
-      | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms }))
+  | Ok (Json.Obj fields as v) -> (
+    (* Versioned, closed schema: an unknown field is an error (not a
+       silent ignore), so a client typo'd "timeout" or a v2-only field
+       fails loudly instead of quietly changing semantics. *)
+    match
+      List.find_opt
+        (fun (k, _) -> not (List.mem k known_request_fields))
+        fields
+    with
+    | Some (k, _) ->
+      Error
+        (Printf.sprintf
+           "unknown field %S (protocol v%d accepts: v, id, formula, \
+            timeout_ms)"
+           k protocol_version)
+    | None -> (
+      let parse_body () =
+        let id =
+          match Json.member "id" v with
+          | Some (Json.Str s) -> s
+          | Some (Json.Num f) -> Json.num_to_string f
+          | _ -> ""
+        in
+        let timeout_ms =
+          Option.bind (Json.member "timeout_ms" v) Json.to_float
+        in
+        match Option.bind (Json.member "formula" v) Json.to_str with
+        | None -> Error "missing \"formula\" field"
+        | Some text -> (
+          match Parser.formula_of_string text with
+          | Error e -> Error (Printf.sprintf "bad formula: %s" e)
+          | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms })
+      in
+      match Json.member "v" v with
+      | Some (Json.Num f) when f = float_of_int protocol_version ->
+        parse_body ()
+      | Some other ->
+        Error
+          (Printf.sprintf
+             "unsupported protocol version %s (this server speaks v%d)"
+             (Json.to_string other) protocol_version)
+      | None ->
+        (* An absent "v" means v1: the pre-versioning wire format is
+           exactly the v1 schema, so old clients keep working. *)
+        parse_body ()))
+  | Ok _ -> Error "request must be a JSON object"
 
 let response_to_json ?(trace = false) ?(extra = []) resp =
   let report = resp.report in
   let base =
-    [ ("id", Json.Str resp.id);
+    [ ("v", Json.Num (float_of_int protocol_version));
+      ("id", Json.Str resp.id);
       ("verdict", Json.Str (verdict_name report.Sat.verdict));
       ("cached", Json.Bool resp.cached);
       ("ms", Json.Num (Float.round (resp.ms *. 1000.) /. 1000.));
@@ -482,7 +539,8 @@ let response_to_json ?(trace = false) ?(extra = []) resp =
 let error_to_json ?id msg =
   Json.to_string
     (Json.Obj
-       ((match id with Some id -> [ ("id", Json.Str id) ] | None -> [])
+       ([ ("v", Json.Num (float_of_int protocol_version)) ]
+       @ (match id with Some id -> [ ("id", Json.Str id) ] | None -> [])
        @ [ ("error", Json.Str msg) ]))
 
 (* One line in, one line out, and no exception ever escapes: a served

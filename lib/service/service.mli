@@ -72,9 +72,19 @@ type solver_config = {
       (** retry a budget-exhausted [Unknown] once under degraded bounds
           (width−1, halved t0, dup_cap 1, merge_budget 2) instead of
           giving up — graceful degradation for fired budgets *)
+  domains : int;
+      (** worker domains per emptiness fixpoint
+          ({!Xpds_decision.Sat.Options}); drawn from the same
+          process-wide {!Xpds_parallel.Parallel} permit pool as the
+          batch workers, so [jobs x domains] never oversubscribes — a
+          parallel solve inside a busy batch degrades to sequential.
+          NOT part of the cache key: reports are bit-identical across
+          domain counts (deterministic parallel merge), so cached
+          entries are interchangeable. *)
 }
 (** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
-    key, so changing them never serves stale verdicts. *)
+    key (except [domains] — see above), so changing them never serves
+    stale verdicts. *)
 
 type config = {
   solver : solver_config;
@@ -151,18 +161,27 @@ module Chaos : sig
       it. *)
 end
 
-(* --- NDJSON wire format (the [xpds serve] / [xpds batch] protocol) --- *)
+(* --- NDJSON wire format (the [xpds serve] / [xpds batch] protocol,
+   versioned; schema in docs/protocol.md) --- *)
+
+val protocol_version : int
+(** The wire protocol version this build speaks (1). Every response and
+    error object carries it as ["v"]; requests may carry it and are
+    rejected with a structured error when it doesn't match. *)
 
 val request_of_json : string -> (request, string) result
 (** One request per line:
-    [{"id": "r1", "formula": "<desc[a]> & ...", "timeout_ms": 500}].
-    [id] may be a JSON string or number (defaults to [""]); [formula] is
-    the concrete syntax of {!Xpds_xpath.Parser}; [timeout_ms] is
-    optional. *)
+    [{"v": 1, "id": "r1", "formula": "<desc[a]> & ...",
+    "timeout_ms": 500}]. The schema is {e closed}: a field outside
+    {v, id, formula, timeout_ms} is a structured error, as is a ["v"]
+    other than {!protocol_version} (an absent ["v"] means v1 — the
+    pre-versioning format is exactly the v1 schema). [id] may be a JSON
+    string or number (defaults to [""]); [formula] is the concrete
+    syntax of {!Xpds_xpath.Parser}; [timeout_ms] is optional. *)
 
 val response_to_json :
   ?trace:bool -> ?extra:(string * Json.t) list -> response -> string
-(** [{"id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
+(** [{"v":1, "id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
     "states":.., "transitions":.., "reason":.. (when inconclusive),
     "witness":.. (when sat), "verified":.. (when checked),
     "degraded":true (after a degraded retry), "error":.. (when the
@@ -173,7 +192,8 @@ val response_to_json :
 
 val error_to_json : ?id:string -> string -> string
 (** The structured error object the serve loop answers for lines it
-    cannot turn into a response: [{"id":.. (when known), "error":..}]. *)
+    cannot turn into a response:
+    [{"v":1, "id":.. (when known), "error":..}]. *)
 
 val handle_line :
   ?default_timeout_ms:float ->

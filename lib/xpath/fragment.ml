@@ -126,9 +126,9 @@ let appendix_d_bound n =
 
 let poly_depth_bound eta =
   match classify eta with
-  | XPath_child | XPath_child_data -> Some (Metrics.down_depth eta + 1)
+  | XPath_child | XPath_child_data -> Some (Measure.down_depth eta + 1)
   | XPath_desc | XPath_desc_data_epsfree ->
-    Some (appendix_d_bound (Metrics.size_node eta))
+    Some (appendix_d_bound (Measure.size_node eta))
   | XPath_child_desc | XPath_desc_data | XPath_child_desc_data
   | RegXPath_data ->
     None

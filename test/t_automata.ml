@@ -234,7 +234,7 @@ let prop_translate_polynomial =
     Gen_helpers.arb_node
     (fun phi ->
       let m = Translate.bip_of_node phi in
-      let n = Xpds_xpath.Metrics.size_node phi in
+      let n = Xpds_xpath.Measure.size_node phi in
       m.Bip.q_card <= n + 1
       && m.Bip.pf.Pathfinder.n_states <= (10 * n * n) + 10)
 

@@ -15,7 +15,11 @@ let parse s =
   | Error e -> Alcotest.failf "parse %S: %s" s e
 
 let cert_of s =
-  let report = Sat.decide ~certificate:true (parse s) in
+  let report =
+    Sat.decide
+      ~options:Sat.Options.(default |> with_certificate true)
+      (parse s)
+  in
   match Cert.of_report report with
   | Ok c -> c
   | Error e -> Alcotest.failf "no certificate for %S: %s" s e

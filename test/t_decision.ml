@@ -150,14 +150,22 @@ let test_paper_formula_sat () =
 
 let gen_labels = List.map Label.of_string Gen_helpers.default_labels
 
+(* The budgeted solver configuration the qcheck properties below share
+   (small bounds keep the 60-case runs fast; the generator's label
+   alphabet is declared so verification sees the same universe). *)
+let budgeted_decide phi =
+  Sat.decide
+    ~options:
+      Sat.Options.(
+        default |> with_max_states 2_000 |> with_max_transitions 30_000
+        |> with_extra_labels gen_labels)
+    phi
+
 let prop_solver_vs_model_search =
   Gen_helpers.qtest ~count:60 "emptiness agrees with bounded model search"
     (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
     (fun phi ->
-      let r =
-        Sat.decide ~max_states:2_000 ~max_transitions:30_000
-          ~extra_labels:gen_labels phi
-      in
+      let r = budgeted_decide phi in
       let oracle =
         Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
           ~max_trees:60_000
@@ -182,10 +190,7 @@ let prop_solver_vs_model_search_star =
   Gen_helpers.qtest ~count:40 "emptiness agrees with oracle (regXPath)"
     (Gen_helpers.arb_node_cfg Gen_helpers.full_cfg)
     (fun phi ->
-      let r =
-        Sat.decide ~max_states:2_000 ~max_transitions:30_000
-          ~extra_labels:gen_labels phi
-      in
+      let r = budgeted_decide phi in
       let oracle =
         Model_search.search ~max_height:3 ~max_width:2 ~max_data:2
           ~max_trees:60_000
@@ -206,9 +211,7 @@ let prop_witness_shape =
     (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
     (fun phi ->
       match
-        (Sat.decide ~max_states:2_000 ~max_transitions:30_000
-           ~extra_labels:gen_labels phi)
-          .Sat.verdict
+        (budgeted_decide phi).Sat.verdict
       with
       | Sat.Sat w ->
         (* Branching bounded by the width config (3 by default). *)
@@ -227,10 +230,7 @@ let prop_fast_path_consistent =
       let phi' =
         Ast.Or (phi, Ast.Cmp (Ast.Axis Ast.Self, Ast.Neq, Ast.Axis Ast.Self))
       in
-      let budgeted f =
-        Sat.decide ~max_states:2_000 ~max_transitions:30_000
-          ~extra_labels:gen_labels f
-      in
+      let budgeted f = budgeted_decide f in
       let fast = budgeted phi and general = budgeted phi' in
       let b = function
         | Sat.Sat _ -> Some true

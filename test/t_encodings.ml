@@ -84,7 +84,7 @@ let test_tiling_encoding_polynomial () =
               (List.init s (fun a -> a + 1));
         }
       in
-      let size = Xpds_xpath.Metrics.size_node (Tiling.encode inst) in
+      let size = Xpds_xpath.Measure.size_node (Tiling.encode inst) in
       let bound = 2000 * (n + s) * (n + s) * (n + s) in
       Alcotest.(check bool)
         (Printf.sprintf "size %d within cubic bound for n=%d s=%d" size n s)
@@ -97,7 +97,12 @@ let test_tiling_encoding_no_false_sat () =
      never return SAT. *)
   let phi = Tiling.encode (Tiling_game.example_lose ()) in
   match
-    (Sat.decide ~verify:true ~max_states:150 ~max_transitions:1_000 phi)
+    (Sat.decide
+       ~options:
+         Sat.Options.(
+           default |> with_verify true |> with_max_states 150
+           |> with_max_transitions 1_000)
+       phi)
       .Sat.verdict
   with
   | Sat.Sat _ -> Alcotest.fail "losing instance encoded as SAT"
@@ -188,7 +193,12 @@ let test_qbf_encoding_correct () =
       let truth = Qbf.valid q in
       let phi = Qbf_encoding.encode q in
       let verdict =
-        (Sat.decide ~verify:true ~max_states:50_000 phi).Sat.verdict
+        (Sat.decide
+           ~options:
+             Sat.Options.(
+               default |> with_verify true |> with_max_states 50_000)
+           phi)
+          .Sat.verdict
       in
       match (verdict, truth) with
       | Sat.Sat _, true | (Sat.Unsat | Sat.Unsat_bounded _), false -> ()

@@ -1,0 +1,172 @@
+(* Parallel-vs-sequential agreement: the domain-parallel saturation of
+   Emptiness must be observationally indistinguishable from the
+   sequential engine — not merely "same verdict" but bit-identical
+   reports: the same verdict payloads (witnesses, reasons), the same
+   core exploration counters (the parallel merge replays the exact
+   sequential order, so even budget-exhaustion points coincide), and
+   the same certificate basis, state for state, in the same order.
+
+   These properties are what justifies excluding [domains] from the
+   service cache key and running the whole suite under XPDS_DOMAINS=4
+   in CI. *)
+
+module Sat = Xpds_decision.Sat
+module Emptiness = Xpds_decision.Emptiness
+module Ext_state = Xpds_decision.Ext_state
+module Parallel = Xpds_parallel.Parallel
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+
+let gen_labels = List.map Label.of_string Gen_helpers.default_labels
+
+let decide_at ~domains ?(certificate = false) phi =
+  Sat.decide
+    ~options:
+      Sat.Options.(
+        default |> with_max_states 2_000 |> with_max_transitions 30_000
+        |> with_extra_labels gen_labels |> with_domains domains
+        |> with_certificate certificate)
+    phi
+
+let verdict_repr (v : Sat.verdict) =
+  match v with
+  | Sat.Sat w -> "sat " ^ Data_tree.to_string w
+  | Sat.Unsat -> "unsat"
+  | Sat.Unsat_bounded why -> "unsat_bounded " ^ why
+  | Sat.Unknown why -> "unknown " ^ why
+
+let core_stats (r : Sat.report) =
+  let s = r.Sat.stats in
+  ( s.Emptiness.n_states,
+    s.Emptiness.n_transitions,
+    s.Emptiness.n_mergings,
+    s.Emptiness.max_height_reached )
+
+let basis_of (r : Sat.report) =
+  match r.Sat.cert_seed with
+  | Some seed -> seed.Sat.cs_basis
+  | None -> None
+
+let same_basis a b =
+  match (basis_of a, basis_of b) with
+  | None, None -> true
+  | Some a, Some b ->
+    Array.length a = Array.length b
+    && Array.for_all2 Ext_state.equal a b
+  | _ -> false
+
+(* Verdicts — including witness trees and reason strings — and core
+   stats agree between 1 and 4 domains on random star-free formulas. *)
+let prop_par_agrees_star_free =
+  Gen_helpers.qtest ~count:60 "domains 1 = domains 4 (star-free)"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (fun phi ->
+      let seq = decide_at ~domains:1 phi in
+      let par = decide_at ~domains:4 phi in
+      if verdict_repr seq.Sat.verdict <> verdict_repr par.Sat.verdict
+      then
+        QCheck.Test.fail_reportf "verdicts differ: seq %s, par %s"
+          (verdict_repr seq.Sat.verdict)
+          (verdict_repr par.Sat.verdict);
+      if core_stats seq <> core_stats par then
+        let p (a, b, c, d) = Printf.sprintf "(%d,%d,%d,%d)" a b c d in
+        QCheck.Test.fail_reportf "stats differ: seq %s, par %s"
+          (p (core_stats seq))
+          (p (core_stats par))
+      else true)
+
+(* Same property on the full regXPath fragment (Kleene stars). *)
+let prop_par_agrees_reg =
+  Gen_helpers.qtest ~count:40 "domains 1 = domains 4 (regXPath)"
+    (Gen_helpers.arb_node_cfg Gen_helpers.full_cfg)
+    (fun phi ->
+      let seq = decide_at ~domains:1 phi in
+      let par = decide_at ~domains:4 phi in
+      verdict_repr seq.Sat.verdict = verdict_repr par.Sat.verdict
+      && core_stats seq = core_stats par)
+
+(* In certificate mode the serialized basis — the saturated state set
+   in insertion order — must match state for state. *)
+let prop_par_same_certificate_basis =
+  Gen_helpers.qtest ~count:40 "certificate bases identical"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (fun phi ->
+      let seq = decide_at ~domains:1 ~certificate:true phi in
+      let par = decide_at ~domains:4 ~certificate:true phi in
+      verdict_repr seq.Sat.verdict = verdict_repr par.Sat.verdict
+      && same_basis seq par)
+
+(* Exercise the engine at a domain count above the permit pool: the
+   clamp must degrade gracefully, never change answers. *)
+let prop_par_oversubscribed =
+  Gen_helpers.qtest ~count:20 "domains 16 still agrees"
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (fun phi ->
+      let seq = decide_at ~domains:1 phi in
+      let par = decide_at ~domains:16 phi in
+      verdict_repr seq.Sat.verdict = verdict_repr par.Sat.verdict
+      && core_stats seq = core_stats par)
+
+(* --- the permit pool itself --- *)
+
+let test_effective_clamp () =
+  Alcotest.(check int) "domains 1" 1 (Parallel.effective ~domains:1 100);
+  Alcotest.(check int) "one item" 1 (Parallel.effective ~domains:8 1);
+  Alcotest.(check int) "zero items" 1 (Parallel.effective ~domains:8 0);
+  let e = Parallel.effective ~domains:4 100 in
+  Alcotest.(check bool) "at most 4" true (e <= 4);
+  Alcotest.(check bool) "at least 1" true (e >= 1);
+  Alcotest.(check bool) "within the pool" true
+    (e <= Parallel.total_permits () + 1)
+
+let test_run_workers_joins_and_releases () =
+  let before = Parallel.available_permits () in
+  let hits = Array.make 4 0 in
+  let used =
+    Parallel.run_workers 4 (fun slot -> hits.(slot) <- hits.(slot) + 1)
+  in
+  Alcotest.(check bool) "at least the caller ran" true (used >= 1);
+  for i = 0 to used - 1 do
+    Alcotest.(check int) (Printf.sprintf "slot %d ran once" i) 1 hits.(i)
+  done;
+  Alcotest.(check int) "permits restored" before
+    (Parallel.available_permits ())
+
+let test_run_workers_propagates_exn () =
+  let before = Parallel.available_permits () in
+  (match Parallel.run_workers 4 (fun _ -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  Alcotest.(check int) "permits restored after raise" before
+    (Parallel.available_permits ())
+
+let test_map_result_order_and_isolation () =
+  let items = Array.init 50 (fun i -> i) in
+  let out =
+    Parallel.map_result ~domains:4
+      (fun i -> if i = 17 then failwith "17" else i * i)
+      items
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "item %d" i) (i * i) v
+      | Error (Failure m) when i = 17 ->
+        Alcotest.(check string) "failing item" "17" m
+      | Error _ -> Alcotest.failf "unexpected error at %d" i)
+    out
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "effective clamp" `Quick test_effective_clamp;
+      Alcotest.test_case "run_workers joins and releases" `Quick
+        test_run_workers_joins_and_releases;
+      Alcotest.test_case "run_workers propagates exceptions" `Quick
+        test_run_workers_propagates_exn;
+      Alcotest.test_case "map_result order and crash isolation" `Quick
+        test_map_result_order_and_isolation;
+      prop_par_agrees_star_free;
+      prop_par_agrees_reg;
+      prop_par_same_certificate_basis;
+      prop_par_oversubscribed
+    ] )

@@ -132,7 +132,7 @@ let prop_nnf_is_nnf =
 let prop_simplify_shrinks =
   Gen_helpers.qtest ~count:300 "simplify never grows" Gen_helpers.arb_node
     (fun phi ->
-      Metrics.size_node (Rewrite.simplify phi) <= Metrics.size_node phi)
+      Measure.size_node (Rewrite.simplify phi) <= Measure.size_node phi)
 
 let prop_desc_equals_star_down =
   Gen_helpers.qtest ~count:200 "desc = (down)* semantically"

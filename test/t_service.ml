@@ -86,6 +86,63 @@ let test_request_parsing () =
   | Ok _ -> Alcotest.fail "missing formula accepted"
   | Error _ -> ()
 
+(* --- wire protocol versioning (docs/protocol.md) --- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_protocol_versioning () =
+  Alcotest.(check int) "this build speaks v1" 1 Service.protocol_version;
+  (* An explicit matching version is accepted... *)
+  (match
+     Service.request_of_json {|{"v":1,"id":"a","formula":"<down[a]>"}|}
+   with
+  | Ok r -> Alcotest.(check string) "id" "a" r.Service.id
+  | Error e -> Alcotest.failf "v:1 rejected: %s" e);
+  (* ...an absent version means v1 (the pre-versioning format)... *)
+  (match Service.request_of_json {|{"formula":"<down[a]>"}|} with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "absent v rejected: %s" e);
+  (* ...and any other version is a structured error naming both
+     sides. *)
+  (match
+     Service.request_of_json {|{"v":2,"id":"a","formula":"<down[a]>"}|}
+   with
+  | Ok _ -> Alcotest.fail "v:2 accepted"
+  | Error e ->
+    Alcotest.(check bool) "names the offered version" true
+      (contains e "2");
+    Alcotest.(check bool) "names the spoken version" true
+      (contains e "v1"));
+  (* The schema is closed: a field outside {v,id,formula,timeout_ms}
+     is rejected, not silently dropped. *)
+  match
+    Service.request_of_json
+      {|{"id":"a","formula":"<down[a]>","timeout":5}|}
+  with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error e ->
+    Alcotest.(check bool) "names the field" true
+      (contains e "timeout")
+
+let test_protocol_version_on_responses () =
+  let svc = Service.create () in
+  let check_v name line =
+    match Json.parse line with
+    | Error e -> Alcotest.failf "%s not JSON: %s" name e
+    | Ok v ->
+      Alcotest.(check bool) (name ^ " carries v:1") true
+        (Json.member "v" v = Some (Json.Num 1.))
+  in
+  check_v "response"
+    (Service.handle_line svc {|{"id":"r","formula":"<down[a]>"}|});
+  check_v "error reply" (Service.handle_line svc "not json");
+  check_v "error_to_json" (Service.error_to_json ~id:"x" "boom")
+
 (* --- cache-key soundness --- *)
 
 (* Random commutations/regroupings of the commutative connectives: the
@@ -568,6 +625,10 @@ let suite =
       Alcotest.test_case "lru promotion" `Quick test_lru_promotion;
       Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
       Alcotest.test_case "request parsing" `Quick test_request_parsing;
+      Alcotest.test_case "protocol versioning" `Quick
+        test_protocol_versioning;
+      Alcotest.test_case "protocol version on responses" `Quick
+        test_protocol_version_on_responses;
       prop_canonical_preserves_semantics;
       prop_commuted_same_key;
       prop_key_equal_same_verdict;

@@ -118,13 +118,13 @@ let prop_roundtrip =
 
 let test_metrics () =
   let phi = parse "<down/down[a & <down>]> & down = down/down" in
-  Alcotest.(check int) "down depth" 3 (Metrics.down_depth phi);
-  Alcotest.(check int) "data tests" 1 (Metrics.data_tests phi);
-  Alcotest.(check int) "star height" 0 (Metrics.star_height phi);
+  Alcotest.(check int) "down depth" 3 (Measure.down_depth phi);
+  Alcotest.(check int) "data tests" 1 (Measure.data_tests phi);
+  Alcotest.(check int) "star height" 0 (Measure.star_height phi);
   let psi = parse "<(down[a])*/desc>" in
-  Alcotest.(check int) "star height nested" 1 (Metrics.star_height psi);
+  Alcotest.(check int) "star height nested" 1 (Measure.star_height psi);
   Alcotest.(check bool) "unbounded depth" true
-    (Metrics.down_depth psi = max_int)
+    (Measure.down_depth psi = max_int)
 
 let test_subformulas () =
   let phi = parse "a & (a & <down[a]>)" in
