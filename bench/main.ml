@@ -80,6 +80,7 @@ let () =
     let named =
       ("service", fun () -> ignore (Service_bench.run ()))
       :: ("emptiness", fun () -> ignore (Emptiness_bench.run ()))
+      :: ("eval", fun () -> ignore (Eval_bench.run ()))
       :: Experiments.all
     in
     let to_run =

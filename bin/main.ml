@@ -9,6 +9,7 @@
      tiling     solve + encode the built-in tiling examples
      qbf        decide a QBF and its Prop-8 XPath encoding
      xml        encode an XML file as a data tree (Appendix A)
+     eval       evaluate queries over an XML/data-tree document
      serve      NDJSON request/response solver loop on stdin/stdout
      batch      solve a file of formulas, optionally in parallel
      certify    re-check a stored certificate with the naive verifier
@@ -505,6 +506,133 @@ let xml_cmd =
        ~doc:"Encode an XML document as a data tree (Appendix A).")
     Term.(const run $ file_arg $ json_arg $ dot_arg)
 
+(* --- eval (bulk evaluation over an array-encoded document) --- *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+(* A document file is XML when named *.xml or when it leads with '<';
+   otherwise it is the data-tree syntax of [Data_tree.of_string]. *)
+let load_doc file =
+  let src = read_file file in
+  let trimmed = String.trim src in
+  let looks_xml =
+    Filename.check_suffix file ".xml"
+    || (String.length trimmed > 0 && trimmed.[0] = '<')
+  in
+  if looks_xml then
+    match Xpds.Xml_doc.parse src with
+    | Ok xml -> Xpds.Eval_doc.of_xml xml
+    | Error e ->
+      prerr_endline (file ^ ": " ^ e);
+      exit 2
+  else
+    match Xpds.Data_tree.of_string trimmed with
+    | Ok tree -> Xpds.Eval_doc.of_tree tree
+    | Error e ->
+      prerr_endline (file ^ ": " ^ e);
+      exit 2
+
+let eval_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "The document: XML (by .xml suffix or a leading '<') or \
+             the compact data-tree syntax label:datum(child,...).")
+  in
+  let queries_arg =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"QUERY"
+          ~doc:"One or more node expressions (concrete syntax).")
+  in
+  let limit_arg =
+    let doc = "Positions printed per query (the count is always exact)." in
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc)
+  in
+  let run file queries json limit =
+    let doc = load_doc file in
+    let ev = Xpds.Eval.create doc in
+    (* One shared evaluator across the whole query list: common
+       subformulas are computed once (the memo the service also uses). *)
+    let results =
+      List.map
+        (fun qs ->
+          let set = Xpds.Eval.nodes ev (or_die (parse_node qs)) in
+          let count = Xpds.Bitv.cardinal set in
+          let shown = ref [] in
+          let taken = ref 0 in
+          (try
+             Xpds.Bitv.iter
+               (fun x ->
+                 if !taken >= limit then raise Exit;
+                 shown := Xpds.Eval_doc.position doc x :: !shown;
+                 incr taken)
+               set
+           with Exit -> ());
+          (qs, count, Xpds.Bitv.mem 0 set, List.rev !shown))
+        queries
+    in
+    if json then
+      print_endline
+        (Xpds.Json.to_string
+           (Xpds.Json.Obj
+              [ ("file", Xpds.Json.Str file);
+                ( "doc_nodes",
+                  Xpds.Json.Num (float_of_int doc.Xpds.Eval_doc.n) );
+                ( "node_evals",
+                  Xpds.Json.Num (float_of_int (Xpds.Eval.node_evals ev)) );
+                ( "results",
+                  Xpds.Json.Arr
+                    (List.map
+                       (fun (q, count, root, shown) ->
+                         Xpds.Json.Obj
+                           [ ("query", Xpds.Json.Str q);
+                             ( "count",
+                               Xpds.Json.Num (float_of_int count) );
+                             ("root", Xpds.Json.Bool root);
+                             ( "nodes",
+                               Xpds.Json.Arr
+                                 (List.map
+                                    (fun p ->
+                                      Xpds.Json.Str (Xpds.Path.to_string p))
+                                    shown) )
+                           ])
+                       results) )
+              ]))
+    else begin
+      Format.printf "%s: %d nodes@." file doc.Xpds.Eval_doc.n;
+      List.iter
+        (fun (q, count, root, shown) ->
+          Format.printf "%s: %d node%s%s@." q count
+            (if count = 1 then "" else "s")
+            (if root then " (holds at the root)" else "");
+          List.iter
+            (fun p -> Format.printf "  %s@." (Xpds.Path.to_string p))
+            shown;
+          if count > List.length shown then
+            Format.printf "  ... (+%d more)@." (count - List.length shown))
+        results
+    end
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate node expressions over an XML or data-tree document \
+          with the bulk array evaluator: for each QUERY, the number of \
+          satisfying nodes, whether the root satisfies it, and the \
+          first --limit positions. Queries share one evaluator, so \
+          common subformulas are computed once.")
+    Term.(const run $ file_arg $ queries_arg $ json_arg $ limit_arg)
+
 (* --- serve / batch (the solver service) --- *)
 
 let timeout_arg =
@@ -564,11 +692,39 @@ let print_metrics svc =
        (Xpds.Service_metrics.to_json (Xpds.Service.metrics svc)))
 
 let serve_cmd =
-  let run timeout_ms cache stats certify trace degrade domains =
+  let docs_arg =
+    let doc =
+      "Register a document for eval-kind requests, as NAME=FILE (XML \
+       or data-tree syntax; repeatable). Requests address it as \
+       {\"kind\":\"eval\", \"doc\":\"NAME\", ...}."
+    in
+    Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
+  in
+  let run timeout_ms cache stats certify trace degrade domains docs =
     let svc =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
         ~cache_capacity:cache ~jobs:0 ()
     in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None ->
+          prerr_endline
+            ("--doc " ^ spec ^ ": expected NAME=FILE");
+          exit 2
+        | Some i ->
+          let name = String.sub spec 0 i in
+          let file =
+            String.sub spec (i + 1) (String.length spec - i - 1)
+          in
+          (match
+             Xpds.Service.register_doc svc ~name (load_doc file)
+           with
+          | Ok () -> ()
+          | Error e ->
+            prerr_endline ("--doc " ^ spec ^ ": " ^ e);
+            exit 2))
+      docs;
     let extra_of (resp : Xpds.Service.response) =
       if certify then
         let fields, _, _ =
@@ -605,11 +761,14 @@ let serve_cmd =
           line on stdout (a structured {\"error\":..} line for \
           malformed input — the loop never dies). Results are cached \
           by canonical formula; concurrent equal requests share one \
-          solve. With --certify each response carries a checked \
-          certificate summary; with --trace, per-phase timings.")
+          solve. Requests with \"kind\":\"eval\" evaluate a query over \
+          a document (registered with --doc, or sent inline as \
+          \"xml\"/\"tree\") instead of deciding satisfiability. With \
+          --certify each response carries a checked certificate \
+          summary; with --trace, per-phase timings.")
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
-      $ trace_arg $ degrade_arg $ domains_arg)
+      $ trace_arg $ degrade_arg $ domains_arg $ docs_arg)
 
 let batch_cmd =
   let file_arg =
@@ -760,8 +919,8 @@ let bench_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
-          ~doc:"Benchmark to run: \"emptiness\", \"certify\" or \
-                \"service\".")
+          ~doc:"Benchmark to run: \"emptiness\", \"certify\", \
+                \"service\" or \"eval\".")
   in
   let quick_arg =
     let doc =
@@ -789,10 +948,13 @@ let bench_cmd =
     | "service" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_service.json" else out in
       exit (Service_bench.run ~quick ~out ())
+    | "eval" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_eval.json" else out in
+      exit (Eval_bench.run ~quick ~out ())
     | other ->
       prerr_endline
         ("unknown bench target " ^ other
-       ^ " (have: emptiness, certify, service)");
+       ^ " (have: emptiness, certify, service, eval)");
       exit 2
   in
   Cmd.v
@@ -814,5 +976,5 @@ let () =
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
             contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
-            serve_cmd; batch_cmd; certify_cmd; bench_cmd
+            eval_cmd; serve_cmd; batch_cmd; certify_cmd; bench_cmd
           ]))

@@ -70,6 +70,38 @@ let singleton width i = add i (empty width)
 let of_list width l = List.fold_left (fun acc i -> add i acc) (empty width) l
 let width t = t.width
 
+(* Word-level range fill: interior words are written whole, so filling
+   [lo..hi] costs O((hi-lo)/word) instead of one masked store per bit.
+   This is the ↓∗ kernel of the bulk evaluator — in a pre-order-indexed
+   document a subtree is the contiguous interval
+   [x .. x + size(x) - 1]. *)
+let fill_range bits lo hi =
+  let wlo = lo / bits_per_word and whi = hi / bits_per_word in
+  let mlo = -1 lsl (lo mod bits_per_word) in
+  (* bits [0 .. hi mod word] of the last word *)
+  let mhi =
+    let tail = (hi mod bits_per_word) + 1 in
+    if tail = bits_per_word then -1 else (1 lsl tail) - 1
+  in
+  if wlo = whi then bits.(wlo) <- bits.(wlo) lor (mlo land mhi)
+  else begin
+    bits.(wlo) <- bits.(wlo) lor mlo;
+    for w = wlo + 1 to whi - 1 do
+      bits.(w) <- -1
+    done;
+    bits.(whi) <- bits.(whi) lor mhi
+  end
+
+let of_range width ~lo ~hi =
+  if width < 0 then invalid_arg "Bitv.of_range: negative width";
+  if lo <= hi && (lo < 0 || hi >= width) then
+    invalid_arg
+      (Printf.sprintf "Bitv.of_range: [%d..%d] out of bounds (width %d)" lo
+         hi width);
+  let bits = Array.make (words width) 0 in
+  if lo <= hi then fill_range bits lo hi;
+  { width; bits }
+
 let union a b =
   check_same a b;
   let n = Array.length a.bits in
@@ -226,6 +258,15 @@ let add_in_place i b =
 let builder_mem i b =
   i >= 0 && i < b.b_width
   && b.b_bits.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add_range_in_place ~lo ~hi b =
+  if lo > hi then ()
+  else if lo < 0 || hi >= b.b_width then
+    invalid_arg
+      (Printf.sprintf
+         "Bitv.add_range_in_place: [%d..%d] out of bounds (width %d)" lo hi
+         b.b_width)
+  else fill_range b.b_bits lo hi
 
 (* OR [src] into [b]; reports whether [b] gained any bit (the natural
    "changed" test of a saturation loop). *)

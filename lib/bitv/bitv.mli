@@ -26,6 +26,13 @@ val singleton : int -> int -> t
 (** [singleton width i]. *)
 
 val of_list : int -> int list -> t
+
+val of_range : int -> lo:int -> hi:int -> t
+(** [of_range width ~lo ~hi] is [{lo, lo+1, .., hi}], built with whole-word
+    stores — the ↓∗ kernel of the bulk evaluator, where a pre-order-indexed
+    subtree is a contiguous id interval. [hi < lo] yields ∅.
+    @raise Invalid_argument when a nonempty range escapes the width. *)
+
 val width : t -> int
 val add : int -> t -> t
 val remove : int -> t -> t
@@ -89,6 +96,11 @@ val builder_reset : builder -> unit
 
 val add_in_place : int -> builder -> unit
 val builder_mem : int -> builder -> bool
+
+val add_range_in_place : lo:int -> hi:int -> builder -> unit
+(** OR the whole interval [lo..hi] into the builder with word-level
+    stores; a no-op when [hi < lo].
+    @raise Invalid_argument when a nonempty range escapes the width. *)
 
 val union_into : t -> builder -> bool
 (** [union_into src b] ORs [src] into [b]; returns whether [b] gained a

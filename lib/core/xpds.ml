@@ -16,6 +16,11 @@
     - {!Tiling_game}, {!Tiling}, {!Qbf}, {!Qbf_encoding}, {!Attr_xpath}:
       the lower-bound reductions and the attrXPath front end (§4.2,
       Appendices A & E);
+    - {!Eval_doc}, {!Eval}, {!Eval_batch}, {!Eval_xml}, {!Eval_oracle}:
+      the bulk XML evaluation engine (array-encoded documents, bitset
+      node sets, batched memoization, the differential oracle against
+      {!Semantics} — the [xpds eval] subcommand and the service's
+      [eval] verb);
     - {!Service}, {!Service_metrics}, {!Trace}, {!Lru}, {!Cache_key},
       {!Pool}, {!Json}: the concurrent, cached solver service
       (single-flight dedup, worker pool, monotonic admission-anchored
@@ -70,6 +75,11 @@ module Tiling = Xpds_encodings.Tiling
 module Qbf = Xpds_encodings.Qbf
 module Qbf_encoding = Xpds_encodings.Qbf_encoding
 module Attr_xpath = Xpds_encodings.Attr_xpath
+module Eval_doc = Xpds_eval.Doc
+module Eval = Xpds_eval.Eval
+module Eval_batch = Xpds_eval.Batch
+module Eval_xml = Xpds_eval.Xml_codec
+module Eval_oracle = Xpds_eval.Oracle
 module Service = Xpds_service.Service
 module Service_metrics = Xpds_service.Metrics
 module Trace = Xpds_service.Trace

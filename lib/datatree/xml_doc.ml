@@ -160,18 +160,27 @@ let parse_exn src =
   match parse src with Ok d -> d | Error e -> failwith e
 
 (* Attribute values intern to even integers; element nodes take fresh odd
-   ones, so the two ranges never collide. *)
+   ones, so the two ranges never collide — and the parity of a datum says
+   which side of the Appendix-A encoding a node came from, which is what
+   makes the encoding invertible ({!value_of_intern}). *)
 let intern_table : (string, int) Hashtbl.t = Hashtbl.create 64
+let reverse_table : (int, string) Hashtbl.t = Hashtbl.create 64
 let intern_next = ref 0
+let intern_lock = Mutex.create ()
 
 let intern_value s =
-  match Hashtbl.find_opt intern_table s with
-  | Some v -> v
-  | None ->
-    let v = 2 * !intern_next in
-    incr intern_next;
-    Hashtbl.add intern_table s v;
-    v
+  Mutex.protect intern_lock (fun () ->
+      match Hashtbl.find_opt intern_table s with
+      | Some v -> v
+      | None ->
+        let v = 2 * !intern_next in
+        incr intern_next;
+        Hashtbl.add intern_table s v;
+        Hashtbl.add reverse_table v s;
+        v)
+
+let value_of_intern v =
+  Mutex.protect intern_lock (fun () -> Hashtbl.find_opt reverse_table v)
 
 let to_data_tree doc =
   let fresh = ref (-1) in

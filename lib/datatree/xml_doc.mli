@@ -25,7 +25,15 @@ val parse_exn : string -> doc
 
 val intern_value : string -> int
 (** The global interning of attribute values into ∆ = ℕ. Stable across
-    calls: equal strings get equal data values. *)
+    calls: equal strings get equal data values. Interned values are
+    {e even}; element nodes of {!to_data_tree} get fresh {e odd} data,
+    so the parity of a datum tells the two apart — the invariant that
+    makes the encoding invertible. Thread-safe. *)
+
+val value_of_intern : int -> string option
+(** Reverse lookup of {!intern_value}: the string a data value was
+    interned from, [None] when the value was never interned (in
+    particular for the odd fresh data of element nodes). *)
 
 val to_data_tree : doc -> Data_tree.t
 (** The Appendix-A encoding: attributes become leaf children labelled by

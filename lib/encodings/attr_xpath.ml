@@ -180,11 +180,15 @@ let check_doc doc eta =
     | Exists p -> not (ISet.is_empty (eval_path p x))
     | Cmp (p, a1, op, q, a2) ->
       let values path attr =
+        (* All bindings of [attr], not just the first: the parser keeps
+           duplicate attribute names, and the Appendix-A encoding emits
+           one leaf per binding, so the direct semantics must quantify
+           over every occurrence to agree with the encoded one. *)
         ISet.fold
           (fun y acc ->
-            match List.assoc_opt attr elements.(y).Xml_doc.attrs with
-            | Some v -> v :: acc
-            | None -> acc)
+            List.fold_left
+              (fun acc (a, v) -> if a = attr then v :: acc else acc)
+              acc elements.(y).Xml_doc.attrs)
           (eval_path path x) []
       in
       let vp = values p a1 and vq = values q a2 in

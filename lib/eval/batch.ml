@@ -1,0 +1,31 @@
+type outcome = {
+  formula : Xpds_xpath.Ast.node;
+  sat_set : Bitv.t;
+  root : bool;
+  count : int;
+}
+
+type t = { evaluator : Eval.t; outcomes : outcome list }
+
+let run ?should_stop doc formulas =
+  let evaluator = Eval.create ?should_stop doc in
+  let outcomes =
+    List.map
+      (fun formula ->
+        let sat_set = Eval.nodes evaluator formula in
+        {
+          formula;
+          sat_set;
+          root = Bitv.mem 0 sat_set;
+          count = Bitv.cardinal sat_set;
+        })
+      formulas
+  in
+  { evaluator; outcomes }
+
+let node_evals b = Eval.node_evals b.evaluator
+
+let positions b outcome =
+  let doc = Eval.doc b.evaluator in
+  List.rev
+    (Bitv.fold (fun x acc -> Doc.position doc x :: acc) outcome.sat_set [])

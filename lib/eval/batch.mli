@@ -1,0 +1,35 @@
+(** Batched evaluation: many formulas over one document, one shared
+    evaluator.
+
+    The memo tables of {!Eval} are keyed on sub-expressions, not
+    formulas, so a batch of queries with overlapping structure (the
+    service's workload, the benchmark corpus) pays for each distinct
+    sub-expression once. [run] is the convenience wrapper the CLI, the
+    service and the benchmarks share. *)
+
+type outcome = {
+  formula : Xpds_xpath.Ast.node;
+  sat_set : Bitv.t;  (** [[ϕ]] over pre-order ids *)
+  root : bool;  (** ϕ holds at the root *)
+  count : int;  (** |[[ϕ]]| *)
+}
+
+type t = {
+  evaluator : Eval.t;  (** kept live so callers can render positions *)
+  outcomes : outcome list;  (** in input order *)
+}
+
+val run :
+  ?should_stop:(unit -> bool) ->
+  Doc.t ->
+  Xpds_xpath.Ast.node list ->
+  t
+(** Evaluate every formula on one evaluator. Raises {!Eval.Deadline} if
+    [should_stop] fires; outcomes computed before the deadline are lost
+    (callers needing partial results evaluate one by one). *)
+
+val node_evals : t -> int
+(** Work counter of the shared evaluator after the batch. *)
+
+val positions : t -> outcome -> Xpds_datatree.Path.t list
+(** An outcome's sat-set as ℕ* positions, ascending in preorder. *)

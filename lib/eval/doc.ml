@@ -1,0 +1,118 @@
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+module Xml_doc = Xpds_datatree.Xml_doc
+
+type t = {
+  n : int;
+  label : int array;
+  data : int array;
+  parent : int array;
+  size : int array;
+  post : int array;
+  depth : int array;
+  child_start : int array;
+  child : int array;
+  child_rank : int array;
+  data_class : int array;
+  n_classes : int;
+}
+
+let of_tree tree =
+  let n = Data_tree.size tree in
+  let label = Array.make n 0 in
+  let data = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let size = Array.make n 0 in
+  let post = Array.make n 0 in
+  let depth = Array.make n 0 in
+  let child_start = Array.make (n + 1) 0 in
+  let child = Array.make (max 0 (n - 1)) 0 in
+  let child_rank = Array.make n 0 in
+  let data_class = Array.make n 0 in
+  let class_of : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  (* One preorder walk assigns ids; child slots are filled on the way
+     back up, so the CSR index is laid out in a second, cheap pass. *)
+  let rec index par dep rank t =
+    let id = !next_pre in
+    incr next_pre;
+    label.(id) <- Label.to_int (Data_tree.label t);
+    let d = Data_tree.data t in
+    data.(id) <- d;
+    data_class.(id) <-
+      (match Hashtbl.find_opt class_of d with
+      | Some c -> c
+      | None ->
+        let c = Hashtbl.length class_of in
+        Hashtbl.add class_of d c;
+        c);
+    parent.(id) <- par;
+    depth.(id) <- dep;
+    child_rank.(id) <- rank;
+    child_start.(id + 1) <- List.length (Data_tree.children t);
+    List.iteri (fun i c -> index id (dep + 1) i c) (Data_tree.children t);
+    size.(id) <- !next_pre - id;
+    post.(id) <- !next_post;
+    incr next_post
+  in
+  index (-1) 0 0 tree;
+  (* child_start.(i+1) currently holds the child count of node i; prefix
+     sums turn it into the CSR index, then the slots are filled from the
+     parent array (children of a node have consecutive ranks and
+     ascending pre-order ids, so ranks address the slots directly). *)
+  for i = 1 to n do
+    child_start.(i) <- child_start.(i) + child_start.(i - 1)
+  done;
+  for id = 1 to n - 1 do
+    child.(child_start.(parent.(id)) + child_rank.(id)) <- id
+  done;
+  {
+    n;
+    label;
+    data;
+    parent;
+    size;
+    post;
+    depth;
+    child_start;
+    child;
+    child_rank;
+    data_class;
+    n_classes = Hashtbl.length class_of;
+  }
+
+let to_tree d =
+  let rec build id =
+    let kids = ref [] in
+    for k = d.child_start.(id + 1) - 1 downto d.child_start.(id) do
+      kids := build d.child.(k) :: !kids
+    done;
+    Data_tree.make (Label.of_int d.label.(id)) d.data.(id) !kids
+  in
+  build 0
+
+let of_xml doc = of_tree (Xml_doc.to_data_tree doc)
+
+let position d id =
+  let rec up id acc =
+    if id <= 0 then acc else up d.parent.(id) (d.child_rank.(id) :: acc)
+  in
+  up id []
+
+let id_of_position d pos =
+  let rec down id = function
+    | [] -> Some id
+    | i :: rest ->
+      let lo = d.child_start.(id) in
+      if i < 0 || lo + i >= d.child_start.(id + 1) then None
+      else down d.child.(lo + i) rest
+  in
+  down 0 pos
+
+let is_ancestor_or_self d x y = x <= y && d.post.(y) <= d.post.(x)
+
+let pp ppf d =
+  let height = Array.fold_left max 0 d.depth + 1 in
+  Format.fprintf ppf "doc: %d nodes, height %d, %d data classes" d.n
+    height d.n_classes

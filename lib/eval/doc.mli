@@ -1,0 +1,65 @@
+(** Array-encoded documents: the flat, integer-indexed form of a data
+    tree that the bulk evaluator ({!Eval}) runs on.
+
+    The rose-tree representation of {!Xpds_datatree.Data_tree} is right
+    for the decision procedures (structural sharing, immutability) but
+    wrong for evaluating thousands of cheap queries: every step chases
+    pointers. Following the pre/post-order XML tables of
+    language-integrated query (the Links exemplar), a document here is a
+    struct-of-arrays over {e pre-order ids} [0 .. n-1]:
+
+    - [label], [data]: per-node label intern id and datum;
+    - [parent]: pre-order id of the parent, [-1] at the root;
+    - [size]: subtree sizes — pre-order ids make every subtree the
+      contiguous interval [x .. x + size x - 1], so the ↓∗ axis is a
+      word-level range fill, not a tree walk;
+    - [post]: post-order ranks — [y] is a descendant-or-self of [x] iff
+      [pre x <= pre y && post y <= post x], the classic pre/post
+      sandwich;
+    - children in CSR layout ([child_start]/[child]) for the ↓ axis;
+    - [data_class]: data values renamed to dense class ids [0 .. m-1]
+      (the logic only observes equality, so comparisons run over class
+      bitsets of width [m], not raw values).
+
+    Documents are immutable once built; build cost is one traversal. *)
+
+type t = private {
+  n : int;  (** number of nodes; pre-order ids are [0 .. n-1] *)
+  label : int array;  (** pre-order id -> {!Xpds_datatree.Label} intern id *)
+  data : int array;  (** pre-order id -> raw datum *)
+  parent : int array;  (** pre-order id of the parent; [-1] at the root *)
+  size : int array;  (** subtree size; the subtree is [x .. x+size-1] *)
+  post : int array;  (** post-order rank *)
+  depth : int array;  (** root has depth 0 *)
+  child_start : int array;
+      (** CSR index, [n+1] entries: the children of [x] are
+          [child.(child_start.(x)) .. child.(child_start.(x+1) - 1)] *)
+  child : int array;  (** concatenated child id lists, length [n-1] *)
+  child_rank : int array;  (** index of [x] among its parent's children *)
+  data_class : int array;  (** dense data-class id, [0 .. n_classes-1] *)
+  n_classes : int;  (** number of distinct data values *)
+}
+
+val of_tree : Xpds_datatree.Data_tree.t -> t
+(** Flatten a data tree; one preorder traversal. *)
+
+val to_tree : t -> Xpds_datatree.Data_tree.t
+(** Rebuild the rose tree; [to_tree (of_tree t) = t] (property-tested). *)
+
+val of_xml : Xpds_datatree.Xml_doc.doc -> t
+(** The Appendix-A multi-attribute encoding
+    ({!Xpds_datatree.Xml_doc.to_data_tree}) followed by {!of_tree}:
+    attributes become leaf children labelled by the attribute name with
+    the interned value as datum. *)
+
+val position : t -> int -> Xpds_datatree.Path.t
+(** The ℕ* position of a pre-order id (root-first child indices). *)
+
+val id_of_position : t -> Xpds_datatree.Path.t -> int option
+(** Inverse of {!position}. *)
+
+val is_ancestor_or_self : t -> int -> int -> bool
+(** [is_ancestor_or_self d x y] — the pre/post sandwich test. *)
+
+val pp : Format.formatter -> t -> unit
+(** A short structural summary (nodes, height, classes). *)

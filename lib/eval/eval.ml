@@ -1,0 +1,181 @@
+open Xpds_xpath.Ast
+module Label = Xpds_datatree.Label
+
+exception Deadline
+
+type t = {
+  doc : Doc.t;
+  node_memo : (node, Bitv.t) Hashtbl.t;
+  path_memo : (path, Bitv.t array) Hashtbl.t;
+  class_memo : (path, Bitv.t array) Hashtbl.t;
+      (** per-source data-class images of a path, for [Cmp] *)
+  mutable node_evals : int;
+  should_stop : unit -> bool;
+}
+
+let create ?(should_stop = fun () -> false) doc =
+  {
+    doc;
+    node_memo = Hashtbl.create 64;
+    path_memo = Hashtbl.create 64;
+    class_memo = Hashtbl.create 16;
+    node_evals = 0;
+    should_stop;
+  }
+
+let doc c = c.doc
+let node_evals c = c.node_evals
+
+(* Polled on every uncached sub-expression, mirroring the solver's
+   cooperative-deadline contract: memo entries are only written after a
+   full computation, so a Deadline leaves the evaluator reusable. *)
+let charge c =
+  if c.should_stop () then raise Deadline;
+  c.node_evals <- c.node_evals + c.doc.Doc.n
+
+let rec eval_node c phi : Bitv.t =
+  match Hashtbl.find_opt c.node_memo phi with
+  | Some r -> r
+  | None ->
+    charge c;
+    let n = c.doc.Doc.n in
+    let r =
+      match phi with
+      | True -> Bitv.full n
+      | False -> Bitv.empty n
+      | Lab l ->
+        let li = Label.to_int l in
+        let b = Bitv.builder n in
+        let label = c.doc.Doc.label in
+        for x = 0 to n - 1 do
+          if label.(x) = li then Bitv.add_in_place x b
+        done;
+        Bitv.freeze b
+      | Not a -> Bitv.diff (Bitv.full n) (eval_node c a)
+      | And (a, b) -> Bitv.inter (eval_node c a) (eval_node c b)
+      | Or (a, b) -> Bitv.union (eval_node c a) (eval_node c b)
+      | Exists p ->
+        let rp = eval_path c p in
+        let b = Bitv.builder n in
+        for x = 0 to n - 1 do
+          if not (Bitv.is_empty rp.(x)) then Bitv.add_in_place x b
+        done;
+        Bitv.freeze b
+      | Cmp (p, op, q) ->
+        let cp = class_rows c p and cq = class_rows c q in
+        let b = Bitv.builder n in
+        (match op with
+        | Eq ->
+          for x = 0 to n - 1 do
+            if not (Bitv.is_empty (Bitv.inter cp.(x) cq.(x))) then
+              Bitv.add_in_place x b
+          done
+        | Neq ->
+          (* ∃ d ∈ cp, d' ∈ cq with d ≠ d': both nonempty and not both
+             the same singleton (Semantics, verbatim, over classes). *)
+          for x = 0 to n - 1 do
+            if
+              (not (Bitv.is_empty cp.(x)))
+              && (not (Bitv.is_empty cq.(x)))
+              && Bitv.cardinal (Bitv.union cp.(x) cq.(x)) >= 2
+            then Bitv.add_in_place x b
+          done);
+        Bitv.freeze b
+    in
+    Hashtbl.add c.node_memo phi r;
+    r
+
+and eval_path c p : Bitv.t array =
+  match Hashtbl.find_opt c.path_memo p with
+  | Some r -> r
+  | None ->
+    charge c;
+    let n = c.doc.Doc.n in
+    let r =
+      match p with
+      | Axis Self -> Array.init n (Bitv.singleton n)
+      | Axis Child ->
+        let { Doc.child_start; child; _ } = c.doc in
+        Array.init n (fun x ->
+            let b = Bitv.builder n in
+            for k = child_start.(x) to child_start.(x + 1) - 1 do
+              Bitv.add_in_place child.(k) b
+            done;
+            Bitv.freeze b)
+      | Axis Descendant ->
+        (* descendant-or-self: the contiguous preorder interval. *)
+        let size = c.doc.Doc.size in
+        Array.init n (fun x ->
+            Bitv.of_range n ~lo:x ~hi:(x + size.(x) - 1))
+      | Seq (a, b) ->
+        let ra = eval_path c a in
+        let rb = eval_path c b in
+        Array.map
+          (fun s ->
+            let acc = Bitv.builder n in
+            Bitv.iter (fun y -> ignore (Bitv.union_into rb.(y) acc)) s;
+            Bitv.freeze acc)
+          ra
+      | Union (a, b) ->
+        let ra = eval_path c a and rb = eval_path c b in
+        Array.init n (fun x -> Bitv.union ra.(x) rb.(x))
+      | Filter (a, phi) ->
+        let ra = eval_path c a and rphi = eval_node c phi in
+        Array.map (fun s -> Bitv.inter s rphi) ra
+      | Guard (phi, a) ->
+        let ra = eval_path c a and rphi = eval_node c phi in
+        let nothing = Bitv.empty n in
+        Array.init n (fun x ->
+            if Bitv.mem x rphi then ra.(x) else nothing)
+      | Star a ->
+        let ra = eval_path c a in
+        (* Reflexive-transitive closure. Every axis of the fragment
+           descends, so [[a]] ⊆ descendant-or-self and every target
+           y ∈ ra.(x) has y ≥ x in pre-order: computing rows for
+           descending x makes each closure available before any source
+           that reaches it — one pass, no BFS frontier. *)
+        let rows = Array.make n (Bitv.empty n) in
+        for x = n - 1 downto 0 do
+          let acc = Bitv.builder n in
+          Bitv.add_in_place x acc;
+          Bitv.iter
+            (fun y -> if y > x then ignore (Bitv.union_into rows.(y) acc))
+            ra.(x);
+          rows.(x) <- Bitv.freeze acc
+        done;
+        rows
+    in
+    Hashtbl.add c.path_memo p r;
+    r
+
+and class_rows c p : Bitv.t array =
+  match Hashtbl.find_opt c.class_memo p with
+  | Some r -> r
+  | None ->
+    let rp = eval_path c p in
+    let m = c.doc.Doc.n_classes in
+    let data_class = c.doc.Doc.data_class in
+    let r =
+      Array.map
+        (fun s ->
+          let b = Bitv.builder m in
+          Bitv.iter (fun y -> Bitv.add_in_place data_class.(y) b) s;
+          Bitv.freeze b)
+        rp
+    in
+    Hashtbl.add c.class_memo p r;
+    r
+
+let nodes c phi = eval_node c phi
+let path_rows c p = eval_path c p
+let holds_at c phi x = Bitv.mem x (eval_node c phi)
+let holds_at_root c phi = holds_at c phi 0
+let check_somewhere c phi = not (Bitv.is_empty (eval_node c phi))
+
+let selected_positions c phi =
+  List.rev
+    (Bitv.fold
+       (fun x acc -> Doc.position c.doc x :: acc)
+       (eval_node c phi) [])
+
+let check tree phi = holds_at_root (create (Doc.of_tree tree)) phi

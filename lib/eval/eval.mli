@@ -1,0 +1,63 @@
+(** The bulk evaluator: node and path expressions of the downward logic
+    over an array-encoded document ({!Doc}), with bitset node sets.
+
+    Semantically this is exactly {!Xpds_xpath.Semantics} — the two are
+    differentially fuzzed against each other ({!Oracle},
+    [test/t_eval.ml]) — but engineered for the many-cheap-queries
+    workload instead of oracle clarity:
+
+    - node sets are {!Bitv} vectors over pre-order ids, so boolean
+      connectives are word-level scans;
+    - the ↓∗ axis is a contiguous-range fill (pre-order ids make every
+      subtree an interval), not a per-node tree walk;
+    - [[α]] is an array of per-source bitset rows; composition unions
+      whole rows, and [α*] is a single descending-id dynamic program
+      (downward paths only ever move into the subtree, so the closure
+      of a higher id is complete before any lower id needs it);
+    - data comparisons quantify over {e data classes} (dense renaming of
+      the datums) as width-[m] bitsets;
+    - every sub-expression's result is memoized in the evaluator, and
+      the memo is shared across formulas evaluated on the same
+      evaluator — a batch of queries pays for each distinct subformula
+      once ({!Batch}).
+
+    Evaluators are single-domain mutable values (memo tables); share the
+    underlying {!Doc.t} across domains instead. *)
+
+type t
+(** An evaluator: a document plus memo tables. *)
+
+exception Deadline
+(** Raised by evaluation when the [should_stop] hook fires; the memo
+    tables remain valid (no partial entries are stored). *)
+
+val create : ?should_stop:(unit -> bool) -> Doc.t -> t
+(** [should_stop] is polled between sub-expression evaluations — the
+    same cooperative-deadline contract as the solver's fixpoint. *)
+
+val doc : t -> Doc.t
+
+val nodes : t -> Xpds_xpath.Ast.node -> Bitv.t
+(** [[ϕ]]: the set of pre-order ids where [ϕ] holds. *)
+
+val path_rows : t -> Xpds_xpath.Ast.path -> Bitv.t array
+(** [[α]] as per-source rows: [(path_rows e α).(x)] is [{y | (x,y) ∈ [[α]]}].
+    The rows are memoized — callers must not mutate or keep builders
+    over them. *)
+
+val holds_at : t -> Xpds_xpath.Ast.node -> int -> bool
+val holds_at_root : t -> Xpds_xpath.Ast.node -> bool
+
+val check_somewhere : t -> Xpds_xpath.Ast.node -> bool
+(** [[ϕ]] ≠ ∅ — the satisfaction relation of Definition 1. *)
+
+val selected_positions : t -> Xpds_xpath.Ast.node -> Xpds_datatree.Path.t list
+(** [[ϕ]] as ℕ* positions in preorder (the {!Xpds_xpath.Semantics.sat_nodes}
+    rendering, for differential comparison and the CLI). *)
+
+val node_evals : t -> int
+(** Total node×sub-expression evaluations performed so far (cache hits
+    excluded) — the work counter the throughput benchmarks report. *)
+
+val check : Xpds_datatree.Data_tree.t -> Xpds_xpath.Ast.node -> bool
+(** One-shot [holds_at_root] on a fresh evaluator. *)

@@ -1,0 +1,35 @@
+module Semantics = Xpds_xpath.Semantics
+module Path = Xpds_datatree.Path
+
+type verdict = {
+  agree : bool;
+  eval_positions : Path.t list;
+  semantics_positions : Path.t list;
+}
+
+let check tree phi =
+  let e = Eval.create (Doc.of_tree tree) in
+  let eval_positions = Eval.selected_positions e phi in
+  let semantics_positions = Semantics.sat_nodes (Semantics.env_of_tree tree) phi in
+  {
+    agree = eval_positions = semantics_positions;
+    eval_positions;
+    semantics_positions;
+  }
+
+let agrees tree phi = (check tree phi).agree
+
+let replay phi tree =
+  let v = check tree phi in
+  v.agree && v.eval_positions <> []
+
+let pp_verdict ppf v =
+  let pp_positions ppf ps =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         (fun ppf p -> Format.pp_print_string ppf (Path.to_string p)))
+      ps
+  in
+  Format.fprintf ppf "@[<v>agree: %b@ eval:      %a@ semantics: %a@]" v.agree
+    pp_positions v.eval_positions pp_positions v.semantics_positions

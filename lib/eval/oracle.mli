@@ -1,0 +1,36 @@
+(** The differential oracle: bit-for-bit agreement between the bulk
+    evaluator and the reference {!Xpds_xpath.Semantics}.
+
+    The evaluator earns its speed with three nontrivial tricks (range
+    fills for ↓∗, a descending-id closure for [α*], class bitsets for
+    data tests); each is an opportunity to silently diverge from the
+    oracle. This module states the agreement as a checkable judgement —
+    the qcheck suite ([test/t_eval.ml]) throws random (tree, formula)
+    pairs at it, the benchmark refuses to report a speedup over results
+    that differ, and SAT witnesses from the solver are replayed through
+    both engines. *)
+
+type verdict = {
+  agree : bool;  (** the whole judgement: sat-sets identical *)
+  eval_positions : Xpds_datatree.Path.t list;
+      (** [[ϕ]] per the bulk evaluator, preorder *)
+  semantics_positions : Xpds_datatree.Path.t list;
+      (** [[ϕ]] per the reference semantics, preorder *)
+}
+
+val check : Xpds_datatree.Data_tree.t -> Xpds_xpath.Ast.node -> verdict
+(** Evaluate [ϕ] on both engines and compare the full sat-sets
+    (which subsumes root satisfaction and emptiness). *)
+
+val agrees : Xpds_datatree.Data_tree.t -> Xpds_xpath.Ast.node -> bool
+(** [(check t ϕ).agree]. *)
+
+val replay : Xpds_xpath.Ast.node -> Xpds_datatree.Data_tree.t -> bool
+(** Witness replay: a SAT verdict's witness tree must satisfy the
+    formula somewhere — per {e both} engines, and they must agree on
+    the full sat-set. Used on every witness the solver produces in the
+    quick corpus. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Diagnostic rendering: agreement flag plus the two position lists
+    (what a failing differential test prints). *)

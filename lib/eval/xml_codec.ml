@@ -1,0 +1,48 @@
+module Xml_doc = Xpds_datatree.Xml_doc
+module Label = Xpds_datatree.Label
+
+let encode = Doc.of_xml
+
+exception Decode of string
+
+let decode (d : Doc.t) =
+  let tag id = Label.to_string (Label.of_int d.Doc.label.(id)) in
+  let is_even datum = datum land 1 = 0 in
+  let rec build id =
+    if is_even d.Doc.data.(id) then
+      raise
+        (Decode
+           (Printf.sprintf
+              "node %d (<%s>): element carries even datum %d — attribute \
+               leaves cannot have children"
+              id (tag id) d.Doc.data.(id)));
+    let attrs = ref [] and elements = ref [] in
+    for k = d.Doc.child_start.(id + 1) - 1 downto d.Doc.child_start.(id) do
+      let c = d.Doc.child.(k) in
+      let datum = d.Doc.data.(c) in
+      if is_even datum then begin
+        if d.Doc.child_start.(c + 1) > d.Doc.child_start.(c) then
+          raise
+            (Decode
+               (Printf.sprintf
+                  "node %d (@%s): attribute leaf has children" c (tag c)));
+        match Xml_doc.value_of_intern datum with
+        | Some v -> attrs := (tag c, v) :: !attrs
+        | None ->
+          raise
+            (Decode
+               (Printf.sprintf
+                  "node %d (@%s): datum %d was never interned as an \
+                   attribute value"
+                  c (tag c) datum))
+      end
+      else elements := build c :: !elements
+    done;
+    { Xml_doc.tag = tag id; attrs = !attrs; elements = !elements }
+  in
+  match build 0 with
+  | doc -> Ok doc
+  | exception Decode msg -> Error msg
+
+let decode_exn d =
+  match decode d with Ok doc -> doc | Error msg -> failwith msg

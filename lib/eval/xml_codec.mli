@@ -1,0 +1,25 @@
+(** Invertibility of the Appendix-A multi-attribute encoding at the
+    array level.
+
+    {!Doc.of_xml} flattens an XML document through
+    {!Xpds_datatree.Xml_doc.to_data_tree}: attributes become leaf
+    children with {e even} interned data, element nodes get {e odd}
+    fresh data. The parity invariant makes the encoding invertible —
+    [decode] folds attribute leaves back into attribute lists, recovers
+    values by reverse interning, and reports structural violations
+    (an element with even datum, an attribute leaf with children, an
+    even datum that was never interned) as errors instead of guessing.
+
+    Round trip, property-tested in [test/t_eval.ml] including duplicate
+    attribute names: [decode (Doc.of_xml doc) = Ok doc]. *)
+
+val encode : Xpds_datatree.Xml_doc.doc -> Doc.t
+(** Alias of {!Doc.of_xml}, named for symmetry with [decode]. *)
+
+val decode : Doc.t -> (Xpds_datatree.Xml_doc.doc, string) result
+(** Rebuild the XML document from an array-encoded one. Attribute
+    leaves may sit anywhere among an element's children; their relative
+    order (and that of element children) is preserved. *)
+
+val decode_exn : Doc.t -> Xpds_datatree.Xml_doc.doc
+(** @raise Failure with the [decode] error message. *)

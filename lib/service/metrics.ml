@@ -33,6 +33,13 @@ type t = {
   mutable single_flight : int;
   mutable crashes : int;
   mutable degraded_retries : int;
+  mutable sat_requests : int;
+  mutable eval_requests : int;
+  mutable eval_cache_hits : int;
+  mutable eval_errors : int;
+  mutable eval_deadline_timeouts : int;
+  mutable eval_node_evals : int;
+  mutable eval_docs_built : int;
   phase_ms : (string, float ref) Hashtbl.t;
 }
 
@@ -65,6 +72,19 @@ type snapshot = {
   single_flight : int;
   crashes : int;
   degraded_retries : int;
+  sat_requests : int;  (** requests of kind [sat] (solver verdicts) *)
+  eval_requests : int;  (** requests of kind [eval] (bulk evaluation) *)
+  eval_cache_hits : int;
+  eval_errors : int;
+      (** eval requests answered with a structured error (bad document,
+          oversized, unknown name — not deadlines) *)
+  eval_deadline_timeouts : int;
+  eval_node_evals : int;
+      (** total node×subformula evaluations performed by uncached eval
+          requests *)
+  eval_docs_built : int;
+      (** documents flattened into array form (registry registrations
+          and inline-document cache misses) *)
   phases_ms : (string * float) list;
 }
 
@@ -99,6 +119,13 @@ let create () =
     single_flight = 0;
     crashes = 0;
     degraded_retries = 0;
+    sat_requests = 0;
+    eval_requests = 0;
+    eval_cache_hits = 0;
+    eval_errors = 0;
+    eval_deadline_timeouts = 0;
+    eval_node_evals = 0;
+    eval_docs_built = 0;
     phase_ms = Hashtbl.create 16;
   }
 
@@ -131,10 +158,26 @@ let reset (m : t) =
   m.single_flight <- 0;
   m.crashes <- 0;
   m.degraded_retries <- 0;
+  m.sat_requests <- 0;
+  m.eval_requests <- 0;
+  m.eval_cache_hits <- 0;
+  m.eval_errors <- 0;
+  m.eval_deadline_timeouts <- 0;
+  m.eval_node_evals <- 0;
+  m.eval_docs_built <- 0;
   Hashtbl.reset m.phase_ms
+
+let record_latency (m : t) ms =
+  if ms < m.latency_min then m.latency_min <- ms;
+  if ms > m.latency_max then m.latency_max <- ms;
+  m.latency_sum <- m.latency_sum +. ms;
+  m.ring.(m.ring_pos) <- ms;
+  m.ring_pos <- (m.ring_pos + 1) mod window;
+  if m.ring_len < window then m.ring_len <- m.ring_len + 1
 
 let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
   m.requests <- m.requests + 1;
+  m.sat_requests <- m.sat_requests + 1;
   if cached then m.cache_hits <- m.cache_hits + 1
   else m.cache_misses <- m.cache_misses + 1;
   (match verdict with
@@ -145,12 +188,7 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
     m.unknown <- m.unknown + 1;
     if why = Emptiness.deadline_exceeded then
       m.deadline_timeouts <- m.deadline_timeouts + 1);
-  if ms < m.latency_min then m.latency_min <- ms;
-  if ms > m.latency_max then m.latency_max <- ms;
-  m.latency_sum <- m.latency_sum +. ms;
-  m.ring.(m.ring_pos) <- ms;
-  m.ring_pos <- (m.ring_pos + 1) mod window;
-  if m.ring_len < window then m.ring_len <- m.ring_len + 1;
+  record_latency m ms;
   if not cached then begin
     m.fixpoint_states <- m.fixpoint_states + stats.Emptiness.n_states;
     m.fixpoint_transitions <-
@@ -166,6 +204,26 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
       m.domains_used_max <- p.Emptiness.domains_used
   end
 
+(* Eval requests share the latency distribution with solver requests
+   (both are "requests" to the served socket) but keep their own
+   counters: the two workloads have wildly different cost profiles. *)
+let record_eval (m : t) ~outcome ~cached ~ms ~node_evals =
+  m.requests <- m.requests + 1;
+  m.eval_requests <- m.eval_requests + 1;
+  (match outcome with
+  | `Ok -> ()
+  | `Error -> m.eval_errors <- m.eval_errors + 1
+  | `Deadline ->
+    m.eval_deadline_timeouts <- m.eval_deadline_timeouts + 1);
+  if cached then begin
+    m.cache_hits <- m.cache_hits + 1;
+    m.eval_cache_hits <- m.eval_cache_hits + 1
+  end
+  else m.cache_misses <- m.cache_misses + 1;
+  m.eval_node_evals <- m.eval_node_evals + node_evals;
+  record_latency m ms
+
+let record_doc_built (m : t) = m.eval_docs_built <- m.eval_docs_built + 1
 let record_single_flight (m : t) = m.single_flight <- m.single_flight + 1
 let record_crash (m : t) = m.crashes <- m.crashes + 1
 
@@ -234,6 +292,13 @@ let snapshot (m : t) : snapshot =
     single_flight = m.single_flight;
     crashes = m.crashes;
     degraded_retries = m.degraded_retries;
+    sat_requests = m.sat_requests;
+    eval_requests = m.eval_requests;
+    eval_cache_hits = m.eval_cache_hits;
+    eval_errors = m.eval_errors;
+    eval_deadline_timeouts = m.eval_deadline_timeouts;
+    eval_node_evals = m.eval_node_evals;
+    eval_docs_built = m.eval_docs_built;
     phases_ms =
       (* Sorted for a deterministic JSON rendering. *)
       List.sort
@@ -254,6 +319,21 @@ let to_json (s : snapshot) =
             ("unknown", Json.Num (float_of_int s.unknown))
           ] );
       ("deadline_timeouts", Json.Num (float_of_int s.deadline_timeouts));
+      ( "requests_by_kind",
+        Json.Obj
+          [ ("sat", Json.Num (float_of_int s.sat_requests));
+            ("eval", Json.Num (float_of_int s.eval_requests))
+          ] );
+      ( "eval",
+        Json.Obj
+          [ ("requests", Json.Num (float_of_int s.eval_requests));
+            ("cache_hits", Json.Num (float_of_int s.eval_cache_hits));
+            ("errors", Json.Num (float_of_int s.eval_errors));
+            ( "deadline_timeouts",
+              Json.Num (float_of_int s.eval_deadline_timeouts) );
+            ("node_evals", Json.Num (float_of_int s.eval_node_evals));
+            ("docs_built", Json.Num (float_of_int s.eval_docs_built))
+          ] );
       ("single_flight", Json.Num (float_of_int s.single_flight));
       ("crashes", Json.Num (float_of_int s.crashes));
       ("degraded_retries", Json.Num (float_of_int s.degraded_retries));
@@ -297,7 +377,10 @@ let to_json (s : snapshot) =
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
-    "@[<v>requests: %d (hits %d, misses %d, single-flight %d)@,\
+    "@[<v>requests: %d (sat %d, eval %d; hits %d, misses %d, \
+     single-flight %d)@,\
+     eval: %d hits, %d errors, %d deadline, %d node-evals, %d docs \
+     built@,\
      verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
      deadline)@,\
      robustness: %d crashes isolated, %d degraded retries@,\
@@ -308,7 +391,10 @@ let pp ppf (s : snapshot) =
      max %d domains)@,\
      certificates: %d certified, %d check failures (mean %.2f ms, max \
      %.2f ms)@]"
-    s.requests s.cache_hits s.cache_misses s.single_flight s.sat s.unsat
+    s.requests s.sat_requests s.eval_requests s.cache_hits s.cache_misses
+    s.single_flight s.eval_cache_hits s.eval_errors
+    s.eval_deadline_timeouts s.eval_node_evals s.eval_docs_built s.sat
+    s.unsat
     s.unsat_bounded s.unknown s.deadline_timeouts s.crashes
     s.degraded_retries s.latency_min_ms s.latency_mean_ms
     s.latency_p95_ms s.latency_max_ms

@@ -48,6 +48,25 @@ type snapshot = {
           response *)
   degraded_retries : int;
       (** budget-exhausted requests retried once with degraded bounds *)
+  sat_requests : int;
+      (** requests of kind [sat] — solver verdicts ({!record}) *)
+  eval_requests : int;
+      (** requests of kind [eval] — bulk document evaluation
+          ({!record_eval}); [requests = sat_requests + eval_requests] *)
+  eval_cache_hits : int;
+      (** the subset of [cache_hits] coming from the eval result cache *)
+  eval_errors : int;
+      (** eval requests answered with a structured error (unknown
+          document, oversized document, unparsable source) — deadlines
+          are counted separately *)
+  eval_deadline_timeouts : int;
+      (** eval requests cut short by their admission-anchored deadline *)
+  eval_node_evals : int;
+      (** node×subformula evaluations performed by uncached eval
+          requests (the work unit of {!Xpds_eval.Eval.node_evals}) *)
+  eval_docs_built : int;
+      (** documents flattened to array form: registry registrations plus
+          inline-document cache misses *)
   phases_ms : (string * float) list;
       (** total milliseconds spent per {!Trace} phase, sorted by phase
           name *)
@@ -65,6 +84,21 @@ val record :
   ms:float ->
   stats:Xpds_decision.Emptiness.stats ->
   unit
+
+val record_eval :
+  t ->
+  outcome:[ `Ok | `Error | `Deadline ] ->
+  cached:bool ->
+  ms:float ->
+  node_evals:int ->
+  unit
+(** Count one completed eval-kind request. Shares the request total and
+    the latency distribution with solver requests; keeps its own
+    kind/outcome counters. Per-phase eval timings flow in through
+    {!record_trace} (the [eval_*] spans). *)
+
+val record_doc_built : t -> unit
+(** Count one document flattened into array form. *)
 
 val record_single_flight : t -> unit
 (** Count one request that was served by joining an in-flight solve. *)

@@ -2,8 +2,13 @@ module Sat = Xpds_decision.Sat
 module Emptiness = Xpds_decision.Emptiness
 module Ast = Xpds_xpath.Ast
 module Parser = Xpds_xpath.Parser
+module Pp = Xpds_xpath.Pp
 module Fragment = Xpds_xpath.Fragment
 module Data_tree = Xpds_datatree.Data_tree
+module Path_ = Xpds_datatree.Path
+module Xml_doc = Xpds_datatree.Xml_doc
+module Eval_doc = Xpds_eval.Doc
+module Eval = Xpds_eval.Eval
 
 type solver_config = {
   width : int;
@@ -26,6 +31,9 @@ type config = {
   solver : solver_config;
   cache_capacity : int;
   jobs : int;
+  max_doc_nodes : int;
+  eval_cache_capacity : int;
+  doc_cache_capacity : int;
 }
 
 let default_solver_config =
@@ -47,6 +55,9 @@ let default_config =
     solver = default_solver_config;
     cache_capacity = 4096;
     jobs = Pool.default_jobs ();
+    max_doc_nodes = 200_000;
+    eval_cache_capacity = 4096;
+    doc_cache_capacity = 64;
   }
 
 type request = {
@@ -77,6 +88,59 @@ type flight = {
   cond : Condition.t;
 }
 
+(* --- the eval verb: bulk evaluation over array-encoded documents --- *)
+
+type eval_source =
+  | Doc_named of string  (** a document registered with [register_doc] *)
+  | Doc_xml of string  (** inline XML source *)
+  | Doc_tree of string  (** inline [Data_tree.of_string] syntax *)
+
+type eval_request = {
+  ev_id : string;
+  query : Ast.node;
+  source : eval_source;
+  ev_timeout_ms : float option;
+  limit : int option;  (** positions returned on the wire; default 100 *)
+}
+
+type eval_result = {
+  root : bool;
+  count : int;
+  positions : Path_.t list;  (** first [limit] sat positions, preorder *)
+  truncated : bool;
+  doc_nodes : int;
+  node_evals : int;  (** fresh work this evaluation added to the memo *)
+}
+
+type eval_response = {
+  ev_rid : string;
+  result : (eval_result, string) result;
+  ev_cached : bool;
+  ev_ms : float;
+  ev_trace : Trace.t;
+}
+
+(* One flattened document plus its shared evaluator. The evaluator's
+   memo is the cross-request batching win (formula batches over one
+   document pay for each distinct subformula once), so it lives with
+   the document — guarded by its own lock, with the current request's
+   deadline threaded through a ref the [should_stop] hook reads. *)
+type doc_entry = {
+  e_doc : Eval_doc.t;
+  e_digest : string;  (** document identity for eval result keys *)
+  e_eval : Eval.t;
+  e_lock : Mutex.t;
+  e_deadline : float option ref;
+}
+
+type eval_flight = {
+  mutable ev_outcome : eval_result option;
+      (** [None] after landing when the leader erred or timed out *)
+  mutable ev_landed : bool;
+  mutable ev_waiters : int;
+  ev_cond : Condition.t;
+}
+
 type t = {
   cfg : config;
   fingerprint : string;
@@ -85,6 +149,10 @@ type t = {
   lock : Mutex.t;
   inflight : (Cache_key.t, flight) Hashtbl.t;
   chaos : (string -> unit) option Atomic.t;
+  docs : (string, doc_entry) Hashtbl.t;  (** named registry *)
+  inline_docs : doc_entry Lru.t;  (** inline sources, by source digest *)
+  eval_cache : eval_result Lru.t;
+  eval_inflight : (string, eval_flight) Hashtbl.t;
 }
 
 let fingerprint_of (sc : solver_config) =
@@ -110,6 +178,10 @@ let create ?(config = default_config) () =
     lock = Mutex.create ();
     inflight = Hashtbl.create 64;
     chaos = Atomic.make None;
+    docs = Hashtbl.create 16;
+    inline_docs = Lru.create ~capacity:config.doc_cache_capacity;
+    eval_cache = Lru.create ~capacity:config.eval_cache_capacity;
+    eval_inflight = Hashtbl.create 64;
   }
 
 let config t = t.cfg
@@ -430,6 +502,265 @@ let solve_batch ?jobs t requests =
             ~flight:false))
     keyed
 
+(* --- the eval verb: registry, result cache, single flight --- *)
+
+let oversized_doc_error ~n ~max_doc_nodes =
+  Printf.sprintf "document too large: %d nodes (max_doc_nodes = %d)" n
+    max_doc_nodes
+
+(* The document's identity for eval result keys: a content digest, so
+   the same document reaches the same cache entries whether it arrived
+   inline or via the registry, and re-registering a name with different
+   content can never serve stale results. [Doc.t] is all int arrays, so
+   marshalling is a stable byte rendering. *)
+let doc_digest (doc : Eval_doc.t) = Digest.string (Marshal.to_string doc [])
+
+let entry_of_doc (doc : Eval_doc.t) =
+  let deadline = ref None in
+  let should_stop () =
+    match !deadline with Some d -> Trace.now_ms () > d | None -> false
+  in
+  {
+    e_doc = doc;
+    e_digest = doc_digest doc;
+    e_eval = Eval.create ~should_stop doc;
+    e_lock = Mutex.create ();
+    e_deadline = deadline;
+  }
+
+let register_doc t ~name doc =
+  let n = doc.Eval_doc.n in
+  if n > t.cfg.max_doc_nodes then
+    Error (oversized_doc_error ~n ~max_doc_nodes:t.cfg.max_doc_nodes)
+  else begin
+    let entry = entry_of_doc doc in
+    Mutex.protect t.lock (fun () ->
+        Metrics.record_doc_built t.meters;
+        Hashtbl.replace t.docs name entry);
+    Ok ()
+  end
+
+let registered_docs t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun name e acc -> (name, e.e_doc.Eval_doc.n) :: acc)
+        t.docs [])
+  |> List.sort compare
+
+let build_doc = function
+  | Doc_named _ -> invalid_arg "build_doc: named source"
+  | Doc_xml text -> (
+    match Xml_doc.parse text with
+    | Error e -> Error (Printf.sprintf "bad xml: %s" e)
+    | Ok xml -> Ok (Eval_doc.of_xml xml))
+  | Doc_tree text -> (
+    match Data_tree.of_string text with
+    | Error e -> Error (Printf.sprintf "bad tree: %s" e)
+    | Ok tree -> Ok (Eval_doc.of_tree tree))
+
+(* Named sources hit the registry; inline sources are parsed and
+   flattened at most once per source text (LRU by source digest), so a
+   client replaying queries against the same inline document reuses the
+   entry — and with it the evaluator's cross-request memo. *)
+let resolve_entry t source =
+  match source with
+  | Doc_named name -> (
+    match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.docs name) with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown document %S (serve it inline via \"xml\"/\"tree\", \
+            or register it at startup)"
+           name))
+  | Doc_xml text | Doc_tree text -> (
+    let tag = match source with Doc_xml _ -> "xml:" | _ -> "tree:" in
+    let skey = Digest.string (tag ^ text) in
+    match Mutex.protect t.lock (fun () -> Lru.find t.inline_docs skey) with
+    | Some e -> Ok e
+    | None -> (
+      match build_doc source with
+      | Error _ as e -> e
+      | Ok doc when doc.Eval_doc.n > t.cfg.max_doc_nodes ->
+        Error
+          (oversized_doc_error ~n:doc.Eval_doc.n
+             ~max_doc_nodes:t.cfg.max_doc_nodes)
+      | Ok doc ->
+        let entry = entry_of_doc doc in
+        Mutex.protect t.lock (fun () ->
+            Metrics.record_doc_built t.meters;
+            Lru.add t.inline_docs skey entry);
+        Ok entry))
+
+let default_position_limit = 100
+
+(* The first [limit] satisfying positions in preorder, without
+   materialising the rest — a query selecting half a 200k-node document
+   still answers with a bounded line. *)
+let bounded_positions doc set ~limit =
+  let count = Bitv.cardinal set in
+  let acc = ref [] in
+  let taken = ref 0 in
+  (try
+     Bitv.iter
+       (fun x ->
+         if !taken >= limit then raise Exit;
+         acc := Eval_doc.position doc x :: !acc;
+         incr taken)
+       set
+   with Exit -> ());
+  (List.rev !acc, count > limit)
+
+(* Runs the query on the entry's shared evaluator. The deadline ref is
+   set for the duration of the evaluation under the entry lock (one
+   evaluation at a time per document — the memo tables are
+   single-domain mutable state); [Eval.Deadline] leaves the memo valid,
+   so a timed-out request never poisons later ones. *)
+let eval_uncached entry ~trace ~deadline ~limit query =
+  Trace.mark trace "eval_run";
+  let before = Eval.node_evals entry.e_eval in
+  let outcome =
+    Mutex.protect entry.e_lock (fun () ->
+        entry.e_deadline := deadline;
+        let r =
+          match Eval.nodes entry.e_eval query with
+          | set -> Ok set
+          | exception Eval.Deadline -> Error Emptiness.deadline_exceeded
+        in
+        entry.e_deadline := None;
+        r)
+  in
+  let node_evals = Eval.node_evals entry.e_eval - before in
+  Trace.mark trace "eval_positions";
+  let result =
+    Result.map
+      (fun set ->
+        let positions, truncated =
+          bounded_positions entry.e_doc set ~limit
+        in
+        {
+          root = Bitv.mem 0 set;
+          count = Bitv.cardinal set;
+          positions;
+          truncated;
+          doc_nodes = entry.e_doc.Eval_doc.n;
+          node_evals;
+        })
+      outcome
+  in
+  (result, node_evals)
+
+let eval_finish t (r : eval_request) ~trace ~result ~cached ~flight
+    ~node_evals =
+  Trace.finish trace;
+  let ms = Trace.elapsed_ms trace in
+  let outcome =
+    match result with
+    | Ok _ -> `Ok
+    | Error why when why = Emptiness.deadline_exceeded -> `Deadline
+    | Error _ -> `Error
+  in
+  Mutex.protect t.lock (fun () ->
+      Metrics.record_eval t.meters ~outcome ~cached ~ms ~node_evals;
+      if flight then Metrics.record_single_flight t.meters;
+      Metrics.record_trace t.meters trace);
+  {
+    ev_rid = r.ev_id;
+    result;
+    ev_cached = cached;
+    ev_ms = ms;
+    ev_trace = trace;
+  }
+
+let eval ?trace t (r : eval_request) =
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  let deadline = deadline_of tr r.ev_timeout_ms in
+  Trace.mark tr "eval_resolve";
+  match resolve_entry t r.source with
+  | Error e ->
+    eval_finish t r ~trace:tr ~result:(Error e) ~cached:false ~flight:false
+      ~node_evals:0
+  | Ok entry ->
+    let limit = max 0 (Option.value r.limit ~default:default_position_limit) in
+    (* The raw query text keys the cache, not the canonical form:
+       canonicalization is only proven semantics-preserving for
+       satisfiability (root evaluation), while eval reports every
+       selected position. *)
+    let key =
+      Digest.string
+        (Printf.sprintf "%s\x00%s\x00%d" entry.e_digest
+           (Pp.node_to_string r.query) limit)
+    in
+    let rec attempt () =
+      Trace.mark tr "eval_cache_probe";
+      let decision =
+        Mutex.protect t.lock (fun () ->
+            match Lru.find t.eval_cache key with
+            | Some res -> `Hit res
+            | None -> (
+              match Hashtbl.find_opt t.eval_inflight key with
+              | Some fl ->
+                fl.ev_waiters <- fl.ev_waiters + 1;
+                `Join fl
+              | None ->
+                let fl =
+                  { ev_outcome = None;
+                    ev_landed = false;
+                    ev_waiters = 0;
+                    ev_cond = Condition.create ()
+                  }
+                in
+                Hashtbl.replace t.eval_inflight key fl;
+                `Lead fl))
+      in
+      match decision with
+      | `Hit res ->
+        eval_finish t r ~trace:tr ~result:(Ok res) ~cached:true
+          ~flight:false ~node_evals:0
+      | `Join fl -> (
+        Trace.mark tr "eval_flight_wait";
+        let outcome =
+          Mutex.protect t.lock (fun () ->
+              while not fl.ev_landed do
+                Condition.wait fl.ev_cond t.lock
+              done;
+              fl.ev_waiters <- fl.ev_waiters - 1;
+              fl.ev_outcome)
+        in
+        match outcome with
+        | Some res ->
+          eval_finish t r ~trace:tr ~result:(Ok res) ~cached:true
+            ~flight:true ~node_evals:0
+        | None ->
+          (* The leader erred or hit its deadline — neither outcome is
+             shareable (our own deadline may differ): try again. *)
+          attempt ())
+      | `Lead fl -> (
+        let publish outcome =
+          Mutex.protect t.lock (fun () ->
+              (match outcome with
+              | Some res -> Lru.add t.eval_cache key res
+              | None -> ());
+              fl.ev_outcome <- outcome;
+              fl.ev_landed <- true;
+              Hashtbl.remove t.eval_inflight key;
+              Condition.broadcast fl.ev_cond)
+        in
+        match eval_uncached entry ~trace:tr ~deadline ~limit r.query with
+        | (Ok res as result), node_evals ->
+          publish (Some res);
+          eval_finish t r ~trace:tr ~result ~cached:false ~flight:false
+            ~node_evals
+        | (Error _ as result), node_evals ->
+          publish None;
+          eval_finish t r ~trace:tr ~result ~cached:false ~flight:false
+            ~node_evals
+        | exception e ->
+          publish None;
+          raise e)
+    in
+    attempt ()
+
 (* --- NDJSON wire format (versioned; see docs/protocol.md) --- *)
 
 let protocol_version = 1
@@ -440,57 +771,148 @@ let verdict_name = function
   | Sat.Unsat_bounded _ -> "unsat_bounded"
   | Sat.Unknown _ -> "unknown"
 
-let known_request_fields = [ "v"; "id"; "formula"; "timeout_ms" ]
+let known_request_fields = [ "v"; "id"; "kind"; "formula"; "timeout_ms" ]
 
-let request_of_json line =
+let known_eval_request_fields =
+  [ "v"; "id"; "kind"; "formula"; "doc"; "xml"; "tree"; "timeout_ms";
+    "limit" ]
+
+type wire_request =
+  | Sat_request of request
+  | Eval_request of eval_request
+
+let request_id v =
+  match Json.member "id" v with
+  | Some (Json.Str s) -> s
+  | Some (Json.Num f) -> Json.num_to_string f
+  | _ -> ""
+
+let request_formula v =
+  match Option.bind (Json.member "formula" v) Json.to_str with
+  | None -> Error "missing \"formula\" field"
+  | Some text -> (
+    match Parser.formula_of_string text with
+    | Error e -> Error (Printf.sprintf "bad formula: %s" e)
+    | Ok f -> Ok (Ast.as_node f))
+
+let parse_sat_body v =
+  Result.map
+    (fun formula ->
+      Sat_request
+        { id = request_id v;
+          formula;
+          timeout_ms = Option.bind (Json.member "timeout_ms" v) Json.to_float
+        })
+    (request_formula v)
+
+(* An eval request addresses exactly one document: a registered name
+   ("doc"), inline XML ("xml"), or inline data-tree syntax ("tree"). *)
+let parse_eval_source v =
+  let str_field name =
+    match Json.member name v with
+    | None -> Ok None
+    | Some (Json.Str s) -> Ok (Some s)
+    | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+  in
+  match (str_field "doc", str_field "xml", str_field "tree") with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+  | Ok doc, Ok xml, Ok tree -> (
+    match (doc, xml, tree) with
+    | Some name, None, None -> Ok (Doc_named name)
+    | None, Some src, None -> Ok (Doc_xml src)
+    | None, None, Some src -> Ok (Doc_tree src)
+    | None, None, None ->
+      Error
+        "missing document: an eval request carries exactly one of \
+         \"doc\", \"xml\", \"tree\""
+    | _ ->
+      Error
+        "ambiguous document: an eval request carries exactly one of \
+         \"doc\", \"xml\", \"tree\"")
+
+let parse_eval_body v =
+  match request_formula v with
+  | Error e -> Error e
+  | Ok query -> (
+    match parse_eval_source v with
+    | Error e -> Error e
+    | Ok source -> (
+      match Json.member "limit" v with
+      | Some j when Json.to_int j = None ->
+        Error "\"limit\" must be an integer"
+      | limit_json ->
+        Ok
+          (Eval_request
+             { ev_id = request_id v;
+               query;
+               source;
+               ev_timeout_ms =
+                 Option.bind (Json.member "timeout_ms" v) Json.to_float;
+               limit = Option.bind limit_json Json.to_int
+             })))
+
+let wire_request_of_json line =
   match Json.parse line with
   | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
   | Ok (Json.Obj fields as v) -> (
-    (* Versioned, closed schema: an unknown field is an error (not a
-       silent ignore), so a client typo'd "timeout" or a v2-only field
-       fails loudly instead of quietly changing semantics. *)
-    match
-      List.find_opt
-        (fun (k, _) -> not (List.mem k known_request_fields))
-        fields
-    with
-    | Some (k, _) ->
-      Error
-        (Printf.sprintf
-           "unknown field %S (protocol v%d accepts: v, id, formula, \
-            timeout_ms)"
-           k protocol_version)
-    | None -> (
-      let parse_body () =
-        let id =
-          match Json.member "id" v with
-          | Some (Json.Str s) -> s
-          | Some (Json.Num f) -> Json.num_to_string f
-          | _ -> ""
-        in
-        let timeout_ms =
-          Option.bind (Json.member "timeout_ms" v) Json.to_float
-        in
-        match Option.bind (Json.member "formula" v) Json.to_str with
-        | None -> Error "missing \"formula\" field"
-        | Some text -> (
-          match Parser.formula_of_string text with
-          | Error e -> Error (Printf.sprintf "bad formula: %s" e)
-          | Ok f -> Ok { id; formula = Ast.as_node f; timeout_ms })
-      in
-      match Json.member "v" v with
-      | Some (Json.Num f) when f = float_of_int protocol_version ->
-        parse_body ()
-      | Some other ->
+    (* The request kind selects the schema; each kind's schema is
+       closed — an unknown field is an error (not a silent ignore), so
+       a client typo'd "timeout" or a v2-only field fails loudly
+       instead of quietly changing semantics. *)
+    let kind =
+      match Json.member "kind" v with
+      | None | Some (Json.Str "sat") -> Ok `Sat
+      | Some (Json.Str "eval") -> Ok `Eval
+      | Some (Json.Str other) ->
         Error
           (Printf.sprintf
-             "unsupported protocol version %s (this server speaks v%d)"
-             (Json.to_string other) protocol_version)
-      | None ->
-        (* An absent "v" means v1: the pre-versioning wire format is
-           exactly the v1 schema, so old clients keep working. *)
-        parse_body ()))
+             "unknown request kind %S (protocol v%d speaks: sat, eval)"
+             other protocol_version)
+      | Some _ -> Error "\"kind\" must be a string"
+    in
+    match kind with
+    | Error e -> Error e
+    | Ok kind -> (
+      let kind_name, known =
+        match kind with
+        | `Sat -> ("sat", known_request_fields)
+        | `Eval -> ("eval", known_eval_request_fields)
+      in
+      match
+        List.find_opt (fun (k, _) -> not (List.mem k known)) fields
+      with
+      | Some (k, _) ->
+        Error
+          (Printf.sprintf
+             "unknown field %S (protocol v%d %s requests accept: %s)" k
+             protocol_version kind_name
+             (String.concat ", " known))
+      | None -> (
+        let parse_body () =
+          match kind with
+          | `Sat -> parse_sat_body v
+          | `Eval -> parse_eval_body v
+        in
+        match Json.member "v" v with
+        | Some (Json.Num f) when f = float_of_int protocol_version ->
+          parse_body ()
+        | Some other ->
+          Error
+            (Printf.sprintf
+               "unsupported protocol version %s (this server speaks v%d)"
+               (Json.to_string other) protocol_version)
+        | None ->
+          (* An absent "v" means v1: the pre-versioning wire format is
+             exactly the v1 schema, so old clients keep working. *)
+          parse_body ())))
   | Ok _ -> Error "request must be a JSON object"
+
+let request_of_json line =
+  match wire_request_of_json line with
+  | Ok (Sat_request r) -> Ok r
+  | Ok (Eval_request _) ->
+    Error "eval request passed to the sat request parser"
+  | Error e -> Error e
 
 let response_to_json ?(trace = false) ?(extra = []) resp =
   let report = resp.report in
@@ -536,6 +958,38 @@ let response_to_json ?(trace = false) ?(extra = []) resp =
   Json.to_string
     (Json.Obj (base @ verdict_fields @ robustness_fields @ trace_fields @ extra))
 
+let eval_response_to_json ?(trace = false) resp =
+  let base =
+    [ ("v", Json.Num (float_of_int protocol_version));
+      ("id", Json.Str resp.ev_rid);
+      ("kind", Json.Str "eval")
+    ]
+  in
+  let body =
+    match resp.result with
+    | Ok r ->
+      [ ("root", Json.Bool r.root);
+        ("count", Json.Num (float_of_int r.count));
+        ( "nodes",
+          Json.Arr
+            (List.map (fun p -> Json.Str (Path_.to_string p)) r.positions)
+        )
+      ]
+      @ (if r.truncated then [ ("nodes_truncated", Json.Bool true) ]
+         else [])
+      @ [ ("doc_nodes", Json.Num (float_of_int r.doc_nodes));
+          ("node_evals", Json.Num (float_of_int r.node_evals))
+        ]
+    | Error e -> [ ("error", Json.Str e) ]
+  in
+  let tail =
+    [ ("cached", Json.Bool resp.ev_cached);
+      ("ms", Json.Num (Float.round (resp.ev_ms *. 1000.) /. 1000.))
+    ]
+    @ if trace then [ ("trace", Trace.to_json resp.ev_trace) ] else []
+  in
+  Json.to_string (Json.Obj (base @ body @ tail))
+
 let error_to_json ?id msg =
   Json.to_string
     (Json.Obj
@@ -553,14 +1007,14 @@ let handle_line ?default_timeout_ms ?(trace = false)
     (* The parser reports syntax errors as [Error], but a hostile line
        can still blow a recursion limit (deeply nested input): fold any
        escapee into the same structured error. *)
-    match request_of_json line with
+    match wire_request_of_json line with
     | r -> r
     | exception e ->
       Error (Printf.sprintf "bad request: %s" (Printexc.to_string e))
   in
   match parsed with
   | Error e -> error_to_json e
-  | Ok req -> (
+  | Ok (Sat_request req) -> (
     let req =
       match req.timeout_ms with
       | Some _ -> req
@@ -573,4 +1027,18 @@ let handle_line ?default_timeout_ms ?(trace = false)
     | line -> line
     | exception e ->
       error_to_json ~id:req.id
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+  | Ok (Eval_request req) -> (
+    let req =
+      match req.ev_timeout_ms with
+      | Some _ -> req
+      | None -> { req with ev_timeout_ms = default_timeout_ms }
+    in
+    match
+      let resp = eval ~trace:tr t req in
+      eval_response_to_json ~trace resp
+    with
+    | line -> line
+    | exception e ->
+      error_to_json ~id:req.ev_id
         (Printf.sprintf "internal error: %s" (Printexc.to_string e)))

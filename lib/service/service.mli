@@ -90,6 +90,14 @@ type config = {
   solver : solver_config;
   cache_capacity : int;  (** LRU entries; default 4096 *)
   jobs : int;  (** default batch parallelism; {!Pool.default_jobs} *)
+  max_doc_nodes : int;
+      (** admission bound for eval documents (inline or registered);
+          larger documents answer a structured error. Default 200_000. *)
+  eval_cache_capacity : int;
+      (** LRU entries of the eval result cache; default 4096 *)
+  doc_cache_capacity : int;
+      (** LRU entries of the inline-document cache (flattened documents
+          keyed by source digest); default 64 *)
 }
 
 val default_solver_config : solver_config
@@ -138,6 +146,71 @@ val solve_batch : ?jobs:int -> t -> request list -> response list
     budget. A raising item yields an error response for that item only
     — completed work is never discarded. *)
 
+(* --- the eval verb: bulk evaluation over array-encoded documents --- *)
+
+type eval_source =
+  | Doc_named of string
+      (** a document registered with {!register_doc} *)
+  | Doc_xml of string  (** inline XML source ({!Xpds_datatree.Xml_doc}) *)
+  | Doc_tree of string
+      (** inline {!Xpds_datatree.Data_tree.of_string} syntax *)
+
+type eval_request = {
+  ev_id : string;
+  query : Xpds_xpath.Ast.node;
+  source : eval_source;
+  ev_timeout_ms : float option;
+      (** per-request deadline, anchored at admission — the evaluator's
+          cooperative [should_stop] hook, like the solver's *)
+  limit : int option;
+      (** positions materialised in the result; default 100 *)
+}
+
+type eval_result = {
+  root : bool;  (** does the query hold at the root? *)
+  count : int;  (** |[[ϕ]]| — total satisfying nodes *)
+  positions : Xpds_datatree.Path.t list;
+      (** the first [limit] satisfying positions, in preorder *)
+  truncated : bool;  (** [count > limit] *)
+  doc_nodes : int;
+  node_evals : int;
+      (** fresh node×subformula evaluations this request added to the
+          document's shared memo (0 on a pure memo replay) *)
+}
+
+type eval_response = {
+  ev_rid : string;
+  result : (eval_result, string) result;
+      (** [Error] carries a structured reason: unknown document,
+          oversized document, unparsable source, or
+          ["deadline exceeded"] *)
+  ev_cached : bool;
+  ev_ms : float;
+  ev_trace : Trace.t;
+}
+
+val register_doc :
+  t -> name:string -> Xpds_eval.Doc.t -> (unit, string) result
+(** Register a flattened document under [name] (replacing any previous
+    binding) so eval requests can address it as [{"doc": name}].
+    [Error] iff the document exceeds [max_doc_nodes]. *)
+
+val registered_docs : t -> (string * int) list
+(** The registry: [(name, node count)], sorted by name. *)
+
+val eval : ?trace:Trace.t -> t -> eval_request -> eval_response
+(** Evaluate one query against one document. The serving machinery
+    mirrors [solve]: an LRU result cache keyed by
+    (document digest, query text, limit), single-flight deduplication
+    of concurrent identical requests, admission-anchored monotonic
+    deadlines, and metrics ({!Metrics.record_eval}). Beyond the result
+    cache, the document's evaluator {e memo} persists across requests:
+    distinct queries over one document share sub-expression results, so
+    a query batch pays for each distinct subformula once. Evaluations
+    on one document are serialised (the memo is single-domain mutable
+    state); different documents evaluate concurrently. Errors and
+    deadline timeouts are never cached or shared. *)
+
 val metrics : t -> Metrics.snapshot
 val reset_metrics : t -> unit
 val cache_length : t -> int
@@ -169,15 +242,32 @@ val protocol_version : int
     error object carries it as ["v"]; requests may carry it and are
     rejected with a structured error when it doesn't match. *)
 
+type wire_request =
+  | Sat_request of request
+  | Eval_request of eval_request
+
+val wire_request_of_json : string -> (wire_request, string) result
+(** One request per line. The ["kind"] field selects the verb — absent
+    or ["sat"] for satisfiability, ["eval"] for document evaluation —
+    and each kind's schema is {e closed}: a field outside the kind's
+    set is a structured error naming the field, as is a ["v"] other
+    than {!protocol_version} (an absent ["v"] means v1 — the
+    pre-versioning format is exactly the v1 sat schema).
+
+    sat: [{"v":1, "id":"r1", "kind":"sat", "formula":"<desc[a]>",
+    "timeout_ms":500}] with {v, id, kind, formula, timeout_ms}.
+
+    eval: [{"v":1, "id":"q1", "kind":"eval", "formula":"<child[a]>",
+    "xml":"<r a='1'/>", "timeout_ms":500, "limit":10}] with
+    {v, id, kind, formula, doc, xml, tree, timeout_ms, limit} and
+    exactly one of ["doc"] (a registered name), ["xml"], ["tree"]. *)
+
 val request_of_json : string -> (request, string) result
-(** One request per line:
-    [{"v": 1, "id": "r1", "formula": "<desc[a]> & ...",
-    "timeout_ms": 500}]. The schema is {e closed}: a field outside
-    {v, id, formula, timeout_ms} is a structured error, as is a ["v"]
-    other than {!protocol_version} (an absent ["v"] means v1 — the
-    pre-versioning format is exactly the v1 schema). [id] may be a JSON
-    string or number (defaults to [""]); [formula] is the concrete
-    syntax of {!Xpds_xpath.Parser}; [timeout_ms] is optional. *)
+(** {!wire_request_of_json} restricted to sat requests (the pre-eval
+    parser, kept for callers that only speak sat); an eval-kind line is
+    an error. [id] may be a JSON string or number (defaults to [""]);
+    [formula] is the concrete syntax of {!Xpds_xpath.Parser};
+    [timeout_ms] is optional. *)
 
 val response_to_json :
   ?trace:bool -> ?extra:(string * Json.t) list -> response -> string
@@ -189,6 +279,15 @@ val response_to_json :
     are appended verbatim — the [--certify] CLI layer uses this for its
     per-response certificate summary, keeping the service independent
     of the certificate format. *)
+
+val eval_response_to_json : ?trace:bool -> eval_response -> string
+(** [{"v":1, "id":.., "kind":"eval", "root":.., "count":.., "nodes":
+    [".." positions], "nodes_truncated":true (when [count > limit]),
+    "doc_nodes":.., "node_evals":.., "cached":.., "ms":..,
+    "trace":{..} (with [~trace:true])}] — or [{"v":1, "id":..,
+    "kind":"eval", "error":.., "cached":false, "ms":..}] when the
+    request failed (unknown/oversized/unparsable document, fired
+    deadline). *)
 
 val error_to_json : ?id:string -> string -> string
 (** The structured error object the serve loop answers for lines it
@@ -204,7 +303,8 @@ val handle_line :
   string
 (** One NDJSON exchange: parse the line (the [parse] trace span; the
     trace is admitted — and the deadline anchored — at line receipt),
-    solve, serialize. {b Never raises}: malformed JSON, unparsable
+    dispatch on ["kind"] (solve or eval), serialize. {b Never raises}:
+    malformed JSON, unparsable
     formulas, and even a crashing solve all answer {!error_to_json} —
     feeding a served socket garbage must not kill the server.
     [extra_of] computes trailing response fields (the [--certify]

@@ -82,6 +82,33 @@ let prop_builder =
       && (Bitv.builder_reset b2;
           Bitv.is_empty (Bitv.freeze b2)))
 
+let arb_range =
+  let gen =
+    let open QCheck.Gen in
+    oneofl widths >>= fun w ->
+    (* lo may exceed hi: empty ranges are legal and must work *)
+    pair (int_bound (w - 1)) (int_bound (w - 1)) >|= fun (a, b) -> (w, a, b)
+  in
+  QCheck.make gen ~print:(fun (w, lo, hi) ->
+      Printf.sprintf "w=%d lo=%d hi=%d" w lo hi)
+
+let prop_range_fill =
+  Gen_helpers.qtest ~count:500 "of_range/add_range_in_place = element loop"
+    arb_range
+    (fun (w, lo, hi) ->
+      let expected =
+        if lo > hi then [] else List.init (hi - lo + 1) (fun i -> lo + i)
+      in
+      let b = Bitv.builder w in
+      Bitv.add_in_place (w - 1) b;
+      Bitv.add_range_in_place ~lo ~hi b;
+      Bitv.elements (Bitv.of_range w ~lo ~hi) = expected
+      && Bitv.elements (Bitv.freeze b)
+         = IS.elements (IS.add (w - 1) (IS.of_list expected))
+      (* word-boundary edges: full-width range is full *)
+      && Bitv.equal (Bitv.of_range w ~lo:0 ~hi:(w - 1)) (Bitv.full w)
+      && Bitv.is_empty (Bitv.of_range w ~lo:1 ~hi:0))
+
 let prop_hash_compare =
   Gen_helpers.qtest ~count:500 "hash/compare consistent with equal"
     arb_sets
@@ -163,5 +190,6 @@ let regression_cases =
 
 let suite =
   ( "bitv",
-    [ prop_set_ops; prop_iter_fold; prop_builder; prop_hash_compare ]
+    [ prop_set_ops; prop_iter_fold; prop_builder; prop_range_fill;
+      prop_hash_compare ]
     @ regression_cases )

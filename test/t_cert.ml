@@ -274,8 +274,9 @@ let test_metrics_cert_shape () =
   Alcotest.(check (list string))
     "top-level keys"
     [ "requests"; "cache_hits"; "cache_misses"; "verdicts";
-      "deadline_timeouts"; "single_flight"; "crashes"; "degraded_retries";
-      "phase_totals_ms"; "latency_ms"; "fixpoint"; "certificates"
+      "deadline_timeouts"; "requests_by_kind"; "eval"; "single_flight";
+      "crashes"; "degraded_retries"; "phase_totals_ms"; "latency_ms";
+      "fixpoint"; "certificates"
     ]
     keys
 

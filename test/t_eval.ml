@@ -1,0 +1,315 @@
+(* The bulk evaluation engine (lib/eval) against its oracles: Doc
+   flattening round-trips and index invariants, ≥600 random differential
+   (tree, formula) instances against the reference Semantics — star-free
+   and full regXPath — per-path relation agreement, SAT-witness replay
+   through both engines, and invertibility of the Appendix-A XML
+   encoding at the array level (including duplicate attribute names).
+
+   Nothing here interns labels at module init: the engine-stat goldens
+   in t_bitv pin the global intern order, so every tree/formula below is
+   built inside a test body. *)
+
+open Xpds_eval
+module Ast = Xpds_xpath.Ast
+module Semantics = Xpds_xpath.Semantics
+module Data_tree = Xpds_datatree.Data_tree
+module Path = Xpds_datatree.Path
+module Xml_doc = Xpds_datatree.Xml_doc
+module Attr_xpath = Xpds_encodings.Attr_xpath
+module Sat = Xpds_decision.Sat
+
+(* --- Doc: flattening round trip and index invariants --- *)
+
+let prop_doc_roundtrip =
+  Gen_helpers.qtest ~count:300 "Doc.to_tree inverts Doc.of_tree"
+    (Gen_helpers.arb_tree ())
+    (fun t -> Data_tree.equal t (Doc.to_tree (Doc.of_tree t)))
+
+let prop_doc_invariants =
+  Gen_helpers.qtest ~count:300 "Doc indexes agree with tree positions"
+    (Gen_helpers.arb_tree ())
+    (fun t ->
+      let d = Doc.of_tree t in
+      let n = d.Doc.n in
+      let positions = Array.of_list (Data_tree.positions t) in
+      (* preorder ids enumerate the tree's preorder positions *)
+      Array.length positions = n
+      && Array.for_all
+           (fun x -> Path.equal (Doc.position d x) positions.(x))
+           (Array.init n (fun x -> x))
+      && Array.for_all
+           (fun x -> Doc.id_of_position d positions.(x) = Some x)
+           (Array.init n (fun x -> x))
+      (* the pre/post sandwich is exactly the positional prefix order *)
+      && List.for_all
+           (fun x ->
+             List.for_all
+               (fun y ->
+                 Doc.is_ancestor_or_self d x y
+                 = Path.is_prefix positions.(x) positions.(y))
+               (List.init n (fun y -> y)))
+           (List.init n (fun x -> x))
+      (* the subtree of x is the contiguous interval [x .. x+size-1] *)
+      && List.for_all
+           (fun x ->
+             List.for_all
+               (fun y ->
+                 Doc.is_ancestor_or_self d x y
+                 = (x <= y && y < x + d.Doc.size.(x)))
+               (List.init n (fun y -> y)))
+           (List.init n (fun x -> x)))
+
+(* --- differential fuzzing against the reference semantics --- *)
+
+let differential (phi, t) =
+  let v = Oracle.check t phi in
+  if not v.Oracle.agree then
+    QCheck.Test.fail_reportf "engines disagree on %s:@.%s"
+      (Data_tree.to_string t)
+      (Format.asprintf "%a" Oracle.pp_verdict v)
+  else true
+
+let prop_diff_star_free =
+  Gen_helpers.qtest ~count:300 "eval = semantics on star-free formulas"
+    (QCheck.pair
+       (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+       (Gen_helpers.arb_tree ()))
+    differential
+
+let prop_diff_regxpath =
+  Gen_helpers.qtest ~count:300 "eval = semantics on full regXPath"
+    (QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()))
+    differential
+
+let prop_diff_path_relations =
+  Gen_helpers.qtest ~count:150
+    "eval path rows = semantics path pairs (every path subformula)"
+    (QCheck.pair Gen_helpers.arb_node (Gen_helpers.arb_tree ()))
+    (fun (phi, t) ->
+      let d = Doc.of_tree t in
+      let e = Eval.create d in
+      let env = Semantics.env_of_tree t in
+      List.for_all
+        (fun alpha ->
+          let rows = Eval.path_rows e alpha in
+          let pairs = ref [] in
+          for x = d.Doc.n - 1 downto 0 do
+            Bitv.iter
+              (fun y ->
+                pairs := (Doc.position d x, Doc.position d y) :: !pairs)
+              rows.(x)
+          done;
+          (* both ascending in (source, target) preorder *)
+          List.sort compare !pairs
+          = List.sort compare (Semantics.path_pairs env alpha))
+        (Ast.path_subformulas phi))
+
+(* --- memoization, batching, deadline --- *)
+
+let test_memo_sharing () =
+  let t = Data_tree.of_string_exn "a:1(b:2(c:1),b:3(a:2),c:1)" in
+  let e = Eval.create (Doc.of_tree t) in
+  let phi = Xpds_xpath.Parser.node_of_string_exn "<desc[b & eps = down]>" in
+  let (_ : Bitv.t) = Eval.nodes e phi in
+  let work = Eval.node_evals e in
+  Alcotest.(check bool) "did some work" true (work > 0);
+  let (_ : Bitv.t) = Eval.nodes e phi in
+  Alcotest.(check int) "second evaluation is free" work (Eval.node_evals e);
+  (* a superformula pays only for the new connective *)
+  let (_ : Bitv.t) = Eval.nodes e (Ast.Not phi) in
+  Alcotest.(check int) "superformula reuses the memo"
+    (work + Data_tree.size t) (Eval.node_evals e)
+
+let test_batch () =
+  let t = Data_tree.of_string_exn "a:1(b:1(c:2),b:2,a:1)" in
+  let formulas =
+    List.map Xpds_xpath.Parser.node_of_string_exn
+      [ "<down[b]>"; "eps = down[b]"; "<desc[c]> & !b"; "false" ]
+  in
+  let b = Batch.run (Doc.of_tree t) formulas in
+  let env = Semantics.env_of_tree t in
+  List.iter2
+    (fun phi o ->
+      Alcotest.(check bool) "batch root = semantics root"
+        (Semantics.holds_at_root env phi)
+        o.Batch.root;
+      let expected = Semantics.sat_nodes env phi in
+      Alcotest.(check int) "batch count" (List.length expected)
+        o.Batch.count;
+      Alcotest.(check bool) "batch positions" true
+        (List.equal Path.equal expected (Batch.positions b o)))
+    formulas b.Batch.outcomes
+
+let test_deadline () =
+  let t = Data_tree.of_string_exn "a:1(b:2,c:3)" in
+  let e = Eval.create ~should_stop:(fun () -> true) (Doc.of_tree t) in
+  match Eval.nodes e (Ast.Exists (Ast.Axis Ast.Child)) with
+  | (_ : Bitv.t) -> Alcotest.fail "deadline must fire"
+  | exception Eval.Deadline -> ()
+
+(* --- SAT-witness replay --- *)
+
+let test_witness_replay () =
+  (* Every witness the solver produces on the quick corpus must satisfy
+     its formula per BOTH engines (Oracle.replay = somewhere-sat and
+     full sat-set agreement). *)
+  let families =
+    List.concat
+      [ List.init 4 (fun i -> Families.child_chain ~sat:true (i + 1));
+        [ Families.data_chain ~sat:true 2;
+          Families.data_chain ~sat:true 3;
+          Families.desc_data ~sat:true 1;
+          Families.reg_alternation ~sat:true ()
+        ];
+        List.init 3 (fun i -> Families.root_data (i + 1));
+        List.init 5 (fun i -> Families.mixed_axes ~sat:true (i + 1))
+      ]
+  in
+  let random =
+    List.init 50 (fun i ->
+        Gen_formula.gen ~state:(Random.State.make [| 0xEAA1; i |]) ())
+  in
+  let options =
+    Sat.Options.(
+      default |> with_verify false |> with_max_states 2_000
+      |> with_max_transitions 20_000)
+  in
+  let sat_seen = ref 0 in
+  List.iter
+    (fun phi ->
+      match (Sat.decide ~options phi).Sat.verdict with
+      | Sat.Sat witness ->
+        incr sat_seen;
+        if not (Oracle.replay phi witness) then
+          Alcotest.failf "witness fails to replay for %s"
+            (Xpds_xpath.Pp.node_to_string phi)
+      | _ -> ())
+    (families @ random);
+  (* the corpus must actually exercise the replay path *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough SAT verdicts (%d)" !sat_seen)
+    true (!sat_seen >= 15)
+
+(* --- XML round trip through the array encoding --- *)
+
+let gen_xml_doc : Xml_doc.doc QCheck.Gen.t =
+  let open QCheck.Gen in
+  let tag = oneofl [ "lib"; "book"; "ref"; "a" ] in
+  (* duplicate names on purpose: the name pool is tiny *)
+  let attrs =
+    list_size (int_bound 3)
+      (pair (oneofl [ "id"; "ref"; "x" ]) (oneofl [ "u"; "v"; "w"; "" ]))
+  in
+  let rec doc depth st =
+    let width = if depth = 0 then 0 else Stdlib.min 3 (int_bound 3 st) in
+    {
+      Xml_doc.tag = tag st;
+      attrs = attrs st;
+      elements = List.init width (fun _ -> doc (depth - 1) st);
+    }
+  in
+  int_bound 3 >>= doc
+
+let arb_xml_doc =
+  QCheck.make gen_xml_doc ~print:(Format.asprintf "%a" Xml_doc.pp)
+
+let prop_xml_roundtrip =
+  Gen_helpers.qtest ~count:300 "decode inverts the Appendix-A encoding"
+    arb_xml_doc
+    (fun doc ->
+      match Xml_codec.decode (Xml_codec.encode doc) with
+      | Ok doc' -> doc = doc'
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let test_xml_roundtrip_duplicate_attrs () =
+  (* Regression: duplicate attribute names survive — one leaf per
+     binding in the encoding, every binding restored by the decoder,
+     order preserved. *)
+  let src =
+    {|<lib><book id="5" id="5" ref="7"><r id="5"/></book><book id="7" id="5"/></lib>|}
+  in
+  let doc = Xml_doc.parse_exn src in
+  (match Xml_codec.decode (Xml_codec.encode doc) with
+  | Ok doc' -> Alcotest.(check bool) "round trip" true (doc = doc')
+  | Error e -> Alcotest.fail e);
+  match doc.Xml_doc.elements with
+  | book :: _ ->
+    Alcotest.(check (list (pair string string)))
+      "both bindings present" [ ("id", "5"); ("id", "5"); ("ref", "7") ]
+      book.Xml_doc.attrs
+  | [] -> Alcotest.fail "unexpected parse shape"
+
+let test_xml_decode_errors () =
+  let decode_tree s = Xml_codec.decode (Doc.of_tree (Data_tree.of_string_exn s)) in
+  let check_err name r =
+    match r with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: decode must fail" name
+  in
+  (* an element (the root) with an even datum *)
+  check_err "even root" (decode_tree "a:0");
+  (* an attribute leaf (even datum) with children *)
+  check_err "attr with children" (decode_tree "a:1(b:2(c:3))");
+  (* an even datum never interned as an attribute value *)
+  check_err "unknown intern" (decode_tree "a:1(b:2000002)")
+
+let test_check_doc_duplicate_attrs () =
+  (* Regression for the Attr_xpath.check_doc fix: with two bindings of
+     [x], x ≠ x holds at the element — and the direct semantics agrees
+     with the Appendix-A encoding, on both evaluation engines. *)
+  let doc = Xml_doc.parse_exn {|<a x="1" x="2"/>|} in
+  let q = Attr_xpath.Cmp (Attr_xpath.Self, "x", Ast.Neq, Attr_xpath.Self, "x") in
+  Alcotest.(check bool) "both bindings visible to check_doc" true
+    (Attr_xpath.check_doc doc q);
+  let tree = Xml_doc.to_data_tree doc in
+  Alcotest.(check bool) "agrees with encoded Semantics" true
+    (Semantics.check tree (Attr_xpath.tr q));
+  Alcotest.(check bool) "agrees with encoded Eval" true
+    (Eval.holds_at_root (Eval.create (Doc.of_xml doc)) (Attr_xpath.tr q));
+  (* single binding: x ≠ x must stay false everywhere *)
+  let doc1 = Xml_doc.parse_exn {|<a x="1"/>|} in
+  Alcotest.(check bool) "single binding is not self-distinct" false
+    (Attr_xpath.check_doc doc1 q)
+
+let prop_attr_xpath_agrees_encoded =
+  (* check_doc = Eval over the array-encoded document, on random XML and
+     random attrXPath-shaped queries built from a fixed skeleton pool. *)
+  let queries =
+    [ Attr_xpath.Exists (Attr_xpath.Filter (Attr_xpath.Child, Attr_xpath.Tag "book"));
+      Attr_xpath.Cmp (Attr_xpath.Descendant, "id", Ast.Eq, Attr_xpath.Descendant, "ref");
+      Attr_xpath.Cmp (Attr_xpath.Descendant, "id", Ast.Neq, Attr_xpath.Descendant, "id");
+      Attr_xpath.Cmp (Attr_xpath.Self, "id", Ast.Eq, Attr_xpath.Child, "id");
+      Attr_xpath.Not
+        (Attr_xpath.Cmp (Attr_xpath.Descendant, "x", Ast.Neq, Attr_xpath.Descendant, "x"))
+    ]
+  in
+  Gen_helpers.qtest ~count:200 "check_doc = Eval on the encoded document"
+    arb_xml_doc
+    (fun doc ->
+      let e = Eval.create (Doc.of_xml doc) in
+      List.for_all
+        (fun q ->
+          Attr_xpath.check_doc doc q
+          = Eval.holds_at_root e (Attr_xpath.tr q))
+        queries)
+
+let suite =
+  ( "eval",
+    [ prop_doc_roundtrip;
+      prop_doc_invariants;
+      prop_diff_star_free;
+      prop_diff_regxpath;
+      prop_diff_path_relations;
+      Alcotest.test_case "memo sharing across a batch" `Quick
+        test_memo_sharing;
+      Alcotest.test_case "batch outcomes" `Quick test_batch;
+      Alcotest.test_case "deadline" `Quick test_deadline;
+      Alcotest.test_case "SAT-witness replay" `Slow test_witness_replay;
+      prop_xml_roundtrip;
+      Alcotest.test_case "xml round trip with duplicate attrs" `Quick
+        test_xml_roundtrip_duplicate_attrs;
+      Alcotest.test_case "xml decode errors" `Quick test_xml_decode_errors;
+      Alcotest.test_case "check_doc with duplicate attrs" `Quick
+        test_check_doc_duplicate_attrs;
+      prop_attr_xpath_agrees_encoded
+    ] )

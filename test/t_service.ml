@@ -619,6 +619,187 @@ let test_degraded_retry () =
     (List.mem_assoc "retry_degraded"
        (Xpds_service.Trace.spans r.Service.trace))
 
+(* --- the eval verb on the wire (docs/protocol.md, kind "eval") --- *)
+
+let parse_reply line =
+  match Json.parse line with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "reply not JSON: %s" e
+
+let reply_error line =
+  match Json.member "error" (parse_reply line) with
+  | Some (Json.Str e) -> e
+  | _ -> Alcotest.failf "expected an error reply, got: %s" line
+
+let test_eval_wire () =
+  let svc = Service.create () in
+  let line =
+    {|{"kind":"eval","id":"q1","formula":"<down[a]>","tree":"r:0(a:1,b:2(a:3))"}|}
+  in
+  let v = parse_reply (Service.handle_line svc line) in
+  let mem k = Json.member k v in
+  Alcotest.(check bool) "kind eval" true (mem "kind" = Some (Json.Str "eval"));
+  Alcotest.(check bool) "carries v:1" true (mem "v" = Some (Json.Num 1.));
+  (* ⟨↓[a]⟩ holds where a child is labelled a: at ε (child a:1) and at
+     position 1 (the b node, child a:3). *)
+  Alcotest.(check bool) "root" true (mem "root" = Some (Json.Bool true));
+  Alcotest.(check bool) "count" true (mem "count" = Some (Json.Num 2.));
+  (match mem "nodes" with
+  | Some (Json.Arr [ Json.Str _; Json.Str p1 ]) ->
+    Alcotest.(check string) "second position" "1" p1
+  | _ -> Alcotest.fail "expected two positions");
+  Alcotest.(check bool) "fresh" true (mem "cached" = Some (Json.Bool false));
+  (* The identical line replays from the eval result cache. *)
+  let v2 = parse_reply (Service.handle_line svc line) in
+  Alcotest.(check bool) "replayed" true
+    (Json.member "cached" v2 = Some (Json.Bool true));
+  let m = Service.metrics svc in
+  Alcotest.(check int) "eval requests" 2
+    m.Xpds_service.Metrics.eval_requests;
+  Alcotest.(check int) "no sat requests" 0
+    m.Xpds_service.Metrics.sat_requests;
+  Alcotest.(check int) "eval cache hit" 1
+    m.Xpds_service.Metrics.eval_cache_hits;
+  Alcotest.(check int) "one doc built" 1
+    m.Xpds_service.Metrics.eval_docs_built;
+  Alcotest.(check bool) "node evals counted" true
+    (m.Xpds_service.Metrics.eval_node_evals > 0)
+
+let test_eval_schema_closed () =
+  let fails ~naming line =
+    match Service.wire_request_of_json line with
+    | Ok _ -> Alcotest.failf "accepted: %s" line
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names %S" naming)
+        true (contains e naming)
+  in
+  (* Unknown fields are rejected per kind... *)
+  fails ~naming:"bogus"
+    {|{"kind":"eval","formula":"a","tree":"r:0","bogus":1}|};
+  (* ...the sat schema does not grow the eval-only fields... *)
+  fails ~naming:"tree" {|{"formula":"a","tree":"r:0"}|};
+  fails ~naming:"limit" {|{"kind":"sat","formula":"a","limit":3}|};
+  (* ...an unknown kind is a structured error naming it... *)
+  fails ~naming:"frob" {|{"kind":"frob","formula":"a"}|};
+  (* ...eval carries exactly one document source... *)
+  fails ~naming:"missing document" {|{"kind":"eval","formula":"a"}|};
+  fails ~naming:"ambiguous"
+    {|{"kind":"eval","formula":"a","tree":"r:0","xml":"<r/>"}|};
+  (* ...the version gate applies to eval too... *)
+  fails ~naming:"unsupported protocol version"
+    {|{"v":2,"kind":"eval","formula":"a","tree":"r:0"}|};
+  (* ...and an eval line is not a sat request. *)
+  (match
+     Service.request_of_json {|{"kind":"eval","formula":"a","tree":"r:0"}|}
+   with
+  | Ok _ -> Alcotest.fail "eval accepted by the sat parser"
+  | Error _ -> ());
+  (* "kind":"sat" is accepted and equivalent to an absent kind. *)
+  match
+    Service.request_of_json {|{"kind":"sat","id":"s","formula":"<down[a]>"}|}
+  with
+  | Ok r -> Alcotest.(check string) "id" "s" r.Service.id
+  | Error e -> Alcotest.failf "kind sat rejected: %s" e
+
+let test_eval_errors_structured () =
+  let svc =
+    Service.create
+      ~config:{ Service.default_config with max_doc_nodes = 2 }
+      ()
+  in
+  (* Unknown named document. *)
+  let e =
+    reply_error
+      (Service.handle_line svc
+         {|{"kind":"eval","id":"q","formula":"a","doc":"nope"}|})
+  in
+  Alcotest.(check bool) "names the document" true (contains e "nope");
+  (* Unparsable inline source. *)
+  let e =
+    reply_error
+      (Service.handle_line svc
+         {|{"kind":"eval","formula":"a","tree":"(("}|})
+  in
+  Alcotest.(check bool) "bad tree reported" true (contains e "bad tree");
+  (* Oversized document: a structured error, not an attempt. *)
+  let e =
+    reply_error
+      (Service.handle_line svc
+         {|{"kind":"eval","formula":"a","tree":"r:0(a:1,b:2)"}|})
+  in
+  Alcotest.(check bool) "oversize names the bound" true
+    (contains e "max_doc_nodes");
+  (* register_doc enforces the same bound. *)
+  (match
+     Service.register_doc svc ~name:"big"
+       (Xpds_eval.Doc.of_tree
+          (Xpds_datatree.Data_tree.of_string_exn "r:0(a:1,b:2)"))
+   with
+  | Ok () -> Alcotest.fail "oversized registration accepted"
+  | Error e ->
+    Alcotest.(check bool) "registration names the bound" true
+      (contains e "max_doc_nodes"));
+  let m = Service.metrics svc in
+  Alcotest.(check int) "errors counted" 3
+    m.Xpds_service.Metrics.eval_errors;
+  Alcotest.(check int) "errors are not cache entries" 0
+    m.Xpds_service.Metrics.eval_cache_hits
+
+let test_eval_registry () =
+  let svc = Service.create () in
+  let tree = Xpds_datatree.Data_tree.of_string_exn "r:0(a:1,b:2(a:3))" in
+  (match Service.register_doc svc ~name:"lib" (Xpds_eval.Doc.of_tree tree)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register_doc: %s" e);
+  Alcotest.(check (list (pair string int)))
+    "registry" [ ("lib", 4) ]
+    (Service.registered_docs svc);
+  let v =
+    parse_reply
+      (Service.handle_line svc
+         {|{"kind":"eval","id":"q","formula":"<down[a]>","doc":"lib"}|})
+  in
+  Alcotest.(check bool) "named doc answers" true
+    (Json.member "count" v = Some (Json.Num 2.));
+  (* Result keys are content digests: the same document sent inline
+     replays the named document's cache entry. *)
+  let v2 =
+    parse_reply
+      (Service.handle_line svc
+         {|{"kind":"eval","formula":"<down[a]>","tree":"r:0(a:1,b:2(a:3))"}|})
+  in
+  Alcotest.(check bool) "inline twin is a cache hit" true
+    (Json.member "cached" v2 = Some (Json.Bool true))
+
+let test_eval_limit_and_deadline () =
+  let svc = Service.create () in
+  (* Three nodes satisfy the label test; limit 2 truncates the wire
+     rendering but not the count. *)
+  let v =
+    parse_reply
+      (Service.handle_line svc
+         {|{"kind":"eval","formula":"a","tree":"r:0(a:1,a:2,a:3)","limit":2}|})
+  in
+  Alcotest.(check bool) "count is total" true
+    (Json.member "count" v = Some (Json.Num 3.));
+  (match Json.member "nodes" v with
+  | Some (Json.Arr l) -> Alcotest.(check int) "limited" 2 (List.length l)
+  | _ -> Alcotest.fail "expected a nodes array");
+  Alcotest.(check bool) "truncation flagged" true
+    (Json.member "nodes_truncated" v = Some (Json.Bool true));
+  (* A zero budget dies at admission, deterministically. *)
+  let e =
+    reply_error
+      (Service.handle_line svc
+         {|{"kind":"eval","formula":"b","tree":"r:0(a:1)","timeout_ms":0}|})
+  in
+  Alcotest.(check string) "deadline reason" Emptiness.deadline_exceeded e;
+  let m = Service.metrics svc in
+  Alcotest.(check int) "deadline counted" 1
+    m.Xpds_service.Metrics.eval_deadline_timeouts
+
 let suite =
   ( "service",
     [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
@@ -645,5 +826,13 @@ let suite =
       Alcotest.test_case "serve loop survives garbage" `Quick
         test_handle_line_garbage;
       Alcotest.test_case "trace phases" `Quick test_trace_phases;
-      Alcotest.test_case "degraded retry" `Quick test_degraded_retry
+      Alcotest.test_case "degraded retry" `Quick test_degraded_retry;
+      Alcotest.test_case "eval wire" `Quick test_eval_wire;
+      Alcotest.test_case "eval schema closed" `Quick
+        test_eval_schema_closed;
+      Alcotest.test_case "eval errors structured" `Quick
+        test_eval_errors_structured;
+      Alcotest.test_case "eval registry" `Quick test_eval_registry;
+      Alcotest.test_case "eval limit and deadline" `Quick
+        test_eval_limit_and_deadline
     ] )
