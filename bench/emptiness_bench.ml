@@ -1,15 +1,19 @@
 (* Emptiness-engine benchmark: cold sequential wall-time over the
    shared corpus, with engine throughput (states/s, mergings/s,
-   transitions/s) and a comparison against the recorded PR-1 baseline.
-   Emits BENCH_emptiness.json (or [out]).
+   transitions/s), a comparison against the recorded PR-1 baseline, and
+   a pruned-vs-exact leg (subsumption pruning on vs off) recording the
+   pruning counters and both wall times. Emits BENCH_emptiness.json
+   (or [out]).
 
    [run ~quick:true] is the CI smoke mode: a handful of small families
    under a tight transition budget, asserting the verdict each family
-   guarantees by construction. Returns 0 on success, 1 on any verdict
-   mismatch — a kernel regression that flips a verdict fails the step
-   rather than silently skewing the numbers.
+   guarantees by construction, plus seq-vs-par and pruned-vs-exact
+   agreement gates. Returns 0 on success, 1 on any verdict mismatch (or
+   a pruned run slower than exact beyond tolerance) — a kernel
+   regression that flips a verdict fails the step rather than silently
+   skewing the numbers.
 
-   Run with: xpds bench emptiness [--quick]
+   Run with: xpds bench emptiness [--quick] [--no-prune]
          or: dune exec bench/main.exe -- emptiness *)
 
 module Service = Xpds.Service
@@ -24,15 +28,6 @@ let pr1_baseline_s = 119.235
 let verdict_of (r : Service.response) =
   Service.verdict_name r.Service.report.Sat.verdict
 
-let verdict_counts responses =
-  let count name =
-    List.length
-      (List.filter (fun r -> verdict_of r = name) responses)
-  in
-  List.map
-    (fun n -> (n, Json.Num (float_of_int (count n))))
-    [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
-
 let write_json ~out json =
   let oc = open_out out in
   output_string oc (Json.to_string json);
@@ -40,30 +35,48 @@ let write_json ~out json =
   close_out oc;
   Format.printf "  wrote %s@." out
 
-let full ~out ~domains () =
+(* One cold sequential pass over the corpus under the given pruning
+   mode; returns wall time, summed engine and pruning counters, and the
+   per-request verdicts (in corpus order, for agreement checks). *)
+let corpus_pass ~domains ~prune () =
   let reqs = Corpus.requests (Corpus.formulas ()) in
-  let n = List.length reqs in
-  Format.printf "emptiness bench: %d formulas, cold, %d domain(s)@." n
-    domains;
   let svc =
     Service.create
       ~config:
         { Service.default_config with
-          solver = { Service.default_solver_config with domains }
+          solver = { Service.default_solver_config with domains; prune }
         }
       ()
   in
   let t0 = Unix.gettimeofday () in
   let resps = Service.solve_batch ~jobs:1 svc reqs in
   let wall = Unix.gettimeofday () -. t0 in
-  let states, transitions, mergings =
+  let states, transitions, mergings, subsumed, evicted, antichain =
     List.fold_left
-      (fun (s, t, m) (r : Service.response) ->
+      (fun (s, t, m, sp, be, ac) (r : Service.response) ->
         let st = r.Service.report.Sat.stats in
+        let pr = st.Emptiness.prune in
         ( s + st.Emptiness.n_states,
           t + st.Emptiness.n_transitions,
-          m + st.Emptiness.n_mergings ))
-      (0, 0, 0) resps
+          m + st.Emptiness.n_mergings,
+          sp + pr.Emptiness.subsumed_pruned,
+          be + pr.Emptiness.basis_evicted,
+          ac + pr.Emptiness.antichain_size ))
+      (0, 0, 0, 0, 0, 0) resps
+  in
+  ( wall,
+    (states, transitions, mergings),
+    (subsumed, evicted, antichain),
+    List.map verdict_of resps )
+
+let full ~out ~domains ~prune () =
+  let n = List.length (Corpus.formulas ()) in
+  Format.printf "emptiness bench: %d formulas, cold, %d domain(s)%s@." n
+    domains
+    (if prune then "" else ", pruning off");
+  let wall, (states, transitions, mergings), (subsumed, evicted, antichain),
+      verdicts =
+    corpus_pass ~domains ~prune ()
   in
   let per_s x = float_of_int x /. wall in
   let speedup = pr1_baseline_s /. wall in
@@ -73,12 +86,39 @@ let full ~out ~domains () =
     states transitions mergings;
   Format.printf "  throughput: %.0f states/s, %.0f mergings/s@."
     (per_s states) (per_s mergings);
+  if prune then
+    Format.printf
+      "  pruning: %d subsumed, %d evicted, %d antichain states@."
+      subsumed evicted antichain;
   Format.printf "  vs PR-1 baseline %.3f s: %.2fx@." pr1_baseline_s
     speedup;
+  (* The exact-engine control leg: same corpus with pruning off. The
+     verdicts must agree request-for-request (pruning is sound), and
+     both wall times land in the JSON so the recorded speedup is a
+     measurement, not a claim. Skipped when the caller already asked
+     for the exact engine. *)
+  let exact_fields, agree =
+    if not prune then ([], true)
+    else begin
+      let exact_wall, _, _, exact_verdicts =
+        corpus_pass ~domains ~prune:false ()
+      in
+      let agree = verdicts = exact_verdicts in
+      Format.printf "  exact engine: %.2f s (pruned is %.2fx)  %s@."
+        exact_wall (exact_wall /. wall)
+        (if agree then "verdicts agree" else "VERDICTS DISAGREE");
+      ( [ ("exact_wall_s", Json.Num exact_wall);
+          ("pruned_speedup_vs_exact", Json.Num (exact_wall /. wall));
+          ("verdicts_agree", Json.Bool agree)
+        ],
+        agree )
+    end
+  in
   let json =
     Json.Obj
       [ ("mode", Json.Str "full");
         ("domains", Json.Num (float_of_int domains));
+        ("prune", Json.Bool prune);
         ("formulas", Json.Num (float_of_int n));
         ("cold_wall_s", Json.Num wall);
         ("formulas_per_s", Json.Num (float_of_int n /. wall));
@@ -91,16 +131,30 @@ let full ~out ~domains () =
               ("transitions_per_s", Json.Num (per_s transitions));
               ("mergings_per_s", Json.Num (per_s mergings))
             ] );
+        ( "pruning",
+          Json.Obj
+            ([ ("subsumed_pruned", Json.Num (float_of_int subsumed));
+               ("basis_evicted", Json.Num (float_of_int evicted));
+               ("antichain_size", Json.Num (float_of_int antichain))
+             ]
+            @ exact_fields) );
         ( "baseline",
           Json.Obj
             [ ("pr1_cold_sequential_s", Json.Num pr1_baseline_s);
               ("speedup", Json.Num speedup)
             ] );
-        ("verdicts", Json.Obj (verdict_counts resps))
+        ( "verdicts",
+          Json.Obj
+            (let count name =
+               List.length (List.filter (( = ) name) verdicts)
+             in
+             List.map
+               (fun n -> (n, Json.Num (float_of_int (count n))))
+               [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]) )
       ]
   in
   write_json ~out json;
-  0
+  if agree then 0 else 1
 
 (* Small families only (each solves in milliseconds) under a tight
    transition budget; every family's verdict is known by construction —
@@ -171,17 +225,94 @@ let seq_vs_par () =
   ( Json.Obj (List.map (fun (n, j, _) -> (n, j)) rows),
     List.for_all (fun (_, _, ok) -> ok) rows )
 
-let smoke ~out () =
+(* Pruned-vs-exact agreement and timing on the heavier quick families:
+   the same formula decided with subsumption pruning on and off must
+   return the same verdict, pruning must never *grow* the explored
+   state set, and the pruned total must not be slower than exact beyond
+   a noise tolerance (these are millisecond instances, so the gate is
+   on the summed wall, not per case). Any violation fails the run. *)
+let pruned_vs_exact () =
+  let cases =
+    [ ("data_chain_sat_4", Families.data_chain ~sat:true 4);
+      ("data_chain_unsat_3", Families.data_chain ~sat:false 3);
+      ("mixed_axes_sat_3", Families.mixed_axes ~sat:true 3);
+      ("reg_alt_sat", Families.reg_alternation ~sat:true ())
+    ]
+  in
+  let decide_with prune phi =
+    let options = Sat.Options.(default |> with_prune prune) in
+    let t0 = Unix.gettimeofday () in
+    let report = Sat.decide ~options phi in
+    (report, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Format.printf "  pruned-vs-exact agreement:@.";
+  let rows =
+    List.map
+      (fun (name, phi) ->
+        let pruned, pruned_ms = decide_with true phi in
+        let exact, exact_ms = decide_with false phi in
+        let v (r : Sat.report) = Service.verdict_name r.Sat.verdict in
+        let states (r : Sat.report) =
+          r.Sat.stats.Emptiness.n_states
+        in
+        let pr = pruned.Sat.stats.Emptiness.prune in
+        let ok =
+          v pruned = v exact && states pruned <= states exact
+        in
+        Format.printf
+          "    %-22s pruned %.1f ms (st=%d), exact %.1f ms (st=%d)  %s@."
+          name pruned_ms (states pruned) exact_ms (states exact)
+          (if ok then "agree" else "DISAGREE");
+        ( name,
+          Json.Obj
+            [ ("verdict", Json.Str (v pruned));
+              ("pruned_ms", Json.Num pruned_ms);
+              ("exact_ms", Json.Num exact_ms);
+              ("pruned_states", Json.Num (float_of_int (states pruned)));
+              ("exact_states", Json.Num (float_of_int (states exact)));
+              ( "subsumed_pruned",
+                Json.Num (float_of_int pr.Emptiness.subsumed_pruned) );
+              ("agree", Json.Bool ok)
+            ],
+          ok,
+          (pruned_ms, exact_ms) ))
+      cases
+  in
+  let pruned_total =
+    List.fold_left (fun a (_, _, _, (p, _)) -> a +. p) 0. rows
+  in
+  let exact_total =
+    List.fold_left (fun a (_, _, _, (_, e)) -> a +. e) 0. rows
+  in
+  (* 1.25x: absorbs timer noise on millisecond cases while still
+     catching a pruning overhead regression (the win on real instances
+     is measured by the full mode). *)
+  let fast_enough = pruned_total <= exact_total *. 1.25 in
+  Format.printf
+    "    totals: pruned %.1f ms, exact %.1f ms  %s@." pruned_total
+    exact_total
+    (if fast_enough then "ok" else "PRUNED SLOWER THAN EXACT");
+  ( Json.Obj
+      (List.map (fun (n, j, _, _) -> (n, j)) rows
+      @ [ ("pruned_total_ms", Json.Num pruned_total);
+          ("exact_total_ms", Json.Num exact_total);
+          ("fast_enough", Json.Bool fast_enough)
+        ]),
+    List.for_all (fun (_, _, ok, _) -> ok) rows && fast_enough )
+
+let smoke ~out ~prune () =
   let cases = quick_cases () in
-  Format.printf "emptiness bench (quick): %d cases@."
-    (List.length cases);
+  Format.printf "emptiness bench (quick): %d cases%s@."
+    (List.length cases)
+    (if prune then "" else ", pruning off");
   let svc =
     Service.create
       ~config:
         { Service.default_config with
           solver =
             { Service.default_solver_config with
-              max_transitions = 50_000
+              max_transitions = 50_000;
+              prune
             }
         }
       ()
@@ -212,9 +343,11 @@ let smoke ~out () =
     (List.length results - List.length failed)
     (List.length results) wall;
   let par_json, par_ok = seq_vs_par () in
+  let prune_json, prune_ok = pruned_vs_exact () in
   let json =
     Json.Obj
       [ ("mode", Json.Str "quick");
+        ("prune", Json.Bool prune);
         ("cases", Json.Num (float_of_int (List.length results)));
         ("failed", Json.Num (float_of_int (List.length failed)));
         ("wall_s", Json.Num wall);
@@ -228,12 +361,14 @@ let smoke ~out () =
                        ("ok", Json.Bool ok)
                      ] ))
                results) );
-        ("seq_vs_par", par_json)
+        ("seq_vs_par", par_json);
+        ("pruned_vs_exact", prune_json)
       ]
   in
   write_json ~out json;
-  if failed = [] && par_ok then 0 else 1
+  if failed = [] && par_ok && prune_ok then 0 else 1
 
 let run ?(quick = false) ?(out = "BENCH_emptiness.json") ?(domains = 1)
-    () =
-  if quick then smoke ~out () else full ~out ~domains ()
+    ?(prune = true) () =
+  if quick then smoke ~out ~prune ()
+  else full ~out ~domains ~prune ()

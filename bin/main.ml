@@ -57,6 +57,16 @@ let domains_arg =
 let resolve_domains d =
   if d > 0 then d else Xpds.Sat.Options.default.Xpds.Sat.Options.domains
 
+let no_prune_arg =
+  let doc =
+    "Disable subsumption pruning in the emptiness fixpoint and run the \
+     exact engine (every reachable extended state kept). Pruning is on \
+     by default and never changes the verdict of a search that \
+     finishes within budget; certificate runs are always exact \
+     regardless of this flag."
+  in
+  Arg.(value & flag & info [ "no-prune" ] ~doc)
+
 (* --- sat --- *)
 
 let json_arg =
@@ -139,14 +149,16 @@ let sat_cmd =
             "Write the certificate (JSON) to $(docv); implies \
              --certify.")
   in
-  let run formula width verbose json minimize certify cert_out domains =
+  let run formula width verbose json minimize certify cert_out domains
+      no_prune =
     let certify = certify || cert_out <> None in
     let eta = or_die (parse_node formula) in
     let options =
       Xpds.Sat.Options.(
         default |> with_width width |> with_minimize minimize
         |> with_certificate certify
-        |> with_domains (resolve_domains domains))
+        |> with_domains (resolve_domains domains)
+        |> with_prune (not no_prune))
     in
     let report = Xpds.Sat.decide ~options eta in
     let cert_fields, cert, cert_ok =
@@ -190,7 +202,8 @@ let sat_cmd =
           3 unknown, 4 certificate failure (with --certify).")
     Term.(
       const run $ formula_arg $ width_arg $ verbose_arg $ json_arg
-      $ minimize_arg $ certify_arg $ cert_out_arg $ domains_arg)
+      $ minimize_arg $ certify_arg $ cert_out_arg $ domains_arg
+      $ no_prune_arg)
 
 (* --- classify --- *)
 
@@ -653,7 +666,7 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc)
 
 let service_of ?(certificate = false) ?(retry_degraded = false)
-    ?(domains = 0) ~cache_capacity ~jobs () =
+    ?(domains = 0) ?(prune = true) ~cache_capacity ~jobs () =
   Xpds.Service.create
     ~config:
       { Xpds.Service.default_config with
@@ -661,7 +674,8 @@ let service_of ?(certificate = false) ?(retry_degraded = false)
           { Xpds.Service.default_solver_config with
             certificate;
             retry_degraded;
-            domains = resolve_domains domains
+            domains = resolve_domains domains;
+            prune
           };
         cache_capacity;
         jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
@@ -700,10 +714,11 @@ let serve_cmd =
     in
     Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
   in
-  let run timeout_ms cache stats certify trace degrade domains docs =
+  let run timeout_ms cache stats certify trace degrade domains no_prune
+      docs =
     let svc =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
-        ~cache_capacity:cache ~jobs:0 ()
+        ~prune:(not no_prune) ~cache_capacity:cache ~jobs:0 ()
     in
     List.iter
       (fun spec ->
@@ -768,7 +783,7 @@ let serve_cmd =
           summary; with --trace, per-phase timings.")
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
-      $ trace_arg $ degrade_arg $ domains_arg $ docs_arg)
+      $ trace_arg $ degrade_arg $ domains_arg $ no_prune_arg $ docs_arg)
 
 let batch_cmd =
   let file_arg =
@@ -797,7 +812,7 @@ let batch_cmd =
              implies --certify.")
   in
   let run file jobs timeout_ms cache stats certify cert_dir trace degrade
-      domains =
+      domains no_prune =
     let certify = certify || cert_dir <> None in
     let ic = open_in file in
     let requests = ref [] in
@@ -825,7 +840,7 @@ let batch_cmd =
     let requests = List.rev !requests in
     let svc =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
-        ~cache_capacity:cache ~jobs ()
+        ~prune:(not no_prune) ~cache_capacity:cache ~jobs ()
     in
     let responses = Xpds.Service.solve_batch svc requests in
     (match cert_dir with
@@ -868,7 +883,7 @@ let batch_cmd =
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
       $ stats_arg $ certify_arg $ cert_dir_arg $ trace_arg
-      $ degrade_arg $ domains_arg)
+      $ degrade_arg $ domains_arg $ no_prune_arg)
 
 (* --- certify --- *)
 
@@ -936,12 +951,12 @@ let bench_cmd =
       & opt string "BENCH_emptiness.json"
       & info [ "o"; "out" ] ~doc:"Where to write the JSON results.")
   in
-  let run target quick out domains =
+  let run target quick out domains no_prune =
     match target with
     | "emptiness" ->
       exit
         (Emptiness_bench.run ~quick ~out
-           ~domains:(resolve_domains domains) ())
+           ~domains:(resolve_domains domains) ~prune:(not no_prune) ())
     | "certify" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_certify.json" else out in
       exit (Certify_bench.run ~quick ~out ())
@@ -962,7 +977,9 @@ let bench_cmd =
        ~doc:
          "Run a repository benchmark and write machine-readable JSON \
           (cold wall-time and engine throughput for \"emptiness\").")
-    Term.(const run $ target_arg $ quick_arg $ out_arg $ domains_arg)
+    Term.(
+      const run $ target_arg $ quick_arg $ out_arg $ domains_arg
+      $ no_prune_arg)
 
 let () =
   let info =

@@ -10,7 +10,11 @@
    sets the decision procedures manipulate this is the difference between
    O(width) and O(set bits) per scan. *)
 
-type t = { width : int; bits : int array }
+type t = { width : int; bits : int array; mutable h : int }
+(* [h] caches {!hash} (computed on first use; -1 = not yet). The
+   decision procedures key many memo tables on bit vectors and look the
+   same physical vector up over and over; benign if two domains race to
+   fill it, since both write the same value. *)
 
 let bits_per_word = Sys.int_size (* 63 on 64-bit *)
 let words width = (width + bits_per_word - 1) / bits_per_word
@@ -30,7 +34,7 @@ let ntz_pow2 b = popcount (b - 1)
 
 let empty width =
   if width < 0 then invalid_arg "Bitv.empty: negative width";
-  { width; bits = Array.make (words width) 0 }
+  { width; bits = Array.make (words width) 0; h = -1 }
 
 let check_index t i =
   if i < 0 || i >= t.width then
@@ -46,7 +50,7 @@ let full width =
   let bits = Array.make n (-1) in
   let tail = width mod bits_per_word in
   if n > 0 && tail > 0 then bits.(n - 1) <- (1 lsl tail) - 1;
-  { width; bits }
+  { width; bits; h = -1 }
 
 let mem i t =
   check_index t i;
@@ -57,14 +61,14 @@ let add i t =
   let bits = Array.copy t.bits in
   bits.(i / bits_per_word) <-
     bits.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
-  { t with bits }
+  { t with bits; h = -1 }
 
 let remove i t =
   check_index t i;
   let bits = Array.copy t.bits in
   bits.(i / bits_per_word) <-
     bits.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
-  { t with bits }
+  { t with bits; h = -1 }
 
 let singleton width i = add i (empty width)
 let of_list width l = List.fold_left (fun acc i -> add i acc) (empty width) l
@@ -100,7 +104,7 @@ let of_range width ~lo ~hi =
          hi width);
   let bits = Array.make (words width) 0 in
   if lo <= hi then fill_range bits lo hi;
-  { width; bits }
+  { width; bits; h = -1 }
 
 let union a b =
   check_same a b;
@@ -109,7 +113,7 @@ let union a b =
   for i = 0 to n - 1 do
     bits.(i) <- a.bits.(i) lor b.bits.(i)
   done;
-  { width = a.width; bits }
+  { width = a.width; bits; h = -1 }
 
 let inter a b =
   check_same a b;
@@ -118,7 +122,7 @@ let inter a b =
   for i = 0 to n - 1 do
     bits.(i) <- a.bits.(i) land b.bits.(i)
   done;
-  { width = a.width; bits }
+  { width = a.width; bits; h = -1 }
 
 let diff a b =
   check_same a b;
@@ -127,11 +131,17 @@ let diff a b =
   for i = 0 to n - 1 do
     bits.(i) <- a.bits.(i) land lnot b.bits.(i)
   done;
-  { width = a.width; bits }
+  { width = a.width; bits; h = -1 }
 
 let is_empty t =
   let n = Array.length t.bits in
   let rec go i = i >= n || (t.bits.(i) = 0 && go (i + 1)) in
+  go 0
+
+let disjoint a b =
+  check_same a b;
+  let n = Array.length a.bits in
+  let rec go i = i >= n || (a.bits.(i) land b.bits.(i) = 0 && go (i + 1)) in
   go 0
 
 (* Short-circuits on the first word of [a] with a bit outside [b]. *)
@@ -165,15 +175,20 @@ let compare a b =
    only a prefix of the word array and hashes boxed structure; the
    decision tables key on bit vectors heavily enough for that to show. *)
 let hash t =
-  let h = ref (t.width + 0x64) in
-  for i = 0 to Array.length t.bits - 1 do
-    let w = t.bits.(i) in
-    (* fold the 63-bit word into 31-bit halves before mixing, so the
-       result is stable across int sizes that can represent it *)
-    let w = w lxor (w lsr 31) in
-    h := (!h lxor (w land 0x3FFFFFFF)) * 0x01000193
-  done;
-  !h land max_int
+  if t.h >= 0 then t.h
+  else begin
+    let h = ref (t.width + 0x64) in
+    for i = 0 to Array.length t.bits - 1 do
+      let w = t.bits.(i) in
+      (* fold the 63-bit word into 31-bit halves before mixing, so the
+         result is stable across int sizes that can represent it *)
+      let w = w lxor (w lsr 31) in
+      h := (!h lxor (w land 0x3FFFFFFF)) * 0x01000193
+    done;
+    let h = !h land max_int in
+    t.h <- h;
+    h
+  end
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.bits
 
@@ -283,7 +298,7 @@ let union_into src b =
   done;
   !changed
 
-let freeze b = { width = b.b_width; bits = Array.copy b.b_bits }
+let freeze b = { width = b.b_width; bits = Array.copy b.b_bits; h = -1 }
 
 (* --- flattened boolean matrices -------------------------------------- *)
 
@@ -310,7 +325,79 @@ let of_rows ~row_width rows =
           end)
         r.bits)
     rows;
-  { width; bits }
+  { width; bits; h = -1 }
+
+(* OR a row into a flattened-matrix builder at row [i] — the in-place
+   counterpart of one [of_rows] step, for hot loops that assemble a
+   matrix without materializing per-row vectors. *)
+let union_into_row_unsafe src ~row_width i b =
+  let bits = b.b_bits in
+  let sbits = src.bits in
+  let base = i * row_width in
+  let d0 = base / bits_per_word and sh = base mod bits_per_word in
+  for j = 0 to Array.length sbits - 1 do
+    let w = sbits.(j) in
+    if w <> 0 then begin
+      let d = d0 + j in
+      bits.(d) <- bits.(d) lor (w lsl sh);
+      if sh > 0 then begin
+        let spill = w lsr (bits_per_word - sh) in
+        if spill <> 0 then bits.(d + 1) <- bits.(d + 1) lor spill
+      end
+    end
+  done
+
+let union_into_row src ~row_width i b =
+  if src.width <> row_width then
+    invalid_arg "Bitv.union_into_row: width mismatch";
+  if i < 0 || ((i + 1) * row_width) > b.b_width then
+    invalid_arg "Bitv.union_into_row: row out of bounds";
+  union_into_row_unsafe src ~row_width i b
+
+(* The outer-product kernel of the transition's matrix fill: OR [src]
+   into row [i] for every [i ∈ rows], word-skipping over [rows] with no
+   per-bit closure. *)
+let union_rows_into src ~rows ~row_width b =
+  if src.width <> row_width then
+    invalid_arg "Bitv.union_rows_into: width mismatch";
+  if rows.width * row_width > b.b_width then
+    invalid_arg "Bitv.union_rows_into: rows out of bounds";
+  let rbits = rows.bits in
+  for wi = 0 to Array.length rbits - 1 do
+    let w = ref rbits.(wi) in
+    if !w <> 0 then begin
+      let base = wi * bits_per_word in
+      while !w <> 0 do
+        let bbit = !w land - !w in
+        union_into_row_unsafe src ~row_width (base + ntz_pow2 bbit) b;
+        w := !w lxor bbit
+      done
+    end
+  done
+
+(* Row-vs-vector disjointness without materializing the row: the word
+   extraction of [row] fused with the overlap test, short-circuiting. *)
+let row_disjoint m ~row_width i v =
+  if v.width <> row_width then
+    invalid_arg "Bitv.row_disjoint: width mismatch";
+  let base = i * row_width in
+  let nm = Array.length m.bits in
+  let n = Array.length v.bits in
+  let rec go j =
+    j >= n
+    || begin
+         let p = base + (j * bits_per_word) in
+         let d = p / bits_per_word and sh = p mod bits_per_word in
+         let w = if d >= 0 && d < nm then m.bits.(d) lsr sh else 0 in
+         let w =
+           if sh > 0 && d + 1 >= 0 && d + 1 < nm then
+             w lor (m.bits.(d + 1) lsl (bits_per_word - sh))
+           else w
+         in
+         w land v.bits.(j) = 0 && go (j + 1)
+       end
+  in
+  go 0
 
 let row m ~row_width i =
   if row_width < 0 then invalid_arg "Bitv.row: negative width";
@@ -333,7 +420,7 @@ let row m ~row_width i =
      matrix tail). *)
   let tail = row_width mod bits_per_word in
   if n > 0 && tail > 0 then bits.(n - 1) <- bits.(n - 1) land ((1 lsl tail) - 1);
-  { width = row_width; bits }
+  { width = row_width; bits; h = -1 }
 
 let filter p t =
   let b = builder t.width in

@@ -48,6 +48,10 @@ val subset : t -> t -> bool
 (** [subset a b] — true iff every bit of [a] is in [b]; short-circuits
     on the first word of [a] escaping [b]. *)
 
+val disjoint : t -> t -> bool
+(** [disjoint a b] — [a ∩ b = ∅] without materializing the
+    intersection; short-circuits on the first overlapping word. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
@@ -120,5 +124,21 @@ val of_rows : row_width:int -> t array -> t
 val row : t -> row_width:int -> int -> t
 (** [row m ~row_width i] extracts row [i] of a matrix flattened by
     {!of_rows}. *)
+
+val row_disjoint : t -> row_width:int -> int -> t -> bool
+(** [row_disjoint m ~row_width i v] — row [i] of the flattened matrix
+    [m] is disjoint from [v], without materializing the row. *)
+
+val union_into_row : t -> row_width:int -> int -> builder -> unit
+(** [union_into_row src ~row_width i b] ORs [src] into row [i] of the
+    flattened-matrix builder [b] (width a multiple of [row_width]) —
+    one {!of_rows} step, in place.
+    @raise Invalid_argument on width mismatch or row out of bounds. *)
+
+val union_rows_into : t -> rows:t -> row_width:int -> builder -> unit
+(** [union_rows_into src ~rows ~row_width b] ORs [src] into row [i] of
+    [b] for every [i ∈ rows] — the outer-product fill [rows × src] of a
+    flattened matrix, without a per-row closure.
+    @raise Invalid_argument on width mismatch or rows out of bounds. *)
 
 val pp : Format.formatter -> t -> unit

@@ -27,12 +27,22 @@ let seq_par_stats =
     par_imbalance_pct = 0;
   }
 
+type prune_stats = {
+  subsumed_pruned : int;
+  basis_evicted : int;
+  antichain_size : int;
+}
+
+let no_prune_stats =
+  { subsumed_pruned = 0; basis_evicted = 0; antichain_size = 0 }
+
 type stats = {
   n_states : int;
   n_transitions : int;
   n_mergings : int;
   max_height_reached : int;
   par : par_stats;
+  prune : prune_stats;
 }
 
 type config = {
@@ -45,6 +55,7 @@ type config = {
   max_transitions : int;
   should_stop : (unit -> bool) option;
   domains : int;
+  prune : bool;
 }
 
 let default_config =
@@ -58,6 +69,7 @@ let default_config =
     max_transitions = 200_000;
     should_stop = None;
     domains = 1;
+    prune = true;
   }
 
 
@@ -119,6 +131,15 @@ let poll_stop cfg =
   | Some stop when stop () -> raise (Limit deadline_exceeded)
   | _ -> ()
 
+(* Profile-keyed table for the hash-consed quotient: states with equal
+   upward-observable footprints collapse to one representative. *)
+module ProfTbl = Hashtbl.Make (struct
+  type t = Ext_state.profile
+
+  let equal = Ext_state.profile_equal
+  let hash = Ext_state.profile_hash
+end)
+
 type search = {
   ctx : Transition.ctx;
   memo : Pathfinder.memo;
@@ -146,6 +167,18 @@ type search = {
   mutable par_waves : int;
   mutable par_combos : int;
   mutable par_imbalance_pct : int;
+  (* subsumption pruning (DESIGN.md: Subsumption pruning) *)
+  prune : bool;  (** profile quotient enabled (config + not want_basis) *)
+  mono : bool;  (** dominance/antichain tier enabled (monotone gate) *)
+  profiles : int ProfTbl.t;  (** profile -> representative id *)
+  mutable alive : bool array;
+      (** per id: still a frontier member (not evicted); dead states
+          keep their slot, tag and provenance but leave future pools *)
+  mutable n_dead : int;
+  mutable chain : (int * Ext_state.profile) list;
+      (** the antichain frontier, newest first (dominance tier only) *)
+  mutable subsumed_pruned : int;
+  mutable basis_evicted : int;
 }
 
 let add_state s state prov height =
@@ -154,6 +187,67 @@ let add_state s state prov height =
     if height < s.heights.(id) then s.heights.(id) <- height;
     None
   | None ->
+    (* Subsumption pruning. Accepting states are never pruned: the
+       [Found] acceptance below must fire exactly as in an exact run.
+       Tier 1 (always on with [prune]): the profile quotient — a state
+       whose upward-observable footprint equals an already-admitted
+       one is interchangeable with it in every parent context and is
+       dropped. Tier 2 (monotone gate only): antichain dominance — a
+       state pointwise below a frontier member is dropped, and newly
+       dominated frontier members are evicted from future pools. *)
+    let profile =
+      if s.prune && not (Ext_state.accepting state s.final) then
+        Some
+          (Ext_state.profile
+             ~su:(fun v -> Pathfinder.step_up_m s.memo v)
+             state)
+      else None
+    in
+    let subsumer =
+      match profile with
+      | None -> None
+      | Some p -> (
+        match ProfTbl.find_opt s.profiles p with
+        | Some _ as rep -> rep
+        | None ->
+          if s.mono then
+            List.find_map
+              (fun (id_b, pb) ->
+                if Ext_state.subsumed_by p pb then Some id_b else None)
+              s.chain
+          else None)
+    in
+    match subsumer with
+    | Some rep ->
+      s.subsumed_pruned <- s.subsumed_pruned + 1;
+      (* Alias the pruned state to its representative in [ids]: later
+         proposals of the same state take the cheap exact-dup path
+         above instead of rebuilding the profile every round. Folding
+         its height in keeps the representative at least as explorable
+         under a height cap as the state it stands for. *)
+      StateTbl.add s.ids state rep;
+      if height < s.heights.(rep) then s.heights.(rep) <- height;
+      None
+    | None -> begin
+    (match profile with
+    | Some p when s.mono ->
+      (* Retroactive eviction: frontier members now dominated by the
+         newcomer leave the antichain and every future round's pool. *)
+      let evicted, kept =
+        List.partition
+          (fun (_, pa) -> Ext_state.subsumed_by pa p)
+          s.chain
+      in
+      if evicted <> [] then begin
+        List.iter
+          (fun (id_a, _) ->
+            s.alive.(id_a) <- false;
+            s.n_dead <- s.n_dead + 1;
+            s.basis_evicted <- s.basis_evicted + 1)
+          evicted;
+        s.chain <- kept
+      end
+    | _ -> ());
     if s.count >= s.cfg.max_states then raise (Limit "state budget");
     let id = s.count in
     if id >= Array.length s.states then begin
@@ -172,9 +266,13 @@ let add_state s state prov height =
       s.val_su <- val_su';
       let visible' = Array.make cap [||] in
       Array.blit s.visible 0 visible' 0 id;
-      s.visible <- visible'
+      s.visible <- visible';
+      let alive' = Array.make cap true in
+      Array.blit s.alive 0 alive' 0 id;
+      s.alive <- alive'
     end;
     s.states.(id) <- state;
+    Ext_state.set_tag state id;
     s.provs.(id) <- prov;
     s.heights.(id) <- height;
     (* Step-ups of the described values, once per state: every combo the
@@ -190,10 +288,17 @@ let add_state s state prov height =
       if not (Bitv.is_empty sus.(v)) then vis := v :: !vis
     done;
     s.visible.(id) <- Array.of_list !vis;
+    s.alive.(id) <- true;
     s.count <- id + 1;
     StateTbl.add s.ids state id;
+    (match profile with
+    | Some p ->
+      ProfTbl.add s.profiles p id;
+      if s.mono then s.chain <- (id, p) :: s.chain
+    | None -> ());
     if Ext_state.accepting state s.final then raise (Found id);
     Some id
+    end
 
 (* Non-decreasing id sequences of length [w] over [0..n], containing at
    least one id from [fresh] (a predicate). *)
@@ -220,16 +325,17 @@ let bump_transitions s =
 (* One saturation round: apply every unseen transition whose children
    include at least one state discovered in the previous round. Returns
    whether new states appeared. *)
-let round s ~labels ~width ~height ~fresh_from =
+let round s ~labels ~width ~height ~fresh_from ~pool =
   let cfg = s.cfg in
-  let n = s.count - 1 in
+  let n = Array.length pool - 1 in
   let new_seen = ref false in
-  let is_fresh id = id >= fresh_from in
+  let is_fresh p = pool.(p) >= fresh_from in
   let m = Transition.bip_of s.ctx in
   let pf = m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
   for w = 1 to width do
     iter_combos ~n ~w ~is_fresh (fun combo ->
+        let combo = Array.map (fun p -> pool.(p)) combo in
         let children = Array.map (fun id -> s.states.(id)) combo in
         (* Visible values and their step-ups were precomputed at state
            discovery; a combo only gathers pointers. *)
@@ -248,27 +354,31 @@ let round s ~labels ~width ~height ~fresh_from =
            sorted array of per-class (root flag, base-union) pairs,
            hashed with the dedicated Bitv hasher. *)
         let seen_keys = MergeKeyTbl.create 64 in
+        let kb = Bitv.builder k_card in
         let merging_key (merging : Merging.t) =
-          let key =
+          (* [inorder] keeps class order for reuse as [combine]'s bases;
+             the canonical key is a sorted copy. *)
+          let inorder =
             Array.of_list
               (List.map
                  (fun (kl : Merging.klass) ->
-                   let b = Bitv.builder k_card in
+                   Bitv.builder_reset kb;
                    List.iter
                      (fun (i, v) ->
-                       ignore (Bitv.union_into combo_su.(i).(v) b))
+                       ignore (Bitv.union_into combo_su.(i).(v) kb))
                      kl.Merging.members;
-                   (kl.Merging.has_root, Bitv.freeze b))
+                   (kl.Merging.has_root, Bitv.freeze kb))
                  merging)
           in
+          let key = Array.copy inorder in
           Array.sort
             (fun (r1, b1) (r2, b2) ->
               let c = Bool.compare r1 r2 in
               if c <> 0 then c else Bitv.compare b1 b2)
             key;
-          key
+          (key, inorder)
         in
-        Seq.iter
+        Merging.iter ?budget:cfg.merge_budget items
           (fun merging ->
             s.mergings <- s.mergings + 1;
             (* Merging enumeration can dwarf the committed transitions;
@@ -277,12 +387,26 @@ let round s ~labels ~width ~height ~fresh_from =
             if s.mergings > 20 * s.cfg.max_transitions then
               raise (Limit "merging budget");
             if s.mergings land 255 = 0 then poll_stop s.cfg;
-            let key = merging_key merging in
+            let key, inorder = merging_key merging in
             if not (MergeKeyTbl.mem seen_keys key) then begin
               MergeKeyTbl.add seen_keys key ();
+              (* The per-class base unions were just computed for the
+                 key; add the initial state to the root class and hand
+                 them to [combine] instead of re-unioning step-ups. *)
+              let bases =
+                Array.map
+                  (fun (has_root, b) ->
+                    if has_root then Bitv.add pf.Pathfinder.initial b
+                    else b)
+                  inorder
+              in
               List.iter
                 (fun label ->
                   bump_transitions s;
+                  let results =
+                    Transition.combine ?t0:cfg.t0 ?dup_cap:cfg.dup_cap
+                      ~bases s.ctx label children merging
+                  in
                   List.iter
                     (fun (r : Transition.result) ->
                       match
@@ -294,11 +418,9 @@ let round s ~labels ~width ~height ~fresh_from =
                       with
                       | Some _ -> new_seen := true
                       | None -> ())
-                    (Transition.combine ?t0:cfg.t0 ?dup_cap:cfg.dup_cap
-                       s.ctx label children merging))
+                    results)
                 labels
-            end)
-          (Merging.enumerate ?budget:cfg.merge_budget items))
+            end))
   done;
   !new_seen
 
@@ -408,27 +530,30 @@ let eval_combo ~ctx ~cfg ~states ~val_su ~visible ~labels ~final ~k_card
          (Array.to_list combo))
   in
   let seen_keys = MergeKeyTbl.create 64 in
+  let kb = Bitv.builder k_card in
+  let initial = (Transition.bip_of ctx).Bip.pf.Pathfinder.initial in
   let merging_key (merging : Merging.t) =
-    let key =
+    let inorder =
       Array.of_list
         (List.map
            (fun (kl : Merging.klass) ->
-             let b = Bitv.builder k_card in
+             Bitv.builder_reset kb;
              List.iter
-               (fun (i, v) -> ignore (Bitv.union_into combo_su.(i).(v) b))
+               (fun (i, v) -> ignore (Bitv.union_into combo_su.(i).(v) kb))
                kl.Merging.members;
-             (kl.Merging.has_root, Bitv.freeze b))
+             (kl.Merging.has_root, Bitv.freeze kb))
            merging)
     in
+    let key = Array.copy inorder in
     Array.sort
       (fun (r1, b1) (r2, b2) ->
         let c = Bool.compare r1 r2 in
         if c <> 0 then c else Bitv.compare b1 b2)
       key;
-    key
+    (key, inorder)
   in
   (try
-     Seq.iter
+     Merging.iter ?budget:cfg.merge_budget items
        (fun merging ->
          incr local_m;
          incr pending;
@@ -441,10 +566,16 @@ let eval_combo ~ctx ~cfg ~states ~val_su ~visible ~labels ~final ~k_card
            status := Co_stop_poll;
            raise Exit
          end;
-         let key = merging_key merging in
+         let key, inorder = merging_key merging in
          if not (MergeKeyTbl.mem seen_keys key) then begin
            MergeKeyTbl.add seen_keys key ();
            flush ();
+           let bases =
+             Array.map
+               (fun (has_root, b) ->
+                 if has_root then Bitv.add initial b else b)
+               inorder
+           in
            List.iter
              (fun label ->
                incr local_t;
@@ -460,8 +591,8 @@ let eval_combo ~ctx ~cfg ~states ~val_su ~visible ~labels ~final ~k_card
                  raise Exit
                end;
                let results =
-                 Transition.combine ?t0:cfg.t0 ?dup_cap:cfg.dup_cap ctx label
-                   children merging
+                 Transition.combine ?t0:cfg.t0 ?dup_cap:cfg.dup_cap ~bases
+                   ctx label children merging
                in
                events := Ev_apply (label, merging, results) :: !events;
                if
@@ -476,7 +607,6 @@ let eval_combo ~ctx ~cfg ~states ~val_su ~visible ~labels ~final ~k_card
                end)
              labels
          end)
-       (Merging.enumerate ?budget:cfg.merge_budget items)
    with Exit -> ());
   flush ();
   (List.rev !events, !status)
@@ -521,9 +651,17 @@ let worker_ctxs s workers =
           else Transition.clone_ctx s.ctx);
   s.wctxs
 
-let round_parallel s ~labels ~width ~height ~fresh_from ~workers =
+let round_parallel s ~labels ~width ~height ~fresh_from ~workers ~pool =
   let cfg = s.cfg in
-  let n = s.count - 1 in
+  let n = Array.length pool - 1 in
+  (* Position of the first fresh pool member: the pool is ascending, so
+     the cursor's max-position >= threshold test is exactly "contains a
+     fresh id". *)
+  let fresh_from =
+    let len = Array.length pool in
+    let rec go p = if p >= len || pool.(p) >= fresh_from then p else go (p + 1) in
+    go 0
+  in
   let new_seen = ref false in
   let m = Transition.bip_of s.ctx in
   let k_card = m.Bip.pf.Pathfinder.n_states in
@@ -565,7 +703,7 @@ let round_parallel s ~labels ~width ~height ~fresh_from ~workers =
   while not cu.fin do
     let n_wave = ref 0 in
     while !n_wave < wave_cap && not cu.fin do
-      buf.(!n_wave) <- Array.copy cu.cur;
+      buf.(!n_wave) <- Array.map (fun p -> pool.(p)) cu.cur;
       incr n_wave;
       cursor_next cu ~n ~width ~fresh_from
     done;
@@ -914,6 +1052,7 @@ let check_data_free ~config (m : Bip.t) =
       n_mergings = 0;
       max_height_reached = height;
       par = seq_par_stats;
+      prune = no_prune_stats;
     }
   in
   try
@@ -1009,6 +1148,38 @@ let check_data_free ~config (m : Bip.t) =
    Certificate runs keep the full atom matrices ([project_pairs:false]):
    the pair-mask projection is an engine-internal state-space
    optimization the naive checker deliberately knows nothing about. *)
+(* The dominance tier is only a sound pruning order when the transition
+   relation is monotone in the child order: positive-polarity data atoms
+   (an extra ∃(k1,k2)~ can only enable more behaviour), no
+   downward-counting atoms, acyclic BIP dependencies (the cyclic
+   labelling enumeration checks both directions of μ), and no caps that
+   could make a larger state lose capabilities ([t0] at least the paper
+   bound, no [dup_cap], no [merge_budget]). *)
+let mono_gate (m : Bip.t) (config : config) =
+  let deps = Bip.dependencies m in
+  let trivial_sccs =
+    List.for_all
+      (function
+        | [ q ] -> not (Bitv.mem q deps.(q))
+        | _ -> false)
+      (Bip.sccs m)
+  in
+  let rec monotone positive = function
+    | Bip.FTrue | Bip.FFalse | Bip.FLab _ -> true
+    | Bip.FNot f -> monotone (not positive) f
+    | Bip.FAnd (f, g) | Bip.FOr (f, g) ->
+      monotone positive f && monotone positive g
+    | Bip.FEx _ | Bip.FCountGe _ -> positive
+    | Bip.FCountZero _ | Bip.FCountLt _ -> false
+  in
+  trivial_sccs
+  && Array.for_all (monotone true) m.Bip.mu
+  && (match config.t0 with
+     | None -> true
+     | Some t -> t >= Transition.t0_default m)
+  && config.dup_cap = None
+  && config.merge_budget = None
+
 let check_full ?(config = default_config) ?(want_basis = false) (m : Bip.t) =
   let ctx = Transition.make_ctx ~project_pairs:(not want_basis) m in
   let width =
@@ -1043,6 +1214,14 @@ let check_full ?(config = default_config) ?(want_basis = false) (m : Bip.t) =
       par_waves = 0;
       par_combos = 0;
       par_imbalance_pct = 0;
+      prune = config.prune && not want_basis;
+      mono = config.prune && (not want_basis) && mono_gate m config;
+      profiles = ProfTbl.create 1024;
+      alive = [||];
+      n_dead = 0;
+      chain = [];
+      subsumed_pruned = 0;
+      basis_evicted = 0;
     }
   in
   let workers = Parallel.effective ~domains:config.domains max_int in
@@ -1059,6 +1238,12 @@ let check_full ?(config = default_config) ?(want_basis = false) (m : Bip.t) =
           par_waves = s.par_waves;
           par_combos = s.par_combos;
           par_imbalance_pct = s.par_imbalance_pct;
+        };
+      prune =
+        {
+          subsumed_pruned = s.subsumed_pruned;
+          basis_evicted = s.basis_evicted;
+          antichain_size = s.count - s.n_dead;
         };
     }
   in
@@ -1085,10 +1270,28 @@ let check_full ?(config = default_config) ?(want_basis = false) (m : Bip.t) =
       if height > max_h then (height - 1, true)
       else begin
         let prev_count = s.count in
+        (* Round-start pool: the alive (non-evicted) basis, ascending.
+           Mid-round evictions only shrink the next round's pool, so
+           both engines enumerate the same combos. *)
+        let pool =
+          if s.n_dead = 0 then Array.init s.count Fun.id
+          else begin
+            let out = Array.make (s.count - s.n_dead) 0 in
+            let j = ref 0 in
+            for id = 0 to s.count - 1 do
+              if s.alive.(id) then begin
+                out.(!j) <- id;
+                incr j
+              end
+            done;
+            out
+          end
+        in
         let changed =
           if workers > 1 then
             round_parallel s ~labels ~width ~height ~fresh_from ~workers
-          else round s ~labels ~width ~height ~fresh_from
+              ~pool
+          else round s ~labels ~width ~height ~fresh_from ~pool
         in
         if changed then saturate (height + 1) prev_count
         else (height - 1, false)

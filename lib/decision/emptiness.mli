@@ -40,6 +40,23 @@ type par_stats = {
           a percentage of the perfectly-balanced share (100 = even) *)
 }
 
+type prune_stats = {
+  subsumed_pruned : int;
+      (** candidate states dropped at admission: profile duplicates of
+          an admitted representative, or (dominance tier) pointwise
+          below an antichain member *)
+  basis_evicted : int;
+      (** admitted states retroactively evicted from future rounds'
+          pools when a newly admitted state dominates them (dominance
+          tier only) *)
+  antichain_size : int;
+      (** surviving frontier at the end of the search: admitted states
+          minus evictions (equals [n_states] on exact runs) *)
+}
+
+val no_prune_stats : prune_stats
+(** All-zero counters (exact runs, the data-free fast path). *)
+
 type stats = {
   n_states : int;  (** distinct extended states reached *)
   n_transitions : int;  (** transition applications attempted *)
@@ -49,6 +66,9 @@ type stats = {
       (** parallel-engine counters; every field above this one is
           bit-identical across [domains] values — only [par] reflects
           the execution strategy *)
+  prune : prune_stats;
+      (** subsumption-pruning counters; like [par], bit-identical
+          across [domains] values *)
 }
 
 val seq_par_stats : par_stats
@@ -90,6 +110,18 @@ type config = {
           is already classical-automaton fast. This record deliberately
           mirrors {!Xpds_decision.Sat.Options.t} field-for-field on the
           search-bound knobs. *)
+  prune : bool;
+      (** subsumption pruning (default [true]). Admission collapses
+          states with equal upward-observable profiles to one
+          representative, and — when the automaton passes the monotone
+          gate — keeps only an antichain of the pointwise-maximal
+          profiles, evicting dominated basis members. Exact behaviour
+          ([false]) is forced for certificate runs
+          ({!check_with_basis}) regardless of this flag. On searches
+          that complete without hitting a resource budget the verdict
+          is unaffected; budget-capped searches may cover a different
+          (usually larger) portion of the state space. See DESIGN.md,
+          "Subsumption pruning". *)
 }
 
 val deadline_exceeded : string

@@ -5,6 +5,7 @@ type t = {
   values : Bitv.t array;
   unique : int array;
   many : Bitv.t;
+  mutable tag : int;
 }
 
 let pair_index ~k_card k1 k2 = (k1 * k_card) + k2
@@ -76,7 +77,7 @@ let validate t =
    accordingly. Two values with equal descriptions are interchangeable
    (no [unique] can point at either — both would contain that k, making
    it many), so any stable assignment is canonical. *)
-let make ~states ~eq ~neq ~values ~unique ~many =
+let canonicalize ~states ~eq ~neq ~values ~unique ~many =
   let order =
     List.sort
       (fun i j -> Bitv.compare values.(i) values.(j))
@@ -89,18 +90,31 @@ let make ~states ~eq ~neq ~values ~unique ~many =
   let unique' =
     Array.map (fun u -> if u < 0 then -1 else position.(u)) unique
   in
-  let t = { states; eq; neq; values = values'; unique = unique'; many } in
+  { states; eq; neq; values = values'; unique = unique'; many; tag = -1 }
+
+let make ~states ~eq ~neq ~values ~unique ~many =
+  let t = canonicalize ~states ~eq ~neq ~values ~unique ~many in
   match validate t with
   | Ok () -> t
   | Error msg -> invalid_arg ("Ext_state.make: " ^ msg)
 
+(* The engine hot path assembles states whose invariants hold by
+   construction (lib/decision/transition.ml); skipping the O(|K|·t0)
+   validation there is worth ~10% of a cold solve. Everything else goes
+   through [make]. *)
+let make_unchecked = canonicalize
+
+let tag t = t.tag
+let set_tag t id = t.tag <- id
+
 let equal a b =
-  Bitv.equal a.states b.states && Bitv.equal a.eq b.eq
-  && Bitv.equal a.neq b.neq
-  && Array.length a.values = Array.length b.values
-  && Array.for_all2 Bitv.equal a.values b.values
-  && a.unique = b.unique
-  && Bitv.equal a.many b.many
+  a == b
+  || Bitv.equal a.states b.states
+     && Bitv.equal a.eq b.eq && Bitv.equal a.neq b.neq
+     && Array.length a.values = Array.length b.values
+     && Array.for_all2 Bitv.equal a.values b.values
+     && a.unique = b.unique
+     && Bitv.equal a.many b.many
 
 let compare a b =
   let c = Bitv.compare a.states b.states in
@@ -130,6 +144,93 @@ let hash t =
       Array.map Bitv.hash t.values,
       t.unique,
       Bitv.hash t.many )
+
+(* --- subsumption (DESIGN.md §9, "Subsumption pruning") ---
+
+   The upward-observable footprint of an extended state: its parents
+   consult only [states] (counting atoms, acceptance), the atom matrices
+   (the case-1 lift), [step_up many] (the many-source rule), and the
+   step-ups of the described values (class bases — a value with an empty
+   step-up is invisible to every merging). [unique] and the value
+   descriptions themselves are never read above the node, so states
+   agreeing on this footprint are interchangeable as children. *)
+
+type profile = {
+  p_states : Bitv.t;
+  p_eq : Bitv.t;
+  p_neq : Bitv.t;
+  p_su_many : Bitv.t;
+  p_sus : Bitv.t array;
+      (** step-ups of the visible described values, sorted *)
+}
+
+let profile ~su t =
+  let p_sus =
+    Array.of_list
+      (List.filter_map
+         (fun v ->
+           let s = su v in
+           if Bitv.is_empty s then None else Some s)
+         (Array.to_list t.values))
+  in
+  Array.sort Bitv.compare p_sus;
+  { p_states = t.states; p_eq = t.eq; p_neq = t.neq;
+    p_su_many = su t.many; p_sus }
+
+let profile_equal a b =
+  Bitv.equal a.p_states b.p_states
+  && Bitv.equal a.p_eq b.p_eq && Bitv.equal a.p_neq b.p_neq
+  && Bitv.equal a.p_su_many b.p_su_many
+  && Array.length a.p_sus = Array.length b.p_sus
+  && Array.for_all2 Bitv.equal a.p_sus b.p_sus
+
+let profile_hash p =
+  Hashtbl.hash
+    ( Bitv.hash p.p_states,
+      Bitv.hash p.p_eq,
+      Bitv.hash p.p_neq,
+      Bitv.hash p.p_su_many,
+      Array.map Bitv.hash p.p_sus )
+
+(* Injection of [a]'s visible step-ups into [b]'s with pointwise ⊆:
+   Kuhn's augmenting paths over a bipartite graph of at most t0 items a
+   side (word-level [Bitv.subset] edges). *)
+let sus_inject a b =
+  let na = Array.length a and nb = Array.length b in
+  na <= nb
+  && begin
+       let matched = Array.make nb (-1) in
+       let rec augment i seen =
+         let rec go j =
+           if j >= nb then false
+           else if (not seen.(j)) && Bitv.subset a.(i) b.(j) then begin
+             seen.(j) <- true;
+             if matched.(j) < 0 || augment matched.(j) seen then begin
+               matched.(j) <- i;
+               true
+             end
+             else go (j + 1)
+           end
+           else go (j + 1)
+         in
+         go 0
+       in
+       let rec all i =
+         i >= na || (augment i (Array.make nb false) && all (i + 1))
+       in
+       all 0
+     end
+
+(* [subsumed_by a b] — the pointwise order: every upward-observable
+   capability of [a] is one of [b]. Sound as a pruning order only under
+   the monotone gate (Emptiness.mono_gate): positive-polarity data
+   atoms, no FCountZero/FCountLt, trivial SCCs. *)
+let subsumed_by a b =
+  Bitv.subset a.p_states b.p_states
+  && Bitv.subset a.p_eq b.p_eq
+  && Bitv.subset a.p_neq b.p_neq
+  && Bitv.subset a.p_su_many b.p_su_many
+  && sus_inject a.p_sus b.p_sus
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>ext-state: C=%a many=%a@," Bitv.pp t.states

@@ -32,6 +32,11 @@ type t = private {
       (** per [k]: index into [values] if [k] retrieves exactly one
           value, else [-1]. *)
   many : Bitv.t;  (** the [k] retrieving ≥ 2 values. *)
+  mutable tag : int;
+      (** hash-consing identity: the basis id assigned at admission
+          into an emptiness search ([-1] until then). Unique per search,
+          excluded from {!equal}/{!compare}/{!hash}; memo tables key on
+          it for O(1) lookups instead of structural hashing. *)
 }
 
 val make :
@@ -45,6 +50,22 @@ val make :
 (** Canonicalizes (sorts [values], remaps [unique]) and validates the
     structural invariants.
     @raise Invalid_argument if an invariant fails (see {!validate}). *)
+
+val make_unchecked :
+  states:Bitv.t ->
+  eq:Bitv.t ->
+  neq:Bitv.t ->
+  values:Bitv.t array ->
+  unique:int array ->
+  many:Bitv.t ->
+  t
+(** [make] without the invariant validation — for the transition hot
+    path, whose assembly establishes the invariants by construction.
+    Still canonicalizes. *)
+
+val tag : t -> int
+val set_tag : t -> int -> unit
+(** See the [tag] field; only an emptiness search should assign it. *)
 
 val validate : t -> (unit, string) result
 (** The invariants: [unique.(k) = i] implies [k ∈ values.(i)] and
@@ -66,7 +87,32 @@ val compare : t -> t -> int
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
-(** {1 Atom-matrix helpers} *)
+(** {1 Subsumption}
+
+    The upward-observable footprint of an extended state — what its
+    parents can ever consult: [states] (counting atoms, acceptance),
+    the atom matrices (the case-1 lift), [step_up many], and the
+    step-ups of the visible described values. [unique] and the raw
+    reach sets are unobservable above the node. *)
+
+type profile
+
+val profile : su:(Bitv.t -> Bitv.t) -> t -> profile
+(** [profile ~su t] with [su] the (memoized) pathfinder step-up. *)
+
+val profile_equal : profile -> profile -> bool
+(** Equal-profile states are interchangeable as children: every parent
+    transition produces literally the same result states from either.
+    Unconditionally sound as a basis quotient. *)
+
+val profile_hash : profile -> int
+
+val subsumed_by : profile -> profile -> bool
+(** [subsumed_by a b] — pointwise order: [b] covers every observable
+    capability of [a] (componentwise ⊆, plus an injection of [a]'s
+    visible value step-ups into [b]'s, word-level {!Bitv.subset} on
+    every edge). A valid pruning order only under the monotone gate
+    (see {!Emptiness}). *)
 
 val pair_index : k_card:int -> int -> int -> int
 val empty_matrix : k_card:int -> Bitv.t

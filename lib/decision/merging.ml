@@ -55,6 +55,58 @@ let enumerate ?budget (items : (int * int) list) : t Seq.t =
   in
   go [ { has_root = true; members = [] } ] 0 items
 
+(* Backtracking twin of [enumerate] — same partitions in the same
+   order, but with in-place class stacks instead of per-item copies of
+   the partial partition. The emptiness round enumerates millions of
+   mergings per solve; only the emitted [t] is allocated here. *)
+let iter ?budget (items : (int * int) list) (f : t -> unit) =
+  let max_cost = match budget with Some b -> b | None -> max_int in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let roots = Array.make (n + 1) false in
+  let members = Array.make (n + 1) [] in  (* reversed member lists *)
+  roots.(0) <- true;
+  let n_classes = ref 1 in
+  let emit () =
+    let rec build i acc =
+      if i < 0 then acc
+      else
+        build (i - 1)
+          ({ has_root = roots.(i); members = List.rev members.(i) } :: acc)
+    in
+    f (build (!n_classes - 1) [])
+  in
+  let rec go idx cost =
+    if idx >= n then emit ()
+    else begin
+      let item = items.(idx) in
+      let child = fst item in
+      for i = 0 to !n_classes - 1 do
+        let jc =
+          if roots.(i) then 1
+          else match members.(i) with [ _ ] -> 2 | _ -> 1
+        in
+        let cost' = cost + jc in
+        if
+          cost' <= max_cost
+          && not (List.exists (fun (c, _) -> c = child) members.(i))
+        then begin
+          members.(i) <- item :: members.(i);
+          go (idx + 1) cost';
+          members.(i) <- List.tl members.(i)
+        end
+      done;
+      let i = !n_classes in
+      roots.(i) <- false;
+      members.(i) <- [ item ];
+      incr n_classes;
+      go (idx + 1) cost;
+      decr n_classes;
+      members.(i) <- []
+    end
+  in
+  go 0 0
+
 let count ?budget items = Seq.length (enumerate ?budget items)
 
 let pp ppf classes =

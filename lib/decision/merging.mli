@@ -31,6 +31,12 @@ val enumerate : ?budget:int -> (int * int) list -> t Seq.t
     polynomial family — a practical completeness knob, not part of the
     paper's construction. *)
 
+val iter : ?budget:int -> (int * int) list -> (t -> unit) -> unit
+(** [iter ?budget items f] calls [f] on exactly the partitions of
+    {!enumerate}, in the same order, via backtracking over in-place
+    class stacks — no intermediate partition copies, so this is what
+    the emptiness round uses. Exceptions from [f] abort the walk. *)
+
 val count : ?budget:int -> (int * int) list -> int
 (** Number of partitions {!enumerate} yields (forces the sequence). *)
 

@@ -50,6 +50,7 @@ module Options = struct
     minimize : bool;
     extra_labels : Xpds_datatree.Label.t list;
     certificate : bool;
+    prune : bool;
   }
 
   (* The environment default lets a harness (CI runs the test suite
@@ -78,6 +79,7 @@ module Options = struct
       minimize = false;
       extra_labels = [];
       certificate = false;
+      prune = true;
     }
 
   let with_width width o = { o with width }
@@ -93,6 +95,7 @@ module Options = struct
   let with_minimize minimize o = { o with minimize }
   let with_extra_labels extra_labels o = { o with extra_labels }
   let with_certificate certificate o = { o with certificate }
+  let with_prune prune o = { o with prune }
 end
 
 let decide ?(options = Options.default) eta =
@@ -113,8 +116,7 @@ let decide ?(options = Options.default) eta =
   in
   let config =
     {
-      Emptiness.default_config with
-      width = Some o.Options.width;
+      Emptiness.width = Some o.Options.width;
       t0 = o.Options.t0;
       dup_cap = o.Options.dup_cap;
       merge_budget = o.Options.merge_budget;
@@ -123,6 +125,10 @@ let decide ?(options = Options.default) eta =
       max_transitions = o.Options.max_transitions;
       should_stop = o.Options.should_stop;
       domains = o.Options.domains;
+      (* Certificate runs must stay exact: the basis is the certificate,
+         and a pruned basis is not the inductive set the independent
+         checker replays ([check_with_basis] would force this anyway). *)
+      prune = o.Options.prune && not o.Options.certificate;
     }
   in
   let algorithm =
@@ -139,9 +145,16 @@ let decide ?(options = Options.default) eta =
     o.Options.domains > 1
     && (o.Options.certificate || not (Emptiness.data_free m))
   in
+  (* The phase name tells traces which engine ran: pruning only acts in
+     the general engine (the data-free fast path has no profiles to
+     collapse), and certificate mode forces it off. *)
+  let pruned_engine =
+    config.Emptiness.prune && not (Emptiness.data_free m)
+  in
   let outcome, stats, basis =
     o.Options.on_phase
-      (if parallel_engine then "fixpoint_parallel" else "fixpoint");
+      ((if parallel_engine then "fixpoint_parallel" else "fixpoint")
+      ^ if pruned_engine then "_pruned" else "");
     if o.Options.certificate then Emptiness.check_with_basis ~config m
     else
       let outcome, stats = Emptiness.check_with_stats ~config m in
@@ -209,33 +222,6 @@ let decide ?(options = Options.default) eta =
     automaton_k = m.Bip.pf.Pathfinder.n_states;
     cert_seed;
   }
-
-(* Transitional wrapper over the pre-Options 12-optional-argument
-   surface; deprecated, removed next PR. *)
-let decide_legacy ?width ?t0 ?dup_cap ?merge_budget ?max_states
-    ?max_transitions ?should_stop ?on_phase ?verify ?minimize ?extra_labels
-    ?certificate eta =
-  let d = Options.default in
-  let options =
-    {
-      Options.width = Option.value width ~default:d.Options.width;
-      t0 = Option.value t0 ~default:d.Options.t0;
-      dup_cap = Option.value dup_cap ~default:d.Options.dup_cap;
-      merge_budget = Option.value merge_budget ~default:d.Options.merge_budget;
-      max_states = Option.value max_states ~default:d.Options.max_states;
-      max_transitions =
-        Option.value max_transitions ~default:d.Options.max_transitions;
-      domains = d.Options.domains;
-      should_stop =
-        (match should_stop with Some f -> Some f | None -> None);
-      on_phase = Option.value on_phase ~default:d.Options.on_phase;
-      verify = Option.value verify ~default:d.Options.verify;
-      minimize = Option.value minimize ~default:d.Options.minimize;
-      extra_labels = Option.value extra_labels ~default:d.Options.extra_labels;
-      certificate = Option.value certificate ~default:d.Options.certificate;
-    }
-  in
-  decide ~options eta
 
 let satisfiable ?width eta =
   let options =

@@ -100,6 +100,11 @@ module Options : sig
     certificate : bool;
         (** run in certificate mode and fill
             {!field-report.cert_seed} *)
+    prune : bool;
+        (** subsumption pruning in the emptiness fixpoint
+            ({!Emptiness.config}, default [true]). Certificate runs are
+            always exact regardless of this flag: the basis shipped to
+            the independent checker must be the full inductive set. *)
   }
 
   val default : t
@@ -124,32 +129,12 @@ module Options : sig
   val with_minimize : bool -> t -> t
   val with_extra_labels : Xpds_datatree.Label.t list -> t -> t
   val with_certificate : bool -> t -> t
+  val with_prune : bool -> t -> t
 end
 
 val decide : ?options:Options.t -> Xpds_xpath.Ast.node -> report
 (** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?)
     under {!Options.default} or the given options. *)
-
-val decide_legacy :
-  ?width:int ->
-  ?t0:int option ->
-  ?dup_cap:int option ->
-  ?merge_budget:int option ->
-  ?max_states:int ->
-  ?max_transitions:int ->
-  ?should_stop:(unit -> bool) ->
-  ?on_phase:(string -> unit) ->
-  ?verify:bool ->
-  ?minimize:bool ->
-  ?extra_labels:Xpds_datatree.Label.t list ->
-  ?certificate:bool ->
-  Xpds_xpath.Ast.node ->
-  report
-[@@ocaml.deprecated
-  "use Sat.decide ?options with Sat.Options.t; this wrapper lasts one PR"]
-(** Transitional wrapper over the pre-{!Options} argument surface.
-    Identical semantics ([domains] comes from {!Options.default}, i.e.
-    [XPDS_DOMAINS]); will be removed in the next PR. *)
 
 val satisfiable : ?width:int -> Xpds_xpath.Ast.node -> bool option
 (** [Some b] when the verdict is [Sat]/[Unsat]/[Unsat_bounded] (the

@@ -7,6 +7,25 @@ type result = { state : Ext_state.t; class_values : int array }
 
 module BvTbl = Hashtbl.Make (Bitv)
 
+(* Memo key for the case-1 lifted matrices: (root label, hash-consed
+   child tag). Tags are unique per search and assigned at admission, so
+   every child of every combo after the leaf round carries one. *)
+module LiftTbl = Hashtbl.Make (struct
+  type t = Bitv.t * int
+
+  let equal (c1, t1) (c2, t2) = t1 = t2 && Bitv.equal c1 c2
+  let hash (c, t) = (Bitv.hash c * 0x01000193) lxor t land max_int
+end)
+
+(* Key for the per-combo atom cache: (root label, children tags). *)
+module AliftTbl = Hashtbl.Make (struct
+  type t = Bitv.t * int array
+
+  let equal (c1, a1) (c2, a2) = a1 = a2 && Bitv.equal c1 c2
+  let hash (c, a) =
+    (Bitv.hash c * 0x01000193) lxor Hashtbl.hash a land max_int
+end)
+
 type ctx = {
   m : Bip.t;
   components : int list list;
@@ -14,6 +33,11 @@ type ctx = {
   rev_read : (int * int) list array;
       (** per target k: (q, source) non-moving edges into k *)
   rev_up : int list array;  (** per target k'': sources k' with up-edges *)
+  read_mask : Bitv.t;
+      (** BIP states labelling at least one read edge. Closures, backward
+          sets and lifted matrices consult a candidate root label only
+          through these states, so candidates agreeing on the projection
+          share every per-label cache entry *)
   pair_mask : Bitv.t option;
       (** when set: the K x K pairs the automaton can ever consult; the
           stored atom matrices are projected onto it, collapsing
@@ -25,21 +49,34 @@ type ctx = {
       (** per root label c0: U(k') = cl(step_up {k'}), the case-1 lift *)
   v_tbl : Bitv.t option array BvTbl.t;
       (** per root label c0: per-k backward sets, filled on demand *)
+  lift_tbl : (Bitv.t * Bitv.t) LiftTbl.t;
+      (** per (c0, child tag): the child's lifted (eq, neq) contribution
+          Uᵀ·M·U as flat K×K matrices — a basis state is combined into
+          thousands of combos under few distinct root labels, so the
+          matrix product amortizes to a table lookup *)
+  alift_tbl : (int * bool) list ref AliftTbl.t;
+      (** per (c0, packed children tags): case-1 atom answers, encoded
+          atom → truth. The lifted part of an atom is independent of the
+          merging, so it is shared across every merging of a combo *)
 }
 
 let make_ctx ?(project_pairs = false) (m : Bip.t) =
   let pf = m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
   let rev_read = Array.make k_card [] in
+  let read_mask = Bitv.builder pf.Pathfinder.q_card in
   Array.iteri
     (fun q per_k ->
       Array.iteri
         (fun k targets ->
           List.iter
-            (fun k' -> rev_read.(k') <- (q, k) :: rev_read.(k'))
+            (fun k' ->
+              Bitv.add_in_place q read_mask;
+              rev_read.(k') <- (q, k) :: rev_read.(k'))
             targets)
         per_k)
     pf.Pathfinder.read;
+  let read_mask = Bitv.freeze read_mask in
   let rev_up = Array.make k_card [] in
   Array.iteri
     (fun k targets ->
@@ -109,10 +146,13 @@ let make_ctx ?(project_pairs = false) (m : Bip.t) =
     deps = Bip.dependencies m;
     rev_read;
     rev_up;
+    read_mask;
     pair_mask;
     memo = Pathfinder.memo pf;
     u_tbl = BvTbl.create 64;
     v_tbl = BvTbl.create 64;
+    lift_tbl = LiftTbl.create 1024;
+    alift_tbl = AliftTbl.create 4096;
   }
 
 let bip_of ctx = ctx.m
@@ -128,6 +168,8 @@ let clone_ctx ctx =
     memo = Pathfinder.memo (Pathfinder.memo_pf ctx.memo);
     u_tbl = BvTbl.create 64;
     v_tbl = BvTbl.create 64;
+    lift_tbl = LiftTbl.create 1024;
+    alift_tbl = AliftTbl.create 4096;
   }
 
 let t0_default (m : Bip.t) =
@@ -199,26 +241,61 @@ let many_base ctx ~(children : Ext_state.t array) =
 type eval = {
   r : Bitv.t array;  (** per merging class: reach at the root *)
   many0 : Bitv.t;  (** M: states inheriting >= 2 values *)
-  nonzero : Bitv.t;  (** states retrieving at least one value *)
-  eq_rows : Bitv.t array;  (** eq_rows.(k1) = { k2 | ∃(k1,k2)= } *)
-  neq_rows : Bitv.t array;
+  eq : Bitv.t;  (** flat K×K matrix: bit k1·K+k2 iff ∃(k1,k2)= *)
+  neq : Bitv.t;
 }
 
-let build_eval ctx ~c0 ~(children : Ext_state.t array)
-    ~(classes : Merging.klass list) =
+(* Case 1: one child's own matrices lifted through U(k') =
+   cl(step_up {k'}) — the boolean product Uᵀ·M·U as flat matrices.
+   Memoized per (c0, child tag): a basis state re-enters combos far
+   more often than new (c0, child) pairs appear. *)
+let lift_of ctx ~c0 ~u ~k_card (c : Ext_state.t) =
+  let compute () =
+    let lift_matrix matrix =
+      let rows = Array.init k_card (fun _ -> Bitv.builder k_card) in
+      for k'1 = 0 to k_card - 1 do
+        let child_row = Bitv.row matrix ~row_width:k_card k'1 in
+        if not (Bitv.is_empty child_row) then begin
+          (* m1 = ∪ { u.(k'2) | child k'1 ~ k'2 } *)
+          let b = Bitv.builder k_card in
+          Bitv.iter
+            (fun k'2 -> ignore (Bitv.union_into u.(k'2) b))
+            child_row;
+          let m1 = Bitv.freeze b in
+          if not (Bitv.is_empty m1) then
+            Bitv.iter
+              (fun k1 -> ignore (Bitv.union_into m1 rows.(k1)))
+              u.(k'1)
+        end
+      done;
+      Bitv.of_rows ~row_width:k_card (Array.map Bitv.freeze rows)
+    in
+    (lift_matrix c.Ext_state.eq, lift_matrix c.Ext_state.neq)
+  in
+  let tag = Ext_state.tag c in
+  if tag < 0 then compute ()
+  else begin
+    let key = (c0, tag) in
+    match LiftTbl.find_opt ctx.lift_tbl key with
+    | Some l -> l
+    | None ->
+      let l = compute () in
+      LiftTbl.add ctx.lift_tbl key l;
+      l
+  end
+
+let build_eval ctx ~c0 ~(children : Ext_state.t array) ~bases ~manyb =
   let pf = ctx.m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
   let cl x = Pathfinder.closure_m ctx.memo ~label:c0 x in
-  let r =
-    Array.of_list
-      (List.map (fun kl -> cl (class_base ctx ~children kl)) classes)
-  in
-  let many0 = cl (many_base ctx ~children) in
+  let r = Array.map cl bases in
+  let many0 = cl manyb in
   let nonzero = Array.fold_left Bitv.union many0 r in
-  let eq_rows = Array.init k_card (fun _ -> Bitv.builder k_card) in
-  let neq_rows = Array.init k_card (fun _ -> Bitv.builder k_card) in
+  let eq_b = Bitv.builder (k_card * k_card) in
+  let neq_b = Bitv.builder (k_card * k_card) in
   (* Shared class values: all pairs within one class are equal; pairs
-     from two distinct classes are unequal. *)
+     from two distinct classes are unequal. Rows are OR-ed straight
+     into the flat matrices. *)
   let n_classes = Array.length r in
   for e = 0 to n_classes - 1 do
     let others = Bitv.builder k_card in
@@ -226,57 +303,22 @@ let build_eval ctx ~c0 ~(children : Ext_state.t array)
       if e2 <> e then ignore (Bitv.union_into r.(e2) others)
     done;
     let others = Bitv.freeze others in
-    Bitv.iter
-      (fun k1 ->
-        ignore (Bitv.union_into r.(e) eq_rows.(k1));
-        ignore (Bitv.union_into others neq_rows.(k1)))
-      r.(e)
+    Bitv.union_rows_into r.(e) ~rows:r.(e) ~row_width:k_card eq_b;
+    Bitv.union_rows_into others ~rows:r.(e) ~row_width:k_card neq_b
   done;
   (* Many-source inequality: a many state differs from anything
      retrieving a value. *)
-  Bitv.iter
-    (fun k1 -> ignore (Bitv.union_into nonzero neq_rows.(k1)))
-    many0;
-  Bitv.iter
-    (fun k1 -> ignore (Bitv.union_into many0 neq_rows.(k1)))
-    nonzero;
-  (* Case 1: lift each child's own matrices through U(k') =
-     cl(step_up {k'}) — the U array is shared per c0 via the ctx. *)
+  Bitv.union_rows_into nonzero ~rows:many0 ~row_width:k_card neq_b;
+  Bitv.union_rows_into many0 ~rows:nonzero ~row_width:k_card neq_b;
+  (* Case 1, per child, through the memo. *)
   let u = u_of ctx ~c0 in
   Array.iter
     (fun (c : Ext_state.t) ->
-      let lift_matrix child_rows target =
-        (* m1.(k'1) = ∪ { u.(k'2) | child k'1 ~ k'2 } *)
-        let m1 =
-          Array.init k_card (fun k'1 ->
-              let b = Bitv.builder k_card in
-              Bitv.iter
-                (fun k'2 -> ignore (Bitv.union_into u.(k'2) b))
-                (child_rows k'1);
-              Bitv.freeze b)
-        in
-        Array.iteri
-          (fun k'1 row ->
-            if not (Bitv.is_empty row) then
-              Bitv.iter
-                (fun k1 -> ignore (Bitv.union_into row target.(k1)))
-                u.(k'1))
-          m1
-      in
-      lift_matrix
-        (fun k1 -> Bitv.row c.Ext_state.eq ~row_width:k_card k1)
-        eq_rows;
-      lift_matrix
-        (fun k1 -> Bitv.row c.Ext_state.neq ~row_width:k_card k1)
-        neq_rows)
+      let leq, lneq = lift_of ctx ~c0 ~u ~k_card c in
+      ignore (Bitv.union_into leq eq_b);
+      ignore (Bitv.union_into lneq neq_b))
     children;
-  {
-    r;
-    many0;
-    nonzero;
-    eq_rows = Array.map Bitv.freeze eq_rows;
-    neq_rows = Array.map Bitv.freeze neq_rows;
-  }
+  { r; many0; eq = Bitv.freeze eq_b; neq = Bitv.freeze neq_b }
 
 (* A light evaluation context for deciding C(v0): only the class reach
    sets and the many set are materialized; case-1 lifted pairs are
@@ -289,27 +331,52 @@ type light = {
   lr : Bitv.t array;
   lmany0 : Bitv.t;
   lc0 : Bitv.t;
+  lv : Bitv.t option array;
+      (** the ctx's per-(c0,k) backward-set cache, fetched once *)
+  mutable latoms : (int * bool) list;
+      (** per-atom memo: encoded (k1,k2,op) → truth; atoms recur across
+          the μ of different BIP states under one candidate c0 — a handful
+          per light, so an assoc list beats a hash table *)
+  lalift : (int * bool) list ref;
+      (** case-1 (lifted) atom answers, shared across every merging of
+          the (c0, children) pair through {!ctx.alift_tbl} *)
 }
 
-let build_light ctx ~c0 ~(children : Ext_state.t array)
-    ~(classes : Merging.klass list) =
-  let cl x = Pathfinder.closure_m ctx.memo ~label:c0 x in
-  let lr =
-    Array.of_list
-      (List.map (fun kl -> cl (class_base ctx ~children kl)) classes)
-  in
-  { lr; lmany0 = cl (many_base ctx ~children); lc0 = c0 }
+(* Small-int assoc scan — the caches above hold < a dozen entries. *)
+let rec assoc_find code = function
+  | [] -> None
+  | (c, (b : bool)) :: rest ->
+    if c = code then Some b else assoc_find code rest
 
-let v_of ctx light k =
-  let k_card = ctx.m.Bip.pf.Xpds_automata.Pathfinder.n_states in
-  let cache =
-    match BvTbl.find_opt ctx.v_tbl light.lc0 with
+let build_light ctx ~c0 ~ckey ~bases ~manyb =
+  let k_card = ctx.m.Bip.pf.Pathfinder.n_states in
+  let cl x = Pathfinder.closure_m ctx.memo ~label:c0 x in
+  let lv =
+    match BvTbl.find_opt ctx.v_tbl c0 with
     | Some arr -> arr
     | None ->
       let arr = Array.make k_card None in
-      BvTbl.add ctx.v_tbl light.lc0 arr;
+      BvTbl.add ctx.v_tbl c0 arr;
       arr
   in
+  let lalift =
+    match ckey with
+    | None -> ref []  (* untagged children: no sharing possible *)
+    | Some ck -> (
+      let key = (c0, ck) in
+      match AliftTbl.find_opt ctx.alift_tbl key with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        AliftTbl.add ctx.alift_tbl key r;
+        r)
+  in
+  { lr = Array.map cl bases; lmany0 = cl manyb; lc0 = c0; lv;
+    latoms = []; lalift }
+
+let v_of ctx light k =
+  let k_card = ctx.m.Bip.pf.Xpds_automata.Pathfinder.n_states in
+  let cache = light.lv in
   match cache.(k) with
   | Some v -> v
   | None ->
@@ -341,24 +408,33 @@ let v_of ctx light k =
 let light_nonzero light k =
   Bitv.mem k light.lmany0 || Array.exists (fun r -> Bitv.mem k r) light.lr
 
-let light_atom ctx light (children : Ext_state.t array) k1 k2
+let light_atom_raw ctx light (children : Ext_state.t array) ~code k1 k2
     (op : Xpds_xpath.Ast.op) =
-  let lifted matrix_at =
-    let v1 = v_of ctx light k1 and v2 = v_of ctx light k2 in
-    (not (Bitv.is_empty v1))
-    && (not (Bitv.is_empty v2))
-    && Array.exists
-         (fun (c : Ext_state.t) ->
-           Bitv.exists
-             (fun k'1 ->
-               Bitv.exists (fun k'2 -> matrix_at c k'1 k'2) v2)
-             v1)
-         children
+  let k_card = ctx.m.Bip.pf.Pathfinder.n_states in
+  let lifted matrix_of =
+    match assoc_find code !(light.lalift) with
+    | Some b -> b
+    | None ->
+      let v1 = v_of ctx light k1 and v2 = v_of ctx light k2 in
+      let b =
+        (not (Bitv.is_empty v1))
+        && (not (Bitv.is_empty v2))
+        && Array.exists
+             (fun (c : Ext_state.t) ->
+               let m = matrix_of c in
+               Bitv.exists
+                 (fun k'1 ->
+                   not (Bitv.row_disjoint m ~row_width:k_card k'1 v2))
+                 v1)
+             children
+      in
+      light.lalift := (code, b) :: !(light.lalift);
+      b
   in
   match op with
   | Eq ->
     Array.exists (fun r -> Bitv.mem k1 r && Bitv.mem k2 r) light.lr
-    || lifted (fun c -> Ext_state.eq_at c)
+    || lifted (fun (c : Ext_state.t) -> c.Ext_state.eq)
   | Neq ->
     let n = Array.length light.lr in
     let distinct_classes =
@@ -375,7 +451,25 @@ let light_atom ctx light (children : Ext_state.t array) k1 k2
     distinct_classes
     || (Bitv.mem k1 light.lmany0 && light_nonzero light k2)
     || (Bitv.mem k2 light.lmany0 && light_nonzero light k1)
-    || lifted (fun c -> Ext_state.neq_at c)
+    || lifted (fun (c : Ext_state.t) -> c.Ext_state.neq)
+
+let light_atom ctx light children k1 k2 (op : Xpds_xpath.Ast.op) =
+  let k_card = ctx.m.Bip.pf.Pathfinder.n_states in
+  let code =
+    (((k1 * k_card) + k2) * 2) + (match op with Eq -> 0 | Neq -> 1)
+  in
+  match assoc_find code light.latoms with
+  | Some b -> b
+  | None ->
+    let b = light_atom_raw ctx light children ~code k1 k2 op in
+    light.latoms <- (code, b) :: light.latoms;
+    b
+
+let count_states (children : Ext_state.t array) q =
+  Array.fold_left
+    (fun acc (c : Ext_state.t) ->
+      if Bitv.mem q c.states then acc + 1 else acc)
+    0 children
 
 let rec eval_form_light ctx (children : Ext_state.t array) ~label ~light =
   function
@@ -391,29 +485,41 @@ let rec eval_form_light ctx (children : Ext_state.t array) ~label ~light =
     || eval_form_light ctx children ~label ~light g
   | Bip.FEx (k1, k2, op) ->
     light_atom ctx (Lazy.force light) children k1 k2 op
-  | Bip.FCountGe (q, n) ->
-    List.length
-      (List.filter
-         (fun (c : Ext_state.t) -> Bitv.mem q c.states)
-         (Array.to_list children))
-    >= n
+  | Bip.FCountGe (q, n) -> count_states children q >= n
   | Bip.FCountZero q ->
     Array.for_all (fun (c : Ext_state.t) -> not (Bitv.mem q c.states))
       children
-  | Bip.FCountLt (q, n) ->
-    List.length
-      (List.filter
-         (fun (c : Ext_state.t) -> Bitv.mem q c.states)
-         (Array.to_list children))
-    < n
+  | Bip.FCountLt (q, n) -> count_states children q < n
 
 (* Decide C(v0) component by component; returns all consistent root
    labels (singleton for stratified automata). *)
-let decide_c0 ctx ~label ~children ~classes =
+let decide_c0 ctx ~label ~children ~ckey ~bases ~manyb =
   let m = ctx.m in
   let q_card = m.Bip.q_card in
+  (* One light context per candidate c0, shared across every μ
+     evaluated under it (a candidate is probed once per component
+     member); forced only when a data atom is reached. Candidates that
+     agree on the read-edge projection share one light: every answer a
+     light gives depends on the label only through enabled read edges. *)
+  let lights : light Lazy.t BvTbl.t = BvTbl.create 16 in
+  let plights : light Lazy.t BvTbl.t = BvTbl.create 16 in
   let eval_with c0 f =
-    let light = lazy (build_light ctx ~c0 ~children ~classes) in
+    let light =
+      match BvTbl.find_opt lights c0 with
+      | Some l -> l
+      | None ->
+        let pc0 = Bitv.inter c0 ctx.read_mask in
+        let l =
+          match BvTbl.find_opt plights pc0 with
+          | Some l -> l
+          | None ->
+            let l = lazy (build_light ctx ~c0:pc0 ~ckey ~bases ~manyb) in
+            BvTbl.add plights pc0 l;
+            l
+        in
+        BvTbl.add lights c0 l;
+        l
+    in
     eval_form_light ctx children ~label ~light f
   in
   let step c0s component =
@@ -445,35 +551,44 @@ let decide_c0 ctx ~label ~children ~classes =
   List.fold_left step [ Bitv.empty q_card ] ctx.components
 
 (* Assemble the extended state for a fully decided root label. *)
-let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
-    ~classes ~c0 =
+let assemble ?t0 ?dup_cap ctx ~(children : Ext_state.t array) ~bases
+    ~manyb ~c0 =
   let m = ctx.m in
   let pf = m.Bip.pf in
   let k_card = pf.Pathfinder.n_states in
   let t0 = match t0 with Some t -> t | None -> t0_default m in
-  let ev = build_eval ctx ~c0 ~children ~classes in
-  let n_classes = List.length classes in
-  (* Multiplicities. *)
+  (* The matrices only see the label through enabled read edges;
+     projecting maximises sharing of the per-label caches. The full c0
+     still becomes the state's labelling below. *)
+  let ev =
+    build_eval ctx ~c0:(Bitv.inter c0 ctx.read_mask) ~children ~bases
+      ~manyb
+  in
+  let n_classes = Array.length bases in
+  (* Multiplicities: one pass over the set bits of the class reaches —
+     a k seen twice (or already in M) is many, seen once is unique. *)
   let unique = Array.make k_card (-1) in
-  let many = ref (Bitv.empty k_card) in
-  for k = 0 to k_card - 1 do
-    let classes_of_k =
-      List.filter (fun e -> Bitv.mem k ev.r.(e)) (List.init n_classes Fun.id)
-    in
-    if Bitv.mem k ev.many0 || List.length classes_of_k >= 2 then
-      many := Bitv.add k !many
-    else
-      match classes_of_k with
-      | [ e ] -> unique.(k) <- e
-      | _ -> ()
-  done;
-  (* Atom matrices: flatten the row representation, projected onto the
-     observable pairs when the ctx asks for it. *)
+  let many_b = Bitv.builder_of ev.many0 in
+  Array.iteri
+    (fun e re ->
+      Bitv.iter
+        (fun k ->
+          if unique.(k) < 0 && not (Bitv.builder_mem k many_b) then
+            unique.(k) <- e
+          else begin
+            Bitv.add_in_place k many_b;
+            unique.(k) <- -1
+          end)
+        re)
+    ev.r;
+  let many = Bitv.freeze many_b in
+  (* Atom matrices, projected onto the observable pairs when the ctx
+     asks for it. *)
   let project m =
     match ctx.pair_mask with None -> m | Some mask -> Bitv.inter m mask
   in
-  let eq = project (Bitv.of_rows ~row_width:k_card ev.eq_rows) in
-  let neq = project (Bitv.of_rows ~row_width:k_card ev.neq_rows) in
+  let eq = project ev.eq in
+  let neq = project ev.neq in
   (* Described values: every class with a nonempty reach, root first;
      never drop the root class or a unique target when capping at t0. *)
   let keep =
@@ -529,8 +644,8 @@ let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
     Array.map (fun u -> if u >= 0 then kept_index.(u) else -1) unique
   in
   let state =
-    Ext_state.make ~states:c0 ~eq ~neq ~values ~unique:unique_kept
-      ~many:!many
+    Ext_state.make_unchecked ~states:c0 ~eq ~neq ~values
+      ~unique:unique_kept ~many
   in
   (* Map each class to its index in the canonical (sorted) state: find the
      position of its description. Equal descriptions are interchangeable,
@@ -552,10 +667,30 @@ let assemble ?t0 ?dup_cap ctx ~label:_ ~(children : Ext_state.t array)
     keep;
   { state; class_values }
 
-let combine ?t0 ?dup_cap ctx label children (classes : Merging.t) =
-  let c0s = decide_c0 ctx ~label ~children ~classes in
+let combine ?t0 ?dup_cap ?bases ctx label children (classes : Merging.t) =
+  (* Class bases and the many base do not depend on the root label
+     candidate: compute them once and share across the whole c0
+     enumeration and the final assembly. The fixpoint already unions
+     exactly these sets for its canonical merging key and passes them
+     in; external callers fall back to computing them here. *)
+  let bases =
+    match bases with
+    | Some b -> b
+    | None ->
+      Array.of_list
+        (List.map (fun kl -> class_base ctx ~children kl) classes)
+  in
+  let manyb = many_base ctx ~children in
+  (* Children identity for the per-combo atom cache; [None] when some
+     child is untagged (external callers) — then no sharing. *)
+  let ckey =
+    if Array.for_all (fun c -> Ext_state.tag c >= 0) children then
+      Some (Array.map Ext_state.tag children)
+    else None
+  in
+  let c0s = decide_c0 ctx ~label ~children ~ckey ~bases ~manyb in
   List.map
-    (fun c0 -> assemble ?t0 ?dup_cap ctx ~label ~children ~classes ~c0)
+    (fun c0 -> assemble ?t0 ?dup_cap ctx ~children ~bases ~manyb ~c0)
     c0s
 (* Distinct c0 give distinct states; no dedup needed. *)
 

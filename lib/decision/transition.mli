@@ -64,6 +64,7 @@ val leaf :
 val combine :
   ?t0:int ->
   ?dup_cap:int ->
+  ?bases:Bitv.t array ->
   ctx ->
   Xpds_datatree.Label.t ->
   Ext_state.t array ->
@@ -73,7 +74,11 @@ val combine :
     immediate subtrees realize the given children states, with data
     values identified according to the merging. The merging's items must
     be exactly the {e visible} values of the children (nonempty
-    [step_up] of the description). *)
+    [step_up] of the description). [bases], when given, must be the
+    per-class root bases in class order (step-ups of the members'
+    values, plus the initial state for the root class) — callers that
+    already union them for a canonical key pass them in to avoid
+    recomputation. *)
 
 val visible_values : Xpds_automata.Bip.t -> Ext_state.t array -> (int * int) list
 (** The (child, value) items to be partitioned by a merging: values whose

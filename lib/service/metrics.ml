@@ -26,6 +26,9 @@ type t = {
   mutable par_combos : int;
   mutable par_imbalance_max_pct : int;
   mutable domains_used_max : int;
+  mutable subsumed_pruned : int;
+  mutable basis_evicted : int;
+  mutable antichain_size_max : int;
   mutable certified : int;
   mutable cert_check_failures : int;
   mutable cert_latency_sum : float;
@@ -65,6 +68,12 @@ type snapshot = {
   par_imbalance_max_pct : int;
       (** worst per-wave load imbalance seen (100 = perfectly even) *)
   domains_used_max : int;  (** most worker domains granted to one solve *)
+  subsumed_pruned : int;
+      (** candidate states dropped at admission by subsumption pruning *)
+  basis_evicted : int;
+      (** admitted states retroactively evicted by a dominating state *)
+  antichain_size_max : int;
+      (** largest surviving frontier across uncached solves *)
   certified : int;
   cert_check_failures : int;
   cert_latency_mean_ms : float;
@@ -112,6 +121,9 @@ let create () =
     par_combos = 0;
     par_imbalance_max_pct = 0;
     domains_used_max = 1;
+    subsumed_pruned = 0;
+    basis_evicted = 0;
+    antichain_size_max = 0;
     certified = 0;
     cert_check_failures = 0;
     cert_latency_sum = 0.;
@@ -151,6 +163,9 @@ let reset (m : t) =
   m.par_combos <- 0;
   m.par_imbalance_max_pct <- 0;
   m.domains_used_max <- 1;
+  m.subsumed_pruned <- 0;
+  m.basis_evicted <- 0;
+  m.antichain_size_max <- 0;
   m.certified <- 0;
   m.cert_check_failures <- 0;
   m.cert_latency_sum <- 0.;
@@ -201,7 +216,12 @@ let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
     if p.Emptiness.par_imbalance_pct > m.par_imbalance_max_pct then
       m.par_imbalance_max_pct <- p.Emptiness.par_imbalance_pct;
     if p.Emptiness.domains_used > m.domains_used_max then
-      m.domains_used_max <- p.Emptiness.domains_used
+      m.domains_used_max <- p.Emptiness.domains_used;
+    let pr = stats.Emptiness.prune in
+    m.subsumed_pruned <- m.subsumed_pruned + pr.Emptiness.subsumed_pruned;
+    m.basis_evicted <- m.basis_evicted + pr.Emptiness.basis_evicted;
+    if pr.Emptiness.antichain_size > m.antichain_size_max then
+      m.antichain_size_max <- pr.Emptiness.antichain_size
   end
 
 (* Eval requests share the latency distribution with solver requests
@@ -283,6 +303,9 @@ let snapshot (m : t) : snapshot =
     par_combos = m.par_combos;
     par_imbalance_max_pct = m.par_imbalance_max_pct;
     domains_used_max = m.domains_used_max;
+    subsumed_pruned = m.subsumed_pruned;
+    basis_evicted = m.basis_evicted;
+    antichain_size_max = m.antichain_size_max;
     certified = m.certified;
     cert_check_failures = m.cert_check_failures;
     cert_latency_mean_ms =
@@ -360,7 +383,11 @@ let to_json (s : snapshot) =
             ("par_combos", Json.Num (float_of_int s.par_combos));
             ( "par_imbalance_max_pct",
               Json.Num (float_of_int s.par_imbalance_max_pct) );
-            ("domains_used_max", Json.Num (float_of_int s.domains_used_max))
+            ("domains_used_max", Json.Num (float_of_int s.domains_used_max));
+            ("subsumed_pruned", Json.Num (float_of_int s.subsumed_pruned));
+            ("basis_evicted", Json.Num (float_of_int s.basis_evicted));
+            ( "antichain_size_max",
+              Json.Num (float_of_int s.antichain_size_max) )
           ] );
       ( "certificates",
         Json.Obj
@@ -389,6 +416,7 @@ let pp ppf (s : snapshot) =
      fixpoint totals: %d states, %d transitions, %d mergings@,\
      parallel: %d rounds, %d waves, %d combos (worst imbalance %d%%, \
      max %d domains)@,\
+     pruning: %d subsumed, %d evicted (max antichain %d)@,\
      certificates: %d certified, %d check failures (mean %.2f ms, max \
      %.2f ms)@]"
     s.requests s.sat_requests s.eval_requests s.cache_hits s.cache_misses
@@ -406,5 +434,6 @@ let pp ppf (s : snapshot) =
           phases)
     s.phases_ms s.fixpoint_states s.fixpoint_transitions
     s.fixpoint_mergings s.par_rounds s.par_waves s.par_combos
-    s.par_imbalance_max_pct s.domains_used_max s.certified
+    s.par_imbalance_max_pct s.domains_used_max s.subsumed_pruned
+    s.basis_evicted s.antichain_size_max s.certified
     s.cert_check_failures s.cert_latency_mean_ms s.cert_latency_max_ms

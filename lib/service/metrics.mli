@@ -36,6 +36,14 @@ type snapshot = {
       (** worst per-wave load imbalance seen (100 = perfectly even) *)
   domains_used_max : int;
       (** most worker domains granted to a single solve *)
+  subsumed_pruned : int;
+      (** summed pruning counters
+          ({!Xpds_decision.Emptiness.prune_stats}): candidate states
+          dropped at admission by subsumption pruning *)
+  basis_evicted : int;
+      (** admitted states retroactively evicted by a dominating state *)
+  antichain_size_max : int;
+      (** largest surviving frontier across uncached solves *)
   certified : int;  (** certificate checks that passed *)
   cert_check_failures : int;  (** certificate checks that were rejected *)
   cert_latency_mean_ms : float;  (** mean certificate-check latency *)

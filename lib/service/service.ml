@@ -25,6 +25,12 @@ type solver_config = {
           deliberately NOT part of the cache fingerprint — parallel and
           sequential runs produce bit-identical reports, so their cache
           entries are interchangeable *)
+  prune : bool;
+      (** subsumption pruning ({!Xpds_decision.Sat.Options.prune});
+          like [domains], NOT part of the cache fingerprint — on
+          searches that finish within budget the verdict is identical,
+          and both modes answer honestly on budget-capped runs, so
+          entries are interchangeable *)
 }
 
 type config = {
@@ -48,6 +54,7 @@ let default_solver_config =
     certificate = false;
     retry_degraded = false;
     domains = Sat.Options.default.Sat.Options.domains;
+    prune = Sat.Options.default.Sat.Options.prune;
   }
 
 let default_config =
@@ -163,7 +170,10 @@ let fingerprint_of (sc : solver_config) =
      degraded retry can turn a budget [Unknown] into [Unsat_bounded].
      [domains] is deliberately NOT: the parallel engine's deterministic
      merge makes reports bit-identical across domain counts, so cache
-     entries are interchangeable — a feature, pinned by tests. *)
+     entries are interchangeable — a feature, pinned by tests.
+     [prune] is NOT either: on in-budget searches pruning only changes
+     how the fixpoint is explored, never the verdict, and budget-capped
+     answers are honest ([Unknown]/[Unsat_bounded]) in both modes. *)
   Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b;rd=%b"
     sc.width (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget)
     sc.max_states sc.max_transitions sc.verify sc.certificate
@@ -226,6 +236,7 @@ let zero_stats =
     n_mergings = 0;
     max_height_reached = 0;
     par = Emptiness.seq_par_stats;
+    prune = Emptiness.no_prune_stats;
   }
 
 let synthetic_report ~algorithm canon why =
@@ -281,6 +292,7 @@ let solve_uncached t ~trace ~deadline ~id canon =
         max_states = sc.max_states;
         max_transitions = sc.max_transitions;
         domains = sc.domains;
+        prune = sc.prune;
         should_stop;
         on_phase = Trace.mark trace;
         verify = sc.verify;

@@ -81,10 +81,17 @@ type solver_config = {
           NOT part of the cache key: reports are bit-identical across
           domain counts (deterministic parallel merge), so cached
           entries are interchangeable. *)
+  prune : bool;
+      (** subsumption pruning in the emptiness fixpoint
+          ({!Xpds_decision.Sat.Options.prune}); default [true].
+          Certificate runs force exact mode regardless. Like [domains],
+          NOT part of the cache key: verdicts agree on searches that
+          finish within budget, and budget-capped answers are honest in
+          both modes, so cached entries are interchangeable. *)
 }
 (** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
-    key (except [domains] — see above), so changing them never serves
-    stale verdicts. *)
+    key (except [domains] and [prune] — see above), so changing them
+    never serves stale verdicts. *)
 
 type config = {
   solver : solver_config;

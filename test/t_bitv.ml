@@ -120,12 +120,14 @@ let prop_hash_compare =
 
 (* --- emptiness engine regression ---
 
-   Verdict and exact exploration stats of [Sat.decide] (default
-   configuration) on the bench families, pinned from the pre-rewrite
-   engine. The canonical-key and memoization changes are only
-   re-representations of what the search already deduplicated, so every
-   count must survive byte-for-byte — including the budget-exhaustion
-   rows, which pin the exploration *order* too. *)
+   Verdict and exact exploration stats of [Sat.decide] on the bench
+   families, pinned from the pre-rewrite engine. These pin the *exact*
+   engine ([prune = false]): the canonical-key and memoization changes
+   are only re-representations of what the search already deduplicated,
+   so every count must survive byte-for-byte — including the
+   budget-exhaustion rows, which pin the exploration *order* too.
+   Pruned-mode agreement with these runs is covered separately by the
+   qcheck suite in t_prune.ml. *)
 
 let verdict_name (r : Xpds.Sat.report) =
   match r.Xpds.Sat.verdict with
@@ -136,7 +138,8 @@ let verdict_name (r : Xpds.Sat.report) =
 
 let check_golden (name, phi, verdict, states, transitions, mergings, height)
     () =
-  let r = Xpds.Sat.decide phi in
+  let options = { Xpds.Sat.Options.default with prune = false } in
+  let r = Xpds.Sat.decide ~options phi in
   let st = r.Xpds.Sat.stats in
   Alcotest.(check string) (name ^ " verdict") verdict (verdict_name r);
   Alcotest.(check int) (name ^ " states") states
