@@ -81,6 +81,7 @@ let () =
       ("service", fun () -> ignore (Service_bench.run ()))
       :: ("emptiness", fun () -> ignore (Emptiness_bench.run ()))
       :: ("eval", fun () -> ignore (Eval_bench.run ()))
+      :: ("store", fun () -> ignore (Store_bench.run ()))
       :: Experiments.all
     in
     let to_run =

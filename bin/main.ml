@@ -13,10 +13,15 @@
      serve      NDJSON request/response solver loop on stdin/stdout
      batch      solve a file of formulas, optionally in parallel
      certify    re-check a stored certificate with the naive verifier
+     cache      export/import/inspect persistent verdict stores
+     bench      run a repository benchmark, write JSON results
 
    sat/serve/batch also take --certify: solve in certificate mode,
    emit a checkable certificate per verdict and verify it on the spot
-   with the independent checker (lib/cert). *)
+   with the independent checker (lib/cert). serve/batch also take
+   --store FILE: a persistent verdict store (lib/store) acting as a
+   certificate-verified disk tier under the in-memory LRU, so a fresh
+   process warm-starts from earlier runs. *)
 
 open Cmdliner
 
@@ -665,22 +670,98 @@ let stats_arg =
   let doc = "Print service metrics (JSON, on stderr) when done." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let store_arg =
+  let doc =
+    "Persistent verdict store (created if absent): a second cache tier \
+     on disk. Memory misses probe it (verified on load) before \
+     solving, and every cacheable verdict is appended to it, so a \
+     fresh process warm-starts from previous sessions. The file is \
+     keyed on the protocol version and solver configuration; opening \
+     it under a different configuration restarts it empty."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
+
+let store_verify_arg =
+  let doc =
+    "How hard to verify a store record before serving it: \
+     $(b,fingerprint) (default) recomputes the record's certificate \
+     fingerprint against the request's canonical formula; $(b,full) \
+     additionally replays SAT witnesses through the reference \
+     semantics. Records failing either check self-evict and the \
+     request is solved fresh."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("fingerprint", Xpds.Store.Fingerprint);
+                  ("full", Xpds.Store.Full) ])
+        Xpds.Store.Fingerprint
+    & info [ "store-verify" ] ~docv:"MODE" ~doc)
+
+let open_store ~verify ~solver path =
+  match
+    Xpds.Store.open_rw ~verify ~path
+      ~protocol_version:Xpds.Service.protocol_version
+      ~config_fingerprint:(Xpds.Service.solver_fingerprint solver) ()
+  with
+  | Error e ->
+    prerr_endline (path ^ ": " ^ e);
+    exit 2
+  | Ok (store, info) ->
+    if info.Xpds.Store.invalidated then
+      Printf.eprintf
+        "%s: existing store was written under a different \
+         protocol/configuration (or is damaged); restarted empty\n%!"
+        path
+    else if info.Xpds.Store.recovered_bytes > 0 then
+      Printf.eprintf "%s: dropped %d damaged trailing bytes\n%!" path
+        info.Xpds.Store.recovered_bytes;
+    store
+
 let service_of ?(certificate = false) ?(retry_degraded = false)
-    ?(domains = 0) ?(prune = true) ~cache_capacity ~jobs () =
-  Xpds.Service.create
-    ~config:
-      { Xpds.Service.default_config with
-        solver =
-          { Xpds.Service.default_solver_config with
-            certificate;
-            retry_degraded;
-            domains = resolve_domains domains;
-            prune
-          };
-        cache_capacity;
-        jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
-      }
-    ()
+    ?(domains = 0) ?(prune = true) ?store_path
+    ?(store_verify = Xpds.Store.Fingerprint) ~cache_capacity ~jobs () =
+  let config =
+    { Xpds.Service.default_config with
+      solver =
+        { Xpds.Service.default_solver_config with
+          certificate;
+          retry_degraded;
+          domains = resolve_domains domains;
+          prune
+        };
+      cache_capacity;
+      jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
+    }
+  in
+  let store =
+    Option.map
+      (open_store ~verify:store_verify ~solver:config.Xpds.Service.solver)
+      store_path
+  in
+  (Xpds.Service.create ~config ?store (), store)
+
+let print_store_info store =
+  let num i = Xpds.Json.Num (float_of_int i) in
+  let c = Xpds.Store.counters store in
+  prerr_endline
+    (Xpds.Json.to_string
+       (Xpds.Json.Obj
+          [ ("store", Xpds.Json.Str (Xpds.Store.path store));
+            ("records", num (Xpds.Store.length store));
+            ("bytes", num (Xpds.Store.bytes_on_disk store));
+            ("memory_hits", num c.Xpds.Store.memory_hits);
+            ("disk_hits", num c.Xpds.Store.disk_hits);
+            ("misses", num c.Xpds.Store.misses);
+            ("self_evictions", num c.Xpds.Store.self_evictions);
+            ("appends", num c.Xpds.Store.appends)
+          ]))
+
+let close_store ?(stats = false) store =
+  Option.iter
+    (fun store ->
+      if stats then print_store_info store;
+      Xpds.Store.close store)
+    store
 
 let default_timeout t = if t > 0. then Some t else None
 
@@ -715,10 +796,11 @@ let serve_cmd =
     Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
   in
   let run timeout_ms cache stats certify trace degrade domains no_prune
-      docs =
-    let svc =
+      docs store_path store_verify =
+    let svc, store =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
-        ~prune:(not no_prune) ~cache_capacity:cache ~jobs:0 ()
+        ~prune:(not no_prune) ?store_path ~store_verify
+        ~cache_capacity:cache ~jobs:0 ()
     in
     List.iter
       (fun spec ->
@@ -765,7 +847,8 @@ let serve_cmd =
         loop ()
     in
     loop ();
-    if stats then print_metrics svc
+    if stats then print_metrics svc;
+    close_store ~stats store
   in
   Cmd.v
     (Cmd.info "serve"
@@ -780,10 +863,13 @@ let serve_cmd =
           a document (registered with --doc, or sent inline as \
           \"xml\"/\"tree\") instead of deciding satisfiability. With \
           --certify each response carries a checked certificate \
-          summary; with --trace, per-phase timings.")
+          summary; with --trace, per-phase timings. With --store, a \
+          persistent verdict store warm-starts the cache across \
+          processes.")
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
-      $ trace_arg $ degrade_arg $ domains_arg $ no_prune_arg $ docs_arg)
+      $ trace_arg $ degrade_arg $ domains_arg $ no_prune_arg $ docs_arg
+      $ store_arg $ store_verify_arg)
 
 let batch_cmd =
   let file_arg =
@@ -812,7 +898,7 @@ let batch_cmd =
              implies --certify.")
   in
   let run file jobs timeout_ms cache stats certify cert_dir trace degrade
-      domains no_prune =
+      domains no_prune store_path store_verify =
     let certify = certify || cert_dir <> None in
     let ic = open_in file in
     let requests = ref [] in
@@ -838,9 +924,10 @@ let batch_cmd =
        done
      with End_of_file -> close_in ic);
     let requests = List.rev !requests in
-    let svc =
+    let svc, store =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
-        ~prune:(not no_prune) ~cache_capacity:cache ~jobs ()
+        ~prune:(not no_prune) ?store_path ~store_verify
+        ~cache_capacity:cache ~jobs ()
     in
     let responses = Xpds.Service.solve_batch svc requests in
     (match cert_dir with
@@ -869,6 +956,7 @@ let batch_cmd =
         print_endline (Xpds.Service.response_to_json ~trace ~extra resp))
       responses;
     if stats then print_metrics svc;
+    close_store ~stats store;
     if not !all_ok then exit 4
   in
   Cmd.v
@@ -879,11 +967,14 @@ let batch_cmd =
           yields an {\"error\":..} response; the rest of the batch \
           still completes). With --certify every verdict is certified \
           and independently re-checked (exit 4 if any certificate \
-          fails); with --trace, per-phase timings.")
+          fails); with --trace, per-phase timings. With --store, a \
+          persistent verdict store warm-starts the cache across \
+          processes.")
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
       $ stats_arg $ certify_arg $ cert_dir_arg $ trace_arg
-      $ degrade_arg $ domains_arg $ no_prune_arg)
+      $ degrade_arg $ domains_arg $ no_prune_arg $ store_arg
+      $ store_verify_arg)
 
 (* --- certify --- *)
 
@@ -926,6 +1017,177 @@ let certify_cmd =
           verifier. Exit: 0 certificate accepted, 1 rejected, 2 unreadable.")
     Term.(const run $ file_arg $ budget_arg)
 
+(* --- cache: snapshot export / import / offline stats --- *)
+
+let cache_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let num n = Xpds.Json.Num (float_of_int n) in
+  let export_cmd =
+    let src_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"STORE" ~doc:"Source store file.")
+    in
+    let dst_arg =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"SNAPSHOT" ~doc:"Destination snapshot file.")
+    in
+    let run src dst json =
+      match Xpds.Store.export ~src ~dst with
+      | Error e ->
+        prerr_endline ("cache export: " ^ e);
+        exit 2
+      | Ok info ->
+        if json then
+          print_endline
+            (Xpds.Json.to_string
+               (Xpds.Json.Obj
+                  [ ("snapshot", Xpds.Json.Str dst);
+                    ("exported", num info.Xpds.Store.exported);
+                    ("skipped", num info.Xpds.Store.skipped);
+                    ("snapshot_bytes", num info.Xpds.Store.snapshot_bytes)
+                  ]))
+        else
+          Format.printf
+            "exported %d records to %s (%d bytes%s)@."
+            info.Xpds.Store.exported dst info.Xpds.Store.snapshot_bytes
+            (if info.Xpds.Store.skipped > 0 then
+               Printf.sprintf ", %d corrupt records skipped"
+                 info.Xpds.Store.skipped
+             else "");
+        exit 0
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Compact a verdict store into a fresh snapshot: one record \
+            per live key, each re-verified against its own certificate \
+            fingerprint, sorted for deterministic bytes.")
+      Term.(const run $ src_arg $ dst_arg $ json_arg)
+  in
+  let import_cmd =
+    let snap_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot to import.")
+    in
+    let dst_arg =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"STORE" ~doc:"Destination store file.")
+    in
+    let run snapshot store_path json =
+      match Xpds.Store.import_into ~snapshot ~store_path with
+      | Error e ->
+        prerr_endline ("cache import: " ^ e);
+        exit 2
+      | Ok n ->
+        if json then
+          print_endline
+            (Xpds.Json.to_string
+               (Xpds.Json.Obj
+                  [ ("store", Xpds.Json.Str store_path);
+                    ("imported", num n)
+                  ]))
+        else Format.printf "imported %d records into %s@." n store_path;
+        exit 0
+    in
+    Cmd.v
+      (Cmd.info "import"
+         ~doc:
+           "Append a snapshot's records into a store (created when \
+            absent), skipping keys already present. Refuses a snapshot \
+            whose protocol or solver-config fingerprint disagrees with \
+            the store's.")
+      Term.(const run $ snap_arg $ dst_arg $ json_arg)
+  in
+  let stats_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"Store or snapshot file to inspect.")
+    in
+    let run file json =
+      match Xpds.Store.file_stats file with
+      | Error e ->
+        prerr_endline ("cache stats: " ^ e);
+        exit 2
+      | Ok s ->
+        let c = s.Xpds.Store.fs_totals in
+        if json then
+          print_endline
+            (Xpds.Json.to_string
+               (Xpds.Json.Obj
+                  [ ("file", Xpds.Json.Str file);
+                    ("protocol", num s.Xpds.Store.fs_protocol);
+                    ("config", Xpds.Json.Str s.Xpds.Store.fs_config);
+                    ("file_bytes", num s.Xpds.Store.fs_file_bytes);
+                    ("dropped_bytes", num s.Xpds.Store.fs_dropped_bytes);
+                    ("live_records", num s.Xpds.Store.fs_live);
+                    ("record_frames", num s.Xpds.Store.fs_record_frames);
+                    ("tombstones", num s.Xpds.Store.fs_tombstones);
+                    ("sessions", num s.Xpds.Store.fs_sessions);
+                    ( "verdicts",
+                      Xpds.Json.Obj
+                        (List.map
+                           (fun (k, v) -> (k, num v))
+                           s.Xpds.Store.fs_verdicts) );
+                    ( "tiers",
+                      Xpds.Json.Obj
+                        [ ("memory", num c.Xpds.Store.memory_hits);
+                          ("disk", num c.Xpds.Store.disk_hits);
+                          ("solve", num c.Xpds.Store.misses)
+                        ] );
+                    ("self_evictions", num c.Xpds.Store.self_evictions);
+                    ("appends", num c.Xpds.Store.appends)
+                  ]))
+        else begin
+          Format.printf "%s: protocol v%d, config %s@." file
+            s.Xpds.Store.fs_protocol s.Xpds.Store.fs_config;
+          Format.printf
+            "  %d live records (%d frames, %d tombstones) in %d bytes%s@."
+            s.Xpds.Store.fs_live s.Xpds.Store.fs_record_frames
+            s.Xpds.Store.fs_tombstones s.Xpds.Store.fs_file_bytes
+            (if s.Xpds.Store.fs_dropped_bytes > 0 then
+               Printf.sprintf " (%d damaged bytes dropped)"
+                 s.Xpds.Store.fs_dropped_bytes
+             else "");
+          List.iter
+            (fun (k, v) -> Format.printf "  %-16s %d@." k v)
+            s.Xpds.Store.fs_verdicts;
+          Format.printf
+            "  lifetime (%d sessions): %d memory hits, %d disk hits, \
+             %d misses, %d self-evictions, %d appends@."
+            s.Xpds.Store.fs_sessions c.Xpds.Store.memory_hits
+            c.Xpds.Store.disk_hits c.Xpds.Store.misses
+            c.Xpds.Store.self_evictions c.Xpds.Store.appends
+        end;
+        exit 0
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Inspect a store or snapshot offline: header, live records, \
+            verdict histogram, damage, and lifetime per-tier counters \
+            summed over session frames.")
+      Term.(const run $ file_arg $ json_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Manage persistent verdict stores: compact snapshots \
+          ([export]), merge them into live stores ([import]), and \
+          inspect files offline ([stats]).")
+    [ export_cmd; import_cmd; stats_cmd ]
+
 (* --- bench --- *)
 
 let bench_cmd =
@@ -935,7 +1197,7 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
           ~doc:"Benchmark to run: \"emptiness\", \"certify\", \
-                \"service\" or \"eval\".")
+                \"service\", \"eval\" or \"store\".")
   in
   let quick_arg =
     let doc =
@@ -966,10 +1228,13 @@ let bench_cmd =
     | "eval" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_eval.json" else out in
       exit (Eval_bench.run ~quick ~out ())
+    | "store" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_store.json" else out in
+      exit (Store_bench.run ~quick ~out ())
     | other ->
       prerr_endline
         ("unknown bench target " ^ other
-       ^ " (have: emptiness, certify, service, eval)");
+       ^ " (have: emptiness, certify, service, eval, store)");
       exit 2
   in
   Cmd.v
@@ -993,5 +1258,6 @@ let () =
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
             contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
-            eval_cmd; serve_cmd; batch_cmd; certify_cmd; bench_cmd
+            eval_cmd; serve_cmd; batch_cmd; certify_cmd; cache_cmd;
+            bench_cmd
           ]))

@@ -28,7 +28,11 @@
       [xpds serve]/[xpds batch] subcommands);
     - {!Cert}, {!Cert_naive}: checkable SAT/UNSAT certificates and
       their independent verifier (the [xpds certify]/[--certify]
-      subcommands).
+      subcommands);
+    - {!Store}, {!Store_record}, {!Store_log}, {!Crc32}: the persistent
+      verdict store — an append-only, CRC-framed, certificate-verified
+      disk tier under the service cache (the [xpds cache] subcommands
+      and [--store]).
 
     Quick start:
     {[
@@ -89,6 +93,10 @@ module Pool = Xpds_service.Pool
 module Json = Json
 module Cert = Xpds_cert.Cert
 module Cert_naive = Xpds_cert.Naive
+module Store = Xpds_store.Store
+module Store_record = Xpds_store.Record
+module Store_log = Xpds_store.Log
+module Crc32 = Xpds_store.Crc32
 
 (** [satisfiable s] parses and decides a formula with the default solver
     configuration; [Error] on syntax errors, [None] on resource

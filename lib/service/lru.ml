@@ -63,6 +63,21 @@ let add t key value =
   push_front t n;
   Hashtbl.replace t.tbl key n
 
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl key;
+    true
+
+let fold f acc t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.key n.value) n.next
+  in
+  go acc t.first
+
 let mem t key = Hashtbl.mem t.tbl key
 let length t = Hashtbl.length t.tbl
 let capacity t = t.cap

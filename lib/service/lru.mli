@@ -20,6 +20,15 @@ val add : 'a t -> string -> 'a -> unit
 val mem : 'a t -> string -> bool
 (** Membership without promotion. *)
 
+val remove : 'a t -> string -> bool
+(** Drop an entry without touching recency order; [true] iff it was
+    present. Used by the store's self-eviction to purge a record that
+    failed verify-on-load from the memory tier as well. *)
+
+val fold : ('acc -> string -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over entries from most- to least-recently used, without
+    promotion. *)
+
 val length : 'a t -> int
 val capacity : 'a t -> int
 val clear : 'a t -> unit

@@ -36,6 +36,11 @@ type t = {
   mutable single_flight : int;
   mutable crashes : int;
   mutable degraded_retries : int;
+  mutable disk_hits : int;
+  mutable store_self_evictions : int;
+  mutable store_appends : int;
+  mutable store_verify_ms_sum : float;
+  mutable store_verify_ms_max : float;
   mutable sat_requests : int;
   mutable eval_requests : int;
   mutable eval_cache_hits : int;
@@ -81,6 +86,15 @@ type snapshot = {
   single_flight : int;
   crashes : int;
   degraded_retries : int;
+  disk_hits : int;
+      (** the subset of [cache_hits] answered by the persistent store's
+          disk tier (verified on load) *)
+  store_self_evictions : int;
+      (** store records dropped at probe time by verify-on-load *)
+  store_appends : int;  (** verdicts persisted to the store *)
+  store_verify_mean_ms : float;
+      (** mean verify-on-load latency (hits and self-evictions) *)
+  store_verify_max_ms : float;
   sat_requests : int;  (** requests of kind [sat] (solver verdicts) *)
   eval_requests : int;  (** requests of kind [eval] (bulk evaluation) *)
   eval_cache_hits : int;
@@ -131,6 +145,11 @@ let create () =
     single_flight = 0;
     crashes = 0;
     degraded_retries = 0;
+    disk_hits = 0;
+    store_self_evictions = 0;
+    store_appends = 0;
+    store_verify_ms_sum = 0.;
+    store_verify_ms_max = 0.;
     sat_requests = 0;
     eval_requests = 0;
     eval_cache_hits = 0;
@@ -173,6 +192,11 @@ let reset (m : t) =
   m.single_flight <- 0;
   m.crashes <- 0;
   m.degraded_retries <- 0;
+  m.disk_hits <- 0;
+  m.store_self_evictions <- 0;
+  m.store_appends <- 0;
+  m.store_verify_ms_sum <- 0.;
+  m.store_verify_ms_max <- 0.;
   m.sat_requests <- 0;
   m.eval_requests <- 0;
   m.eval_cache_hits <- 0;
@@ -243,6 +267,19 @@ let record_eval (m : t) ~outcome ~cached ~ms ~node_evals =
   m.eval_node_evals <- m.eval_node_evals + node_evals;
   record_latency m ms
 
+let record_store_verify (m : t) ms =
+  m.store_verify_ms_sum <- m.store_verify_ms_sum +. ms;
+  if ms > m.store_verify_ms_max then m.store_verify_ms_max <- ms
+
+let record_disk_hit (m : t) ~verify_ms =
+  m.disk_hits <- m.disk_hits + 1;
+  record_store_verify m verify_ms
+
+let record_store_self_eviction (m : t) ~verify_ms =
+  m.store_self_evictions <- m.store_self_evictions + 1;
+  record_store_verify m verify_ms
+
+let record_store_append (m : t) = m.store_appends <- m.store_appends + 1
 let record_doc_built (m : t) = m.eval_docs_built <- m.eval_docs_built + 1
 let record_single_flight (m : t) = m.single_flight <- m.single_flight + 1
 let record_crash (m : t) = m.crashes <- m.crashes + 1
@@ -315,6 +352,13 @@ let snapshot (m : t) : snapshot =
     single_flight = m.single_flight;
     crashes = m.crashes;
     degraded_retries = m.degraded_retries;
+    disk_hits = m.disk_hits;
+    store_self_evictions = m.store_self_evictions;
+    store_appends = m.store_appends;
+    store_verify_mean_ms =
+      (let n = m.disk_hits + m.store_self_evictions in
+       if n = 0 then 0. else m.store_verify_ms_sum /. float_of_int n);
+    store_verify_max_ms = m.store_verify_ms_max;
     sat_requests = m.sat_requests;
     eval_requests = m.eval_requests;
     eval_cache_hits = m.eval_cache_hits;
@@ -360,6 +404,28 @@ let to_json (s : snapshot) =
       ("single_flight", Json.Num (float_of_int s.single_flight));
       ("crashes", Json.Num (float_of_int s.crashes));
       ("degraded_retries", Json.Num (float_of_int s.degraded_retries));
+      ( "tiers",
+        (* Where requests were answered: memory = the in-process caches
+           (including flight joins and in-batch duplicates), disk = the
+           persistent store, solve = fresh computation. *)
+        Json.Obj
+          [ ( "memory",
+              Json.Num (float_of_int (s.cache_hits - s.disk_hits)) );
+            ("disk", Json.Num (float_of_int s.disk_hits));
+            ("solve", Json.Num (float_of_int s.cache_misses))
+          ] );
+      ( "store",
+        Json.Obj
+          [ ("disk_hits", Json.Num (float_of_int s.disk_hits));
+            ( "self_evictions",
+              Json.Num (float_of_int s.store_self_evictions) );
+            ("appends", Json.Num (float_of_int s.store_appends));
+            ( "verify_ms",
+              Json.Obj
+                [ ("mean", Json.Num s.store_verify_mean_ms);
+                  ("max", Json.Num s.store_verify_max_ms)
+                ] )
+          ] );
       ( "phase_totals_ms",
         Json.Obj
           (List.map
@@ -411,6 +477,8 @@ let pp ppf (s : snapshot) =
      verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
      deadline)@,\
      robustness: %d crashes isolated, %d degraded retries@,\
+     tiers: %d memory, %d disk, %d solved; store: %d self-evictions, \
+     %d appends (verify mean %.2f ms, max %.2f ms)@,\
      latency ms: min %.2f, mean %.2f, p95 %.2f, max %.2f@,\
      phase totals ms:%a@,\
      fixpoint totals: %d states, %d transitions, %d mergings@,\
@@ -424,7 +492,11 @@ let pp ppf (s : snapshot) =
     s.eval_deadline_timeouts s.eval_node_evals s.eval_docs_built s.sat
     s.unsat
     s.unsat_bounded s.unknown s.deadline_timeouts s.crashes
-    s.degraded_retries s.latency_min_ms s.latency_mean_ms
+    s.degraded_retries
+    (s.cache_hits - s.disk_hits)
+    s.disk_hits s.cache_misses s.store_self_evictions s.store_appends
+    s.store_verify_mean_ms s.store_verify_max_ms s.latency_min_ms
+    s.latency_mean_ms
     s.latency_p95_ms s.latency_max_ms
     (fun ppf phases ->
       if phases = [] then Format.pp_print_string ppf " (none)"

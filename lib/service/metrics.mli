@@ -56,6 +56,20 @@ type snapshot = {
           response *)
   degraded_retries : int;
       (** budget-exhausted requests retried once with degraded bounds *)
+  disk_hits : int;
+      (** the subset of [cache_hits] answered by the persistent store
+          ({!Xpds_store.Store}) after verify-on-load — the disk tier;
+          [cache_hits - disk_hits] is the memory tier, [cache_misses]
+          the solve tier *)
+  store_self_evictions : int;
+      (** store records that failed verify-on-load at probe time and
+          were dropped (tombstoned) instead of served *)
+  store_appends : int;
+      (** freshly solved verdicts persisted to the store this session *)
+  store_verify_mean_ms : float;
+      (** mean verify-on-load latency across disk probes that found a
+          record (hits and self-evictions) *)
+  store_verify_max_ms : float;
   sat_requests : int;
       (** requests of kind [sat] — solver verdicts ({!record}) *)
   eval_requests : int;
@@ -107,6 +121,18 @@ val record_eval :
 
 val record_doc_built : t -> unit
 (** Count one document flattened into array form. *)
+
+val record_disk_hit : t -> verify_ms:float -> unit
+(** Count one request answered from the persistent store's disk tier;
+    [verify_ms] is the verify-on-load latency. The request itself is
+    still counted through {!record} with [cached = true] — this marks
+    which tier the hit came from. *)
+
+val record_store_self_eviction : t -> verify_ms:float -> unit
+(** Count one store record dropped by verify-on-load. *)
+
+val record_store_append : t -> unit
+(** Count one verdict persisted to the store. *)
 
 val record_single_flight : t -> unit
 (** Count one request that was served by joining an in-flight solve. *)

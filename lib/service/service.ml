@@ -9,6 +9,7 @@ module Path_ = Xpds_datatree.Path
 module Xml_doc = Xpds_datatree.Xml_doc
 module Eval_doc = Xpds_eval.Doc
 module Eval = Xpds_eval.Eval
+module Store = Xpds_store.Store
 
 type solver_config = {
   width : int;
@@ -78,10 +79,21 @@ type response = {
   report : Sat.report;
   cached : bool;
   degraded : bool;
+  tier : string;  (** "memory" | "disk" | "solve" *)
   ms : float;
   key : Cache_key.t;
   trace : Trace.t;
 }
+
+(* Which tier answered: the in-process caches (including flight joins
+   and in-batch duplicates), the persistent store (carrying its
+   verify-on-load latency), or a fresh solve. *)
+type tier = Tier_memory | Tier_disk of float | Tier_solve
+
+let tier_name = function
+  | Tier_memory -> "memory"
+  | Tier_disk _ -> "disk"
+  | Tier_solve -> "solve"
 
 (* One in-flight computation per cache key: the first missing request
    becomes the leader and solves; concurrent requests on the same key
@@ -151,6 +163,9 @@ type eval_flight = {
 type t = {
   cfg : config;
   fingerprint : string;
+  store : Store.t option;
+      (** the disk tier under the LRU; guarded by its own mutex, so
+          probes and admissions happen outside the service lock *)
   cache : Sat.report Lru.t;
   meters : Metrics.t;
   lock : Mutex.t;
@@ -179,10 +194,13 @@ let fingerprint_of (sc : solver_config) =
     sc.max_states sc.max_transitions sc.verify sc.certificate
     sc.retry_degraded
 
-let create ?(config = default_config) () =
+let solver_fingerprint = fingerprint_of
+
+let create ?(config = default_config) ?store () =
   {
     cfg = config;
     fingerprint = fingerprint_of config.solver;
+    store;
     cache = Lru.create ~capacity:config.cache_capacity;
     meters = Metrics.create ();
     lock = Mutex.create ();
@@ -337,18 +355,55 @@ let solve_uncached t ~trace ~deadline ~id canon =
 let deadline_of trace timeout_ms =
   Option.map (fun ms -> Trace.admitted trace +. ms) timeout_ms
 
-let finish t (r : request) ~key ~trace ~report ~cached ~degraded ~flight =
+let finish t (r : request) ~key ~canon ~trace ~tier ~report ~degraded
+    ~flight =
   Trace.finish trace;
   let ms = Trace.elapsed_ms trace in
+  let cached = match tier with Tier_solve -> false | _ -> true in
+  (* Store traffic first, on the store's own lock — admission of a fresh
+     verdict, or the memory-hit note that completes the store's
+     per-session tier counters. *)
+  let admitted =
+    match (t.store, tier) with
+    | Some store, Tier_solve when cacheable report ->
+      Store.admit store ~key:(Cache_key.hex key) ~canon report
+    | Some store, Tier_memory ->
+      Store.note_memory_hit store;
+      false
+    | _ -> false
+  in
   Mutex.protect t.lock (fun () ->
       if (not cached) && cacheable report then Lru.add t.cache key report;
       Metrics.record t.meters ~verdict:report.Sat.verdict ~cached ~ms
         ~stats:report.Sat.stats;
+      (match tier with
+      | Tier_disk verify_ms -> Metrics.record_disk_hit t.meters ~verify_ms
+      | _ -> ());
+      if admitted then Metrics.record_store_append t.meters;
       if flight then Metrics.record_single_flight t.meters;
       if (not cached) && degraded then Metrics.record_degraded t.meters;
       if (not cached) && is_crash report then Metrics.record_crash t.meters;
       Metrics.record_trace t.meters trace);
-  { id = r.id; report; cached; degraded; ms; key; trace }
+  { id = r.id; report; cached; degraded; tier = tier_name tier; ms; key;
+    trace }
+
+(* Probe the disk tier for [key]. Only called after the memory tier
+   missed; a record failing verify-on-load self-evicts inside the store
+   and is purged from the memory tier too (defensive — a memory entry
+   can only exist after a verified load or a fresh solve). *)
+let store_probe t ~trace ~key ~canon =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    Trace.mark trace "store_probe";
+    match Store.probe store ~key:(Cache_key.hex key) ~canon with
+    | Store.Miss -> None
+    | Store.Hit (report, verify_ms) -> Some (report, verify_ms)
+    | Store.Evicted (_, verify_ms) ->
+      Mutex.protect t.lock (fun () ->
+          ignore (Lru.remove t.cache key);
+          Metrics.record_store_self_eviction t.meters ~verify_ms);
+      None)
 
 let solve ?trace t r =
   let tr = match trace with Some tr -> tr | None -> Trace.create () in
@@ -381,8 +436,8 @@ let solve ?trace t r =
     in
     match decision with
     | `Hit report ->
-      finish t r ~key ~trace:tr ~report ~cached:true ~degraded:false
-        ~flight:false
+      finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+        ~degraded:false ~flight:false
     | `Join fl -> (
       Trace.mark tr "flight_wait";
       let outcome =
@@ -395,8 +450,8 @@ let solve ?trace t r =
       in
       match outcome with
       | Some (report, degraded) when cacheable report ->
-        finish t r ~key ~trace:tr ~report ~cached:true ~degraded
-          ~flight:true
+        finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+          ~degraded ~flight:true
       | _ ->
         (* The leader crashed or produced a time-dependent verdict
            (deadline) that must not be shared: try again ourselves —
@@ -404,24 +459,36 @@ let solve ?trace t r =
            request whose budget died waiting answers [Unknown
            "deadline exceeded"] immediately. *)
         attempt ())
-    | `Lead fl ->
-      let publish outcome =
+    | `Lead fl -> (
+      let publish ?admit_report outcome =
         Mutex.protect t.lock (fun () ->
+            (match admit_report with
+            | Some report -> Lru.add t.cache key report
+            | None -> ());
             fl.outcome <- outcome;
             fl.landed <- true;
             Hashtbl.remove t.inflight key;
             Condition.broadcast fl.cond)
       in
-      (match solve_uncached t ~trace:tr ~deadline ~id:r.id canon with
-      | report, degraded ->
-        publish (Some (report, degraded));
-        finish t r ~key ~trace:tr ~report ~cached:false ~degraded
-          ~flight:false
-      | exception e ->
-        (* [solve_uncached] never raises; this is pure paranoia so a
-           bug there can never strand the waiters. *)
-        publish None;
-        raise e)
+      (* The memory tier missed: try the disk tier before spawning a
+         solve. A verified disk hit lands the flight like a solve would
+         — waiters join it, and it is promoted to the memory tier. *)
+      match store_probe t ~trace:tr ~key ~canon with
+      | Some (report, verify_ms) ->
+        publish ~admit_report:report (Some (report, false));
+        finish t r ~key ~canon ~trace:tr ~report
+          ~tier:(Tier_disk verify_ms) ~degraded:false ~flight:false
+      | None -> (
+        match solve_uncached t ~trace:tr ~deadline ~id:r.id canon with
+        | report, degraded ->
+          publish (Some (report, degraded));
+          finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+            ~degraded ~flight:false
+        | exception e ->
+          (* [solve_uncached] never raises; this is pure paranoia so a
+             bug there can never strand the waiters. *)
+          publish None;
+          raise e))
   in
   attempt ()
 
@@ -443,8 +510,21 @@ let solve_batch ?jobs t requests =
         let in_cache =
           Mutex.protect t.lock (fun () -> Lru.mem t.cache key)
         in
+        (* Memory miss: probe the disk tier before admitting the item as
+           work. A verified disk hit is promoted to the memory tier
+           immediately, so in-batch duplicates of its key probe as
+           memory hits. *)
+        let hint =
+          if in_cache then `Mem
+          else
+            match store_probe t ~trace:tr ~key ~canon with
+            | Some (report, verify_ms) ->
+              Mutex.protect t.lock (fun () -> Lru.add t.cache key report);
+              `Disk (report, verify_ms)
+            | None -> `Miss
+        in
         Trace.mark tr "queue";
-        (r, canon, key, tr, in_cache))
+        (r, canon, key, tr, hint))
       requests
   in
   (* One representative per distinct un-cached key; the worker pool only
@@ -453,12 +533,13 @@ let solve_batch ?jobs t requests =
   let work = ref [] in
   let n_work = ref 0 in
   List.iter
-    (fun ((r : request), canon, key, tr, in_cache) ->
-      if (not in_cache) && not (Hashtbl.mem rep_tbl key) then begin
+    (fun ((r : request), canon, key, tr, hint) ->
+      match hint with
+      | `Miss when not (Hashtbl.mem rep_tbl key) ->
         Hashtbl.add rep_tbl key !n_work;
         work := (r.id, canon, tr, deadline_of tr r.timeout_ms) :: !work;
         incr n_work
-      end)
+      | _ -> ())
     keyed;
   let work = Array.of_list (List.rev !work) in
   let solve_one (id, canon, tr, deadline) =
@@ -476,18 +557,18 @@ let solve_batch ?jobs t requests =
      hits report [cached]. *)
   let claimed = Hashtbl.create 64 in
   List.map
-    (fun (r, canon, key, tr, _) ->
+    (fun (r, canon, key, tr, hint) ->
       match Hashtbl.find_opt rep_tbl key with
       | Some i -> (
         match solved.(i) with
         | Ok (report, degraded) ->
           if Hashtbl.mem claimed key then
-            finish t r ~key ~trace:tr ~report ~cached:true ~degraded
-              ~flight:false
+            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+              ~degraded ~flight:false
           else begin
             Hashtbl.add claimed key ();
-            finish t r ~key ~trace:tr ~report ~cached:false ~degraded
-              ~flight:false
+            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+              ~degraded ~flight:false
           end
         | Error e ->
           (* The worker itself was lost mid-item. [solve_uncached]
@@ -497,21 +578,27 @@ let solve_batch ?jobs t requests =
             synthetic_report ~algorithm:"aborted: worker lost" canon
               (crash_prefix ^ Printexc.to_string e)
           in
-          finish t r ~key ~trace:tr ~report ~cached:false
+          finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
             ~degraded:false ~flight:false)
       | None -> (
-        match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
-        | Some report ->
-          finish t r ~key ~trace:tr ~report ~cached:true ~degraded:false
-            ~flight:false
-        | None ->
-          (* Was cached at dispatch time but evicted since: solve here. *)
-          let report, degraded =
-            solve_uncached t ~trace:tr
-              ~deadline:(deadline_of tr r.timeout_ms) ~id:r.id canon
-          in
-          finish t r ~key ~trace:tr ~report ~cached:false ~degraded
-            ~flight:false))
+        match hint with
+        | `Disk (report, verify_ms) ->
+          finish t r ~key ~canon ~trace:tr ~report
+            ~tier:(Tier_disk verify_ms) ~degraded:false ~flight:false
+        | _ -> (
+          match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
+          | Some report ->
+            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+              ~degraded:false ~flight:false
+          | None ->
+            (* Was cached at dispatch time but evicted since: solve
+               here. *)
+            let report, degraded =
+              solve_uncached t ~trace:tr
+                ~deadline:(deadline_of tr r.timeout_ms) ~id:r.id canon
+            in
+            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+              ~degraded ~flight:false)))
     keyed
 
 (* --- the eval verb: registry, result cache, single flight --- *)
@@ -933,6 +1020,7 @@ let response_to_json ?(trace = false) ?(extra = []) resp =
       ("id", Json.Str resp.id);
       ("verdict", Json.Str (verdict_name report.Sat.verdict));
       ("cached", Json.Bool resp.cached);
+      ("tier", Json.Str resp.tier);
       ("ms", Json.Num (Float.round (resp.ms *. 1000.) /. 1000.));
       ("fragment", Json.Str (Fragment.name report.Sat.fragment));
       ( "states",

@@ -128,6 +128,11 @@ type response = {
           joining an in-flight computation, or as an in-batch duplicate *)
   degraded : bool;
       (** this verdict came from a degraded-bounds retry *)
+  tier : string;
+      (** which tier answered: ["memory"] (the in-process caches —
+          including flight joins and in-batch duplicates), ["disk"] (the
+          persistent store, after verify-on-load) or ["solve"] (fresh
+          computation). [cached = (tier <> "solve")]. *)
   ms : float;
       (** caller-visible latency: admission to completion, monotonic *)
   key : Cache_key.t;
@@ -136,8 +141,23 @@ type response = {
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?store:Xpds_store.Store.t -> unit -> t
+(** [?store] layers a persistent verdict store under the memory cache as
+    a second tier: a memory miss probes the store (the [store_probe]
+    trace phase) before solving, and every cacheable fresh verdict is
+    appended to it. The store must have been opened under this service's
+    configuration — {!solver_fingerprint} of the config's [solver] — or
+    its records would never probe successfully; {!Xpds_store.Store}'s
+    header versioning enforces exactly that at open. The caller keeps
+    ownership: close the store (flushing its session counters) at
+    shutdown. *)
+
 val config : t -> config
+
+val solver_fingerprint : solver_config -> string
+(** The cache-key configuration fingerprint of a solver config — the
+    string both {!Cache_key.make} and the store header versioning are
+    keyed on. Excludes [domains] and [prune] (see {!solver_config}). *)
 
 val solve : ?trace:Trace.t -> t -> request -> response
 (** [?trace] threads in a pre-admitted trace (e.g. one that already
@@ -278,7 +298,8 @@ val request_of_json : string -> (request, string) result
 
 val response_to_json :
   ?trace:bool -> ?extra:(string * Json.t) list -> response -> string
-(** [{"v":1, "id":.., "verdict":.., "cached":.., "ms":.., "fragment":..,
+(** [{"v":1, "id":.., "verdict":.., "cached":.., "tier":.., "ms":..,
+    "fragment":..,
     "states":.., "transitions":.., "reason":.. (when inconclusive),
     "witness":.. (when sat), "verified":.. (when checked),
     "degraded":true (after a degraded retry), "error":.. (when the

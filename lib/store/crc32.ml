@@ -1,0 +1,23 @@
+(* Table-driven CRC-32 with the reflected IEEE polynomial 0xEDB88320.
+   OCaml's native ints are 63-bit on every platform we build for, so the
+   32-bit arithmetic fits without boxing. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c :=
+             if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1)
+             else !c lsr 1
+         done;
+         !c))
+
+let string ?(crc = 0) s =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  (!c lxor 0xFFFFFFFF) land 0xFFFFFFFF

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over strings.
+
+    The per-frame integrity check of the persistent verdict store
+    ({!Log}): cheap, table-driven, and dependency-free. This is a
+    corruption detector, not a cryptographic binding — record
+    authenticity is the job of the certificate fingerprint carried
+    inside each record ({!Record.fingerprint}). *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s] as a non-negative int in
+    [0, 2^32). [?crc] continues a running checksum (pass a previous
+    result to chain buffers). *)

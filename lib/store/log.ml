@@ -1,0 +1,123 @@
+let magic = "xpds-store1\n"
+let max_frame = 1 lsl 26
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame_bytes payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  put_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  put_u32 buf (Crc32.string payload);
+  Buffer.contents buf
+
+(* --- reading --- *)
+
+type scan = {
+  header : string option;
+  frames : string list;
+  valid_end : int;
+  file_bytes : int;
+  dropped_bytes : int;
+}
+
+let scan path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    let bad_magic =
+      len < String.length magic
+      || String.sub data 0 (String.length magic) <> magic
+    in
+    if bad_magic then
+      Ok
+        {
+          header = None;
+          frames = [];
+          valid_end = 0;
+          file_bytes = len;
+          dropped_bytes = len;
+        }
+    else begin
+      (* One frame at [off]; [None] on truncation, oversized length, or
+         CRC mismatch — the caller stops there. *)
+      let frame_at off =
+        if off + 8 > len then None
+        else
+          let n = get_u32 data off in
+          if n > max_frame || off + 8 + n > len then None
+          else
+            let payload = String.sub data (off + 4) n in
+            if get_u32 data (off + 4 + n) <> Crc32.string payload then None
+            else Some (payload, off + 8 + n)
+      in
+      match frame_at (String.length magic) with
+      | None ->
+        (* Header frame damaged: the whole file is invalid. *)
+        Ok
+          {
+            header = None;
+            frames = [];
+            valid_end = 0;
+            file_bytes = len;
+            dropped_bytes = len;
+          }
+      | Some (header, off0) ->
+        let frames = ref [] in
+        let off = ref off0 in
+        let stop = ref false in
+        while not !stop do
+          if !off = len then stop := true
+          else
+            match frame_at !off with
+            | None -> stop := true
+            | Some (payload, next) ->
+              frames := payload :: !frames;
+              off := next
+        done;
+        Ok
+          {
+            header = Some header;
+            frames = List.rev !frames;
+            valid_end = !off;
+            file_bytes = len;
+            dropped_bytes = len - !off;
+          }
+    end
+
+(* --- writing --- *)
+
+type writer = { oc : out_channel }
+
+let create ~path ~header =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  output_string oc (frame_bytes header);
+  flush oc;
+  { oc }
+
+let open_append ~path ~valid_end =
+  (* Truncate the damaged suffix first so the next frame lands on a
+     clean boundary, then position at the (new) end. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd valid_end;
+  let _ = Unix.lseek fd valid_end Unix.SEEK_SET in
+  { oc = Unix.out_channel_of_descr fd }
+
+let append w payload =
+  output_string w.oc (frame_bytes payload);
+  flush w.oc
+
+let close w = try close_out w.oc with Sys_error _ -> ()

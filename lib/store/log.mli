@@ -1,0 +1,55 @@
+(** The on-disk framing of the verdict store: an append-only file of
+    CRC-checked, length-prefixed frames behind a versioned header.
+
+    Layout:
+
+    {v
+    "xpds-store1\n"                       magic (12 bytes)
+    frame: [u32 len][payload][u32 crc]    header frame (JSON)
+    frame: [u32 len][payload][u32 crc]    record / tombstone / meta ...
+    v}
+
+    Lengths and CRCs ({!Crc32}) are big-endian. Damage semantics
+    (enforced by {!scan}): a bad magic or an unreadable header frame
+    invalidates the {e whole} file; a bad CRC, an oversized length, or a
+    truncated tail (a crash mid-append) drops the damaged frame {e and
+    everything after it} — framing cannot be trusted past a corrupt
+    length prefix — while every frame before it is kept. Re-opening for
+    append truncates the file back to the last valid frame, so the log
+    self-heals. *)
+
+val magic : string
+(** ["xpds-store1\n"]. *)
+
+val max_frame : int
+(** Upper bound on a frame payload (64 MiB); larger lengths are treated
+    as corruption rather than allocated. *)
+
+type scan = {
+  header : string option;
+      (** the header frame payload; [None] iff the magic or the header
+          frame is damaged (whole file invalid) *)
+  frames : string list;  (** valid payloads after the header, in order *)
+  valid_end : int;  (** byte offset just past the last valid frame *)
+  file_bytes : int;
+  dropped_bytes : int;  (** [file_bytes - valid_end]; 0 on a clean file *)
+}
+
+val scan : string -> (scan, string) result
+(** Read a log file tolerantly. [Error] only for I/O failures (missing
+    file, permissions) — corruption is reported through the [scan]
+    fields, never as an exception. *)
+
+type writer
+
+val create : path:string -> header:string -> writer
+(** Truncate/create [path] and write magic + header frame. *)
+
+val open_append : path:string -> valid_end:int -> writer
+(** Re-open an existing log for appending, truncating the damaged
+    suffix past [valid_end] (from {!scan}) first. *)
+
+val append : writer -> string -> unit
+(** Append one frame and flush it to the OS. *)
+
+val close : writer -> unit

@@ -1,0 +1,251 @@
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+module Pp = Xpds_xpath.Pp
+module Fragment = Xpds_xpath.Fragment
+module Sat = Xpds_decision.Sat
+module Emptiness = Xpds_decision.Emptiness
+
+type verdict =
+  | Sat of Data_tree.t
+  | Unsat
+  | Unsat_bounded of string
+  | Unknown of string
+
+type t = {
+  key : string;
+  formula : string;
+  verdict : verdict;
+  fragment : string;
+  algorithm : string;
+  automaton_q : int;
+  automaton_k : int;
+  n_states : int;
+  n_transitions : int;
+  n_mergings : int;
+  max_height : int;
+  witness_verified : bool option;
+  fingerprint : string;
+}
+
+(* --- fingerprint --- *)
+
+(* Same recipe as lib/cert: a versioned scheme string carrying every
+   payload field, digested together with the canonical formula
+   rendering. The formula is appended after a NUL so no payload field
+   can alias into it. *)
+let fingerprint (r : t) =
+  let v =
+    match r.verdict with
+    | Sat w -> "sat|" ^ Data_tree.to_string w
+    | Unsat -> "unsat|"
+    | Unsat_bounded why -> "unsat_bounded|" ^ why
+    | Unknown why -> "unknown|" ^ why
+  in
+  let payload =
+    Printf.sprintf "xpds-store-fp-v1|%s|%s|%s|%d|%d|%d|%d|%d|%d|%s" v
+      r.fragment r.algorithm r.automaton_q r.automaton_k r.n_states
+      r.n_transitions r.n_mergings r.max_height
+      (match r.witness_verified with
+      | None -> "-"
+      | Some b -> string_of_bool b)
+  in
+  Digest.to_hex (Digest.string (payload ^ "\x00" ^ r.formula))
+
+(* --- conversion to and from reports --- *)
+
+let of_report ~key ~canon (report : Sat.report) =
+  let verdict =
+    match report.Sat.verdict with
+    | Sat.Sat w -> Some (Sat w)
+    | Sat.Unsat -> Some Unsat
+    | Sat.Unsat_bounded why -> Some (Unsat_bounded why)
+    | Sat.Unknown why -> Some (Unknown why)
+  in
+  Option.map
+    (fun verdict ->
+      let stats = report.Sat.stats in
+      let r =
+        {
+          key;
+          formula = Pp.node_to_string canon;
+          verdict;
+          fragment = Fragment.name report.Sat.fragment;
+          algorithm = report.Sat.algorithm;
+          automaton_q = report.Sat.automaton_q;
+          automaton_k = report.Sat.automaton_k;
+          n_states = stats.Emptiness.n_states;
+          n_transitions = stats.Emptiness.n_transitions;
+          n_mergings = stats.Emptiness.n_mergings;
+          max_height = stats.Emptiness.max_height_reached;
+          witness_verified = report.Sat.witness_verified;
+          fingerprint = "";
+        }
+      in
+      { r with fingerprint = fingerprint r })
+    verdict
+
+let to_report ~canon (r : t) : Sat.report =
+  {
+    Sat.verdict =
+      (match r.verdict with
+      | Sat w -> Sat.Sat w
+      | Unsat -> Sat.Unsat
+      | Unsat_bounded why -> Sat.Unsat_bounded why
+      | Unknown why -> Sat.Unknown why);
+    fragment = Fragment.classify canon;
+    algorithm = r.algorithm;
+    stats =
+      {
+        Emptiness.n_states = r.n_states;
+        n_transitions = r.n_transitions;
+        n_mergings = r.n_mergings;
+        max_height_reached = r.max_height;
+        par = Emptiness.seq_par_stats;
+        prune = Emptiness.no_prune_stats;
+      };
+    witness_verified = r.witness_verified;
+    automaton_q = r.automaton_q;
+    automaton_k = r.automaton_k;
+    cert_seed = None;
+  }
+
+let verdict_name (r : t) =
+  match r.verdict with
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unsat_bounded _ -> "unsat_bounded"
+  | Unknown _ -> "unknown"
+
+(* --- JSON --- *)
+
+(* Witnesses are stored in the compact [label:datum(child,...)] syntax
+   that [Data_tree.of_string] parses — not the paper notation of
+   [Data_tree.to_string], which has no parser. Labels that are not
+   plain identifiers are quoted. *)
+let ident_ok s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '#' | '@' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '@' ->
+           true
+         | _ -> false)
+       s
+
+let witness_to_string w =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    let l = Label.to_string (Data_tree.label t) in
+    if ident_ok l then Buffer.add_string buf l
+    else begin
+      Buffer.add_char buf '"';
+      Buffer.add_string buf l;
+      Buffer.add_char buf '"'
+    end;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int (Data_tree.data t));
+    match Data_tree.children t with
+    | [] -> ()
+    | c :: cs ->
+      Buffer.add_char buf '(';
+      go c;
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ',';
+          go c)
+        cs;
+      Buffer.add_char buf ')'
+  in
+  go w;
+  Buffer.contents buf
+
+let num i = Json.Num (float_of_int i)
+
+let to_json (r : t) =
+  let verdict_fields =
+    match r.verdict with
+    | Sat w -> [ ("witness", Json.Str (witness_to_string w)) ]
+    | Unsat -> []
+    | Unsat_bounded why | Unknown why -> [ ("reason", Json.Str why) ]
+  in
+  Json.Obj
+    ([ ("key", Json.Str r.key);
+       ("formula", Json.Str r.formula);
+       ("verdict", Json.Str (verdict_name r))
+     ]
+    @ verdict_fields
+    @ [ ("fragment", Json.Str r.fragment);
+        ("algorithm", Json.Str r.algorithm);
+        ("q", num r.automaton_q);
+        ("k", num r.automaton_k);
+        ("states", num r.n_states);
+        ("transitions", num r.n_transitions);
+        ("mergings", num r.n_mergings);
+        ("height", num r.max_height)
+      ]
+    @ (match r.witness_verified with
+      | None -> []
+      | Some b -> [ ("verified", Json.Bool b) ])
+    @ [ ("fp", Json.Str r.fingerprint) ])
+
+let of_json v =
+  let str name =
+    match Option.bind (Json.member name v) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "record: missing field %S" name)
+  in
+  let int name =
+    match Option.bind (Json.member name v) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "record: missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* key = str "key" in
+  let* formula = str "formula" in
+  let* verdict_tag = str "verdict" in
+  let* verdict =
+    match verdict_tag with
+    | "sat" -> (
+      let* w = str "witness" in
+      match Data_tree.of_string w with
+      | Ok tree -> Ok (Sat tree)
+      | Error e -> Error ("record: bad witness: " ^ e))
+    | "unsat" -> Ok Unsat
+    | "unsat_bounded" ->
+      let* why = str "reason" in
+      Ok (Unsat_bounded why)
+    | "unknown" ->
+      let* why = str "reason" in
+      Ok (Unknown why)
+    | other -> Error (Printf.sprintf "record: unknown verdict %S" other)
+  in
+  let* fragment = str "fragment" in
+  let* algorithm = str "algorithm" in
+  let* automaton_q = int "q" in
+  let* automaton_k = int "k" in
+  let* n_states = int "states" in
+  let* n_transitions = int "transitions" in
+  let* n_mergings = int "mergings" in
+  let* max_height = int "height" in
+  let witness_verified =
+    Option.bind (Json.member "verified" v) Json.to_bool
+  in
+  let* fp = str "fp" in
+  Ok
+    {
+      key;
+      formula;
+      verdict;
+      fragment;
+      algorithm;
+      automaton_q;
+      automaton_k;
+      n_states;
+      n_transitions;
+      n_mergings;
+      max_height;
+      witness_verified;
+      fingerprint = fp;
+    }

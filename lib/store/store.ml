@@ -1,0 +1,456 @@
+module Pp = Xpds_xpath.Pp
+module Semantics = Xpds_xpath.Semantics
+module Sat = Xpds_decision.Sat
+
+type verify_mode = Fingerprint | Full
+
+type counters = {
+  memory_hits : int;
+  disk_hits : int;
+  misses : int;
+  self_evictions : int;
+  appends : int;
+}
+
+let zero_counters =
+  { memory_hits = 0; disk_hits = 0; misses = 0; self_evictions = 0; appends = 0 }
+
+type open_info = {
+  records : int;
+  invalidated : bool;
+  recovered_bytes : int;
+  sessions : int;
+}
+
+type t = {
+  path : string;
+  verify : verify_mode;
+  config : string;
+  index : (string, Record.t) Hashtbl.t;
+  mutable writer : Log.writer option;  (* [None] once closed, or read-only *)
+  mutable bytes : int;
+  mutable c : counters;
+  mutex : Mutex.t;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- header and frame payloads --- *)
+
+let header_string ~protocol_version ~config_fingerprint =
+  Json.to_string
+    (Json.Obj
+       [
+         ("format", Json.Str "xpds-store");
+         ("version", Json.Num 1.);
+         ("protocol", Json.Num (float_of_int protocol_version));
+         ("config", Json.Str config_fingerprint);
+       ])
+
+let parse_header s =
+  let ( let* ) = Result.bind in
+  let* j =
+    match Json.parse s with
+    | Ok j -> Ok j
+    | Error e -> Error ("store header: " ^ e)
+  in
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "store header: missing field %S" name)
+  in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "store header: missing field %S" name)
+  in
+  let* format = str "format" in
+  let* version = int "version" in
+  if format <> "xpds-store" then Error "not an xpds store file"
+  else if version <> 1 then
+    Error (Printf.sprintf "unsupported store version %d" version)
+  else
+    let* protocol = int "protocol" in
+    let* config = str "config" in
+    Ok (protocol, config)
+
+let record_frame r = Json.to_string (Json.Obj [ ("t", Json.Str "r"); ("rec", Record.to_json r) ])
+let tombstone_frame key = Json.to_string (Json.Obj [ ("t", Json.Str "e"); ("key", Json.Str key) ])
+
+let meta_frame (c : counters) =
+  let num i = Json.Num (float_of_int i) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("t", Json.Str "m");
+         ("mem", num c.memory_hits);
+         ("disk", num c.disk_hits);
+         ("miss", num c.misses);
+         ("evict", num c.self_evictions);
+         ("app", num c.appends);
+       ])
+
+type frame = Frame_record of Record.t | Frame_tombstone of string | Frame_meta of counters
+
+(* Unknown or unparseable frames are skipped, not fatal: the CRC already
+   vouched for the bytes, so this is a forward-compatibility hatch, not a
+   corruption path. *)
+let parse_frame payload =
+  match Json.parse payload with
+  | Error _ -> None
+  | Ok j -> (
+    match Option.bind (Json.member "t" j) Json.to_str with
+    | Some "r" ->
+      Option.bind (Json.member "rec" j) (fun rj ->
+          match Record.of_json rj with Ok r -> Some (Frame_record r) | Error _ -> None)
+    | Some "e" ->
+      Option.map
+        (fun key -> Frame_tombstone key)
+        (Option.bind (Json.member "key" j) Json.to_str)
+    | Some "m" ->
+      let int name =
+        match Option.bind (Json.member name j) Json.to_int with
+        | Some v -> v
+        | None -> 0
+      in
+      Some
+        (Frame_meta
+           {
+             memory_hits = int "mem";
+             disk_hits = int "disk";
+             misses = int "miss";
+             self_evictions = int "evict";
+             appends = int "app";
+           })
+    | _ -> None)
+
+type replay = {
+  rp_index : (string, Record.t) Hashtbl.t;
+  rp_record_frames : int;
+  rp_tombstones : int;
+  rp_sessions : int;
+  rp_totals : counters;
+}
+
+let replay_frames frames =
+  let index = Hashtbl.create 256 in
+  let records = ref 0 and tombs = ref 0 and sessions = ref 0 in
+  let totals = ref zero_counters in
+  List.iter
+    (fun payload ->
+      match parse_frame payload with
+      | Some (Frame_record r) ->
+        incr records;
+        Hashtbl.replace index r.Record.key r
+      | Some (Frame_tombstone key) ->
+        incr tombs;
+        Hashtbl.remove index key
+      | Some (Frame_meta c) ->
+        incr sessions;
+        totals :=
+          {
+            memory_hits = !totals.memory_hits + c.memory_hits;
+            disk_hits = !totals.disk_hits + c.disk_hits;
+            misses = !totals.misses + c.misses;
+            self_evictions = !totals.self_evictions + c.self_evictions;
+            appends = !totals.appends + c.appends;
+          }
+      | None -> ())
+    frames;
+  {
+    rp_index = index;
+    rp_record_frames = !records;
+    rp_tombstones = !tombs;
+    rp_sessions = !sessions;
+    rp_totals = !totals;
+  }
+
+(* --- opening --- *)
+
+let fresh ?(verify = Fingerprint) ~path ~protocol_version ~config_fingerprint
+    ~invalidated ~recovered () =
+  let header = header_string ~protocol_version ~config_fingerprint in
+  let w = Log.create ~path ~header in
+  ( {
+      path;
+      verify;
+      config = config_fingerprint;
+      index = Hashtbl.create 256;
+      writer = Some w;
+      bytes = String.length Log.magic + String.length header + 8;
+      c = zero_counters;
+      mutex = Mutex.create ();
+    },
+    { records = 0; invalidated; recovered_bytes = recovered; sessions = 0 } )
+
+let open_rw ?(verify = Fingerprint) ~path ~protocol_version ~config_fingerprint
+    () =
+  if not (Sys.file_exists path) then
+    Ok (fresh ~verify ~path ~protocol_version ~config_fingerprint
+          ~invalidated:false ~recovered:0 ())
+  else
+    match Log.scan path with
+    | Error e -> Error e
+    | Ok scan -> (
+      let restart () =
+        Ok (fresh ~verify ~path ~protocol_version ~config_fingerprint
+              ~invalidated:true ~recovered:scan.Log.file_bytes ())
+      in
+      match scan.Log.header with
+      | None -> restart ()
+      | Some h -> (
+        match parse_header h with
+        | Error _ -> restart ()
+        | Ok (protocol, config)
+          when protocol <> protocol_version || config <> config_fingerprint ->
+          restart ()
+        | Ok _ ->
+          let rp = replay_frames scan.Log.frames in
+          let w = Log.open_append ~path ~valid_end:scan.Log.valid_end in
+          Ok
+            ( {
+                path;
+                verify;
+                config = config_fingerprint;
+                index = rp.rp_index;
+                writer = Some w;
+                bytes = scan.Log.valid_end;
+                c = zero_counters;
+                mutex = Mutex.create ();
+              },
+              {
+                records = Hashtbl.length rp.rp_index;
+                invalidated = false;
+                recovered_bytes = scan.Log.dropped_bytes;
+                sessions = rp.rp_sessions;
+              } )))
+
+let open_ro ?(verify = Fingerprint) path =
+  match Log.scan path with
+  | Error e -> Error e
+  | Ok scan -> (
+    match scan.Log.header with
+    | None -> Error "store file is invalid: bad magic or damaged header"
+    | Some h -> (
+      match parse_header h with
+      | Error e -> Error e
+      | Ok (_, config) ->
+        let rp = replay_frames scan.Log.frames in
+        Ok
+          ( {
+              path;
+              verify;
+              config;
+              index = rp.rp_index;
+              writer = None;
+              bytes = scan.Log.valid_end;
+              c = zero_counters;
+              mutex = Mutex.create ();
+            },
+            {
+              records = Hashtbl.length rp.rp_index;
+              invalidated = false;
+              recovered_bytes = scan.Log.dropped_bytes;
+              sessions = rp.rp_sessions;
+            } )))
+
+(* --- the tiered protocol --- *)
+
+type probe_result =
+  | Hit of Sat.report * float
+  | Miss
+  | Evicted of string * float
+
+let append_frame t payload =
+  match t.writer with
+  | None -> ()
+  | Some w ->
+    Log.append w payload;
+    t.bytes <- t.bytes + String.length payload + 8
+
+(* Verify-on-load: [Error reason] means the record must not be served. *)
+let verify_record t ~canon (r : Record.t) =
+  if Pp.node_to_string canon <> r.Record.formula then
+    Error "canonical formula mismatch"
+  else if Record.fingerprint r <> r.Record.fingerprint then
+    Error "fingerprint mismatch"
+  else
+    match (t.verify, r.Record.verdict) with
+    | Full, Record.Sat w ->
+      if Semantics.check_somewhere w canon then Ok ()
+      else Error "witness replay failed"
+    | _ -> Ok ()
+
+let probe t ~key ~canon =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index key with
+      | None ->
+        t.c <- { t.c with misses = t.c.misses + 1 };
+        Miss
+      | Some r -> (
+        let start = Unix.gettimeofday () in
+        let verdict = verify_record t ~canon r in
+        let ms = (Unix.gettimeofday () -. start) *. 1000. in
+        match verdict with
+        | Ok () ->
+          t.c <- { t.c with disk_hits = t.c.disk_hits + 1 };
+          let report = Record.to_report ~canon r in
+          let report =
+            (* A Full-mode probe just replayed the witness: the report can
+               say so even if the original run never verified it. *)
+            match (t.verify, r.Record.verdict) with
+            | Full, Record.Sat _ -> { report with Sat.witness_verified = Some true }
+            | _ -> report
+          in
+          Hit (report, ms)
+        | Error reason ->
+          Hashtbl.remove t.index key;
+          append_frame t (tombstone_frame key);
+          t.c <- { t.c with self_evictions = t.c.self_evictions + 1 };
+          Evicted (reason, ms)))
+
+let admit t ~key ~canon report =
+  locked t (fun () ->
+      if t.writer = None || Hashtbl.mem t.index key then false
+      else
+        match Record.of_report ~key ~canon report with
+        | None -> false
+        | Some r ->
+          append_frame t (record_frame r);
+          Hashtbl.replace t.index key r;
+          t.c <- { t.c with appends = t.c.appends + 1 };
+          true)
+
+let note_memory_hit t =
+  locked t (fun () -> t.c <- { t.c with memory_hits = t.c.memory_hits + 1 })
+
+let counters t = locked t (fun () -> t.c)
+let length t = locked t (fun () -> Hashtbl.length t.index)
+let bytes_on_disk t = locked t (fun () -> t.bytes)
+let path t = t.path
+let config_fingerprint t = t.config
+
+let close t =
+  locked t (fun () ->
+      match t.writer with
+      | None -> ()
+      | Some w ->
+        if t.c <> zero_counters then append_frame t (meta_frame t.c);
+        Log.close w;
+        t.writer <- None)
+
+(* --- snapshots --- *)
+
+type export_info = { exported : int; skipped : int; snapshot_bytes : int }
+
+let scan_with_header path =
+  let ( let* ) = Result.bind in
+  let* scan = Log.scan path in
+  match scan.Log.header with
+  | None -> Error (path ^ ": bad magic or damaged header")
+  | Some h ->
+    let* hdr = parse_header h in
+    Ok (scan, h, hdr)
+
+let export ~src ~dst =
+  let ( let* ) = Result.bind in
+  let* scan, header, _ = scan_with_header src in
+  let rp = replay_frames scan.Log.frames in
+  let live =
+    Hashtbl.fold (fun key r acc -> (key, r) :: acc) rp.rp_index []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let w = Log.create ~path:dst ~header in
+  let exported = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      if Record.fingerprint r = r.Record.fingerprint then begin
+        Log.append w (record_frame r);
+        incr exported
+      end
+      else incr skipped)
+    live;
+  Log.close w;
+  let snapshot_bytes = (Unix.stat dst).Unix.st_size in
+  Ok { exported = !exported; skipped = !skipped; snapshot_bytes }
+
+let import_into ~snapshot ~store_path =
+  let ( let* ) = Result.bind in
+  let* snap_scan, snap_header, (sp, sc) = scan_with_header snapshot in
+  let snap = replay_frames snap_scan.Log.frames in
+  let* existing, writer =
+    if not (Sys.file_exists store_path) then
+      Ok (Hashtbl.create 16, Log.create ~path:store_path ~header:snap_header)
+    else
+      let* store_scan, _, (tp, tc) = scan_with_header store_path in
+      if (sp, sc) <> (tp, tc) then
+        Error
+          (Printf.sprintf
+             "snapshot and store disagree on protocol/config (snapshot \
+              protocol %d, store protocol %d): refusing to import"
+             sp tp)
+      else
+        let rp = replay_frames store_scan.Log.frames in
+        Ok
+          ( rp.rp_index,
+            Log.open_append ~path:store_path
+              ~valid_end:store_scan.Log.valid_end )
+  in
+  let keys =
+    Hashtbl.fold (fun key _ acc -> key :: acc) snap.rp_index []
+    |> List.sort String.compare
+  in
+  let n = ref 0 in
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem existing key) then begin
+        Log.append writer (record_frame (Hashtbl.find snap.rp_index key));
+        incr n
+      end)
+    keys;
+  Log.close writer;
+  Ok !n
+
+(* --- offline inspection --- *)
+
+type file_stats = {
+  fs_protocol : int;
+  fs_config : string;
+  fs_file_bytes : int;
+  fs_dropped_bytes : int;
+  fs_live : int;
+  fs_record_frames : int;
+  fs_tombstones : int;
+  fs_sessions : int;
+  fs_verdicts : (string * int) list;
+  fs_totals : counters;
+}
+
+let file_stats path =
+  let ( let* ) = Result.bind in
+  let* scan, _, (protocol, config) = scan_with_header path in
+  let rp = replay_frames scan.Log.frames in
+  let verdicts = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ r ->
+      let name = Record.verdict_name r in
+      Hashtbl.replace verdicts name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt verdicts name)))
+    rp.rp_index;
+  Ok
+    {
+      fs_protocol = protocol;
+      fs_config = config;
+      fs_file_bytes = scan.Log.file_bytes;
+      fs_dropped_bytes = scan.Log.dropped_bytes;
+      fs_live = Hashtbl.length rp.rp_index;
+      fs_record_frames = rp.rp_record_frames;
+      fs_tombstones = rp.rp_tombstones;
+      fs_sessions = rp.rp_sessions;
+      fs_verdicts =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) verdicts []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+      fs_totals = rp.rp_totals;
+    }

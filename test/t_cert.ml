@@ -275,8 +275,8 @@ let test_metrics_cert_shape () =
     "top-level keys"
     [ "requests"; "cache_hits"; "cache_misses"; "verdicts";
       "deadline_timeouts"; "requests_by_kind"; "eval"; "single_flight";
-      "crashes"; "degraded_retries"; "phase_totals_ms"; "latency_ms";
-      "fixpoint"; "certificates"
+      "crashes"; "degraded_retries"; "tiers"; "store"; "phase_totals_ms";
+      "latency_ms"; "fixpoint"; "certificates"
     ]
     keys
 
