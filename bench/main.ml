@@ -82,6 +82,7 @@ let () =
       :: ("emptiness", fun () -> ignore (Emptiness_bench.run ()))
       :: ("eval", fun () -> ignore (Eval_bench.run ()))
       :: ("store", fun () -> ignore (Store_bench.run ()))
+      :: ("containment", fun () -> ignore (Containment_bench.run ()))
       :: Experiments.all
     in
     let to_run =

@@ -296,37 +296,122 @@ let translate_cmd =
        ~doc:"Show the BIP automaton of a formula (Theorem 3).")
     Term.(const run $ formula_arg $ dot_arg)
 
-(* --- contain --- *)
+(* --- contains / equiv --- *)
 
-let contain_cmd =
-  let psi_arg =
-    Arg.(
-      required
-      & pos 1 (some string) None
-      & info [] ~docv:"PSI" ~doc:"The containing formula.")
-  in
-  let run phi_s psi_s width =
+let psi_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"PSI" ~doc:"The containing formula.")
+
+let local_timeout_arg =
+  let doc = "Deadline in milliseconds for the \xcf\x86\xe2\x88\xa7\xc2\xac\xcf\x88 search(es)." in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~doc)
+
+(* The full PR-5 options surface, so the containment path honors the
+   same deadlines/engine knobs as [sat]. *)
+let containment_options ~width ~domains ~no_prune ~timeout_ms =
+  let deadline = Option.map (fun ms -> Xpds.Trace.now_ms () +. ms) timeout_ms in
+  Xpds.Sat.Options.(
+    default |> with_width width
+    |> with_domains (resolve_domains domains)
+    |> with_prune (not no_prune)
+    |> with_should_stop
+         (Option.map (fun d () -> Xpds.Trace.now_ms () > d) deadline))
+
+let answer_fields = function
+  | Xpds.Containment.Holds -> (0, "holds", [])
+  | Xpds.Containment.Holds_bounded why ->
+    (0, "holds_bounded", [ ("reason", Xpds.Json.Str why) ])
+  | Xpds.Containment.Fails w ->
+    ( 1,
+      "fails",
+      [ ("counterexample", Xpds.Json.Str (Xpds.Data_tree.to_compact_string w))
+      ] )
+  | Xpds.Containment.Unknown why ->
+    (3, "unknown", [ ("reason", Xpds.Json.Str why) ])
+
+let pp_answer direction = function
+  | Xpds.Containment.Holds ->
+    Printf.printf "%s holds (certified)\n" direction
+  | Xpds.Containment.Holds_bounded why ->
+    Printf.printf "%s holds (%s)\n" direction why
+  | Xpds.Containment.Fails w ->
+    Printf.printf "%s fails; counterexample: %s\n" direction
+      (Xpds.Data_tree.to_compact_string w)
+  | Xpds.Containment.Unknown why ->
+    Printf.printf "%s unknown (%s)\n" direction why
+
+let contains_cmd =
+  let run phi_s psi_s width json domains no_prune timeout_ms =
     let phi = or_die (parse_node phi_s) in
     let psi = or_die (parse_node psi_s) in
-    match Xpds.Containment.contained ~width phi psi with
-    | Xpds.Containment.Holds ->
-      print_endline "containment holds (certified)";
-      exit 0
-    | Xpds.Containment.Holds_bounded why ->
-      Printf.printf "containment holds (%s)\n" why;
-      exit 0
-    | Xpds.Containment.Fails w ->
-      Format.printf "containment fails; counterexample: %a@."
-        Xpds.Data_tree.pp w;
-      exit 1
-    | Xpds.Containment.Unknown why ->
-      Format.printf "unknown (%s)@." why;
-      exit 3
+    let options = containment_options ~width ~domains ~no_prune ~timeout_ms in
+    let answer = Xpds.Containment.contained ~options phi psi in
+    let code, name, fields = answer_fields answer in
+    if json then
+      print_endline
+        (Xpds.Json.to_string
+           (Xpds.Json.Obj (("answer", Xpds.Json.Str name) :: fields)))
+    else pp_answer "containment" answer;
+    exit code
   in
   Cmd.v
-    (Cmd.info "contain"
-       ~doc:"Decide [[PHI]] <= [[PSI]] on all data trees (Section 4.1).")
-    Term.(const run $ formula_arg $ psi_arg $ width_arg)
+    (Cmd.info "contains"
+       ~doc:
+         "Decide [[PHI]] <= [[PSI]] on all data trees (Section 4.1); a \
+          failing containment prints its counterexample tree in the \
+          parseable label:datum syntax (feed it back to $(b,xpds check)).")
+    Term.(
+      const run $ formula_arg $ psi_arg $ width_arg $ json_arg $ domains_arg
+      $ no_prune_arg $ local_timeout_arg)
+
+let equiv_cmd =
+  let run phi_s psi_s width json domains no_prune timeout_ms =
+    let phi = or_die (parse_node phi_s) in
+    let psi = or_die (parse_node psi_s) in
+    let options = containment_options ~width ~domains ~no_prune ~timeout_ms in
+    let fwd, bwd = Xpds.Containment.equivalent ~options phi psi in
+    let code_of a b =
+      match (a, b) with
+      | ( (Xpds.Containment.Holds | Xpds.Containment.Holds_bounded _),
+          (Xpds.Containment.Holds | Xpds.Containment.Holds_bounded _) ) -> 0
+      | Xpds.Containment.Fails _, _ | _, Xpds.Containment.Fails _ -> 1
+      | _ -> 3
+    in
+    let code = code_of fwd bwd in
+    if json then begin
+      let dir a =
+        let _, name, fields = answer_fields a in
+        Xpds.Json.Obj (("answer", Xpds.Json.Str name) :: fields)
+      in
+      let eq_field =
+        if code = 0 then [ ("equivalent", Xpds.Json.Bool true) ]
+        else if code = 1 then [ ("equivalent", Xpds.Json.Bool false) ]
+        else []
+      in
+      print_endline
+        (Xpds.Json.to_string
+           (Xpds.Json.Obj
+              (eq_field @ [ ("forward", dir fwd); ("backward", dir bwd) ])))
+    end
+    else begin
+      pp_answer "phi <= psi" fwd;
+      pp_answer "psi <= phi" bwd;
+      if code = 0 then print_endline "equivalent"
+      else if code = 1 then print_endline "not equivalent"
+      else print_endline "equivalence unknown"
+    end;
+    exit code
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Decide [[PHI]] = [[PSI]] on all data trees (mutual inclusion, \
+          Section 4.1).")
+    Term.(
+      const run $ formula_arg $ psi_arg $ width_arg $ json_arg $ domains_arg
+      $ no_prune_arg $ local_timeout_arg)
 
 (* --- tiling --- *)
 
@@ -865,7 +950,11 @@ let serve_cmd =
           --certify each response carries a checked certificate \
           summary; with --trace, per-phase timings. With --store, a \
           persistent verdict store warm-starts the cache across \
-          processes.")
+          processes. Requests with \"kind\":\"contains\" or \
+          \"equiv\" decide query containment/equivalence (a \"fails\" \
+          answer carries a replayable counterexample tree); \
+          \"kind\":\"sat_under_doctype\" decides satisfiability under \
+          counting DTD rules.")
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
       $ trace_arg $ degrade_arg $ domains_arg $ no_prune_arg $ docs_arg
@@ -901,29 +990,66 @@ let batch_cmd =
       domains no_prune store_path store_verify =
     let certify = certify || cert_dir <> None in
     let ic = open_in file in
-    let requests = ref [] in
+    let items = ref [] in
     let lineno = ref 0 in
     (try
        while true do
          let line = input_line ic in
          incr lineno;
          let text = String.trim line in
-         if text <> "" && text.[0] <> '#' then begin
-           match Xpds.Parser.formula_of_string text with
-           | Error e ->
-             Printf.eprintf "%s:%d: %s\n%!" file !lineno e;
-             exit 2
-           | Ok f ->
-             requests :=
-               { Xpds.Service.id = Printf.sprintf "L%d" !lineno;
-                 formula = Xpds.Ast.as_node f;
-                 timeout_ms = default_timeout timeout_ms
-               }
-               :: !requests
-         end
+         if text <> "" && text.[0] <> '#' then
+           items := (!lineno, text) :: !items
        done
      with End_of_file -> close_in ic);
-    let requests = List.rev !requests in
+    let items = List.rev !items in
+    (* Two input formats: a formula per line (the original batch mode,
+       drained in parallel), or — when the first payload line opens a
+       JSON object — NDJSON request lines, each processed through the
+       full wire layer in order, so a batch file can mix every protocol
+       kind (sat, eval, contains, equiv, sat_under_doctype). *)
+    let ndjson =
+      match items with (_, text) :: _ -> text.[0] = '{' | [] -> false
+    in
+    if ndjson then begin
+      let svc, store =
+        service_of ~certificate:certify ~retry_degraded:degrade ~domains
+          ~prune:(not no_prune) ?store_path ~store_verify
+          ~cache_capacity:cache ~jobs ()
+      in
+      let extra_of (resp : Xpds.Service.response) =
+        if certify then
+          let fields, _, _ =
+            certify_report ~svc ~trace:resp.Xpds.Service.trace
+              resp.Xpds.Service.report
+          in
+          fields
+        else []
+      in
+      List.iter
+        (fun (_, text) ->
+          print_endline
+            (Xpds.Service.handle_line
+               ?default_timeout_ms:(default_timeout timeout_ms) ~trace
+               ~extra_of svc text))
+        items;
+      if stats then print_metrics svc;
+      close_store ~stats store
+    end
+    else begin
+    let requests =
+      List.map
+        (fun (lineno, text) ->
+          match Xpds.Parser.formula_of_string text with
+          | Error e ->
+            Printf.eprintf "%s:%d: %s\n%!" file lineno e;
+            exit 2
+          | Ok f ->
+            { Xpds.Service.id = Printf.sprintf "L%d" lineno;
+              formula = Xpds.Ast.as_node f;
+              timeout_ms = default_timeout timeout_ms
+            })
+        items
+    in
     let svc, store =
       service_of ~certificate:certify ~retry_degraded:degrade ~domains
         ~prune:(not no_prune) ?store_path ~store_verify
@@ -958,6 +1084,7 @@ let batch_cmd =
     if stats then print_metrics svc;
     close_store ~stats store;
     if not !all_ok then exit 4
+    end
   in
   Cmd.v
     (Cmd.info "batch"
@@ -965,11 +1092,14 @@ let batch_cmd =
          "Decide every formula in FILE on a pool of worker domains, \
           printing one NDJSON response per formula (a crashing item \
           yields an {\"error\":..} response; the rest of the batch \
-          still completes). With --certify every verdict is certified \
-          and independently re-checked (exit 4 if any certificate \
-          fails); with --trace, per-phase timings. With --store, a \
-          persistent verdict store warm-starts the cache across \
-          processes.")
+          still completes). When the first payload line opens a JSON \
+          object, FILE is instead read as NDJSON protocol requests — \
+          one {\"kind\":\"sat\"|\"eval\"|\"contains\"|\"equiv\"|\
+          \"sat_under_doctype\", ...} request per line, answered in \
+          order. With --certify every verdict is certified and \
+          independently re-checked (exit 4 if any certificate fails); \
+          with --trace, per-phase timings. With --store, a persistent \
+          verdict store warm-starts the cache across processes.")
     Term.(
       const run $ file_arg $ jobs_arg $ timeout_arg $ cache_arg
       $ stats_arg $ certify_arg $ cert_dir_arg $ trace_arg
@@ -1197,7 +1327,7 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
           ~doc:"Benchmark to run: \"emptiness\", \"certify\", \
-                \"service\", \"eval\" or \"store\".")
+                \"service\", \"eval\", \"store\" or \"containment\".")
   in
   let quick_arg =
     let doc =
@@ -1231,10 +1361,13 @@ let bench_cmd =
     | "store" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_store.json" else out in
       exit (Store_bench.run ~quick ~out ())
+    | "containment" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_containment.json" else out in
+      exit (Containment_bench.run ~quick ~out ())
     | other ->
       prerr_endline
         ("unknown bench target " ^ other
-       ^ " (have: emptiness, certify, service, eval, store)");
+       ^ " (have: emptiness, certify, service, eval, store, containment)");
       exit 2
   in
   Cmd.v
@@ -1257,7 +1390,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ sat_cmd; classify_cmd; check_cmd; explain_cmd; translate_cmd;
-            contain_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd; xml_cmd;
-            eval_cmd; serve_cmd; batch_cmd; certify_cmd; cache_cmd;
+            contains_cmd; equiv_cmd; tiling_cmd; qbf_cmd; gen_cmd; repl_cmd;
+            xml_cmd; eval_cmd; serve_cmd; batch_cmd; certify_cmd; cache_cmd;
             bench_cmd
           ]))

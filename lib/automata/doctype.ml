@@ -121,3 +121,23 @@ let conforms ~labels rules tree =
   !ok
 
 let restrict m ~labels rules = Bip.intersect m (to_bip ~labels rules)
+
+let rule_labels rules =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun r -> (r.parent :: r.forbidden) @ List.map snd r.at_least)
+       rules)
+
+let canonical_string rules =
+  let rule r =
+    Printf.sprintf "%s{%s|%s}" (String.escaped r.parent)
+      (String.concat ","
+         (List.map
+            (fun (n, b) -> Printf.sprintf "%d*%s" n (String.escaped b))
+            (List.sort compare r.at_least)))
+      (String.concat ","
+         (List.map String.escaped (List.sort compare r.forbidden)))
+  in
+  String.concat ";"
+    (List.map rule
+       (List.sort (fun a b -> compare a.parent b.parent) rules))

@@ -40,3 +40,14 @@ val conforms : labels:Xpds_datatree.Label.t list -> t ->
 val restrict : Bip.t -> labels:Xpds_datatree.Label.t list -> t -> Bip.t
 (** [restrict m ~labels dt] accepts the trees accepted by [m] that
     conform to [dt] (BIP intersection). *)
+
+val rule_labels : t -> string list
+(** Every label a document type mentions (parents, [at_least] targets,
+    forbidden children), sorted, without duplicates — the alphabet the
+    compilation's [labels] must cover. *)
+
+val canonical_string : t -> string
+(** A deterministic rendering — rules sorted by parent, each rule's
+    [at_least]/[forbidden] lists sorted — equal for doctypes that are
+    equal as rule sets. Used as the cache-key salt and store scope for
+    doctype-constrained requests. *)

@@ -105,6 +105,50 @@ let rec pp ppf t =
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* The machine-readable counterpart of [pp]: the compact
+   [label:datum(child,...)] syntax that [of_string] parses. Labels that
+   are not plain identifiers are quoted. This is the only rendering
+   that round-trips, so it is what every wire and disk serialization
+   must use. *)
+let compact_ident_ok s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '#' | '@' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '@' ->
+           true
+         | _ -> false)
+       s
+
+let to_compact_string t =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    let l = Label.to_string t.label in
+    if compact_ident_ok l then Buffer.add_string buf l
+    else begin
+      Buffer.add_char buf '"';
+      Buffer.add_string buf l;
+      Buffer.add_char buf '"'
+    end;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (string_of_int t.data);
+    match t.children with
+    | [] -> ()
+    | c :: cs ->
+      Buffer.add_char buf '(';
+      go c;
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ',';
+          go c)
+        cs;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
 let of_string src =
   let pos = ref 0 in
   let n = String.length src in

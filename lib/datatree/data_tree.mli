@@ -93,6 +93,14 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val to_compact_string : t -> string
+(** The machine-readable rendering [label:datum(child,child,...)] that
+    {!of_string} parses back — [of_string (to_compact_string t) = Ok t]
+    for every tree. Labels that are not plain identifiers are quoted.
+    Every serialization that must round-trip (the wire protocol, the
+    persistent store) uses this, never {!to_string}'s paper notation,
+    which has no parser. *)
+
 val of_string : string -> (t, string) result
 (** Parse the compact syntax [label:datum(child,child,...)], e.g.
     ["a:1(b:2(c:3),d:1)"]. Labels are identifiers or quoted strings;

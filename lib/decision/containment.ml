@@ -6,14 +6,9 @@ type answer =
   | Fails of Xpds_datatree.Data_tree.t
   | Unknown of string
 
-let contained ?width phi psi =
-  let query = And (phi, Xpds_xpath.Build.not_ psi) in
-  let options =
-    match width with
-    | Some w -> { Sat.Options.default with Sat.Options.width = w }
-    | None -> Sat.Options.default
-  in
-  match (Sat.decide ~options query).Sat.verdict with
+let query phi psi = And (phi, Xpds_xpath.Build.not_ psi)
+
+let answer_of_verdict = function
   | Sat.Sat w -> Fails w
   | Sat.Unsat -> Holds
   | Sat.Unsat_bounded why ->
@@ -23,5 +18,8 @@ let contained ?width phi psi =
     Holds_bounded why
   | Sat.Unknown why -> Unknown why
 
-let equivalent ?width phi psi =
-  (contained ?width phi psi, contained ?width psi phi)
+let contained ?(options = Sat.Options.default) phi psi =
+  answer_of_verdict (Sat.decide ~options (query phi psi)).Sat.verdict
+
+let equivalent ?options phi psi =
+  (contained ?options phi psi, contained ?options psi phi)

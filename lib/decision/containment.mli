@@ -17,12 +17,28 @@ type answer =
       (** counterexample tree: some node satisfies ϕ but not ψ *)
   | Unknown of string
 
+val query : Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node
+(** [query phi psi = ϕ ∧ ¬ψ] — the satisfiability instance whose models
+    are exactly the containment counterexamples. *)
+
+val answer_of_verdict : Sat.verdict -> answer
+(** Read a verdict on [query phi psi] as a containment answer:
+    [Sat w ↦ Fails w], [Unsat ↦ Holds], [Unsat_bounded ↦ Holds_bounded],
+    [Unknown ↦ Unknown]. *)
+
 val contained :
-  ?width:int -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node -> answer
-(** [contained phi psi] — does [[ϕ]] ⊆ [[ψ]] hold on every data tree? *)
+  ?options:Sat.Options.t ->
+  Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node -> answer
+(** [contained phi psi] — does [[ϕ]] ⊆ [[ψ]] hold on every data tree?
+    [options] (default {!Sat.Options.default}) configures the ϕ∧¬ψ
+    search exactly as {!Sat.decide}: cooperative deadlines
+    ([should_stop]), widths/budgets, [domains], pruning, certificate
+    mode — so a served containment request honors the same deadline
+    machinery as a sat request. *)
 
 val equivalent :
-  ?width:int -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node ->
+  ?options:Sat.Options.t ->
+  Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node ->
   answer * answer
 (** Both inclusions; equivalent iff both are [Holds] (certified) or
     [Holds_bounded] (within the search bounds). *)

@@ -223,6 +223,113 @@ let decide ?(options = Options.default) eta =
     cert_seed;
   }
 
+module Doctype = Xpds_automata.Doctype
+
+let decide_under_doctype ?(options = Options.default) ~doctype eta =
+  (* Certificate mode is not defined for the intersection (the basis
+     checker replays the bare-formula automaton); force it off rather
+     than emit a certificate that proves the wrong language empty. *)
+  let o = { options with Options.certificate = false } in
+  o.Options.on_phase "translate";
+  let eta = Xpds_xpath.Rewrite.simplify eta in
+  let fragment = Fragment.classify eta in
+  (* The Theorem-6 poly-depth height bound is justified for the bare
+     formula only: the doctype can force strictly deeper models (an
+     at_least rule growing a chain under every node the formula
+     touches), so the doctype-restricted search always runs the full
+     Theorem-4 fixpoint. *)
+  let labels =
+    o.Options.extra_labels
+    @ List.map Xpds_datatree.Label.of_string (Doctype.rule_labels doctype)
+  in
+  let m0 = Translate.bip_of_node ~labels
+      (Xpds_xpath.Ast.Exists
+         (Xpds_xpath.Ast.Filter (Xpds_xpath.Ast.Axis Descendant, eta)))
+  in
+  (* Σ of the translation already covers the rules' alphabet by
+     construction, so [to_bip] inside [restrict] cannot raise on label
+     coverage; an invalid rule set still raises [Invalid_argument] —
+     wire callers validate first. *)
+  o.Options.on_phase "doctype_restrict";
+  let m = Doctype.restrict m0 ~labels:m0.Bip.labels doctype in
+  let config =
+    {
+      Emptiness.width = Some o.Options.width;
+      t0 = o.Options.t0;
+      dup_cap = o.Options.dup_cap;
+      merge_budget = o.Options.merge_budget;
+      max_height = None;
+      max_states = o.Options.max_states;
+      max_transitions = o.Options.max_transitions;
+      should_stop = o.Options.should_stop;
+      domains = o.Options.domains;
+      prune = o.Options.prune;
+    }
+  in
+  let algorithm =
+    Printf.sprintf "doctype-restricted full fixpoint (§4.1, width=%d)"
+      o.Options.width
+  in
+  let parallel_engine =
+    o.Options.domains > 1 && not (Emptiness.data_free m)
+  in
+  let pruned_engine =
+    config.Emptiness.prune && not (Emptiness.data_free m)
+  in
+  o.Options.on_phase
+    ((if parallel_engine then "fixpoint_parallel" else "fixpoint")
+    ^ if pruned_engine then "_pruned" else "");
+  let outcome, stats = Emptiness.check_with_stats ~config m in
+  let paper_complete_widths =
+    o.Options.width >= Emptiness.paper_width m
+    && (match o.Options.t0 with
+       | Some t -> t >= Transition.t0_default m
+       | None -> true)
+    && o.Options.dup_cap = None
+    && o.Options.merge_budget = None
+  in
+  let conforming t = Doctype.conforms ~labels:m0.Bip.labels doctype t in
+  let verdict, witness_verified =
+    match outcome with
+    | Emptiness.Nonempty w ->
+      o.Options.on_phase "verify";
+      let w =
+        if o.Options.minimize then
+          Witness_min.minimize
+            ~check:(fun t ->
+              Semantics.check_somewhere t eta && conforming t)
+            w eta
+        else w
+      in
+      let verified =
+        if o.Options.verify then
+          Some
+            (Semantics.check_somewhere w eta
+            && conforming w && Bip_run.accepts m w)
+        else None
+      in
+      (Sat w, verified)
+    | Emptiness.Empty -> (Unsat, None)
+    | Emptiness.Bounded_empty ->
+      if paper_complete_widths then (Unsat, None)
+      else
+        ( Unsat_bounded
+            (Printf.sprintf "saturated at width %d (paper bound %d)"
+               o.Options.width (Emptiness.paper_width m)),
+          None )
+    | Emptiness.Resource_limit what -> (Unknown what, None)
+  in
+  {
+    verdict;
+    fragment;
+    algorithm;
+    stats;
+    witness_verified;
+    automaton_q = m.Bip.q_card;
+    automaton_k = m.Bip.pf.Pathfinder.n_states;
+    cert_seed = None;
+  }
+
 let satisfiable ?width eta =
   let options =
     match width with

@@ -136,6 +136,25 @@ val decide : ?options:Options.t -> Xpds_xpath.Ast.node -> report
 (** Decide SAT (Definition 1: is [[η]]_T ≠ ∅ for some data tree T?)
     under {!Options.default} or the given options. *)
 
+val decide_under_doctype :
+  ?options:Options.t ->
+  doctype:Xpds_automata.Doctype.t ->
+  Xpds_xpath.Ast.node ->
+  report
+(** Satisfiability in the presence of a counting document type (paper
+    §4.1): is there a {e conforming} data tree with a node satisfying
+    η? The translation alphabet is extended to cover the rules' labels
+    (so compilation cannot fail on coverage; an invalid rule set still
+    raises [Invalid_argument] — validate first), the Theorem-3
+    automaton is intersected with the conformance automaton
+    ({!Xpds_automata.Doctype.restrict}), and emptiness runs the full
+    Theorem-4 fixpoint — the Theorem-6 height shortcut is justified for
+    the bare formula only, never for the intersection. A [Sat] witness
+    is verified (under [options.verify]) against the reference
+    semantics {e and} [Doctype.conforms]. Certificate mode is forced
+    off: the basis checker replays the bare-formula automaton and has
+    no doctype notion. *)
+
 val satisfiable : ?width:int -> Xpds_xpath.Ast.node -> bool option
 (** [Some b] when the verdict is [Sat]/[Unsat]/[Unsat_bounded] (the
     latter trusted as [false]); [None] on [Unknown]. *)

@@ -1,11 +1,17 @@
 type t = string
 
-let make ~config_fingerprint eta =
+let make ?(kind = "sat") ?(salt = "") ~config_fingerprint eta =
   let canon = Xpds_xpath.Rewrite.canonical eta in
   (* The concrete syntax round-trips (property-tested in t_xpath), so it
      is an injective rendering of the canonical AST; label names keep
-     the key stable across processes, unlike interned label ids. *)
+     the key stable across processes, unlike interned label ids. The
+     request kind and its salt (the canonical doctype rendering for
+     sat_under_doctype) are digested in as NUL-separated segments, so a
+     [contains] result can never alias a [sat] result for the same
+     canonical formula, nor the same formula under two doctypes. *)
   let text = Xpds_xpath.Pp.node_to_string canon in
-  (canon, Digest.string (config_fingerprint ^ "\x00" ^ text))
+  ( canon,
+    Digest.string
+      (config_fingerprint ^ "\x00" ^ kind ^ "\x00" ^ salt ^ "\x00" ^ text) )
 
 let hex = Digest.to_hex

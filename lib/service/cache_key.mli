@@ -12,11 +12,19 @@ type t = string
 (** An MD5 digest ([Digest.string]) — fixed-size, cheap to hash and
     compare. *)
 
-val make : config_fingerprint:string -> Xpds_xpath.Ast.node -> Xpds_xpath.Ast.node * t
+val make :
+  ?kind:string ->
+  ?salt:string ->
+  config_fingerprint:string ->
+  Xpds_xpath.Ast.node ->
+  Xpds_xpath.Ast.node * t
 (** [make ~config_fingerprint eta] is [(canon, key)]: the canonical form
     of [eta] (the form the service actually solves, so that key-equal
     requests run identically) and the digest of its concrete syntax
-    together with the fingerprint. *)
+    together with the fingerprint, the request [kind] (default ["sat"])
+    and the kind's [salt] (default [""]; the canonical doctype rendering
+    for [sat_under_doctype]). Keys are kind-tagged: the same canonical
+    formula under different kinds or salts digests to different keys. *)
 
 val hex : t -> string
 (** Printable form of a key. *)

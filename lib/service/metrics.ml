@@ -43,6 +43,9 @@ type t = {
   mutable store_verify_ms_max : float;
   mutable sat_requests : int;
   mutable eval_requests : int;
+  mutable contains_requests : int;
+  mutable equiv_requests : int;
+  mutable doctype_requests : int;
   mutable eval_cache_hits : int;
   mutable eval_errors : int;
   mutable eval_deadline_timeouts : int;
@@ -97,6 +100,14 @@ type snapshot = {
   store_verify_max_ms : float;
   sat_requests : int;  (** requests of kind [sat] (solver verdicts) *)
   eval_requests : int;  (** requests of kind [eval] (bulk evaluation) *)
+  contains_requests : int;
+      (** requests of kind [contains] — including the two directions of
+          every [equiv] request, which are containment solves sharing
+          the contains cache entries *)
+  equiv_requests : int;
+      (** wire-level [equiv] requests (each also counted as two
+          [contains] solves) *)
+  doctype_requests : int;  (** requests of kind [sat_under_doctype] *)
   eval_cache_hits : int;
   eval_errors : int;
       (** eval requests answered with a structured error (bad document,
@@ -152,6 +163,9 @@ let create () =
     store_verify_ms_max = 0.;
     sat_requests = 0;
     eval_requests = 0;
+    contains_requests = 0;
+    equiv_requests = 0;
+    doctype_requests = 0;
     eval_cache_hits = 0;
     eval_errors = 0;
     eval_deadline_timeouts = 0;
@@ -199,6 +213,9 @@ let reset (m : t) =
   m.store_verify_ms_max <- 0.;
   m.sat_requests <- 0;
   m.eval_requests <- 0;
+  m.contains_requests <- 0;
+  m.equiv_requests <- 0;
+  m.doctype_requests <- 0;
   m.eval_cache_hits <- 0;
   m.eval_errors <- 0;
   m.eval_deadline_timeouts <- 0;
@@ -214,9 +231,13 @@ let record_latency (m : t) ms =
   m.ring_pos <- (m.ring_pos + 1) mod window;
   if m.ring_len < window then m.ring_len <- m.ring_len + 1
 
-let record (m : t) ~verdict ~cached ~ms ~(stats : Emptiness.stats) =
+let record ?(kind = `Sat) (m : t) ~verdict ~cached ~ms
+    ~(stats : Emptiness.stats) =
   m.requests <- m.requests + 1;
-  m.sat_requests <- m.sat_requests + 1;
+  (match kind with
+  | `Sat -> m.sat_requests <- m.sat_requests + 1
+  | `Contains -> m.contains_requests <- m.contains_requests + 1
+  | `Doctype -> m.doctype_requests <- m.doctype_requests + 1);
   if cached then m.cache_hits <- m.cache_hits + 1
   else m.cache_misses <- m.cache_misses + 1;
   (match verdict with
@@ -281,6 +302,7 @@ let record_store_self_eviction (m : t) ~verify_ms =
 
 let record_store_append (m : t) = m.store_appends <- m.store_appends + 1
 let record_doc_built (m : t) = m.eval_docs_built <- m.eval_docs_built + 1
+let record_equiv (m : t) = m.equiv_requests <- m.equiv_requests + 1
 let record_single_flight (m : t) = m.single_flight <- m.single_flight + 1
 let record_crash (m : t) = m.crashes <- m.crashes + 1
 
@@ -361,6 +383,9 @@ let snapshot (m : t) : snapshot =
     store_verify_max_ms = m.store_verify_ms_max;
     sat_requests = m.sat_requests;
     eval_requests = m.eval_requests;
+    contains_requests = m.contains_requests;
+    equiv_requests = m.equiv_requests;
+    doctype_requests = m.doctype_requests;
     eval_cache_hits = m.eval_cache_hits;
     eval_errors = m.eval_errors;
     eval_deadline_timeouts = m.eval_deadline_timeouts;
@@ -389,7 +414,11 @@ let to_json (s : snapshot) =
       ( "requests_by_kind",
         Json.Obj
           [ ("sat", Json.Num (float_of_int s.sat_requests));
-            ("eval", Json.Num (float_of_int s.eval_requests))
+            ("eval", Json.Num (float_of_int s.eval_requests));
+            ("contains", Json.Num (float_of_int s.contains_requests));
+            ("equiv", Json.Num (float_of_int s.equiv_requests));
+            ( "sat_under_doctype",
+              Json.Num (float_of_int s.doctype_requests) )
           ] );
       ( "eval",
         Json.Obj
@@ -470,8 +499,8 @@ let to_json (s : snapshot) =
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
-    "@[<v>requests: %d (sat %d, eval %d; hits %d, misses %d, \
-     single-flight %d)@,\
+    "@[<v>requests: %d (sat %d, eval %d, contains %d, equiv %d, \
+     doctype %d; hits %d, misses %d, single-flight %d)@,\
      eval: %d hits, %d errors, %d deadline, %d node-evals, %d docs \
      built@,\
      verdicts: sat %d, unsat %d, unsat_bounded %d, unknown %d (%d \
@@ -487,7 +516,8 @@ let pp ppf (s : snapshot) =
      pruning: %d subsumed, %d evicted (max antichain %d)@,\
      certificates: %d certified, %d check failures (mean %.2f ms, max \
      %.2f ms)@]"
-    s.requests s.sat_requests s.eval_requests s.cache_hits s.cache_misses
+    s.requests s.sat_requests s.eval_requests s.contains_requests
+    s.equiv_requests s.doctype_requests s.cache_hits s.cache_misses
     s.single_flight s.eval_cache_hits s.eval_errors
     s.eval_deadline_timeouts s.eval_node_evals s.eval_docs_built s.sat
     s.unsat

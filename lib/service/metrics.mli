@@ -74,7 +74,17 @@ type snapshot = {
       (** requests of kind [sat] — solver verdicts ({!record}) *)
   eval_requests : int;
       (** requests of kind [eval] — bulk document evaluation
-          ({!record_eval}); [requests = sat_requests + eval_requests] *)
+          ({!record_eval}); [requests] is the sum over all kinds *)
+  contains_requests : int;
+      (** requests of kind [contains] ({!record} with [`Contains]) —
+          including the two directions of every [equiv] request, which
+          are containment solves sharing the contains cache entries *)
+  equiv_requests : int;
+      (** wire-level [equiv] requests ({!record_equiv}); each is also
+          counted as two [contains] solves *)
+  doctype_requests : int;
+      (** requests of kind [sat_under_doctype] ({!record} with
+          [`Doctype]) *)
   eval_cache_hits : int;
       (** the subset of [cache_hits] coming from the eval result cache *)
   eval_errors : int;
@@ -100,12 +110,16 @@ val window : int
 val create : unit -> t
 
 val record :
+  ?kind:[ `Sat | `Contains | `Doctype ] ->
   t ->
   verdict:Xpds_decision.Sat.verdict ->
   cached:bool ->
   ms:float ->
   stats:Xpds_decision.Emptiness.stats ->
   unit
+(** Count one completed solver-verdict request. [kind] (default [`Sat])
+    selects which per-kind counter the request lands in; everything
+    else (verdict, tier, latency, fixpoint aggregates) is shared. *)
 
 val record_eval :
   t ->
@@ -121,6 +135,10 @@ val record_eval :
 
 val record_doc_built : t -> unit
 (** Count one document flattened into array form. *)
+
+val record_equiv : t -> unit
+(** Count one wire-level [equiv] request (its two containment directions
+    are recorded separately through {!record}). *)
 
 val record_disk_hit : t -> verify_ms:float -> unit
 (** Count one request answered from the persistent store's disk tier;

@@ -10,6 +10,8 @@ module Xml_doc = Xpds_datatree.Xml_doc
 module Eval_doc = Xpds_eval.Doc
 module Eval = Xpds_eval.Eval
 module Store = Xpds_store.Store
+module Doctype = Xpds_automata.Doctype
+module Containment = Xpds_decision.Containment
 
 type solver_config = {
   width : int;
@@ -83,6 +85,36 @@ type response = {
   ms : float;
   key : Cache_key.t;
   trace : Trace.t;
+}
+
+(* --- the containment verbs (paper §4.1) --- *)
+
+type contains_request = {
+  ct_id : string;
+  phi : Ast.node;
+  psi : Ast.node;
+  ct_timeout_ms : float option;
+}
+
+type equiv_request = {
+  eq_id : string;
+  eq_phi : Ast.node;
+  eq_psi : Ast.node;
+  eq_timeout_ms : float option;
+}
+
+type equiv_response = {
+  eq_rid : string;
+  forward : response;  (** ϕ ⊑ ψ *)
+  backward : response;  (** ψ ⊑ ϕ *)
+  eq_ms : float;
+}
+
+type doctype_request = {
+  dt_id : string;
+  dt_formula : Ast.node;
+  dt_rules : Doctype.t;
+  dt_timeout_ms : float option;
 }
 
 (* Which tier answered: the in-process caches (including flight joins
@@ -282,13 +314,19 @@ let degrade (sc : solver_config) =
     merge_budget = Some 2;
   }
 
+(* What the solving domain actually computes under the shared serving
+   machinery: plain satisfiability (also the ϕ∧¬ψ query of the
+   containment verbs, which differ only in cache-key kind and response
+   rendering) or doctype-constrained satisfiability. *)
+type task = Task_sat | Task_doctype of Doctype.t
+
 (* Runs on the solving domain (a pool worker for batch items). The
    deadline is an absolute [Trace.now_ms] timestamp anchored at the
    request's admission, so time spent queued counts against the budget
    and a batch item can never exceed its caller-visible deadline.
    Never raises: a crashing solver (or chaos hook) is folded into a
    [crash:] error report. *)
-let solve_uncached t ~trace ~deadline ~id canon =
+let solve_uncached t ~trace ~deadline ~task ~id canon =
   Trace.mark trace "solve";
   let sc = t.cfg.solver in
   let expired () =
@@ -317,7 +355,10 @@ let solve_uncached t ~trace ~deadline ~id canon =
         certificate = sc.certificate;
       }
     in
-    Sat.decide ~options canon
+    match task with
+    | Task_sat -> Sat.decide ~options canon
+    | Task_doctype doctype ->
+      Sat.decide_under_doctype ~options ~doctype canon
   in
   let crash e =
     synthetic_report ~algorithm:"aborted: the solver raised" canon
@@ -355,8 +396,8 @@ let solve_uncached t ~trace ~deadline ~id canon =
 let deadline_of trace timeout_ms =
   Option.map (fun ms -> Trace.admitted trace +. ms) timeout_ms
 
-let finish t (r : request) ~key ~canon ~trace ~tier ~report ~degraded
-    ~flight =
+let finish t ~id ~kind ~scope ~metric ~key ~canon ~trace ~tier ~report
+    ~degraded ~flight =
   Trace.finish trace;
   let ms = Trace.elapsed_ms trace in
   let cached = match tier with Tier_solve -> false | _ -> true in
@@ -366,7 +407,8 @@ let finish t (r : request) ~key ~canon ~trace ~tier ~report ~degraded
   let admitted =
     match (t.store, tier) with
     | Some store, Tier_solve when cacheable report ->
-      Store.admit store ~key:(Cache_key.hex key) ~canon report
+      Store.admit store ~kind ~scope ~key:(Cache_key.hex key) ~canon
+        report
     | Some store, Tier_memory ->
       Store.note_memory_hit store;
       false
@@ -374,8 +416,8 @@ let finish t (r : request) ~key ~canon ~trace ~tier ~report ~degraded
   in
   Mutex.protect t.lock (fun () ->
       if (not cached) && cacheable report then Lru.add t.cache key report;
-      Metrics.record t.meters ~verdict:report.Sat.verdict ~cached ~ms
-        ~stats:report.Sat.stats;
+      Metrics.record ~kind:metric t.meters ~verdict:report.Sat.verdict
+        ~cached ~ms ~stats:report.Sat.stats;
       (match tier with
       | Tier_disk verify_ms -> Metrics.record_disk_hit t.meters ~verify_ms
       | _ -> ());
@@ -384,19 +426,18 @@ let finish t (r : request) ~key ~canon ~trace ~tier ~report ~degraded
       if (not cached) && degraded then Metrics.record_degraded t.meters;
       if (not cached) && is_crash report then Metrics.record_crash t.meters;
       Metrics.record_trace t.meters trace);
-  { id = r.id; report; cached; degraded; tier = tier_name tier; ms; key;
-    trace }
+  { id; report; cached; degraded; tier = tier_name tier; ms; key; trace }
 
 (* Probe the disk tier for [key]. Only called after the memory tier
    missed; a record failing verify-on-load self-evicts inside the store
    and is purged from the memory tier too (defensive — a memory entry
    can only exist after a verified load or a fresh solve). *)
-let store_probe t ~trace ~key ~canon =
+let store_probe t ~trace ~kind ~scope ~key ~canon =
   match t.store with
   | None -> None
   | Some store -> (
     Trace.mark trace "store_probe";
-    match Store.probe store ~key:(Cache_key.hex key) ~canon with
+    match Store.probe store ~kind ~scope ~key:(Cache_key.hex key) ~canon with
     | Store.Miss -> None
     | Store.Hit (report, verify_ms) -> Some (report, verify_ms)
     | Store.Evicted (_, verify_ms) ->
@@ -405,13 +446,19 @@ let store_probe t ~trace ~key ~canon =
           Metrics.record_store_self_eviction t.meters ~verify_ms);
       None)
 
-let solve ?trace t r =
+(* The shared serving loop of every solver-backed verb. [kind] and
+   [scope] tag the cache key, the store record and the metrics bucket;
+   [task] is what a miss actually computes. The tiering, single-flight
+   and deadline machinery are verb-independent. *)
+let solve_keyed ?trace t ~kind ~scope ~metric ~task ~id ~timeout_ms formula
+    =
   let tr = match trace with Some tr -> tr | None -> Trace.create () in
   Trace.mark tr "canonicalize";
   let canon, key =
-    Cache_key.make ~config_fingerprint:t.fingerprint r.formula
+    Cache_key.make ~kind ~salt:scope ~config_fingerprint:t.fingerprint
+      formula
   in
-  let deadline = deadline_of tr r.timeout_ms in
+  let deadline = deadline_of tr timeout_ms in
   let rec attempt () =
     Trace.mark tr "cache_probe";
     let decision =
@@ -436,8 +483,8 @@ let solve ?trace t r =
     in
     match decision with
     | `Hit report ->
-      finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
-        ~degraded:false ~flight:false
+      finish t ~id ~kind ~scope ~metric ~key ~canon ~trace:tr ~report
+        ~tier:Tier_memory ~degraded:false ~flight:false
     | `Join fl -> (
       Trace.mark tr "flight_wait";
       let outcome =
@@ -450,8 +497,8 @@ let solve ?trace t r =
       in
       match outcome with
       | Some (report, degraded) when cacheable report ->
-        finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
-          ~degraded ~flight:true
+        finish t ~id ~kind ~scope ~metric ~key ~canon ~trace:tr ~report
+          ~tier:Tier_memory ~degraded ~flight:true
       | _ ->
         (* The leader crashed or produced a time-dependent verdict
            (deadline) that must not be shared: try again ourselves —
@@ -473,17 +520,17 @@ let solve ?trace t r =
       (* The memory tier missed: try the disk tier before spawning a
          solve. A verified disk hit lands the flight like a solve would
          — waiters join it, and it is promoted to the memory tier. *)
-      match store_probe t ~trace:tr ~key ~canon with
+      match store_probe t ~trace:tr ~kind ~scope ~key ~canon with
       | Some (report, verify_ms) ->
         publish ~admit_report:report (Some (report, false));
-        finish t r ~key ~canon ~trace:tr ~report
+        finish t ~id ~kind ~scope ~metric ~key ~canon ~trace:tr ~report
           ~tier:(Tier_disk verify_ms) ~degraded:false ~flight:false
       | None -> (
-        match solve_uncached t ~trace:tr ~deadline ~id:r.id canon with
+        match solve_uncached t ~trace:tr ~deadline ~task ~id canon with
         | report, degraded ->
           publish (Some (report, degraded));
-          finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
-            ~degraded ~flight:false
+          finish t ~id ~kind ~scope ~metric ~key ~canon ~trace:tr ~report
+            ~tier:Tier_solve ~degraded ~flight:false
         | exception e ->
           (* [solve_uncached] never raises; this is pure paranoia so a
              bug there can never strand the waiters. *)
@@ -491,6 +538,10 @@ let solve ?trace t r =
           raise e))
   in
   attempt ()
+
+let solve ?trace t (r : request) =
+  solve_keyed ?trace t ~kind:"sat" ~scope:"" ~metric:`Sat ~task:Task_sat
+    ~id:r.id ~timeout_ms:r.timeout_ms r.formula
 
 let solve_batch ?jobs t requests =
   let jobs = Option.value jobs ~default:t.cfg.jobs in
@@ -517,7 +568,7 @@ let solve_batch ?jobs t requests =
         let hint =
           if in_cache then `Mem
           else
-            match store_probe t ~trace:tr ~key ~canon with
+            match store_probe t ~trace:tr ~kind:"sat" ~scope:"" ~key ~canon with
             | Some (report, verify_ms) ->
               Mutex.protect t.lock (fun () -> Lru.add t.cache key report);
               `Disk (report, verify_ms)
@@ -543,7 +594,7 @@ let solve_batch ?jobs t requests =
     keyed;
   let work = Array.of_list (List.rev !work) in
   let solve_one (id, canon, tr, deadline) =
-    solve_uncached t ~trace:tr ~deadline ~id canon
+    solve_uncached t ~trace:tr ~deadline ~task:Task_sat ~id canon
   in
   (* [Pool.run] falls back to a sequential map on the calling domain
      when only one worker would be effective (1-core machine, jobs=1,
@@ -556,18 +607,21 @@ let solve_batch ?jobs t requests =
      the batch's one miss for that key; in-batch duplicates and cache
      hits report [cached]. *)
   let claimed = Hashtbl.create 64 in
+  let finish_sat (r : request) =
+    finish t ~id:r.id ~kind:"sat" ~scope:"" ~metric:`Sat
+  in
   List.map
-    (fun (r, canon, key, tr, hint) ->
+    (fun ((r : request), canon, key, tr, hint) ->
       match Hashtbl.find_opt rep_tbl key with
       | Some i -> (
         match solved.(i) with
         | Ok (report, degraded) ->
           if Hashtbl.mem claimed key then
-            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+            finish_sat r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
               ~degraded ~flight:false
           else begin
             Hashtbl.add claimed key ();
-            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+            finish_sat r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
               ~degraded ~flight:false
           end
         | Error e ->
@@ -578,28 +632,81 @@ let solve_batch ?jobs t requests =
             synthetic_report ~algorithm:"aborted: worker lost" canon
               (crash_prefix ^ Printexc.to_string e)
           in
-          finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+          finish_sat r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
             ~degraded:false ~flight:false)
       | None -> (
         match hint with
         | `Disk (report, verify_ms) ->
-          finish t r ~key ~canon ~trace:tr ~report
+          finish_sat r ~key ~canon ~trace:tr ~report
             ~tier:(Tier_disk verify_ms) ~degraded:false ~flight:false
         | _ -> (
           match Mutex.protect t.lock (fun () -> Lru.find t.cache key) with
           | Some report ->
-            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
+            finish_sat r ~key ~canon ~trace:tr ~report ~tier:Tier_memory
               ~degraded:false ~flight:false
           | None ->
             (* Was cached at dispatch time but evicted since: solve
                here. *)
             let report, degraded =
               solve_uncached t ~trace:tr
-                ~deadline:(deadline_of tr r.timeout_ms) ~id:r.id canon
+                ~deadline:(deadline_of tr r.timeout_ms) ~task:Task_sat
+                ~id:r.id canon
             in
-            finish t r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
+            finish_sat r ~key ~canon ~trace:tr ~report ~tier:Tier_solve
               ~degraded ~flight:false)))
     keyed
+
+(* --- the containment verbs: ϕ ⊑ ψ as UNSAT(ϕ ∧ ¬ψ), paper §4.1 --- *)
+
+let solve_contains ?trace t (r : contains_request) =
+  solve_keyed ?trace t ~kind:"contains" ~scope:"" ~metric:`Contains
+    ~task:Task_sat ~id:r.ct_id ~timeout_ms:r.ct_timeout_ms
+    (Containment.query r.phi r.psi)
+
+let contains_answer (resp : response) =
+  Containment.answer_of_verdict resp.report.Sat.verdict
+
+let solve_equiv ?trace t (r : equiv_request) =
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  let deadline = deadline_of tr r.eq_timeout_ms in
+  (* The forward direction runs on the caller's trace (which carries the
+     wire-parse span and anchors the deadline at admission); the
+     backward direction is its own contains request on a fresh trace,
+     budgeted with whatever remains of the equiv deadline. Both go
+     through the contains cache, so a direction asked directly and as
+     half of an equiv share one entry. *)
+  let forward =
+    solve_contains ~trace:tr t
+      { ct_id = r.eq_id;
+        phi = r.eq_phi;
+        psi = r.eq_psi;
+        ct_timeout_ms = r.eq_timeout_ms
+      }
+  in
+  let backward =
+    let tr2 = Trace.create () in
+    let remaining =
+      Option.map (fun d -> Float.max 0. (d -. Trace.admitted tr2)) deadline
+    in
+    solve_contains ~trace:tr2 t
+      { ct_id = r.eq_id;
+        phi = r.eq_psi;
+        psi = r.eq_phi;
+        ct_timeout_ms = remaining
+      }
+  in
+  Mutex.protect t.lock (fun () -> Metrics.record_equiv t.meters);
+  { eq_rid = r.eq_id;
+    forward;
+    backward;
+    eq_ms = Trace.now_ms () -. Trace.admitted tr
+  }
+
+let solve_sat_under_doctype ?trace t (r : doctype_request) =
+  solve_keyed ?trace t ~kind:"sat_under_doctype"
+    ~scope:(Doctype.canonical_string r.dt_rules) ~metric:`Doctype
+    ~task:(Task_doctype r.dt_rules) ~id:r.dt_id
+    ~timeout_ms:r.dt_timeout_ms r.dt_formula
 
 (* --- the eval verb: registry, result cache, single flight --- *)
 
@@ -876,9 +983,18 @@ let known_eval_request_fields =
   [ "v"; "id"; "kind"; "formula"; "doc"; "xml"; "tree"; "timeout_ms";
     "limit" ]
 
+let known_contains_request_fields =
+  [ "v"; "id"; "kind"; "phi"; "psi"; "timeout_ms" ]
+
+let known_doctype_request_fields =
+  [ "v"; "id"; "kind"; "formula"; "doctype"; "timeout_ms" ]
+
 type wire_request =
   | Sat_request of request
   | Eval_request of eval_request
+  | Contains_request of contains_request
+  | Equiv_request of equiv_request
+  | Doctype_request of doctype_request
 
 let request_id v =
   match Json.member "id" v with
@@ -903,6 +1019,143 @@ let parse_sat_body v =
           timeout_ms = Option.bind (Json.member "timeout_ms" v) Json.to_float
         })
     (request_formula v)
+
+(* The containment verbs carry two formulas, ϕ ("phi") and ψ ("psi"). *)
+let request_phi_psi v =
+  let formula name =
+    match Option.bind (Json.member name v) Json.to_str with
+    | None -> Error (Printf.sprintf "missing %S field" name)
+    | Some text -> (
+      match Parser.formula_of_string text with
+      | Error e -> Error (Printf.sprintf "bad %s: %s" name e)
+      | Ok f -> Ok (Ast.as_node f))
+  in
+  match formula "phi" with
+  | Error e -> Error e
+  | Ok phi -> (
+    match formula "psi" with
+    | Error e -> Error e
+    | Ok psi -> Ok (phi, psi))
+
+let parse_contains_body v =
+  Result.map
+    (fun (phi, psi) ->
+      Contains_request
+        { ct_id = request_id v;
+          phi;
+          psi;
+          ct_timeout_ms =
+            Option.bind (Json.member "timeout_ms" v) Json.to_float
+        })
+    (request_phi_psi v)
+
+let parse_equiv_body v =
+  Result.map
+    (fun (phi, psi) ->
+      Equiv_request
+        { eq_id = request_id v;
+          eq_phi = phi;
+          eq_psi = psi;
+          eq_timeout_ms =
+            Option.bind (Json.member "timeout_ms" v) Json.to_float
+        })
+    (request_phi_psi v)
+
+let known_doctype_rule_fields = [ "parent"; "at_least"; "forbidden" ]
+
+(* A doctype on the wire is an array of closed rule objects:
+   [{"parent":"a", "at_least":[[2,"b"]], "forbidden":["c"]}]. Every
+   structural defect — and a rule set {!Doctype.validate} rejects — is
+   a parse-time [Error] answered as a structured {"error"} line, never
+   a crash-isolated [Unknown "crash: ..."] report. *)
+let parse_doctype_rules v =
+  let ( let* ) = Result.bind in
+  let rec map_m f = function
+    | [] -> Ok []
+    | x :: rest ->
+      let* y = f x in
+      let* ys = map_m f rest in
+      Ok (y :: ys)
+  in
+  let rule = function
+    | Json.Obj fields as r -> (
+      match
+        List.find_opt
+          (fun (k, _) -> not (List.mem k known_doctype_rule_fields))
+          fields
+      with
+      | Some (k, _) ->
+        Error
+          (Printf.sprintf
+             "bad doctype: unknown rule field %S (rules accept: %s)" k
+             (String.concat ", " known_doctype_rule_fields))
+      | None ->
+        let* parent =
+          match Option.bind (Json.member "parent" r) Json.to_str with
+          | Some s -> Ok s
+          | None -> Error "bad doctype: rule missing \"parent\" (a string)"
+        in
+        let* at_least =
+          match Json.member "at_least" r with
+          | None -> Ok []
+          | Some (Json.Arr items) ->
+            map_m
+              (fun item ->
+                match item with
+                | Json.Arr [ n; Json.Str b ]
+                  when Json.to_int n <> None ->
+                  Ok (Option.get (Json.to_int n), b)
+                | _ ->
+                  Error
+                    "bad doctype: \"at_least\" entries are [count, \
+                     \"label\"] pairs")
+              items
+          | Some _ ->
+            Error "bad doctype: \"at_least\" must be an array of pairs"
+        in
+        let* forbidden =
+          match Json.member "forbidden" r with
+          | None -> Ok []
+          | Some (Json.Arr items) ->
+            map_m
+              (fun item ->
+                match item with
+                | Json.Str b -> Ok b
+                | _ ->
+                  Error
+                    "bad doctype: \"forbidden\" entries are label \
+                     strings")
+              items
+          | Some _ ->
+            Error "bad doctype: \"forbidden\" must be an array of labels"
+        in
+        Ok { Doctype.parent; at_least; forbidden })
+    | _ -> Error "bad doctype: each rule must be an object"
+  in
+  match Json.member "doctype" v with
+  | None -> Error "missing \"doctype\" field (an array of rule objects)"
+  | Some (Json.Arr rules) -> (
+    let* rules = map_m rule rules in
+    match Doctype.validate rules with
+    | Ok () -> Ok rules
+    | Error e -> Error (Printf.sprintf "bad doctype: %s" e))
+  | Some _ -> Error "\"doctype\" must be an array of rule objects"
+
+let parse_doctype_body v =
+  match request_formula v with
+  | Error e -> Error e
+  | Ok formula -> (
+    match parse_doctype_rules v with
+    | Error e -> Error e
+    | Ok rules ->
+      Ok
+        (Doctype_request
+           { dt_id = request_id v;
+             dt_formula = formula;
+             dt_rules = rules;
+             dt_timeout_ms =
+               Option.bind (Json.member "timeout_ms" v) Json.to_float
+           }))
 
 (* An eval request addresses exactly one document: a registered name
    ("doc"), inline XML ("xml"), or inline data-tree syntax ("tree"). *)
@@ -962,10 +1215,14 @@ let wire_request_of_json line =
       match Json.member "kind" v with
       | None | Some (Json.Str "sat") -> Ok `Sat
       | Some (Json.Str "eval") -> Ok `Eval
+      | Some (Json.Str "contains") -> Ok `Contains
+      | Some (Json.Str "equiv") -> Ok `Equiv
+      | Some (Json.Str "sat_under_doctype") -> Ok `Doctype
       | Some (Json.Str other) ->
         Error
           (Printf.sprintf
-             "unknown request kind %S (protocol v%d speaks: sat, eval)"
+             "unknown request kind %S (protocol v%d speaks: sat, eval, \
+              contains, equiv, sat_under_doctype)"
              other protocol_version)
       | Some _ -> Error "\"kind\" must be a string"
     in
@@ -976,6 +1233,9 @@ let wire_request_of_json line =
         match kind with
         | `Sat -> ("sat", known_request_fields)
         | `Eval -> ("eval", known_eval_request_fields)
+        | `Contains -> ("contains", known_contains_request_fields)
+        | `Equiv -> ("equiv", known_contains_request_fields)
+        | `Doctype -> ("sat_under_doctype", known_doctype_request_fields)
       in
       match
         List.find_opt (fun (k, _) -> not (List.mem k known)) fields
@@ -991,6 +1251,9 @@ let wire_request_of_json line =
           match kind with
           | `Sat -> parse_sat_body v
           | `Eval -> parse_eval_body v
+          | `Contains -> parse_contains_body v
+          | `Equiv -> parse_equiv_body v
+          | `Doctype -> parse_doctype_body v
         in
         match Json.member "v" v with
         | Some (Json.Num f) when f = float_of_int protocol_version ->
@@ -1009,9 +1272,22 @@ let wire_request_of_json line =
 let request_of_json line =
   match wire_request_of_json line with
   | Ok (Sat_request r) -> Ok r
-  | Ok (Eval_request _) ->
-    Error "eval request passed to the sat request parser"
+  | Ok _ -> Error "non-sat request passed to the sat request parser"
   | Error e -> Error e
+
+let round_ms ms = Json.Num (Float.round (ms *. 1000.) /. 1000.)
+
+let robustness_fields_of resp =
+  (if resp.degraded then [ ("degraded", Json.Bool true) ] else [])
+  @
+  if is_crash resp.report then
+    (* A poisoned request: same structured ["error"] field the serve
+       loop uses for unparsable lines, so clients have one place to
+       look. *)
+    match resp.report.Sat.verdict with
+    | Sat.Unknown why -> [ ("error", Json.Str why) ]
+    | _ -> []
+  else []
 
 let response_to_json ?(trace = false) ?(extra = []) resp =
   let report = resp.report in
@@ -1040,23 +1316,128 @@ let response_to_json ?(trace = false) ?(extra = []) resp =
     | Sat.Unsat_bounded why | Sat.Unknown why ->
       [ ("reason", Json.Str why) ]
   in
-  let robustness_fields =
-    (if resp.degraded then [ ("degraded", Json.Bool true) ] else [])
-    @
-    if is_crash report then
-      (* A poisoned request: same structured ["error"] field the serve
-         loop uses for unparsable lines, so clients have one place to
-         look. *)
-      match report.Sat.verdict with
-      | Sat.Unknown why -> [ ("error", Json.Str why) ]
-      | _ -> []
-    else []
-  in
   let trace_fields =
     if trace then [ ("trace", Trace.to_json resp.trace) ] else []
   in
   Json.to_string
-    (Json.Obj (base @ verdict_fields @ robustness_fields @ trace_fields @ extra))
+    (Json.Obj
+       (base @ verdict_fields @ robustness_fields_of resp @ trace_fields
+      @ extra))
+
+let answer_name = function
+  | Containment.Holds -> "holds"
+  | Containment.Holds_bounded _ -> "holds_bounded"
+  | Containment.Fails _ -> "fails"
+  | Containment.Unknown _ -> "unknown"
+
+(* The shared body of a containment direction: the answer plus its
+   payload. Counterexamples travel in the parseable
+   [Data_tree.to_compact_string] syntax (not the paper pp notation) so
+   a client — or the CI smoke — can replay them through [xpds check]
+   and [Data_tree.of_string]. *)
+let containment_fields (resp : response) =
+  let answer = contains_answer resp in
+  [ ("answer", Json.Str (answer_name answer)) ]
+  @ (match answer with
+    | Containment.Fails w ->
+      [ ("counterexample", Json.Str (Data_tree.to_compact_string w)) ]
+      @ (match resp.report.Sat.witness_verified with
+        | Some ok -> [ ("verified", Json.Bool ok) ]
+        | None -> [])
+    | Containment.Holds -> []
+    | Containment.Holds_bounded why | Containment.Unknown why ->
+      [ ("reason", Json.Str why) ])
+
+let contains_response_to_json ?(trace = false) resp =
+  Json.to_string
+    (Json.Obj
+       ([ ("v", Json.Num (float_of_int protocol_version));
+          ("id", Json.Str resp.id);
+          ("kind", Json.Str "contains")
+        ]
+       @ containment_fields resp
+       @ [ ("cached", Json.Bool resp.cached);
+           ("tier", Json.Str resp.tier);
+           ("ms", round_ms resp.ms)
+         ]
+       @ robustness_fields_of resp
+       @ if trace then [ ("trace", Trace.to_json resp.trace) ] else []))
+
+let equiv_response_to_json ?(trace = false) resp =
+  let direction r =
+    Json.Obj
+      (containment_fields r
+      @ [ ("cached", Json.Bool r.cached);
+          ("tier", Json.Str r.tier);
+          ("ms", round_ms r.ms)
+        ]
+      @ robustness_fields_of r
+      @ if trace then [ ("trace", Trace.to_json r.trace) ] else [])
+  in
+  let settled r =
+    match contains_answer r with
+    | Containment.Holds | Containment.Holds_bounded _ -> Some true
+    | Containment.Fails _ -> Some false
+    | Containment.Unknown _ -> None
+  in
+  (* One failing direction settles non-equivalence even when the other
+     is unknown; "equivalent" is omitted (not guessed) while any needed
+     direction is still unknown. *)
+  let equivalent =
+    match (settled resp.forward, settled resp.backward) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("v", Json.Num (float_of_int protocol_version));
+          ("id", Json.Str resp.eq_rid);
+          ("kind", Json.Str "equiv")
+        ]
+       @ (match equivalent with
+         | Some b -> [ ("equivalent", Json.Bool b) ]
+         | None -> [])
+       @ [ ("forward", direction resp.forward);
+           ("backward", direction resp.backward);
+           ("ms", round_ms resp.eq_ms)
+         ]))
+
+let doctype_response_to_json ?(trace = false) resp =
+  let report = resp.report in
+  let base =
+    [ ("v", Json.Num (float_of_int protocol_version));
+      ("id", Json.Str resp.id);
+      ("kind", Json.Str "sat_under_doctype");
+      ("verdict", Json.Str (verdict_name report.Sat.verdict));
+      ("cached", Json.Bool resp.cached);
+      ("tier", Json.Str resp.tier);
+      ("ms", round_ms resp.ms);
+      ("fragment", Json.Str (Fragment.name report.Sat.fragment));
+      ( "states",
+        Json.Num (float_of_int report.Sat.stats.Emptiness.n_states) );
+      ( "transitions",
+        Json.Num (float_of_int report.Sat.stats.Emptiness.n_transitions) )
+    ]
+  in
+  let verdict_fields =
+    match report.Sat.verdict with
+    | Sat.Sat w ->
+      (* Conforming witnesses travel in the parseable compact syntax,
+         unlike the legacy sat response (whose paper notation is pinned
+         by existing clients). *)
+      [ ("witness", Json.Str (Data_tree.to_compact_string w)) ]
+      @ (match report.Sat.witness_verified with
+        | Some ok -> [ ("verified", Json.Bool ok) ]
+        | None -> [])
+    | Sat.Unsat -> []
+    | Sat.Unsat_bounded why | Sat.Unknown why ->
+      [ ("reason", Json.Str why) ]
+  in
+  Json.to_string
+    (Json.Obj
+       (base @ verdict_fields @ robustness_fields_of resp
+       @ if trace then [ ("trace", Trace.to_json resp.trace) ] else []))
 
 let eval_response_to_json ?(trace = false) resp =
   let base =
@@ -1113,7 +1494,16 @@ let handle_line ?default_timeout_ms ?(trace = false)
       Error (Printf.sprintf "bad request: %s" (Printexc.to_string e))
   in
   match parsed with
-  | Error e -> error_to_json e
+  | Error e ->
+    (* A schema violation on an otherwise well-formed JSON line still
+       names the request it rejects: recover the id so a pipelined
+       client can match the error to its request. *)
+    let id =
+      match Json.parse line with
+      | Ok v -> (match request_id v with "" -> None | id -> Some id)
+      | Error _ -> None
+    in
+    error_to_json ?id e
   | Ok (Sat_request req) -> (
     let req =
       match req.timeout_ms with
@@ -1141,4 +1531,46 @@ let handle_line ?default_timeout_ms ?(trace = false)
     | line -> line
     | exception e ->
       error_to_json ~id:req.ev_id
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+  | Ok (Contains_request req) -> (
+    let req =
+      match req.ct_timeout_ms with
+      | Some _ -> req
+      | None -> { req with ct_timeout_ms = default_timeout_ms }
+    in
+    match
+      let resp = solve_contains ~trace:tr t req in
+      contains_response_to_json ~trace resp
+    with
+    | line -> line
+    | exception e ->
+      error_to_json ~id:req.ct_id
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+  | Ok (Equiv_request req) -> (
+    let req =
+      match req.eq_timeout_ms with
+      | Some _ -> req
+      | None -> { req with eq_timeout_ms = default_timeout_ms }
+    in
+    match
+      let resp = solve_equiv ~trace:tr t req in
+      equiv_response_to_json ~trace resp
+    with
+    | line -> line
+    | exception e ->
+      error_to_json ~id:req.eq_id
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+  | Ok (Doctype_request req) -> (
+    let req =
+      match req.dt_timeout_ms with
+      | Some _ -> req
+      | None -> { req with dt_timeout_ms = default_timeout_ms }
+    in
+    match
+      let resp = solve_sat_under_doctype ~trace:tr t req in
+      doctype_response_to_json ~trace resp
+    with
+    | line -> line
+    | exception e ->
+      error_to_json ~id:req.dt_id
         (Printf.sprintf "internal error: %s" (Printexc.to_string e)))

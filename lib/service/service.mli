@@ -173,6 +173,67 @@ val solve_batch : ?jobs:int -> t -> request list -> response list
     budget. A raising item yields an error response for that item only
     — completed work is never discarded. *)
 
+(* --- the containment verbs: every paper §4.1 decision problem --- *)
+
+type contains_request = {
+  ct_id : string;
+  phi : Xpds_xpath.Ast.node;
+  psi : Xpds_xpath.Ast.node;
+  ct_timeout_ms : float option;
+}
+
+type equiv_request = {
+  eq_id : string;
+  eq_phi : Xpds_xpath.Ast.node;
+  eq_psi : Xpds_xpath.Ast.node;
+  eq_timeout_ms : float option;
+}
+
+type equiv_response = {
+  eq_rid : string;
+  forward : response;  (** ϕ ⊑ ψ, as a contains response *)
+  backward : response;  (** ψ ⊑ ϕ *)
+  eq_ms : float;
+}
+
+type doctype_request = {
+  dt_id : string;
+  dt_formula : Xpds_xpath.Ast.node;
+  dt_rules : Xpds_automata.Doctype.t;
+  dt_timeout_ms : float option;
+}
+
+val solve_contains : ?trace:Trace.t -> t -> contains_request -> response
+(** Decide ϕ ⊑ ψ as unsatisfiability of ϕ ∧ ¬ψ (paper §4.1), through
+    the full serving stack: the key is the canonical ϕ ∧ ¬ψ tagged with
+    kind ["contains"] — it never aliases a plain sat entry for the same
+    formula — and the deadline bounds the whole ϕ ∧ ¬ψ search. With the
+    default [verify] config, a [Fails] counterexample in the response's
+    report has been replayed through {!Xpds_decision.Semantics} before
+    entering any cache. Interpret the verdict with {!contains_answer}. *)
+
+val contains_answer : response -> Xpds_decision.Containment.answer
+(** The containment reading of a {!solve_contains} (or per-direction
+    {!solve_equiv}) response: [Sat w ↦ Fails w], [Unsat ↦ Holds],
+    [Unsat_bounded ↦ Holds_bounded], [Unknown ↦ Unknown]. *)
+
+val solve_equiv : ?trace:Trace.t -> t -> equiv_request -> equiv_response
+(** Both directions as two {!solve_contains} calls sharing the contains
+    cache (a direction asked directly and as half of an equiv share one
+    entry). The forward direction runs on the caller's trace under the
+    full [eq_timeout_ms]; the backward direction gets whatever budget
+    remains. *)
+
+val solve_sat_under_doctype :
+  ?trace:Trace.t -> t -> doctype_request -> response
+(** Satisfiability under a counting document type
+    ({!Xpds_decision.Sat.decide_under_doctype}): BIP intersection +
+    emptiness, served with kind ["sat_under_doctype"] and the doctype's
+    {!Xpds_automata.Doctype.canonical_string} as the cache-key salt and
+    store scope — the same formula under two doctypes occupies two
+    entries. The rules should already be
+    {!Xpds_automata.Doctype.validate}d (the wire parser does). *)
+
 (* --- the eval verb: bulk evaluation over array-encoded documents --- *)
 
 type eval_source =
@@ -272,14 +333,19 @@ val protocol_version : int
 type wire_request =
   | Sat_request of request
   | Eval_request of eval_request
+  | Contains_request of contains_request
+  | Equiv_request of equiv_request
+  | Doctype_request of doctype_request
 
 val wire_request_of_json : string -> (wire_request, string) result
 (** One request per line. The ["kind"] field selects the verb — absent
-    or ["sat"] for satisfiability, ["eval"] for document evaluation —
-    and each kind's schema is {e closed}: a field outside the kind's
-    set is a structured error naming the field, as is a ["v"] other
-    than {!protocol_version} (an absent ["v"] means v1 — the
-    pre-versioning format is exactly the v1 sat schema).
+    or ["sat"] for satisfiability, ["eval"] for document evaluation,
+    ["contains"]/["equiv"] for containment, ["sat_under_doctype"] for
+    doctype-constrained satisfiability — and each kind's schema is
+    {e closed}: a field outside the kind's set is a structured error
+    naming the field, as is a ["v"] other than {!protocol_version} (an
+    absent ["v"] means v1 — the pre-versioning format is exactly the v1
+    sat schema).
 
     sat: [{"v":1, "id":"r1", "kind":"sat", "formula":"<desc[a]>",
     "timeout_ms":500}] with {v, id, kind, formula, timeout_ms}.
@@ -287,11 +353,24 @@ val wire_request_of_json : string -> (wire_request, string) result
     eval: [{"v":1, "id":"q1", "kind":"eval", "formula":"<child[a]>",
     "xml":"<r a='1'/>", "timeout_ms":500, "limit":10}] with
     {v, id, kind, formula, doc, xml, tree, timeout_ms, limit} and
-    exactly one of ["doc"] (a registered name), ["xml"], ["tree"]. *)
+    exactly one of ["doc"] (a registered name), ["xml"], ["tree"].
+
+    contains / equiv: [{"v":1, "id":"c1", "kind":"contains",
+    "phi":"<down[a & b]>", "psi":"<down[a]>", "timeout_ms":500}] with
+    {v, id, kind, phi, psi, timeout_ms}.
+
+    sat_under_doctype: [{"v":1, "id":"d1", "kind":"sat_under_doctype",
+    "formula":"<down[a]>", "doctype":[{"parent":"a",
+    "at_least":[[1,"b"]], "forbidden":["c"]}], "timeout_ms":500}] with
+    {v, id, kind, formula, doctype, timeout_ms}; ["doctype"] is an
+    array of closed rule objects ({parent, at_least, forbidden} — an
+    unknown rule field is an error) which must pass
+    {!Xpds_automata.Doctype.validate}: an invalid document type answers
+    a structured ["error"] line, never a crash report. *)
 
 val request_of_json : string -> (request, string) result
 (** {!wire_request_of_json} restricted to sat requests (the pre-eval
-    parser, kept for callers that only speak sat); an eval-kind line is
+    parser, kept for callers that only speak sat); any other kind is
     an error. [id] may be a JSON string or number (defaults to [""]);
     [formula] is the concrete syntax of {!Xpds_xpath.Parser};
     [timeout_ms] is optional. *)
@@ -307,6 +386,28 @@ val response_to_json :
     are appended verbatim — the [--certify] CLI layer uses this for its
     per-response certificate summary, keeping the service independent
     of the certificate format. *)
+
+val contains_response_to_json : ?trace:bool -> response -> string
+(** [{"v":1, "id":.., "kind":"contains", "answer":"holds" |
+    "holds_bounded" | "fails" | "unknown", "counterexample":..
+    (when fails — {!Xpds_datatree.Data_tree.to_compact_string} syntax,
+    parseable by [of_string]), "verified":.. (when checked),
+    "reason":.. (when bounded/unknown), "cached":.., "tier":.., "ms":..,
+    "degraded"/"error" as in sat responses, "trace":{..} (with
+    [~trace:true])}]. *)
+
+val equiv_response_to_json : ?trace:bool -> equiv_response -> string
+(** [{"v":1, "id":.., "kind":"equiv", "equivalent":bool (omitted while
+    a needed direction is unknown — one failing direction settles
+    [false]), "forward":{..}, "backward":{..}, "ms":..}] where each
+    direction object carries the {!contains_response_to_json} body
+    fields (answer, counterexample, reason, cached, tier, ms). *)
+
+val doctype_response_to_json : ?trace:bool -> response -> string
+(** The {!response_to_json} schema with ["kind":"sat_under_doctype"]
+    and the witness — a tree that satisfies the formula {e and}
+    conforms to the doctype — in the parseable compact syntax instead
+    of paper notation. *)
 
 val eval_response_to_json : ?trace:bool -> eval_response -> string
 (** [{"v":1, "id":.., "kind":"eval", "root":.., "count":.., "nodes":
@@ -331,7 +432,8 @@ val handle_line :
   string
 (** One NDJSON exchange: parse the line (the [parse] trace span; the
     trace is admitted — and the deadline anchored — at line receipt),
-    dispatch on ["kind"] (solve or eval), serialize. {b Never raises}:
+    dispatch on ["kind"] (solve, eval, contains, equiv,
+    sat_under_doctype), serialize. {b Never raises}:
     malformed JSON, unparsable
     formulas, and even a crashing solve all answer {!error_to_json} —
     feeding a served socket garbage must not kill the server.

@@ -1,5 +1,4 @@
 module Data_tree = Xpds_datatree.Data_tree
-module Label = Xpds_datatree.Label
 module Pp = Xpds_xpath.Pp
 module Fragment = Xpds_xpath.Fragment
 module Sat = Xpds_decision.Sat
@@ -13,6 +12,8 @@ type verdict =
 
 type t = {
   key : string;
+  kind : string;
+  scope : string;
   formula : string;
   verdict : verdict;
   fragment : string;
@@ -41,10 +42,14 @@ let fingerprint (r : t) =
     | Unsat_bounded why -> "unsat_bounded|" ^ why
     | Unknown why -> "unknown|" ^ why
   in
+  (* v2 binds the request kind and scope (the doctype salt) so a record
+     can never be replayed as an answer to a different verb, or to the
+     same formula under a different doctype. NULs separate the
+     variable-length fields so none can alias into its neighbour. *)
   let payload =
-    Printf.sprintf "xpds-store-fp-v1|%s|%s|%s|%d|%d|%d|%d|%d|%d|%s" v
-      r.fragment r.algorithm r.automaton_q r.automaton_k r.n_states
-      r.n_transitions r.n_mergings r.max_height
+    Printf.sprintf "xpds-store-fp-v2|%s\x00%s\x00%s|%s|%s|%d|%d|%d|%d|%d|%d|%s"
+      r.kind r.scope v r.fragment r.algorithm r.automaton_q r.automaton_k
+      r.n_states r.n_transitions r.n_mergings r.max_height
       (match r.witness_verified with
       | None -> "-"
       | Some b -> string_of_bool b)
@@ -53,7 +58,7 @@ let fingerprint (r : t) =
 
 (* --- conversion to and from reports --- *)
 
-let of_report ~key ~canon (report : Sat.report) =
+let of_report ?(kind = "sat") ?(scope = "") ~key ~canon (report : Sat.report) =
   let verdict =
     match report.Sat.verdict with
     | Sat.Sat w -> Some (Sat w)
@@ -67,6 +72,8 @@ let of_report ~key ~canon (report : Sat.report) =
       let r =
         {
           key;
+          kind;
+          scope;
           formula = Pp.node_to_string canon;
           verdict;
           fragment = Fragment.name report.Sat.fragment;
@@ -120,46 +127,10 @@ let verdict_name (r : t) =
 
 (* Witnesses are stored in the compact [label:datum(child,...)] syntax
    that [Data_tree.of_string] parses — not the paper notation of
-   [Data_tree.to_string], which has no parser. Labels that are not
-   plain identifiers are quoted. *)
-let ident_ok s =
-  s <> ""
-  && (match s.[0] with
-     | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '#' | '@' -> true
-     | _ -> false)
-  && String.for_all
-       (function
-         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '#' | '@' ->
-           true
-         | _ -> false)
-       s
-
-let witness_to_string w =
-  let buf = Buffer.create 64 in
-  let rec go t =
-    let l = Label.to_string (Data_tree.label t) in
-    if ident_ok l then Buffer.add_string buf l
-    else begin
-      Buffer.add_char buf '"';
-      Buffer.add_string buf l;
-      Buffer.add_char buf '"'
-    end;
-    Buffer.add_char buf ':';
-    Buffer.add_string buf (string_of_int (Data_tree.data t));
-    match Data_tree.children t with
-    | [] -> ()
-    | c :: cs ->
-      Buffer.add_char buf '(';
-      go c;
-      List.iter
-        (fun c ->
-          Buffer.add_char buf ',';
-          go c)
-        cs;
-      Buffer.add_char buf ')'
-  in
-  go w;
-  Buffer.contents buf
+   [Data_tree.to_string], which has no parser. The codec itself now
+   lives in [Data_tree.to_compact_string], shared with the wire
+   layer. *)
+let witness_to_string = Data_tree.to_compact_string
 
 let num i = Json.Num (float_of_int i)
 
@@ -172,9 +143,12 @@ let to_json (r : t) =
   in
   Json.Obj
     ([ ("key", Json.Str r.key);
-       ("formula", Json.Str r.formula);
-       ("verdict", Json.Str (verdict_name r))
+       ("kind", Json.Str r.kind)
      ]
+    @ (if r.scope = "" then [] else [ ("scope", Json.Str r.scope) ])
+    @ [ ("formula", Json.Str r.formula);
+        ("verdict", Json.Str (verdict_name r))
+      ]
     @ verdict_fields
     @ [ ("fragment", Json.Str r.fragment);
         ("algorithm", Json.Str r.algorithm);
@@ -203,6 +177,16 @@ let of_json v =
   in
   let ( let* ) = Result.bind in
   let* key = str "key" in
+  let kind =
+    match Option.bind (Json.member "kind" v) Json.to_str with
+    | Some k -> k
+    | None -> "sat"
+  in
+  let scope =
+    match Option.bind (Json.member "scope" v) Json.to_str with
+    | Some s -> s
+    | None -> ""
+  in
   let* formula = str "formula" in
   let* verdict_tag = str "verdict" in
   let* verdict =
@@ -236,6 +220,8 @@ let of_json v =
   Ok
     {
       key;
+      kind;
+      scope;
       formula;
       verdict;
       fragment;

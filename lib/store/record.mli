@@ -21,6 +21,13 @@ type verdict =
 
 type t = {
   key : string;  (** the cache key, hex — the index the store probes *)
+  kind : string;
+      (** the request verb the record answers: ["sat"], ["contains"],
+          or ["sat_under_doctype"] — bound by the fingerprint so a
+          record can never be replayed as a different verb *)
+  scope : string;
+      (** the kind's extra salt — the canonical doctype rendering for
+          [sat_under_doctype], [""] otherwise *)
   formula : string;
       (** canonical concrete syntax ({!Xpds_xpath.Pp.node_to_string} of
           the {!Xpds_xpath.Rewrite.canonical} form) *)
@@ -44,6 +51,8 @@ val fingerprint : t -> string
     [fingerprint r = r.fingerprint]. *)
 
 val of_report :
+  ?kind:string ->
+  ?scope:string ->
   key:string ->
   canon:Xpds_xpath.Ast.node ->
   Xpds_decision.Sat.report ->

@@ -44,7 +44,10 @@ let header_string ~protocol_version ~config_fingerprint =
     (Json.Obj
        [
          ("format", Json.Str "xpds-store");
-         ("version", Json.Num 1.);
+         (* v2: records carry (kind, scope) bound into their
+            fingerprints — pre-verb-serving v1 files are invalidated
+            wholesale on the next rw open. *)
+         ("version", Json.Num 2.);
          ("protocol", Json.Num (float_of_int protocol_version));
          ("config", Json.Str config_fingerprint);
        ])
@@ -69,7 +72,7 @@ let parse_header s =
   let* format = str "format" in
   let* version = int "version" in
   if format <> "xpds-store" then Error "not an xpds store file"
-  else if version <> 1 then
+  else if version <> 2 then
     Error (Printf.sprintf "unsupported store version %d" version)
   else
     let* protocol = int "protocol" in
@@ -270,9 +273,14 @@ let append_frame t payload =
     Log.append w payload;
     t.bytes <- t.bytes + String.length payload + 8
 
-(* Verify-on-load: [Error reason] means the record must not be served. *)
-let verify_record t ~canon (r : Record.t) =
-  if Pp.node_to_string canon <> r.Record.formula then
+(* Verify-on-load: [Error reason] means the record must not be served.
+   The record's (kind, scope) must match the probing request's — a
+   record transplanted from another verb (or the same formula under a
+   different doctype) fails here even with an intact frame CRC. *)
+let verify_record t ~kind ~scope ~canon (r : Record.t) =
+  if r.Record.kind <> kind then Error "record kind mismatch"
+  else if r.Record.scope <> scope then Error "record scope mismatch"
+  else if Pp.node_to_string canon <> r.Record.formula then
     Error "canonical formula mismatch"
   else if Record.fingerprint r <> r.Record.fingerprint then
     Error "fingerprint mismatch"
@@ -283,7 +291,7 @@ let verify_record t ~canon (r : Record.t) =
       else Error "witness replay failed"
     | _ -> Ok ()
 
-let probe t ~key ~canon =
+let probe ?(kind = "sat") ?(scope = "") t ~key ~canon =
   locked t (fun () ->
       match Hashtbl.find_opt t.index key with
       | None ->
@@ -291,7 +299,7 @@ let probe t ~key ~canon =
         Miss
       | Some r -> (
         let start = Unix.gettimeofday () in
-        let verdict = verify_record t ~canon r in
+        let verdict = verify_record t ~kind ~scope ~canon r in
         let ms = (Unix.gettimeofday () -. start) *. 1000. in
         match verdict with
         | Ok () ->
@@ -311,11 +319,11 @@ let probe t ~key ~canon =
           t.c <- { t.c with self_evictions = t.c.self_evictions + 1 };
           Evicted (reason, ms)))
 
-let admit t ~key ~canon report =
+let admit ?(kind = "sat") ?(scope = "") t ~key ~canon report =
   locked t (fun () ->
       if t.writer = None || Hashtbl.mem t.index key then false
       else
-        match Record.of_report ~key ~canon report with
+        match Record.of_report ~kind ~scope ~key ~canon report with
         | None -> false
         | Some r ->
           append_frame t (record_frame r);

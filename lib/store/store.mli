@@ -84,16 +84,32 @@ type probe_result =
       (** a record existed but failed verification and was self-evicted
           (reason, verify latency ms); callers treat this as a miss *)
 
-val probe : t -> key:string -> canon:Xpds_xpath.Ast.node -> probe_result
+val probe :
+  ?kind:string ->
+  ?scope:string ->
+  t ->
+  key:string ->
+  canon:Xpds_xpath.Ast.node ->
+  probe_result
 (** Look up [key] (the hex cache key) for a request whose canonical
-    formula is [canon]. *)
+    formula is [canon]. [kind] (default ["sat"]) and [scope] (default
+    [""]; the canonical doctype rendering for [sat_under_doctype]) must
+    match the record's own — a mismatch self-evicts like any other
+    verification failure. *)
 
-val admit : t -> key:string -> canon:Xpds_xpath.Ast.node -> Xpds_decision.Sat.report -> bool
-(** Persist a freshly solved report under [key]. [false] (and no write)
-    when the store is read-only, the key is already present, or the
-    report carries no persistable verdict. The caller is responsible
-    for cacheability (deadline/crash verdicts must not reach the
-    store). *)
+val admit :
+  ?kind:string ->
+  ?scope:string ->
+  t ->
+  key:string ->
+  canon:Xpds_xpath.Ast.node ->
+  Xpds_decision.Sat.report ->
+  bool
+(** Persist a freshly solved report under [key], tagged with the
+    request [kind]/[scope] it answers. [false] (and no write) when the
+    store is read-only, the key is already present, or the report
+    carries no persistable verdict. The caller is responsible for
+    cacheability (deadline/crash verdicts must not reach the store). *)
 
 val note_memory_hit : t -> unit
 (** Count a request answered by the memory tier above this store, so

@@ -1,0 +1,412 @@
+(* Tests for the containment / equivalence / doctype-satisfiability
+   protocol verbs: differential checks of served answers against the
+   library and the semantics, the counterexample codec round-trip, and
+   the closed wire schemas of the three new kinds. *)
+
+module Service = Xpds_service.Service
+module Cache_key = Xpds_service.Cache_key
+module Containment = Xpds_decision.Containment
+module Sat = Xpds_decision.Sat
+module Doctype = Xpds_automata.Doctype
+module Semantics = Xpds_xpath.Semantics
+module Data_tree = Xpds_datatree.Data_tree
+module Label = Xpds_datatree.Label
+module Parser = Xpds_xpath.Parser
+
+open Xpds_xpath.Ast
+module B = Xpds_xpath.Build
+
+let f s = as_node (Parser.formula_of_string_exn s)
+
+(* --- the counterexample codec (satellite: parseable wire trees) --- *)
+
+(* The wire rendering of counterexamples and doctype witnesses must be
+   the [label:datum(children)] syntax [Data_tree.of_string] parses —
+   not the paper pp notation, which has no parser. This pin keeps the
+   codec from regressing to [to_string]. *)
+let test_codec_is_parseable_syntax () =
+  let t =
+    Data_tree.node "a" 1
+      [ Data_tree.leaf (Label.of_string "b") 2;
+        Data_tree.node "c" 0 [ Data_tree.leaf (Label.of_string "a") 1 ]
+      ]
+  in
+  Alcotest.(check string)
+    "compact syntax" "a:1(b:2,c:0(a:1))"
+    (Data_tree.to_compact_string t);
+  (* Labels outside the bare-identifier set are quoted and round-trip. *)
+  let odd =
+    Data_tree.node "with space" 3
+      [ Data_tree.leaf (Label.of_string "x:y(z)") 0 ]
+  in
+  match Data_tree.of_string (Data_tree.to_compact_string odd) with
+  | Ok odd' ->
+    Alcotest.(check bool) "quoted labels round-trip" true
+      (Data_tree.equal odd odd')
+  | Error e -> Alcotest.failf "quoted label round-trip: %s" e
+
+let test_codec_roundtrip_random =
+  Gen_helpers.qtest ~count:200 "to_compact_string round-trips"
+    (Gen_helpers.arb_tree ~labels:[ "a"; "b"; "long name"; "x:y" ] ())
+    (fun t ->
+      match Data_tree.of_string (Data_tree.to_compact_string t) with
+      | Ok t' -> Data_tree.equal t t'
+      | Error _ -> false)
+
+(* --- served contains: every Fails carries a checked counterexample --- *)
+
+(* One shared service: the differential property also exercises the
+   kind-tagged cache across iterations. *)
+let svc = Service.create ()
+
+let arb_pair =
+  QCheck.pair
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+    (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg)
+
+let test_contains_fails_verified =
+  Gen_helpers.qtest ~count:60 "served Fails counterexamples replay"
+    arb_pair
+    (fun (phi, psi) ->
+      let resp =
+        Service.solve_contains svc
+          { Service.ct_id = "q"; phi; psi; ct_timeout_ms = None }
+      in
+      match Service.contains_answer resp with
+      | Containment.Fails w ->
+        (* the tree witnesses ϕ ∧ ¬ψ at some node... *)
+        Semantics.check_somewhere w (And (phi, B.not_ psi))
+        (* ...the solver replayed it before the service cached it... *)
+        && resp.Service.report.Sat.witness_verified = Some true
+        (* ...and its wire rendering parses back to the same tree. *)
+        && (match
+              Data_tree.of_string (Data_tree.to_compact_string w)
+            with
+           | Ok w' -> Data_tree.equal w w'
+           | Error _ -> false)
+      | Containment.Holds | Containment.Holds_bounded _
+      | Containment.Unknown _ -> true)
+
+(* Equivalence is containment both ways, sharing the contains cache. *)
+let test_equiv_directions_agree () =
+  let phi = f "<down[a & b]>" and psi = f "<down[a]>" in
+  let eq =
+    Service.solve_equiv svc
+      { Service.eq_id = "e"; eq_phi = phi; eq_psi = psi;
+        eq_timeout_ms = None }
+  in
+  (* ϕ ⊑ ψ holds (possibly width-bounded); ψ ⊑ ϕ fails. *)
+  (match Service.contains_answer eq.Service.forward with
+  | Containment.Holds | Containment.Holds_bounded _ -> ()
+  | a ->
+    Alcotest.failf "forward: %s"
+      (match a with
+      | Containment.Fails _ -> "fails"
+      | Containment.Unknown why -> "unknown: " ^ why
+      | _ -> "?"));
+  (match Service.contains_answer eq.Service.backward with
+  | Containment.Fails w ->
+    Alcotest.(check bool) "backward counterexample replays" true
+      (Semantics.check_somewhere w (And (psi, B.not_ phi)))
+  | _ -> Alcotest.fail "backward should fail");
+  (* A direct contains of the backward direction is now a cache hit. *)
+  let again =
+    Service.solve_contains svc
+      { Service.ct_id = "again"; phi = psi; psi = phi;
+        ct_timeout_ms = None }
+  in
+  Alcotest.(check bool) "equiv direction shared with contains" true
+    again.Service.cached
+
+(* --- served sat_under_doctype vs the conformance oracle --- *)
+
+let doctype_pool =
+  [ [];
+    [ { Doctype.parent = "a"; at_least = [ (1, "b") ]; forbidden = [] } ];
+    [ { Doctype.parent = "a"; at_least = []; forbidden = [ "c" ] } ];
+    [ { Doctype.parent = "b"; at_least = [ (2, "c") ]; forbidden = [ "a" ] };
+      { Doctype.parent = "c"; at_least = []; forbidden = [ "b" ] }
+    ]
+  ]
+
+let arb_doctype_case =
+  QCheck.pair
+    (Gen_helpers.arb_node_cfg Gen_helpers.data_free_cfg)
+    (QCheck.oneofl doctype_pool)
+
+let test_doctype_witnesses_conform =
+  Gen_helpers.qtest ~count:40 "served doctype witnesses conform"
+    arb_doctype_case
+    (fun (phi, rules) ->
+      let resp =
+        Service.solve_sat_under_doctype svc
+          { Service.dt_id = "d"; dt_formula = phi; dt_rules = rules;
+            dt_timeout_ms = None }
+      in
+      match resp.Service.report.Sat.verdict with
+      | Sat.Sat w ->
+        let labels =
+          List.map Label.of_string (Doctype.rule_labels rules)
+        in
+        (* the served witness satisfies the formula somewhere AND is
+           accepted by the direct conformance oracle *)
+        Semantics.check_somewhere w phi
+        && Doctype.conforms ~labels rules w
+        && resp.Service.report.Sat.witness_verified = Some true
+      | Sat.Unsat | Sat.Unsat_bounded _ | Sat.Unknown _ -> true)
+
+(* A doctype-constrained verdict must not leak into (or out of) the
+   unconstrained entry for the same formula, nor across doctypes. *)
+let test_doctype_scope_separation () =
+  let phi = f "<down[a & <down[c]>]>" in
+  let forbid =
+    [ { Doctype.parent = "a"; at_least = []; forbidden = [ "c" ] } ]
+  in
+  let sep = Service.create () in
+  let plain =
+    Service.solve sep { Service.id = "p"; formula = phi; timeout_ms = None }
+  in
+  Alcotest.(check string) "unconstrained sat" "sat"
+    (Service.verdict_name plain.Service.report.Sat.verdict);
+  let constrained =
+    Service.solve_sat_under_doctype sep
+      { Service.dt_id = "c"; dt_formula = phi; dt_rules = forbid;
+        dt_timeout_ms = None }
+  in
+  Alcotest.(check bool) "constrained not served from sat entry" false
+    constrained.Service.cached;
+  (match constrained.Service.report.Sat.verdict with
+  | Sat.Unsat | Sat.Unsat_bounded _ -> ()
+  | v ->
+    Alcotest.failf "constrained should be unsat, got %s"
+      (Service.verdict_name v));
+  let unconstrained_again =
+    Service.solve_sat_under_doctype sep
+      { Service.dt_id = "e"; dt_formula = phi; dt_rules = [];
+        dt_timeout_ms = None }
+  in
+  Alcotest.(check bool) "empty doctype is its own scope" false
+    unconstrained_again.Service.cached;
+  Alcotest.(check string) "empty doctype stays sat" "sat"
+    (Service.verdict_name
+       unconstrained_again.Service.report.Sat.verdict)
+
+let test_kind_tagged_keys () =
+  let phi = f "<down[a]>" and psi = f "<down[a & b]>" in
+  let query = Containment.query phi psi in
+  let fp = Service.solver_fingerprint Service.default_solver_config in
+  let _, sat_key = Cache_key.make ~config_fingerprint:fp query in
+  let _, ct_key =
+    Cache_key.make ~kind:"contains" ~config_fingerprint:fp query
+  in
+  let _, dt_key =
+    Cache_key.make ~kind:"sat_under_doctype" ~salt:"a{1*b|}"
+      ~config_fingerprint:fp query
+  in
+  let _, dt_key' =
+    Cache_key.make ~kind:"sat_under_doctype" ~salt:"a{2*b|}"
+      ~config_fingerprint:fp query
+  in
+  Alcotest.(check bool) "sat vs contains" true (sat_key <> ct_key);
+  Alcotest.(check bool) "contains vs doctype" true (ct_key <> dt_key);
+  Alcotest.(check bool) "doctype salt separates" true (dt_key <> dt_key');
+  (* Service level: pre-solving ϕ∧¬ψ as sat never answers contains. *)
+  let sep = Service.create () in
+  let _ =
+    Service.solve sep { Service.id = "s"; formula = query; timeout_ms = None }
+  in
+  let ct =
+    Service.solve_contains sep
+      { Service.ct_id = "c"; phi; psi; ct_timeout_ms = None }
+  in
+  Alcotest.(check bool) "contains not aliased to sat" false
+    ct.Service.cached;
+  Alcotest.(check int) "two cache entries" 2 (Service.cache_length sep)
+
+(* --- the wire layer: closed schemas, structured doctype errors --- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_wire_schemas_closed () =
+  let fails ~naming line =
+    match Service.wire_request_of_json line with
+    | Ok _ -> Alcotest.failf "accepted: %s" line
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names %S in %s" naming e)
+        true (contains_sub e naming)
+  in
+  (* Closed schemas: each kind rejects fields outside its set. *)
+  fails ~naming:"bogus"
+    {|{"kind":"contains","phi":"<down[a]>","psi":"<down[a]>","bogus":1}|};
+  fails ~naming:"formula"
+    {|{"kind":"contains","phi":"a","psi":"a","formula":"a"}|};
+  fails ~naming:"bogus"
+    {|{"kind":"equiv","phi":"a","psi":"a","bogus":1}|};
+  fails ~naming:"phi"
+    {|{"kind":"sat_under_doctype","formula":"a","doctype":[],"phi":"a"}|};
+  (* Required fields. *)
+  fails ~naming:"psi" {|{"kind":"contains","phi":"<down[a]>"}|};
+  fails ~naming:"doctype" {|{"kind":"sat_under_doctype","formula":"a"}|};
+  (* The version gate applies to the new kinds. *)
+  fails ~naming:"unsupported protocol version"
+    {|{"v":2,"kind":"contains","phi":"a","psi":"a"}|};
+  (* The unknown-kind error teaches all five verbs. *)
+  (match Service.wire_request_of_json {|{"kind":"frob","formula":"a"}|} with
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+  | Error e ->
+    List.iter
+      (fun verb ->
+        Alcotest.(check bool)
+          (Printf.sprintf "unknown-kind error lists %s" verb)
+          true (contains_sub e verb))
+      [ "sat"; "eval"; "contains"; "equiv"; "sat_under_doctype" ]);
+  (* New kinds parse into their request records. *)
+  (match
+     Service.wire_request_of_json
+       {|{"v":1,"id":"c","kind":"contains","phi":"<down[a]>","psi":"<down[b]>","timeout_ms":100}|}
+   with
+  | Ok (Service.Contains_request r) ->
+    Alcotest.(check string) "contains id" "c" r.Service.ct_id;
+    Alcotest.(check (option (float 0.))) "contains timeout" (Some 100.)
+      r.Service.ct_timeout_ms
+  | Ok _ -> Alcotest.fail "contains parsed as another kind"
+  | Error e -> Alcotest.failf "contains rejected: %s" e);
+  match
+    Service.wire_request_of_json
+      {|{"kind":"sat_under_doctype","formula":"<down[a]>","doctype":[{"parent":"a","at_least":[[2,"b"]],"forbidden":["c"]}]}|}
+  with
+  | Ok (Service.Doctype_request r) ->
+    Alcotest.(check int) "rules parsed" 1 (List.length r.Service.dt_rules)
+  | Ok _ -> Alcotest.fail "doctype parsed as another kind"
+  | Error e -> Alcotest.failf "doctype rejected: %s" e
+
+let test_wire_doctype_errors_structured () =
+  let err line =
+    match Service.wire_request_of_json line with
+    | Ok _ -> Alcotest.failf "accepted: %s" line
+    | Error e -> e
+  in
+  (* An invalid doctype ([validate] rejects non-positive counts and
+     duplicate parents) is a parse-time structured error — the solver
+     never sees it, so it can never surface as a crash report. *)
+  let e =
+    err
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[{"parent":"a","at_least":[[0,"b"]]}]}|}
+  in
+  Alcotest.(check bool) "non-positive count rejected" true
+    (contains_sub e "doctype");
+  Alcotest.(check bool) "not folded into a crash" false
+    (contains_sub e "crash");
+  let dup =
+    err
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[{"parent":"a"},{"parent":"a"}]}|}
+  in
+  Alcotest.(check bool) "duplicate parent rejected" true
+    (contains_sub dup "doctype");
+  (* Rule objects are closed too. *)
+  let unk =
+    err
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[{"parent":"a","frob":1}]}|}
+  in
+  Alcotest.(check bool) "unknown rule field named" true
+    (contains_sub unk "frob");
+  (* Structural defects. *)
+  List.iter
+    (fun line -> ignore (err line))
+    [ {|{"kind":"sat_under_doctype","formula":"a","doctype":"x"}|};
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[42]}|};
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[{"parent":"a","at_least":[["x","b"]]}]}|};
+      {|{"kind":"sat_under_doctype","formula":"a","doctype":[{"parent":"a","forbidden":[1]}]}|}
+    ]
+
+let test_wire_end_to_end () =
+  let t = Service.create () in
+  let serve line = Service.handle_line t line in
+  let member name line =
+    match Json.parse line with
+    | Ok v -> Json.member name v
+    | Error _ -> None
+  in
+  (* contains: a fails answer whose counterexample parses. *)
+  let fails =
+    serve
+      {|{"kind":"contains","id":"w1","phi":"<down[a]>","psi":"<down[a & b]>"}|}
+  in
+  Alcotest.(check (option string)) "wire answer" (Some "fails")
+    (Option.bind (member "answer" fails) Json.to_str);
+  (match Option.bind (member "counterexample" fails) Json.to_str with
+  | None -> Alcotest.fail "no counterexample on the wire"
+  | Some text -> (
+    match Data_tree.of_string text with
+    | Ok w ->
+      Alcotest.(check bool) "wire counterexample replays" true
+        (Semantics.check_somewhere w
+           (And (f "<down[a]>", B.not_ (f "<down[a & b]>"))))
+    | Error e -> Alcotest.failf "wire counterexample unparsable: %s" e));
+  (* equiv: settled false with the failing direction visible. *)
+  let neq =
+    serve {|{"kind":"equiv","id":"w2","phi":"<down[a & b]>","psi":"<down[a]>"}|}
+  in
+  Alcotest.(check (option bool)) "equivalent false" (Some false)
+    (Option.bind (member "equivalent" neq) Json.to_bool);
+  (* sat_under_doctype: kind-tagged response, parseable witness. *)
+  let dt =
+    serve
+      {|{"kind":"sat_under_doctype","id":"w3","formula":"<down[a]>","doctype":[{"parent":"a","at_least":[[1,"b"]]}]}|}
+  in
+  Alcotest.(check (option string)) "doctype kind" (Some "sat_under_doctype")
+    (Option.bind (member "kind" dt) Json.to_str);
+  (match Option.bind (member "witness" dt) Json.to_str with
+  | None -> Alcotest.fail "no witness on the wire"
+  | Some text -> (
+    match Data_tree.of_string text with
+    | Ok w ->
+      Alcotest.(check bool) "wire witness conforms" true
+        (Doctype.conforms
+           ~labels:[ Label.of_string "a"; Label.of_string "b" ]
+           [ { Doctype.parent = "a"; at_least = [ (1, "b") ];
+               forbidden = [] } ]
+           w)
+    | Error e -> Alcotest.failf "wire witness unparsable: %s" e));
+  (* A schema-invalid line that still parses as JSON answers a
+     structured error carrying the recovered request id. *)
+  let bad =
+    serve
+      {|{"kind":"sat_under_doctype","id":"d9","formula":"a","doctype":[{"parent":"a","at_least":[[0,"b"]]}]}|}
+  in
+  Alcotest.(check (option string)) "error keeps id" (Some "d9")
+    (Option.bind (member "id" bad) Json.to_str);
+  Alcotest.(check bool) "error is structured" true
+    (member "error" bad <> None);
+  (* Metrics: the three wire exchanges above landed in their own
+     per-kind buckets (equiv counts its two directions as contains). *)
+  let m = Service.metrics t in
+  Alcotest.(check int) "contains bucket"
+    3 m.Xpds_service.Metrics.contains_requests;
+  Alcotest.(check int) "equiv bucket" 1 m.Xpds_service.Metrics.equiv_requests;
+  Alcotest.(check int) "doctype bucket"
+    1 m.Xpds_service.Metrics.doctype_requests
+
+let suite =
+  ( "containment_service",
+    [ Alcotest.test_case "codec is parseable syntax" `Quick
+        test_codec_is_parseable_syntax;
+      test_codec_roundtrip_random;
+      test_contains_fails_verified;
+      Alcotest.test_case "equiv directions agree" `Quick
+        test_equiv_directions_agree;
+      test_doctype_witnesses_conform;
+      Alcotest.test_case "doctype scope separation" `Quick
+        test_doctype_scope_separation;
+      Alcotest.test_case "kind-tagged cache keys" `Quick
+        test_kind_tagged_keys;
+      Alcotest.test_case "wire schemas closed" `Quick
+        test_wire_schemas_closed;
+      Alcotest.test_case "wire doctype errors structured" `Quick
+        test_wire_doctype_errors_structured;
+      Alcotest.test_case "wire end to end" `Quick test_wire_end_to_end
+    ] )

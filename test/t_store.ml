@@ -128,9 +128,13 @@ let record_gen =
   let* states = int_bound 10_000 and* transitions = int_bound 10_000 in
   let* mergings = int_bound 1_000 and* height = int_bound 40 in
   let* verified = oneofl [ None; Some true; Some false ] in
+  let* kind = oneofl [ "sat"; "contains"; "sat_under_doctype" ] in
+  let* scope = oneofl [ ""; "a{1*b|}"; "a{|c};b{2*a|}" ] in
   let r =
     {
       Record.key = "0123456789abcdef0123456789abcdef";
+      kind;
+      scope;
       formula = "<down[a]>";
       verdict;
       fragment = "XPath(v,=)";
@@ -149,6 +153,8 @@ let record_gen =
 
 let record_equal (a : Record.t) (b : Record.t) =
   a.Record.key = b.Record.key
+  && a.Record.kind = b.Record.kind
+  && a.Record.scope = b.Record.scope
   && a.Record.formula = b.Record.formula
   && (match (a.Record.verdict, b.Record.verdict) with
      | Record.Sat w1, Record.Sat w2 -> Data_tree.equal w1 w2
