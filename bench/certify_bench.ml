@@ -51,24 +51,17 @@ let run ?(quick = false) ?(out = "BENCH_certify.json") () =
   Format.printf "certify bench%s: %d cases@."
     (if quick then " (quick)" else "")
     (List.length cases);
-  let svc =
-    Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            (* No height cap in certificate mode, so the fixpoint must
-               run to genuine saturation. Saturating costs O(n^width)
-               child combinations over the n basis states; width 2
-               keeps both the engine and the naive checker tractable on
-               this corpus (every family here has branching <= 2). *)
-            { Service.default_solver_config with
-              certificate = true;
-              width = 2;
-              max_transitions = 2_000_000
-            }
-        }
-      ()
+  let config =
+    (* No height cap in certificate mode, so the fixpoint must run to
+       genuine saturation. Saturating costs O(n^width) child
+       combinations over the n basis states; width 2 keeps both the
+       engine and the naive checker tractable on this corpus (every
+       family here has branching <= 2). *)
+    Service.Config.(
+      default |> with_certificate true |> with_width 2
+      |> with_max_transitions 2_000_000)
   in
+  let svc = Service.create config in
   let t_start = Unix.gettimeofday () in
   let results =
     List.map
@@ -126,12 +119,13 @@ let run ?(quick = false) ?(out = "BENCH_certify.json") () =
     (List.length results) wall;
   Format.printf "  service metrics: %a@." Xpds.Service_metrics.pp
     (Service.metrics svc);
-  let json =
-    Json.Obj
-      [ ("mode", Json.Str (if quick then "quick" else "full"));
-        ("cases", Json.Num (float_of_int (List.length results)));
+  let ok =
+    Report.write ~out ~bench:"certify"
+      ~mode:(if quick then "quick" else "full")
+      ~config ~wall_s:wall
+      ~gates:[ ("certificates_check", failed = []) ]
+      [ ("cases", Json.Num (float_of_int (List.length results)));
         ("failed", Json.Num (float_of_int (List.length failed)));
-        ("wall_s", Json.Num wall);
         ( "results",
           Json.Obj
             (List.map
@@ -155,9 +149,4 @@ let run ?(quick = false) ?(out = "BENCH_certify.json") () =
           Xpds.Service_metrics.to_json (Service.metrics svc) )
       ]
   in
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out;
-  if failed = [] then 0 else 1
+  if ok then 0 else 1

@@ -37,13 +37,6 @@ let time fn =
   let r = fn () in
   (r, Unix.gettimeofday () -. t0)
 
-let write_json ~out json =
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out
-
 let answer_name = function
   | Containment.Holds -> "holds"
   | Containment.Holds_bounded _ -> "holds_bounded"
@@ -52,7 +45,7 @@ let answer_name = function
 
 (* The direct-call twin of the service's solver configuration, so the
    agreement gate compares equal searches. *)
-let options_of (sc : Service.solver_config) =
+let options_of (sc : Service.Config.solver) =
   {
     Sat.Options.default with
     Sat.Options.width = sc.width;
@@ -106,7 +99,7 @@ let doctype_cases =
 (* --- full mode --- *)
 
 let full ~out () =
-  let sc = Service.default_solver_config in
+  let sc = Service.Config.default_solver in
   let options = options_of sc in
   Format.printf "containment bench: %d pairs, %d doctype cases@."
     (List.length contains_pairs)
@@ -124,7 +117,7 @@ let full ~out () =
 
   (* Served cold, then warm: same service, so the warm pass must be
      answered entirely by the memory tier. *)
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let serve () =
     List.map
       (fun (name, phi, psi, _) ->
@@ -218,31 +211,30 @@ let full ~out () =
   Format.printf "  doctype agreement %b@." doctype_ok;
 
   let ok =
-    agree && expected_ok && counterexamples_ok && warm_cached && doctype_ok
+    Report.write ~out ~bench:"containment" ~mode:"full"
+      ~gates:
+        [ ("agreement", agree);
+          ("expected_answers", expected_ok);
+          ("counterexamples_replay", counterexamples_ok);
+          ("warm_all_cached", warm_cached);
+          ("doctype_agreement", doctype_ok)
+        ]
+      [ ("pairs", Json.Num (float_of_int (List.length contains_pairs)));
+        ( "doctype_cases",
+          Json.Num (float_of_int (List.length doctype_cases)) );
+        ("direct_s", Json.Num direct_s);
+        ("served_cold_s", Json.Num cold_s);
+        ("served_warm_s", Json.Num warm_s);
+        ( "warm_speedup",
+          Json.Num (if warm_s > 0. then cold_s /. warm_s else 0.) );
+        ( "answers",
+          Json.Obj
+            (List.map
+               (fun (name, r) ->
+                 (name, Json.Str (answer_name (Service.contains_answer r))))
+               cold) )
+      ]
   in
-  write_json ~out
-    (Json.Obj
-       [ ("pairs", Json.Num (float_of_int (List.length contains_pairs)));
-         ( "doctype_cases",
-           Json.Num (float_of_int (List.length doctype_cases)) );
-         ("direct_s", Json.Num direct_s);
-         ("served_cold_s", Json.Num cold_s);
-         ("served_warm_s", Json.Num warm_s);
-         ( "warm_speedup",
-           Json.Num (if warm_s > 0. then cold_s /. warm_s else 0.) );
-         ("agreement", Json.Bool agree);
-         ("expected_answers", Json.Bool expected_ok);
-         ("counterexamples_replay", Json.Bool counterexamples_ok);
-         ("warm_all_cached", Json.Bool warm_cached);
-         ("doctype_agreement", Json.Bool doctype_ok);
-         ( "answers",
-           Json.Obj
-             (List.map
-                (fun (name, r) ->
-                  ( name,
-                    Json.Str (answer_name (Service.contains_answer r)) ))
-                cold) )
-       ]);
   if ok then 0 else 1
 
 (* --- CI smoke mode --- *)
@@ -253,7 +245,7 @@ let smoke ~out () =
     Format.printf "  %-38s %s@." name (if ok then "ok" else "FAIL");
     checks := (name, ok) :: !checks
   in
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let serve line = Service.handle_line svc line in
   let field name line =
     match Json.parse line with
@@ -341,7 +333,7 @@ let smoke ~out () =
 
   (* 5. Kind-tagged cache keys: pre-solving ϕ∧¬ψ as a plain sat request
      must not let the contains verb answer from the sat entry. *)
-  let sep_svc = Service.create () in
+  let sep_svc = Service.create Service.Config.default in
   let query = Containment.query phi psi in
   let _sat =
     Service.solve sep_svc
@@ -399,17 +391,17 @@ let smoke ~out () =
   Format.printf "  %d/%d ok@."
     (List.length results - List.length failed)
     (List.length results);
-  write_json ~out
-    (Json.Obj
-       [ ("mode", Json.Str "quick");
-         ("checks", Json.Num (float_of_int (List.length results)));
-         ("failed", Json.Num (float_of_int (List.length failed)));
-         ( "results",
-           Json.Obj
-             (List.map (fun (name, ok) -> (name, Json.Bool ok)) results)
-         )
-       ]);
-  if failed = [] then 0 else 1
+  let ok =
+    Report.write ~out ~bench:"containment" ~mode:"quick"
+      ~gates:[ ("smoke_checks", failed = []) ]
+      [ ("checks", Json.Num (float_of_int (List.length results)));
+        ("failed", Json.Num (float_of_int (List.length failed)));
+        ( "results",
+          Json.Obj
+            (List.map (fun (name, ok) -> (name, Json.Bool ok)) results) )
+      ]
+  in
+  if ok then 0 else 1
 
 let run ?(quick = false) ?(out = "BENCH_containment.json") () =
   Format.printf "containment bench%s:@." (if quick then " (quick)" else "");

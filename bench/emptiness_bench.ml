@@ -28,13 +28,6 @@ let pr1_baseline_s = 119.235
 let verdict_of (r : Service.response) =
   Service.verdict_name r.Service.report.Sat.verdict
 
-let write_json ~out json =
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out
-
 (* One cold sequential pass over the corpus under the given pruning
    mode; returns wall time, summed engine and pruning counters, and the
    per-request verdicts (in corpus order, for agreement checks). *)
@@ -42,11 +35,7 @@ let corpus_pass ~domains ~prune () =
   let reqs = Corpus.requests (Corpus.formulas ()) in
   let svc =
     Service.create
-      ~config:
-        { Service.default_config with
-          solver = { Service.default_solver_config with domains; prune }
-        }
-      ()
+      Service.Config.(default |> with_domains domains |> with_prune prune)
   in
   let t0 = Unix.gettimeofday () in
   let resps = Service.solve_batch ~jobs:1 svc reqs in
@@ -114,10 +103,10 @@ let full ~out ~domains ~prune () =
         agree )
     end
   in
-  let json =
-    Json.Obj
-      [ ("mode", Json.Str "full");
-        ("domains", Json.Num (float_of_int domains));
+  let ok =
+    Report.write ~out ~bench:"emptiness" ~mode:"full" ~wall_s:wall
+      ~gates:[ ("verdicts_agree", agree) ]
+      [ ("domains", Json.Num (float_of_int domains));
         ("prune", Json.Bool prune);
         ("formulas", Json.Num (float_of_int n));
         ("cold_wall_s", Json.Num wall);
@@ -153,8 +142,7 @@ let full ~out ~domains ~prune () =
                [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]) )
       ]
   in
-  write_json ~out json;
-  if agree then 0 else 1
+  if ok then 0 else 1
 
 (* Small families only (each solves in milliseconds) under a tight
    transition budget; every family's verdict is known by construction —
@@ -307,15 +295,8 @@ let smoke ~out ~prune () =
     (if prune then "" else ", pruning off");
   let svc =
     Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            { Service.default_solver_config with
-              max_transitions = 50_000;
-              prune
-            }
-        }
-      ()
+      Service.Config.(
+        default |> with_max_transitions 50_000 |> with_prune prune)
   in
   let t0 = Unix.gettimeofday () in
   let results =
@@ -344,13 +325,16 @@ let smoke ~out ~prune () =
     (List.length results) wall;
   let par_json, par_ok = seq_vs_par () in
   let prune_json, prune_ok = pruned_vs_exact () in
-  let json =
-    Json.Obj
-      [ ("mode", Json.Str "quick");
-        ("prune", Json.Bool prune);
+  let ok =
+    Report.write ~out ~bench:"emptiness" ~mode:"quick" ~wall_s:wall
+      ~gates:
+        [ ("family_verdicts", failed = []);
+          ("seq_vs_par_agree", par_ok);
+          ("pruned_vs_exact_agree", prune_ok)
+        ]
+      [ ("prune", Json.Bool prune);
         ("cases", Json.Num (float_of_int (List.length results)));
         ("failed", Json.Num (float_of_int (List.length failed)));
-        ("wall_s", Json.Num wall);
         ( "results",
           Json.Obj
             (List.map
@@ -365,8 +349,7 @@ let smoke ~out ~prune () =
         ("pruned_vs_exact", prune_json)
       ]
   in
-  write_json ~out json;
-  if failed = [] && par_ok && prune_ok then 0 else 1
+  if ok then 0 else 1
 
 let run ?(quick = false) ?(out = "BENCH_emptiness.json") ?(domains = 1)
     ?(prune = true) () =

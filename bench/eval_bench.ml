@@ -25,13 +25,6 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let write_json ~out json =
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out
-
 (* A deterministic document: label and branching drawn from the node's
    preorder id, data from a small residue class so equalities are
    plentiful. [target] bounds the node count from below-ish; the actual
@@ -192,8 +185,14 @@ let run ?(quick = false) ?(out = "BENCH_eval.json") () =
   if not fast_enough then
     Format.printf "  FAIL: warm speedup %.1fx < 10x@." speedup_warm;
 
-  let json =
-    Json.Obj
+  let ok =
+    Report.write ~out ~bench:"eval"
+      ~mode:(if quick then "quick" else "full")
+      ~gates:
+        [ ("positions_agree", agree);
+          ("xml_positions_agree", xml_agree);
+          ("warm_speedup", fast_enough)
+        ]
       [ ("doc_nodes", Json.Num (float_of_int n));
         ("queries", Json.Num (float_of_int nq));
         ("xml_doc_nodes", Json.Num (float_of_int xdoc.Eval_doc.n));
@@ -219,5 +218,4 @@ let run ?(quick = false) ?(out = "BENCH_eval.json") () =
         ("xml_positions_agree", Json.Bool xml_agree)
       ]
   in
-  write_json ~out json;
-  if agree && xml_agree && fast_enough then 0 else 1
+  if ok then 0 else 1

@@ -83,6 +83,7 @@ let () =
       :: ("eval", fun () -> ignore (Eval_bench.run ()))
       :: ("store", fun () -> ignore (Store_bench.run ()))
       :: ("containment", fun () -> ignore (Containment_bench.run ()))
+      :: ("load", fun () -> ignore (Load_bench.run ()))
       :: Experiments.all
     in
     let to_run =

@@ -38,13 +38,6 @@ let verdict_counts responses =
     (fun n -> (n, Json.Num (float_of_int (count n))))
     [ "sat"; "unsat"; "unsat_bounded"; "unknown" ]
 
-let write_json ~out json =
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out
-
 let trace_out out =
   (if Filename.check_suffix out ".json" then Filename.chop_suffix out ".json"
    else out)
@@ -66,16 +59,11 @@ let trace_sample (resps : Service.response list) =
    stop the saturation of a hard unsat formula. *)
 let unbounded_svc ?(retry_degraded = false) () =
   Service.create
-    ~config:
-      { Service.default_config with
-        solver =
-          { Service.default_solver_config with
-            max_states = 100_000_000;
-            max_transitions = 100_000_000;
-            retry_degraded
-          }
-      }
-    ()
+    Service.Config.(
+      default
+      |> with_max_states 100_000_000
+      |> with_max_transitions 100_000_000
+      |> with_retry_degraded retry_degraded)
 
 let full ~out () =
   let reqs = Corpus.requests (Corpus.formulas ()) in
@@ -84,12 +72,12 @@ let full ~out () =
   Format.printf "service bench: %d formulas, %d core(s)@." n cores;
 
   (* Cold runs on fresh services: sequential then jobs=4. *)
-  let seq_svc = Service.create () in
+  let seq_svc = Service.create Service.Config.default in
   let seq, seq_s =
     time (fun () -> Service.solve_batch ~jobs:1 seq_svc reqs)
   in
   Format.printf "  sequential: %.2f s@." seq_s;
-  let par_svc = Service.create () in
+  let par_svc = Service.create Service.Config.default in
   let par, par_s =
     time (fun () -> Service.solve_batch ~jobs:4 par_svc reqs)
   in
@@ -130,14 +118,15 @@ let full ~out () =
 
   (* Phase breakdown artifact: the first few cold responses plus the
      deadline probe (queue/fixpoint-heavy and deadline-shaped traces). *)
-  write_json ~out:(trace_out out)
+  Report.write_raw ~out:(trace_out out)
     (trace_sample
        (List.filteri (fun i _ -> i < 8) seq
        @ List.filteri (fun i _ -> i < 2) warm
        @ [ hard ]));
 
-  let json =
-    Json.Obj
+  let ok =
+    Report.write ~out ~bench:"service" ~mode:"full"
+      ~gates:[ ("verdicts_agree", agree) ]
       [ ("formulas", Json.Num (float_of_int n));
         ("cores", Json.Num (float_of_int cores));
         ("jobs_requested", Json.Num 4.);
@@ -175,8 +164,7 @@ let full ~out () =
              else "") )
       ]
   in
-  write_json ~out json;
-  if agree then 0 else 1
+  if ok then 0 else 1
 
 (* --- CI smoke mode --- *)
 
@@ -199,7 +187,7 @@ let smoke ~out () =
       ("child_chain_sat_3_dup", Families.child_chain ~sat:true 3, `Sat)
     ]
   in
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let resps =
     Service.solve_batch ~jobs:2 svc
       (List.map
@@ -249,7 +237,7 @@ let smoke ~out () =
 
   (* 4. Crash isolation: one poisoned item, the rest of the batch keeps
      its verdicts. *)
-  let crash_svc = Service.create () in
+  let crash_svc = Service.create Service.Config.default in
   Service.Chaos.set crash_svc
     (Some (fun id -> if id = "poison" then failwith "chaos"));
   let crash_resps =
@@ -283,16 +271,9 @@ let smoke ~out () =
      once under degraded bounds. *)
   let tiny_svc =
     Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            { Service.default_solver_config with
-              max_states = 10;
-              max_transitions = 40;
-              retry_degraded = true
-            }
-        }
-      ()
+      Service.Config.(
+        default |> with_max_states 10 |> with_max_transitions 40
+        |> with_retry_degraded true)
   in
   let degraded =
     Service.solve tiny_svc
@@ -340,7 +321,7 @@ let smoke ~out () =
 
   (* Trace artifact: the smoke batch + the deadline and degraded
      probes. *)
-  write_json ~out:(trace_out out)
+  Report.write_raw ~out:(trace_out out)
     (trace_sample (resps @ [ hard; zero; degraded ]));
 
   let results = List.rev !checks in
@@ -348,17 +329,17 @@ let smoke ~out () =
   Format.printf "  %d/%d ok@."
     (List.length results - List.length failed)
     (List.length results);
-  write_json ~out
-    (Json.Obj
-       [ ("mode", Json.Str "quick");
-         ("checks", Json.Num (float_of_int (List.length results)));
-         ("failed", Json.Num (float_of_int (List.length failed)));
-         ( "results",
-           Json.Obj
-             (List.map (fun (name, ok) -> (name, Json.Bool ok)) results)
-         )
-       ]);
-  if failed = [] then 0 else 1
+  let ok =
+    Report.write ~out ~bench:"service" ~mode:"quick"
+      ~gates:[ ("smoke_checks", failed = []) ]
+      [ ("checks", Json.Num (float_of_int (List.length results)));
+        ("failed", Json.Num (float_of_int (List.length failed)));
+        ( "results",
+          Json.Obj
+            (List.map (fun (name, ok) -> (name, Json.Bool ok)) results) )
+      ]
+  in
+  if ok then 0 else 1
 
 let run ?(quick = false) ?(out = "BENCH_service.json") () =
   Format.printf "service bench%s:@." (if quick then " (quick)" else "");

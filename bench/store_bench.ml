@@ -33,13 +33,6 @@ let time f =
 let verdict_of (r : Service.response) =
   Service.verdict_name r.Service.report.Xpds.Sat.verdict
 
-let write_json ~out json =
-  let oc = open_out out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Format.printf "  wrote %s@." out
-
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -61,7 +54,7 @@ let tmp_dir () =
   (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   d
 
-let default_fp = Service.solver_fingerprint Service.default_solver_config
+let default_fp = Service.Config.(fingerprint default_solver)
 
 let open_store ?verify path =
   match
@@ -156,7 +149,7 @@ let pipeline ~dir ~name reqs =
   let store_path = Filename.concat dir (name ^ ".xpds") in
   (try Sys.remove store_path with Sys_error _ -> ());
   let store, _ = open_store store_path in
-  let svc = Service.create ~store () in
+  let svc = Service.create ~store Service.Config.default in
   let cold, cold_s =
     time (fun () -> Service.solve_batch ~jobs:1 svc reqs)
   in
@@ -174,7 +167,7 @@ let pipeline ~dir ~name reqs =
   let warm_path = Filename.concat dir (name ^ "_warm.xpds") in
   write_file warm_path (read_file snapshot);
   let warm_store, info = open_store warm_path in
-  let warm_svc = Service.create ~store:warm_store () in
+  let warm_svc = Service.create ~store:warm_store Service.Config.default in
   let warm, warm_s =
     time (fun () -> Service.solve_batch ~jobs:1 warm_svc reqs)
   in
@@ -336,18 +329,21 @@ let full ~out () =
     (if trunc_ok then "recovered" else "FAIL")
     (if forged_ok then "evicted" else "FAIL");
   let gate = p.speedup >= 100. in
-  let ok = gate && p.agree && p.no_solves && sweep_ok sweep in
   Format.printf "  warm-start gate (>=100x): %s@."
     (if gate then "ok" else "FAIL");
-  write_json ~out
-    (Json.Obj
-       (("mode", Json.Str "full")
-        :: pipeline_json p
-       @ [ ("speedup_gate", Json.Num 100.);
-           ("speedup_gate_ok", Json.Bool gate);
-           ("corruption", Json.Obj (sweep_json sweep));
-           ("ok", Json.Bool ok)
-         ]));
+  let ok =
+    Report.write ~out ~bench:"store" ~mode:"full"
+      ~gates:
+        [ ("speedup_100x", gate);
+          ("warm_verdicts_agree", p.agree);
+          ("warm_no_solves", p.no_solves);
+          ("corruption_sweep", sweep_ok sweep)
+        ]
+      (pipeline_json p
+      @ [ ("speedup_gate", Json.Num 100.);
+          ("corruption", Json.Obj (sweep_json sweep))
+        ])
+  in
   if ok then 0 else 1
 
 (* --- CI smoke mode --- *)
@@ -432,19 +428,19 @@ let smoke ~out () =
   Format.printf "  %d/%d ok@."
     (List.length results - List.length failed)
     (List.length results);
-  write_json ~out
-    (Json.Obj
-       (("mode", Json.Str "quick")
-        :: pipeline_json p
-       @ [ ("corruption", Json.Obj (sweep_json sweep));
-           ("checks", Json.Num (float_of_int (List.length results)));
-           ("failed", Json.Num (float_of_int (List.length failed)));
-           ( "results",
-             Json.Obj
-               (List.map (fun (name, ok) -> (name, Json.Bool ok)) results)
-           )
-         ]));
-  if failed = [] then 0 else 1
+  let ok =
+    Report.write ~out ~bench:"store" ~mode:"quick"
+      ~gates:[ ("smoke_checks", failed = []) ]
+      (pipeline_json p
+      @ [ ("corruption", Json.Obj (sweep_json sweep));
+          ("checks", Json.Num (float_of_int (List.length results)));
+          ("failed", Json.Num (float_of_int (List.length failed)));
+          ( "results",
+            Json.Obj
+              (List.map (fun (name, ok) -> (name, Json.Bool ok)) results) )
+        ])
+  in
+  if ok then 0 else 1
 
 let run ?(quick = false) ?(out = "BENCH_store.json") () =
   Format.printf "store bench%s:@." (if quick then " (quick)" else "");

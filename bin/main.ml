@@ -786,7 +786,7 @@ let open_store ~verify ~solver path =
   match
     Xpds.Store.open_rw ~verify ~path
       ~protocol_version:Xpds.Service.protocol_version
-      ~config_fingerprint:(Xpds.Service.solver_fingerprint solver) ()
+      ~config_fingerprint:(Xpds.Service.Config.fingerprint solver) ()
   with
   | Error e ->
     prerr_endline (path ^ ": " ^ e);
@@ -802,28 +802,29 @@ let open_store ~verify ~solver path =
         info.Xpds.Store.recovered_bytes;
     store
 
-let service_of ?(certificate = false) ?(retry_degraded = false)
-    ?(domains = 0) ?(prune = true) ?store_path
+let config_of ?(certificate = false) ?(retry_degraded = false)
+    ?(domains = 0) ?(prune = true) ~cache_capacity ~jobs () =
+  Xpds.Service.Config.(
+    default |> with_certificate certificate
+    |> with_retry_degraded retry_degraded
+    |> with_domains (resolve_domains domains)
+    |> with_prune prune
+    |> with_cache_capacity cache_capacity
+    |> with_jobs (if jobs > 0 then jobs else Xpds.Pool.default_jobs ()))
+
+let service_of ?certificate ?retry_degraded ?domains ?prune ?store_path
     ?(store_verify = Xpds.Store.Fingerprint) ~cache_capacity ~jobs () =
   let config =
-    { Xpds.Service.default_config with
-      solver =
-        { Xpds.Service.default_solver_config with
-          certificate;
-          retry_degraded;
-          domains = resolve_domains domains;
-          prune
-        };
-      cache_capacity;
-      jobs = (if jobs > 0 then jobs else Xpds.Pool.default_jobs ())
-    }
+    config_of ?certificate ?retry_degraded ?domains ?prune ~cache_capacity
+      ~jobs ()
   in
   let store =
     Option.map
-      (open_store ~verify:store_verify ~solver:config.Xpds.Service.solver)
+      (open_store ~verify:store_verify
+         ~solver:config.Xpds.Service.Config.solver)
       store_path
   in
-  (Xpds.Service.create ~config ?store (), store)
+  (Xpds.Service.create ?store config, store)
 
 let print_store_info store =
   let num i = Xpds.Json.Num (float_of_int i) in
@@ -880,60 +881,141 @@ let serve_cmd =
     in
     Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Serve through N forked worker processes instead of in-process: \
+       each request is routed to a worker by its deterministic \
+       canonical cache key (kind-tagged and doctype-salted, so \
+       per-shard caches never alias), equiv requests fan their two \
+       directions out to their home shards, and worker crashes are \
+       isolated and respawned. 0 (the default) serves in-process. \
+       With --store FILE, shard $(i,i) persists to FILE.$(i,i)."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Per-shard admission queue bound (with --shards). A request \
+       arriving when its target shard's queue is full — or whose \
+       deadline provably cannot be met given the queue's depth and \
+       observed service times — is shed immediately with a structured \
+       {\"error\":\"overloaded\", \"retry_after_ms\":..} line instead \
+       of queueing past its budget."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"DEPTH" ~doc)
+  in
   let run timeout_ms cache stats certify trace degrade domains no_prune
-      docs store_path store_verify =
-    let svc, store =
-      service_of ~certificate:certify ~retry_degraded:degrade ~domains
-        ~prune:(not no_prune) ?store_path ~store_verify
-        ~cache_capacity:cache ~jobs:0 ()
+      docs store_path store_verify shards queue_depth =
+    let parse_doc_spec spec =
+      match String.index_opt spec '=' with
+      | None ->
+        prerr_endline ("--doc " ^ spec ^ ": expected NAME=FILE");
+        exit 2
+      | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
     in
-    List.iter
-      (fun spec ->
-        match String.index_opt spec '=' with
-        | None ->
-          prerr_endline
-            ("--doc " ^ spec ^ ": expected NAME=FILE");
-          exit 2
-        | Some i ->
-          let name = String.sub spec 0 i in
-          let file =
-            String.sub spec (i + 1) (String.length spec - i - 1)
+    let register svc (name, doc) =
+      match Xpds.Service.register_doc svc ~name doc with
+      | Ok () -> ()
+      | Error e ->
+        prerr_endline ("--doc " ^ name ^ ": " ^ e);
+        exit 2
+    in
+    let emit line =
+      print_endline line;
+      flush stdout
+    in
+    if shards = 0 then begin
+      (* the in-process engine: one service, answers inline *)
+      let svc, store =
+        service_of ~certificate:certify ~retry_degraded:degrade ~domains
+          ~prune:(not no_prune) ?store_path ~store_verify
+          ~cache_capacity:cache ~jobs:0 ()
+      in
+      List.iter
+        (fun spec ->
+          let name, file = parse_doc_spec spec in
+          register svc (name, load_doc file))
+        docs;
+      let extra_of (resp : Xpds.Service.response) =
+        if certify then
+          let fields, _, _ =
+            certify_report ~svc ~trace:resp.Xpds.Service.trace
+              resp.Xpds.Service.report
           in
-          (match
-             Xpds.Service.register_doc svc ~name (load_doc file)
-           with
-          | Ok () -> ()
-          | Error e ->
-            prerr_endline ("--doc " ^ spec ^ ": " ^ e);
-            exit 2))
-      docs;
-    let extra_of (resp : Xpds.Service.response) =
-      if certify then
-        let fields, _, _ =
-          certify_report ~svc ~trace:resp.Xpds.Service.trace
-            resp.Xpds.Service.report
+          fields
+        else []
+      in
+      (* [handle_line] never raises: malformed JSON, unparsable
+         formulas and even a crashing solve answer a structured
+         {"error": ...} line — garbage on the socket must not kill the
+         server. *)
+      let eng =
+        Xpds.Engine.in_process
+          ?default_timeout_ms:(default_timeout timeout_ms) ~trace
+          ~extra_of ~emit svc
+      in
+      let rec loop () =
+        match read_line () with
+        | exception End_of_file -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+          Xpds.Engine.submit eng line;
+          loop ()
+      in
+      loop ();
+      if stats then print_metrics svc;
+      close_store ~stats store
+    end
+    else begin
+      if certify then begin
+        prerr_endline "--certify is not supported with --shards";
+        exit 2
+      end;
+      (* documents are loaded once, pre-fork; workers inherit them *)
+      let docs = List.map (fun s -> parse_doc_spec s |> fun (n, f) -> (n, load_doc f)) docs in
+      let config =
+        config_of ~certificate:false ~retry_degraded:degrade ~domains
+          ~prune:(not no_prune) ~cache_capacity:cache ~jobs:0 ()
+      in
+      (* runs in the worker child, post-fork: each shard owns its
+         store file and registers the shared documents *)
+      let make_service ~shard =
+        let store =
+          Option.map
+            (fun path ->
+              open_store ~verify:store_verify
+                ~solver:config.Xpds.Service.Config.solver
+                (path ^ "." ^ string_of_int shard))
+            store_path
         in
-        fields
-      else []
-    in
-    (* [handle_line] never raises: malformed JSON, unparsable formulas
-       and even a crashing solve answer a structured {"error": ...}
-       line — garbage on the socket must not kill the server. *)
-    let rec loop () =
-      match read_line () with
-      | exception End_of_file -> ()
-      | line when String.trim line = "" -> loop ()
-      | line ->
-        print_endline
-          (Xpds.Service.handle_line
-             ?default_timeout_ms:(default_timeout timeout_ms) ~trace
-             ~extra_of svc line);
-        flush stdout;
-        loop ()
-    in
-    loop ();
-    if stats then print_metrics svc;
-    close_store ~stats store
+        let svc = Xpds.Service.create ?store config in
+        List.iter (register svc) docs;
+        svc
+      in
+      let eng =
+        Xpds.Shard.engine ~queue_depth
+          ?default_timeout_ms:(default_timeout timeout_ms) ~trace
+          ~make_service ~shards ~emit config
+      in
+      let rec loop () =
+        match read_line () with
+        | exception End_of_file -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+          Xpds.Engine.submit eng line;
+          Xpds.Engine.pump eng;
+          loop ()
+      in
+      loop ();
+      Xpds.Engine.drain eng;
+      if stats then
+        Option.iter
+          (fun j -> prerr_endline (Xpds.Json.to_string j))
+          (Xpds.Engine.metrics_json eng);
+      Xpds.Engine.close eng
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -958,7 +1040,7 @@ let serve_cmd =
     Term.(
       const run $ timeout_arg $ cache_arg $ stats_arg $ certify_arg
       $ trace_arg $ degrade_arg $ domains_arg $ no_prune_arg $ docs_arg
-      $ store_arg $ store_verify_arg)
+      $ store_arg $ store_verify_arg $ shards_arg $ queue_depth_arg)
 
 let batch_cmd =
   let file_arg =
@@ -1327,7 +1409,23 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TARGET"
           ~doc:"Benchmark to run: \"emptiness\", \"certify\", \
-                \"service\", \"eval\", \"store\" or \"containment\".")
+                \"service\", \"eval\", \"store\", \"containment\" or \
+                \"load\".")
+  in
+  let bench_shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ]
+          ~doc:
+            "Worker processes for the \"load\" harness (the topology \
+             under test).")
+  in
+  let bench_queue_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ]
+          ~doc:
+            "Per-shard admission queue bound for the \"load\" harness.")
   in
   let quick_arg =
     let doc =
@@ -1343,7 +1441,7 @@ let bench_cmd =
       & opt string "BENCH_emptiness.json"
       & info [ "o"; "out" ] ~doc:"Where to write the JSON results.")
   in
-  let run target quick out domains no_prune =
+  let run target quick out domains no_prune shards queue_depth =
     match target with
     | "emptiness" ->
       exit
@@ -1364,10 +1462,16 @@ let bench_cmd =
     | "containment" ->
       let out = if out = "BENCH_emptiness.json" then "BENCH_containment.json" else out in
       exit (Containment_bench.run ~quick ~out ())
+    | "load" ->
+      let out = if out = "BENCH_emptiness.json" then "BENCH_load.json" else out in
+      exit
+        (Load_bench.run ~quick ~out ~shards:(max 1 shards)
+           ~queue_depth:(max 1 queue_depth) ())
     | other ->
       prerr_endline
         ("unknown bench target " ^ other
-       ^ " (have: emptiness, certify, service, eval, store, containment)");
+       ^ " (have: emptiness, certify, service, eval, store, containment, \
+          load)");
       exit 2
   in
   Cmd.v
@@ -1377,7 +1481,7 @@ let bench_cmd =
           (cold wall-time and engine throughput for \"emptiness\").")
     Term.(
       const run $ target_arg $ quick_arg $ out_arg $ domains_arg
-      $ no_prune_arg)
+      $ no_prune_arg $ bench_shards_arg $ bench_queue_depth_arg)
 
 let () =
   let info =

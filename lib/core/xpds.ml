@@ -86,6 +86,9 @@ module Eval_xml = Xpds_eval.Xml_codec
 module Eval_oracle = Xpds_eval.Oracle
 module Service = Xpds_service.Service
 module Service_metrics = Xpds_service.Metrics
+module Engine = Xpds_service.Engine
+module Admission = Xpds_service.Admission
+module Shard = Xpds_shard.Shard
 module Trace = Xpds_service.Trace
 module Lru = Xpds_service.Lru
 module Cache_key = Xpds_service.Cache_key

@@ -1,0 +1,29 @@
+
+type t = {
+  submit : string -> unit;
+  pump : unit -> unit;
+  drain : unit -> unit;
+  pending : unit -> int;
+  metrics_json : unit -> Json.t option;
+  close : unit -> unit;
+}
+
+let make ~submit ?(pump = fun () -> ()) ?(drain = fun () -> ())
+    ?(pending = fun () -> 0) ?(metrics_json = fun () -> None)
+    ?(close = fun () -> ()) () =
+  { submit; pump; drain; pending; metrics_json; close }
+
+let submit t line = t.submit line
+let pump t = t.pump ()
+let drain t = t.drain ()
+let pending t = t.pending ()
+let metrics_json t = t.metrics_json ()
+let close t = t.close ()
+
+let in_process ?default_timeout_ms ?trace ?extra_of ~emit svc =
+  make
+    ~submit:(fun line ->
+      emit (Service.handle_line ?default_timeout_ms ?trace ?extra_of svc line))
+    ~metrics_json:(fun () ->
+      Some (Metrics.to_json (Service.metrics svc)))
+    ()

@@ -13,62 +13,119 @@ module Store = Xpds_store.Store
 module Doctype = Xpds_automata.Doctype
 module Containment = Xpds_decision.Containment
 
-type solver_config = {
-  width : int;
-  t0 : int option;
-  dup_cap : int option;
-  merge_budget : int option;
-  max_states : int;
-  max_transitions : int;
-  verify : bool;
-  certificate : bool;
-  retry_degraded : bool;
-  domains : int;
-      (** worker domains per solve ({!Xpds_decision.Sat.Options});
-          deliberately NOT part of the cache fingerprint — parallel and
-          sequential runs produce bit-identical reports, so their cache
-          entries are interchangeable *)
-  prune : bool;
-      (** subsumption pruning ({!Xpds_decision.Sat.Options.prune});
-          like [domains], NOT part of the cache fingerprint — on
-          searches that finish within budget the verdict is identical,
-          and both modes answer honestly on budget-capped runs, so
-          entries are interchangeable *)
-}
-
-type config = {
-  solver : solver_config;
-  cache_capacity : int;
-  jobs : int;
-  max_doc_nodes : int;
-  eval_cache_capacity : int;
-  doc_cache_capacity : int;
-}
-
-let default_solver_config =
-  {
-    width = 3;
-    t0 = Some 6;
-    dup_cap = Some 2;
-    merge_budget = Some 5;
-    max_states = Emptiness.default_config.Emptiness.max_states;
-    max_transitions = Emptiness.default_config.Emptiness.max_transitions;
-    verify = true;
-    certificate = false;
-    retry_degraded = false;
-    domains = Sat.Options.default.Sat.Options.domains;
-    prune = Sat.Options.default.Sat.Options.prune;
+(* The one construction seam: a plain record + with_* combinators, in
+   the style of Sat.Options.t. Every construction site (bin, bench,
+   shard workers, tests) builds a Config.t and calls [create]. *)
+module Config = struct
+  type solver = {
+    width : int;
+    t0 : int option;
+    dup_cap : int option;
+    merge_budget : int option;
+    max_states : int;
+    max_transitions : int;
+    verify : bool;
+    certificate : bool;
+    retry_degraded : bool;
+    domains : int;
+        (** worker domains per solve ({!Xpds_decision.Sat.Options});
+            deliberately NOT part of the cache fingerprint — parallel
+            and sequential runs produce bit-identical reports, so their
+            cache entries are interchangeable *)
+    prune : bool;
+        (** subsumption pruning ({!Xpds_decision.Sat.Options.prune});
+            like [domains], NOT part of the cache fingerprint — on
+            searches that finish within budget the verdict is
+            identical, and both modes answer honestly on budget-capped
+            runs, so entries are interchangeable *)
   }
 
-let default_config =
-  {
-    solver = default_solver_config;
-    cache_capacity = 4096;
-    jobs = Pool.default_jobs ();
-    max_doc_nodes = 200_000;
-    eval_cache_capacity = 4096;
-    doc_cache_capacity = 64;
+  type t = {
+    solver : solver;
+    cache_capacity : int;
+    jobs : int;
+    max_doc_nodes : int;
+    eval_cache_capacity : int;
+    doc_cache_capacity : int;
   }
+
+  let default_solver =
+    {
+      width = 3;
+      t0 = Some 6;
+      dup_cap = Some 2;
+      merge_budget = Some 5;
+      max_states = Emptiness.default_config.Emptiness.max_states;
+      max_transitions = Emptiness.default_config.Emptiness.max_transitions;
+      verify = true;
+      certificate = false;
+      retry_degraded = false;
+      domains = Sat.Options.default.Sat.Options.domains;
+      prune = Sat.Options.default.Sat.Options.prune;
+    }
+
+  let default =
+    {
+      solver = default_solver;
+      cache_capacity = 4096;
+      jobs = Pool.default_jobs ();
+      max_doc_nodes = 200_000;
+      eval_cache_capacity = 4096;
+      doc_cache_capacity = 64;
+    }
+
+  let with_solver solver t = { t with solver }
+  let with_width width t = { t with solver = { t.solver with width } }
+  let with_t0 t0 t = { t with solver = { t.solver with t0 } }
+  let with_dup_cap dup_cap t = { t with solver = { t.solver with dup_cap } }
+
+  let with_merge_budget merge_budget t =
+    { t with solver = { t.solver with merge_budget } }
+
+  let with_max_states max_states t =
+    { t with solver = { t.solver with max_states } }
+
+  let with_max_transitions max_transitions t =
+    { t with solver = { t.solver with max_transitions } }
+
+  let with_verify verify t = { t with solver = { t.solver with verify } }
+
+  let with_certificate certificate t =
+    { t with solver = { t.solver with certificate } }
+
+  let with_retry_degraded retry_degraded t =
+    { t with solver = { t.solver with retry_degraded } }
+
+  let with_domains domains t = { t with solver = { t.solver with domains } }
+  let with_prune prune t = { t with solver = { t.solver with prune } }
+  let with_cache_capacity cache_capacity t = { t with cache_capacity }
+  let with_jobs jobs t = { t with jobs }
+  let with_max_doc_nodes max_doc_nodes t = { t with max_doc_nodes }
+
+  let with_eval_cache_capacity eval_cache_capacity t =
+    { t with eval_cache_capacity }
+
+  let with_doc_cache_capacity doc_cache_capacity t =
+    { t with doc_cache_capacity }
+
+  let fingerprint (sc : solver) =
+    let opt = function None -> "-" | Some i -> string_of_int i in
+    (* [certificate] is part of the key: certificate mode disables the
+       height cap (the fixpoint must genuinely saturate), which can
+       change the outcome class of a run. [retry_degraded] is too: a
+       degraded retry can turn a budget [Unknown] into [Unsat_bounded].
+       [domains] is deliberately NOT: the parallel engine's
+       deterministic merge makes reports bit-identical across domain
+       counts, so cache entries are interchangeable — a feature, pinned
+       by tests. [prune] is NOT either: on in-budget searches pruning
+       only changes how the fixpoint is explored, never the verdict,
+       and budget-capped answers are honest ([Unknown]/[Unsat_bounded])
+       in both modes. *)
+    Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b;rd=%b"
+      sc.width (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget)
+      sc.max_states sc.max_transitions sc.verify sc.certificate
+      sc.retry_degraded
+end
 
 type request = {
   id : string;
@@ -193,7 +250,7 @@ type eval_flight = {
 }
 
 type t = {
-  cfg : config;
+  cfg : Config.t;
   fingerprint : string;
   store : Store.t option;
       (** the disk tier under the LRU; guarded by its own mutex, so
@@ -209,29 +266,10 @@ type t = {
   eval_inflight : (string, eval_flight) Hashtbl.t;
 }
 
-let fingerprint_of (sc : solver_config) =
-  let opt = function None -> "-" | Some i -> string_of_int i in
-  (* [certificate] is part of the key: certificate mode disables the
-     height cap (the fixpoint must genuinely saturate), which can
-     change the outcome class of a run. [retry_degraded] is too: a
-     degraded retry can turn a budget [Unknown] into [Unsat_bounded].
-     [domains] is deliberately NOT: the parallel engine's deterministic
-     merge makes reports bit-identical across domain counts, so cache
-     entries are interchangeable — a feature, pinned by tests.
-     [prune] is NOT either: on in-budget searches pruning only changes
-     how the fixpoint is explored, never the verdict, and budget-capped
-     answers are honest ([Unknown]/[Unsat_bounded]) in both modes. *)
-  Printf.sprintf "w%d;t0=%s;dup=%s;mb=%s;ms=%d;mt=%d;v=%b;c=%b;rd=%b"
-    sc.width (opt sc.t0) (opt sc.dup_cap) (opt sc.merge_budget)
-    sc.max_states sc.max_transitions sc.verify sc.certificate
-    sc.retry_degraded
-
-let solver_fingerprint = fingerprint_of
-
-let create ?(config = default_config) ?store () =
+let create ?store (config : Config.t) =
   {
     cfg = config;
-    fingerprint = fingerprint_of config.solver;
+    fingerprint = Config.fingerprint config.solver;
     store;
     cache = Lru.create ~capacity:config.cache_capacity;
     meters = Metrics.create ();
@@ -305,7 +343,7 @@ let synthetic_report ~algorithm canon why =
    smaller search space, so a formula that exhausted the state budget
    under the primary bounds has a chance to saturate (yielding an honest
    [Unsat_bounded]/[Sat]) instead of answering a bare [Unknown]. *)
-let degrade (sc : solver_config) =
+let degrade (sc : Config.solver) =
   {
     sc with
     width = max 1 (sc.width - 1);
@@ -334,7 +372,7 @@ let solve_uncached t ~trace ~deadline ~task ~id canon =
     | Some d -> Trace.now_ms () >= d
     | None -> false
   in
-  let run (sc : solver_config) =
+  let run (sc : Config.solver) =
     let should_stop =
       Option.map (fun d () -> Trace.now_ms () > d) deadline
     in

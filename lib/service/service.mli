@@ -56,62 +56,101 @@
     within its batch and against the cache, not against in-flight
     [solve] calls. *)
 
-type solver_config = {
-  width : int;
-  t0 : int option;
-  dup_cap : int option;
-  merge_budget : int option;
-  max_states : int;
-  max_transitions : int;
-  verify : bool;
-  certificate : bool;
-      (** run in certificate mode: reports carry a
-          {!Xpds_decision.Sat.cert_seed} from which {!Xpds_cert.Cert}
-          builds a checkable certificate *)
-  retry_degraded : bool;
-      (** retry a budget-exhausted [Unknown] once under degraded bounds
-          (width−1, halved t0, dup_cap 1, merge_budget 2) instead of
-          giving up — graceful degradation for fired budgets *)
-  domains : int;
-      (** worker domains per emptiness fixpoint
-          ({!Xpds_decision.Sat.Options}); drawn from the same
-          process-wide {!Xpds_parallel.Parallel} permit pool as the
-          batch workers, so [jobs x domains] never oversubscribes — a
-          parallel solve inside a busy batch degrades to sequential.
-          NOT part of the cache key: reports are bit-identical across
-          domain counts (deterministic parallel merge), so cached
-          entries are interchangeable. *)
-  prune : bool;
-      (** subsumption pruning in the emptiness fixpoint
-          ({!Xpds_decision.Sat.Options.prune}); default [true].
-          Certificate runs force exact mode regardless. Like [domains],
-          NOT part of the cache key: verdicts agree on searches that
-          finish within budget, and budget-capped answers are honest in
-          both modes, so cached entries are interchangeable. *)
-}
-(** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
-    key (except [domains] and [prune] — see above), so changing them
-    never serves stale verdicts. *)
+(** The one construction seam of a service: a plain record built from
+    {!Config.default} with [with_*] combinators, mirroring
+    {!Xpds_decision.Sat.Options.t}. Every construction site — [serve],
+    [batch], the benches, the shard workers, the tests — goes through
+    {!create} on a [Config.t]; there is no optional-argument
+    entrypoint. *)
+module Config : sig
+  type solver = {
+    width : int;
+    t0 : int option;
+    dup_cap : int option;
+    merge_budget : int option;
+    max_states : int;
+    max_transitions : int;
+    verify : bool;
+    certificate : bool;
+        (** run in certificate mode: reports carry a
+            {!Xpds_decision.Sat.cert_seed} from which {!Xpds_cert.Cert}
+            builds a checkable certificate *)
+    retry_degraded : bool;
+        (** retry a budget-exhausted [Unknown] once under degraded
+            bounds (width−1, halved t0, dup_cap 1, merge_budget 2)
+            instead of giving up — graceful degradation for fired
+            budgets *)
+    domains : int;
+        (** worker domains per emptiness fixpoint
+            ({!Xpds_decision.Sat.Options}); drawn from the same
+            process-wide {!Xpds_parallel.Parallel} permit pool as the
+            batch workers, so [jobs x domains] never oversubscribes — a
+            parallel solve inside a busy batch degrades to sequential.
+            NOT part of the cache key: reports are bit-identical across
+            domain counts (deterministic parallel merge), so cached
+            entries are interchangeable. *)
+    prune : bool;
+        (** subsumption pruning in the emptiness fixpoint
+            ({!Xpds_decision.Sat.Options.prune}); default [true].
+            Certificate runs force exact mode regardless. Like
+            [domains], NOT part of the cache key: verdicts agree on
+            searches that finish within budget, and budget-capped
+            answers are honest in both modes, so cached entries are
+            interchangeable. *)
+  }
+  (** Knobs forwarded to {!Xpds_decision.Sat.decide}; part of the cache
+      key (except [domains] and [prune] — see above), so changing them
+      never serves stale verdicts. *)
 
-type config = {
-  solver : solver_config;
-  cache_capacity : int;  (** LRU entries; default 4096 *)
-  jobs : int;  (** default batch parallelism; {!Pool.default_jobs} *)
-  max_doc_nodes : int;
-      (** admission bound for eval documents (inline or registered);
-          larger documents answer a structured error. Default 200_000. *)
-  eval_cache_capacity : int;
-      (** LRU entries of the eval result cache; default 4096 *)
-  doc_cache_capacity : int;
-      (** LRU entries of the inline-document cache (flattened documents
-          keyed by source digest); default 64 *)
-}
+  type t = {
+    solver : solver;
+    cache_capacity : int;  (** LRU entries; default 4096 *)
+    jobs : int;  (** default batch parallelism; {!Pool.default_jobs} *)
+    max_doc_nodes : int;
+        (** admission bound for eval documents (inline or registered);
+            larger documents answer a structured error. Default
+            200_000. *)
+    eval_cache_capacity : int;
+        (** LRU entries of the eval result cache; default 4096 *)
+    doc_cache_capacity : int;
+        (** LRU entries of the inline-document cache (flattened
+            documents keyed by source digest); default 64 *)
+  }
 
-val default_solver_config : solver_config
-(** The practical defaults of {!Xpds_decision.Sat.decide};
-    [retry_degraded] off. *)
+  val default_solver : solver
+  (** The practical defaults of {!Xpds_decision.Sat.decide};
+      [retry_degraded] off. *)
 
-val default_config : config
+  val default : t
+
+  (** Combinators over the solver knobs. *)
+
+  val with_solver : solver -> t -> t
+  val with_width : int -> t -> t
+  val with_t0 : int option -> t -> t
+  val with_dup_cap : int option -> t -> t
+  val with_merge_budget : int option -> t -> t
+  val with_max_states : int -> t -> t
+  val with_max_transitions : int -> t -> t
+  val with_verify : bool -> t -> t
+  val with_certificate : bool -> t -> t
+  val with_retry_degraded : bool -> t -> t
+  val with_domains : int -> t -> t
+  val with_prune : bool -> t -> t
+
+  (** Combinators over the serving knobs. *)
+
+  val with_cache_capacity : int -> t -> t
+  val with_jobs : int -> t -> t
+  val with_max_doc_nodes : int -> t -> t
+  val with_eval_cache_capacity : int -> t -> t
+  val with_doc_cache_capacity : int -> t -> t
+
+  val fingerprint : solver -> string
+  (** The cache-key configuration fingerprint of a solver config — the
+      string both {!Cache_key.make} and the store header versioning are
+      keyed on. Excludes [domains] and [prune] (see {!solver}). *)
+end
 
 type request = {
   id : string;
@@ -141,23 +180,18 @@ type response = {
 
 type t
 
-val create : ?config:config -> ?store:Xpds_store.Store.t -> unit -> t
+val create : ?store:Xpds_store.Store.t -> Config.t -> t
 (** [?store] layers a persistent verdict store under the memory cache as
     a second tier: a memory miss probes the store (the [store_probe]
     trace phase) before solving, and every cacheable fresh verdict is
     appended to it. The store must have been opened under this service's
-    configuration — {!solver_fingerprint} of the config's [solver] — or
+    configuration — {!Config.fingerprint} of the config's [solver] — or
     its records would never probe successfully; {!Xpds_store.Store}'s
     header versioning enforces exactly that at open. The caller keeps
     ownership: close the store (flushing its session counters) at
     shutdown. *)
 
-val config : t -> config
-
-val solver_fingerprint : solver_config -> string
-(** The cache-key configuration fingerprint of a solver config — the
-    string both {!Cache_key.make} and the store header versioning are
-    keyed on. Excludes [domains] and [prune] (see {!solver_config}). *)
+val config : t -> Config.t
 
 val solve : ?trace:Trace.t -> t -> request -> response
 (** [?trace] threads in a pre-admitted trace (e.g. one that already

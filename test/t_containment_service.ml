@@ -57,7 +57,7 @@ let test_codec_roundtrip_random =
 
 (* One shared service: the differential property also exercises the
    kind-tagged cache across iterations. *)
-let svc = Service.create ()
+let svc = Service.create Service.Config.default
 
 let arb_pair =
   QCheck.pair
@@ -162,7 +162,7 @@ let test_doctype_scope_separation () =
   let forbid =
     [ { Doctype.parent = "a"; at_least = []; forbidden = [ "c" ] } ]
   in
-  let sep = Service.create () in
+  let sep = Service.create Service.Config.default in
   let plain =
     Service.solve sep { Service.id = "p"; formula = phi; timeout_ms = None }
   in
@@ -194,7 +194,7 @@ let test_doctype_scope_separation () =
 let test_kind_tagged_keys () =
   let phi = f "<down[a]>" and psi = f "<down[a & b]>" in
   let query = Containment.query phi psi in
-  let fp = Service.solver_fingerprint Service.default_solver_config in
+  let fp = Service.Config.(fingerprint default_solver) in
   let _, sat_key = Cache_key.make ~config_fingerprint:fp query in
   let _, ct_key =
     Cache_key.make ~kind:"contains" ~config_fingerprint:fp query
@@ -211,7 +211,7 @@ let test_kind_tagged_keys () =
   Alcotest.(check bool) "contains vs doctype" true (ct_key <> dt_key);
   Alcotest.(check bool) "doctype salt separates" true (dt_key <> dt_key');
   (* Service level: pre-solving ϕ∧¬ψ as sat never answers contains. *)
-  let sep = Service.create () in
+  let sep = Service.create Service.Config.default in
   let _ =
     Service.solve sep { Service.id = "s"; formula = query; timeout_ms = None }
   in
@@ -324,7 +324,7 @@ let test_wire_doctype_errors_structured () =
     ]
 
 let test_wire_end_to_end () =
-  let t = Service.create () in
+  let t = Service.create Service.Config.default in
   let serve line = Service.handle_line t line in
   let member name line =
     match Json.parse line with

@@ -130,7 +130,7 @@ let test_protocol_versioning () =
       (contains e "timeout")
 
 let test_protocol_version_on_responses () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let check_v name line =
     match Json.parse line with
     | Error e -> Alcotest.failf "%s not JSON: %s" name e
@@ -197,7 +197,7 @@ let prop_commuted_same_key =
 let prop_key_equal_same_verdict =
   Gen_helpers.qtest ~count:40 "key-equal formulas: same verdict via cache"
     (Gen_helpers.arb_node_cfg Gen_helpers.star_free_cfg) (fun phi ->
-      let svc = Service.create () in
+      let svc = Service.create Service.Config.default in
       let st = Random.State.make [| Hashtbl.hash phi; 17 |] in
       let phi' = shuffle_node st phi in
       let r1 =
@@ -275,10 +275,10 @@ let requests_of formulas =
 let test_batch_parallel_agrees () =
   let formulas = family_formulas () in
   let seq =
-    Service.solve_batch ~jobs:1 (Service.create ()) (requests_of formulas)
+    Service.solve_batch ~jobs:1 (Service.create Service.Config.default) (requests_of formulas)
   in
   let par =
-    Service.solve_batch ~jobs:4 (Service.create ()) (requests_of formulas)
+    Service.solve_batch ~jobs:4 (Service.create Service.Config.default) (requests_of formulas)
   in
   List.iter2
     (fun (s : Service.response) (p : Service.response) ->
@@ -296,7 +296,7 @@ let test_batch_parallel_agrees () =
   Alcotest.(check bool) "some in-batch dedup hits" true (hits >= 2)
 
 let test_metrics_accounting () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let formulas = family_formulas () in
   ignore (Service.solve_batch ~jobs:2 svc (requests_of formulas));
   let m = Service.metrics svc in
@@ -331,15 +331,10 @@ let hard_formula () =
 let test_deadline () =
   let svc =
     Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            { Service.default_solver_config with
-              max_states = 100_000_000;
-              max_transitions = 100_000_000
-            }
-        }
-      ()
+      Service.Config.(
+        default
+        |> with_max_states 100_000_000
+        |> with_max_transitions 100_000_000)
   in
   let start = Unix.gettimeofday () in
   let r =
@@ -369,7 +364,7 @@ let test_deadline () =
    a deterministic [Unknown "deadline exceeded"] — no fixpoint work, no
    cache pollution, every time. *)
 let test_zero_timeout () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   for i = 1 to 3 do
     let r =
       Service.solve svc
@@ -403,7 +398,7 @@ let test_zero_timeout () =
    exactly one fixpoint runs — pinned by the metrics: 1 miss, 3
    single-flight joins. *)
 let test_single_flight () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let release = Atomic.make false in
   Service.Chaos.set svc
     (Some
@@ -454,7 +449,7 @@ let test_single_flight () =
 (* --- crash isolation --- *)
 
 let test_batch_crash_isolation () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   Service.Chaos.set svc
     (Some (fun id -> if id = "poison" then failwith "injected"));
   let reqs =
@@ -515,7 +510,7 @@ let test_batch_crash_isolation () =
 (* --- serve loop robustness --- *)
 
 let test_handle_line_garbage () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let garbage =
     [ "";
       "this is not json";
@@ -554,7 +549,7 @@ let test_handle_line_garbage () =
 (* --- per-request tracing --- *)
 
 let test_trace_phases () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let req =
     { Service.id = "t";
       formula = B.exists (B.filter B.down (B.lab "a"));
@@ -585,16 +580,9 @@ let test_trace_phases () =
 let test_degraded_retry () =
   let tiny retry_degraded =
     Service.create
-      ~config:
-        { Service.default_config with
-          solver =
-            { Service.default_solver_config with
-              max_states = 10;
-              max_transitions = 40;
-              retry_degraded
-            }
-        }
-      ()
+      Service.Config.(
+        default |> with_max_states 10 |> with_max_transitions 40
+        |> with_retry_degraded retry_degraded)
   in
   let req =
     { Service.id = "d"; formula = hard_formula (); timeout_ms = None }
@@ -632,7 +620,7 @@ let reply_error line =
   | _ -> Alcotest.failf "expected an error reply, got: %s" line
 
 let test_eval_wire () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let line =
     {|{"kind":"eval","id":"q1","formula":"<down[a]>","tree":"r:0(a:1,b:2(a:3))"}|}
   in
@@ -704,9 +692,7 @@ let test_eval_schema_closed () =
 
 let test_eval_errors_structured () =
   let svc =
-    Service.create
-      ~config:{ Service.default_config with max_doc_nodes = 2 }
-      ()
+    Service.create Service.Config.(default |> with_max_doc_nodes 2)
   in
   (* Unknown named document. *)
   let e =
@@ -747,7 +733,7 @@ let test_eval_errors_structured () =
     m.Xpds_service.Metrics.eval_cache_hits
 
 let test_eval_registry () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   let tree = Xpds_datatree.Data_tree.of_string_exn "r:0(a:1,b:2(a:3))" in
   (match Service.register_doc svc ~name:"lib" (Xpds_eval.Doc.of_tree tree)
    with
@@ -774,7 +760,7 @@ let test_eval_registry () =
     (Json.member "cached" v2 = Some (Json.Bool true))
 
 let test_eval_limit_and_deadline () =
-  let svc = Service.create () in
+  let svc = Service.create Service.Config.default in
   (* Three nodes satisfy the label test; limit 2 truncates the wire
      rendering but not the count. *)
   let v =

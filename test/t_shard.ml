@@ -1,0 +1,283 @@
+(* Tests for the multi-process shard router: routing determinism (the
+   qcheck pin that a request's home shard is a pure function of its
+   canonical cache key), equiv fan-out routing, cross-process kind
+   separation (a contains verdict cached on a shard is never served for
+   a sat request), single-shard agreement with the in-process path,
+   worker-crash isolation + respawn via the chaos hook, and the metrics
+   merge rules. *)
+
+module Service = Xpds_service.Service
+module Engine = Xpds_service.Engine
+module Cache_key = Xpds_service.Cache_key
+module Shard = Xpds_shard.Shard
+module Parser = Xpds_xpath.Parser
+module Pp = Xpds_xpath.Pp
+
+let fp = "test-fingerprint"
+
+let sat_line ?(id = "q") phi_str =
+  Json.to_string
+    (Json.Obj [ ("id", Json.Str id); ("formula", Json.Str phi_str) ])
+
+let contains_line ?(id = "q") phi psi =
+  Json.to_string
+    (Json.Obj
+       [ ("kind", Json.Str "contains");
+         ("id", Json.Str id);
+         ("phi", Json.Str phi);
+         ("psi", Json.Str psi)
+       ])
+
+(* --- routing --- *)
+
+(* A sat request's shard is exactly [shard_of_key] of its canonical
+   cache key: deterministic, in range, and insensitive to how many
+   times you ask. *)
+let prop_routing_deterministic =
+  Gen_helpers.qtest ~count:300 "sat route = shard of canonical key"
+    Gen_helpers.arb_node (fun phi ->
+      let printed = Pp.node_to_string phi in
+      match Parser.formula_of_string printed with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok f ->
+        let ast = Xpds_xpath.Ast.as_node f in
+        let shards = 1 + (Hashtbl.hash printed mod 7) in
+        let line = sat_line printed in
+        let r1 = Shard.route_line ~config_fingerprint:fp ~shards line in
+        let r2 = Shard.route_line ~config_fingerprint:fp ~shards line in
+        let _, key = Cache_key.make ~config_fingerprint:fp ast in
+        let home = Shard.shard_of_key ~shards key in
+        (match r1 with
+        | Shard.To s ->
+          if s <> home then
+            QCheck.Test.fail_reportf "routed to %d, key says %d" s home;
+          if s < 0 || s >= shards then
+            QCheck.Test.fail_reportf "shard %d out of range [0,%d)" s
+              shards
+        | Shard.Fanout _ ->
+          QCheck.Test.fail_report "sat request fanned out");
+        r1 = r2)
+
+(* An equiv fans out to the two directions' home shards — the shards
+   the equivalent standalone contains requests would land on. *)
+let test_equiv_fanout () =
+  let phi = "<down[a & b]>" and psi = "<down[a]>" in
+  let shards = 5 in
+  let dir p q =
+    match
+      Shard.route_line ~config_fingerprint:fp ~shards (contains_line p q)
+    with
+    | Shard.To s -> s
+    | Shard.Fanout _ -> Alcotest.fail "contains fanned out"
+  in
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("kind", Json.Str "equiv");
+           ("id", Json.Str "e");
+           ("phi", Json.Str phi);
+           ("psi", Json.Str psi)
+         ])
+  in
+  match Shard.route_line ~config_fingerprint:fp ~shards line with
+  | Shard.Fanout { fwd; bwd } ->
+    Alcotest.(check int) "forward direction home" (dir phi psi) fwd;
+    Alcotest.(check int) "backward direction home" (dir psi phi) bwd
+  | Shard.To _ -> Alcotest.fail "equiv did not fan out"
+
+(* --- engine helpers --- *)
+
+let with_engine ?chaos_crash_id ~shards f =
+  let buf = ref [] in
+  let emit l = buf := l :: !buf in
+  let eng =
+    Shard.engine ?chaos_crash_id ~shards ~emit Service.Config.default
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.close eng)
+    (fun () -> f eng (fun () -> List.rev !buf))
+
+let field name line =
+  match Json.parse line with
+  | Ok v -> Json.member name v
+  | Error e -> Alcotest.failf "unparseable response %s: %s" line e
+
+let str_field name line = Option.bind (field name line) Json.to_str
+
+let find_id id lines =
+  match
+    List.find_opt (fun l -> str_field "id" l = Some id) lines
+  with
+  | Some l -> l
+  | None -> Alcotest.failf "no response for id %s" id
+
+(* --- cross-process kind separation --- *)
+
+(* A contains verdict cached on its shard must never be served for a
+   sat request on the same formula: the kind tag is part of the key, so
+   the sat solve is a genuine miss, and only its own repeat hits. *)
+let test_kind_separation () =
+  with_engine ~shards:2 (fun eng lines ->
+      let phi = "<down[a]>" and psi = "<desc[a]>" in
+      List.iter (Engine.submit eng)
+        [ contains_line ~id:"c1" phi psi;
+          sat_line ~id:"s1" phi;
+          sat_line ~id:"s2" phi;
+          contains_line ~id:"c2" phi psi
+        ];
+      Engine.drain eng;
+      let lines = lines () in
+      let c1 = find_id "c1" lines and c2 = find_id "c2" lines in
+      let s1 = find_id "s1" lines and s2 = find_id "s2" lines in
+      (match str_field "answer" c1 with
+      | Some ("holds" | "holds_bounded") -> ()
+      | a ->
+        Alcotest.failf "contains answer %s"
+          (Option.value a ~default:"<none>"));
+      Alcotest.(check (option string))
+        "sat verdict untainted" (Some "sat") (str_field "verdict" s1);
+      Alcotest.(check (option bool))
+        "first sat is a genuine miss" (Some false)
+        (Option.bind (field "cached" s1) Json.to_bool);
+      Alcotest.(check (option bool))
+        "repeated sat hits its own entry" (Some true)
+        (Option.bind (field "cached" s2) Json.to_bool);
+      Alcotest.(check (option bool))
+        "repeated contains hits its own entry" (Some true)
+        (Option.bind (field "cached" c2) Json.to_bool))
+
+(* --- single-shard agreement --- *)
+
+(* ~shards:1 must answer exactly what the in-process handle_line
+   answers, for every kind and for garbage, modulo solve-time fields. *)
+let rec scrub = function
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.filter_map
+         (fun (k, v) -> if k = "ms" then None else Some (k, scrub v))
+         kvs)
+  | Json.Arr l -> Json.Arr (List.map scrub l)
+  | v -> v
+
+let test_single_shard_agreement () =
+  let reqs =
+    [ {|{"id":"a1","formula":"<down[a]>"}|};
+      {|{"id":"a2","formula":"<down[a & b]>"}|};
+      {|{"kind":"contains","id":"a3","phi":"<down[a & b]>","psi":"<down[a]>"}|};
+      {|{"kind":"equiv","id":"a4","phi":"<down[a]>","psi":"<down[a]>"}|};
+      {|{"kind":"eval","id":"a5","formula":"b","tree":"r:0(a:1,b:2)"}|};
+      "this is not json"
+    ]
+  in
+  let svc = Service.create Service.Config.default in
+  let reference = List.map (Service.handle_line svc) reqs in
+  with_engine ~shards:1 (fun eng lines ->
+      List.iter (Engine.submit eng) reqs;
+      Engine.drain eng;
+      let got = lines () in
+      Alcotest.(check int)
+        "one answer per request" (List.length reqs) (List.length got);
+      List.iter2
+        (fun want have ->
+          let norm l =
+            match Json.parse l with
+            | Ok v -> Json.to_string (scrub v)
+            | Error _ -> l
+          in
+          Alcotest.(check string) "line agrees" (norm want) (norm have))
+        reference got)
+
+(* --- crash isolation and respawn --- *)
+
+let test_crash_respawn () =
+  with_engine ~shards:2 ~chaos_crash_id:"boom" (fun eng lines ->
+      let phi = "<down[a & <down[b & <down[c]>]>]>" in
+      Engine.submit eng (sat_line ~id:"boom" phi);
+      Engine.drain eng;
+      let boom = find_id "boom" (lines ()) in
+      (match str_field "error" boom with
+      | Some e ->
+        Alcotest.(check bool)
+          "structured dead-worker error" true
+          (String.length e > 0)
+      | None -> Alcotest.fail "crashed request answered no error");
+      (* The respawned worker serves the same shard again. *)
+      Engine.submit eng (sat_line ~id:"after" phi);
+      Engine.drain eng;
+      let after = find_id "after" (lines ()) in
+      (match str_field "verdict" after with
+      | Some "sat" -> ()
+      | _ -> Alcotest.failf "respawned worker did not solve: %s" after);
+      match Engine.metrics_json eng with
+      | None -> Alcotest.fail "no aggregated metrics"
+      | Some m -> (
+        match Json.member "router" m with
+        | Some r ->
+          Alcotest.(check (option (float 0.)))
+            "restart counted" (Some 1.)
+            (Option.bind (Json.member "worker_restarts" r) Json.to_float)
+        | None -> Alcotest.fail "no router section in metrics"))
+
+(* --- metrics merge --- *)
+
+let test_merge_metrics () =
+  let a =
+    Json.Obj
+      [ ("requests", Json.Num 3.);
+        ("engine", Json.Str "x");
+        ( "lat",
+          Json.Obj
+            [ ("mean", Json.Num 10.);
+              ("max_ms", Json.Num 5.);
+              ("min_ms", Json.Num 2.)
+            ] )
+      ]
+  in
+  let b =
+    Json.Obj
+      [ ("requests", Json.Num 4.);
+        ("extra", Json.Num 7.);
+        ( "lat",
+          Json.Obj
+            [ ("mean", Json.Num 20.);
+              ("max_ms", Json.Num 9.);
+              ("min_ms", Json.Num 1.)
+            ] )
+      ]
+  in
+  let m = Shard.merge_metrics [ a; b ] in
+  let num path =
+    let rec go v = function
+      | [] -> Json.to_float v
+      | k :: rest -> Option.bind (Json.member k v) (fun v -> go v rest)
+    in
+    go m path
+  in
+  Alcotest.(check (option (float 0.))) "counters sum" (Some 7.) (num [ "requests" ]);
+  Alcotest.(check (option (float 0.)))
+    "means average" (Some 15.)
+    (num [ "lat"; "mean" ]);
+  Alcotest.(check (option (float 0.)))
+    "max takes max" (Some 9.)
+    (num [ "lat"; "max_ms" ]);
+  Alcotest.(check (option (float 0.)))
+    "min takes min" (Some 1.)
+    (num [ "lat"; "min_ms" ]);
+  Alcotest.(check (option string))
+    "strings take first" (Some "x")
+    (Option.bind (Json.member "engine" m) Json.to_str);
+  Alcotest.(check (option (float 0.)))
+    "missing keys union in" (Some 7.) (num [ "extra" ])
+
+let suite =
+  ( "shard",
+    [ prop_routing_deterministic;
+      Alcotest.test_case "equiv fanout routing" `Quick test_equiv_fanout;
+      Alcotest.test_case "cross-process kind separation" `Quick
+        test_kind_separation;
+      Alcotest.test_case "single-shard agreement" `Quick
+        test_single_shard_agreement;
+      Alcotest.test_case "crash isolation and respawn" `Quick
+        test_crash_respawn;
+      Alcotest.test_case "metrics merge rules" `Quick test_merge_metrics
+    ] )

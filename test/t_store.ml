@@ -39,7 +39,7 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let default_fp = Service.solver_fingerprint Service.default_solver_config
+let default_fp = Service.Config.(fingerprint default_solver)
 
 let open_rw ?verify path =
   match
@@ -60,7 +60,7 @@ let keyed formula =
 let solved_store ?(name = "seed") formulas =
   let path = tmp_path (name ^ ".xpds") in
   let store, _ = open_rw path in
-  let svc = Service.create ~store () in
+  let svc = Service.create ~store Service.Config.default in
   let facts =
     List.map
       (fun f ->
@@ -537,14 +537,14 @@ let test_service_disk_tier () =
   in
   (* session 1: cold solve, admitted to the store *)
   let store, _ = open_rw path in
-  let svc = Service.create ~store () in
+  let svc = Service.create ~store Service.Config.default in
   let cold = Service.solve svc (req "cold" "<down[a]>") in
   Alcotest.(check string) "cold is solve tier" "solve" cold.Service.tier;
   Store.close store;
   (* session 2: fresh process shape — empty LRU, warm store *)
   let store, info = open_rw path in
   Alcotest.(check int) "record persisted" 1 info.Store.records;
-  let svc = Service.create ~store () in
+  let svc = Service.create ~store Service.Config.default in
   let warm = Service.solve svc (req "warm" "<down[a]>") in
   Alcotest.(check string) "warm is disk tier" "disk" warm.Service.tier;
   Alcotest.(check bool) "disk hit is cached=true" true warm.Service.cached;
@@ -571,7 +571,7 @@ let test_service_disk_tier () =
 let test_service_store_stats_json () =
   let path = tmp_path "mjson.xpds" in
   let store, _ = open_rw path in
-  let svc = Service.create ~store () in
+  let svc = Service.create ~store Service.Config.default in
   ignore
     (Service.solve svc
        { Service.id = "x"; formula = parse "<down[a]>"; timeout_ms = None });

@@ -1,0 +1,4 @@
+(* Runner for the shard router suite — a separate binary from
+   test_xpds because these tests fork worker processes, which OCaml 5
+   forbids in a process that has ever created a domain (see test/dune). *)
+let () = Alcotest.run "xpds-shard" [ T_shard.suite ]
