@@ -999,16 +999,50 @@ let serve_cmd =
           ?default_timeout_ms:(default_timeout timeout_ms) ~trace
           ~make_service ~shards ~emit config
       in
-      let rec loop () =
-        match read_line () with
-        | exception End_of_file -> ()
-        | line when String.trim line = "" -> loop ()
-        | line ->
-          Xpds.Engine.submit eng line;
-          Xpds.Engine.pump eng;
-          loop ()
+      (* The router is asynchronous: worker responses turn ready while
+         the loop is waiting for input, and a synchronous client reads
+         each reply before sending its next line — so blocking in
+         [read_line] alone would deadlock it. [Engine.wait] selects on
+         stdin and the worker pipes together, pumping responses out as
+         soon as workers produce them. *)
+      let stdin_fd = Unix.stdin in
+      let inbuf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let submit_buffered ~eof =
+        let s = Buffer.contents inbuf in
+        let rec go start =
+          match String.index_from_opt s start '\n' with
+          | Some i ->
+            Xpds.Engine.submit eng (String.sub s start (i - start));
+            go (i + 1)
+          | None ->
+            Buffer.clear inbuf;
+            if eof then begin
+              (* a final line without its newline still gets a reply *)
+              if start < String.length s then
+                Xpds.Engine.submit eng
+                  (String.sub s start (String.length s - start))
+            end
+            else Buffer.add_substring inbuf s start (String.length s - start)
+        in
+        go 0
       in
-      loop ();
+      let eof = ref false in
+      while not !eof do
+        let ready = Xpds.Engine.wait eng ~read_fds:[ stdin_fd ] 1.0 in
+        if ready <> [] then
+          match Unix.read stdin_fd chunk 0 (Bytes.length chunk) with
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+          | 0 ->
+            eof := true;
+            submit_buffered ~eof:true
+          | n ->
+            Buffer.add_subbytes inbuf chunk 0 n;
+            submit_buffered ~eof:false
+      done;
       Xpds.Engine.drain eng;
       if stats then
         Option.iter

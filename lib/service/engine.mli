@@ -23,13 +23,15 @@ val make :
   ?pump:(unit -> unit) ->
   ?drain:(unit -> unit) ->
   ?pending:(unit -> int) ->
+  ?wait:(Unix.file_descr list -> float -> Unix.file_descr list) ->
   ?metrics_json:(unit -> Json.t option) ->
   ?close:(unit -> unit) ->
   unit ->
   t
 (** Assemble an engine from its operations. Omitted hooks default to
     no-ops ([pending] to [fun () -> 0], [metrics_json] to
-    [fun () -> None]). *)
+    [fun () -> None], [wait] to a plain [Unix.select] over the caller's
+    descriptors — right for synchronous engines with no internal I/O). *)
 
 val submit : t -> string -> unit
 (** Hand one NDJSON request line to the engine. Responses (or
@@ -48,6 +50,18 @@ val drain : t -> unit
 
 val pending : t -> int
 (** Requests submitted but not yet answered. *)
+
+val wait : t -> ?read_fds:Unix.file_descr list -> float -> Unix.file_descr list
+(** [wait t ~read_fds timeout] blocks (up to [timeout] seconds,
+    negative = indefinitely) until the engine has internal I/O to do or
+    one of [read_fds] turns readable — whichever comes first — performs
+    the engine's I/O, and returns the readable subset of [read_fds].
+    This is how a serving loop multiplexes its own input source with an
+    asynchronous engine's responses: selecting on stdin alone while a
+    shard router holds finished answers in its worker pipes would
+    deadlock a synchronous client that waits for each reply before
+    sending the next line. For synchronous engines this is a plain
+    select on [read_fds]. *)
 
 val metrics_json : t -> Json.t option
 (** Aggregate metrics snapshot: the {!Metrics.to_json} object for the

@@ -122,29 +122,45 @@ let contains_sub hay needle =
 
 let averaged_keys = [ "mean"; "p50"; "p95"; "p99"; "est_ms" ]
 
-let combine_nums key xs =
+(* Latency-shape fields carry each numeric leaf's weight — its source
+   snapshot's top-level request count — so a shard that served 10,000
+   requests dominates one that served 10 instead of counting the same.
+   Merged percentiles remain approximations either way (an average of
+   per-shard p95s is not the fleet p95); the router section labels
+   them as such. *)
+let combine_nums key (xs : (float * float) list) =
   match xs with
   | [] -> 0.
-  | _ ->
+  | (_, hd) :: _ ->
     let k = String.lowercase_ascii key in
-    if contains_sub k "min" then List.fold_left Float.min (List.hd xs) xs
-    else if contains_sub k "max" then List.fold_left Float.max (List.hd xs) xs
-    else
-      let sum = List.fold_left ( +. ) 0. xs in
-      if List.mem k averaged_keys then sum /. float_of_int (List.length xs)
-      else sum
+    if contains_sub k "min" then
+      List.fold_left (fun acc (_, x) -> Float.min acc x) hd xs
+    else if contains_sub k "max" then
+      List.fold_left (fun acc (_, x) -> Float.max acc x) hd xs
+    else if List.mem k averaged_keys then begin
+      let wsum = List.fold_left (fun acc (w, _) -> acc +. w) 0. xs in
+      if wsum > 0. then
+        List.fold_left (fun acc (w, x) -> acc +. (w *. x)) 0. xs /. wsum
+      else
+        (* all-idle shards: any weighting degenerates; plain average *)
+        List.fold_left (fun acc (_, x) -> acc +. x) 0. xs
+        /. float_of_int (List.length xs)
+    end
+    else List.fold_left (fun acc (_, x) -> acc +. x) 0. xs
 
-let rec merge_values ~key (vs : Json.t list) =
+let rec merge_values ~key (vs : (float * Json.t) list) =
   match vs with
   | [] -> Json.Null
-  | Json.Obj _ :: _ ->
+  | (_, Json.Obj _) :: _ ->
     let objs =
-      List.filter_map (function Json.Obj f -> Some f | _ -> None) vs
+      List.filter_map
+        (function w, Json.Obj f -> Some (w, f) | _ -> None)
+        vs
     in
     (* union of keys, in first-appearance order *)
     let keys =
       List.fold_left
-        (fun acc fields ->
+        (fun acc (_, fields) ->
           List.fold_left
             (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
             acc fields)
@@ -153,15 +169,29 @@ let rec merge_values ~key (vs : Json.t list) =
     Json.Obj
       (List.map
          (fun k ->
-           (k, merge_values ~key:k (List.filter_map (List.assoc_opt k) objs)))
+           ( k,
+             merge_values ~key:k
+               (List.filter_map
+                  (fun (w, fields) ->
+                    Option.map (fun v -> (w, v)) (List.assoc_opt k fields))
+                  objs) ))
          keys)
-  | Json.Num _ :: _ ->
+  | (_, Json.Num _) :: _ ->
     Json.Num
       (combine_nums key
-         (List.filter_map (function Json.Num x -> Some x | _ -> None) vs))
-  | v :: _ -> v
+         (List.filter_map
+            (function w, Json.Num x -> Some (w, x) | _ -> None)
+            vs))
+  | (_, v) :: _ -> v
 
-let merge_metrics snaps = merge_values ~key:"" snaps
+let snapshot_weight snap =
+  match Json.member "requests" snap with
+  | Some (Json.Num n) when n >= 0. -> n
+  | _ -> 1.
+
+let merge_metrics snaps =
+  merge_values ~key:""
+    (List.map (fun s -> (snapshot_weight s, s)) snaps)
 
 (* --- the worker child --- *)
 
@@ -393,17 +423,17 @@ let handle_response t w line =
 
 (* --- worker death and respawn --- *)
 
-let fail_entry t w e =
+let fail_entry ?(msg = dead_worker_error) t w e =
   if e.admitted then Admission.abandon w.adm;
   match e.pend with
   | P_probe slot -> slot := Some (Json.Obj [])
   | P_plain ->
     let id = raw_str "id" e.line in
-    t.emit (Service.error_to_json ?id dead_worker_error)
+    t.emit (Service.error_to_json ?id msg)
   | P_dir (cell, _) ->
     if not cell.eq_settled then begin
       cell.eq_settled <- true;
-      t.emit (Service.error_to_json ~id:cell.eq_id dead_worker_error)
+      t.emit (Service.error_to_json ~id:cell.eq_id msg)
     end
 
 (* A worker that keeps dying on arrival (say, its per-shard store path
@@ -476,7 +506,13 @@ let try_read t w =
       Buffer.add_subbytes w.rbuf t.rdbuf 0 n;
       drain_lines t w
 
-let pump_io t ~timeout =
+(* One select over the worker pipes plus any caller-supplied read fds
+   ([extra_rds] — the serve loop passes stdin), returning the readable
+   subset of the extras. Folding the caller's input source into the
+   same select is what keeps a synchronous client alive: a response
+   becomes ready while the router is otherwise idle waiting for input,
+   and it must be emitted then, not at the next submission. *)
+let pump_io ?(extra_rds = []) t ~timeout =
   let rds, wrs =
     Array.fold_left
       (fun (rds, wrs) w ->
@@ -484,12 +520,12 @@ let pump_io t ~timeout =
         else
           ( w.rfd :: rds,
             if Queue.is_empty w.unsent then wrs else w.wfd :: wrs ))
-      ([], []) t.workers
+      (extra_rds, []) t.workers
   in
-  if rds = [] && wrs = [] then ()
+  if rds = [] && wrs = [] then []
   else
     match Unix.select rds wrs [] timeout with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
     | rds', wrs', _ ->
       (* a death inside a handler closes fds and respawns with fresh
          ones, so match ready fds against the *current* worker state
@@ -505,7 +541,8 @@ let pump_io t ~timeout =
           Array.iter
             (fun w -> if w.w_alive && w.wfd == fd then try_write t w)
             t.workers)
-        wrs'
+        wrs';
+      List.filter (fun fd -> List.memq fd rds') extra_rds
 
 let pending t =
   Array.fold_left
@@ -514,7 +551,7 @@ let pending t =
 
 let drain t =
   while pending t > 0 do
-    pump_io t ~timeout:0.25
+    ignore (pump_io t ~timeout:0.25)
   done
 
 (* --- submission --- *)
@@ -526,7 +563,7 @@ let push t w e =
     try_write t w;
     (* opportunistically collect any responses already waiting, so a
        fast submit loop cannot fill the response pipes *)
-    pump_io t ~timeout:0.
+    ignore (pump_io t ~timeout:0.)
   end
 
 let contains_line ~id ~phi ~psi ~timeout_ms =
@@ -576,37 +613,53 @@ let submit t line =
         push t wf { line; pend = P_plain; admitted = false; enq_ms = now }
       | Some (phi, psi) -> (
         (* both directions must be admitted before either enqueues, so
-           a half-shed equiv never occupies a slot *)
-        match Admission.check wf.adm ~now_ms:now ~deadline_ms with
+           a half-shed equiv never occupies a slot. When they share a
+           shard the pair is checked as one two-slot unit — two
+           independent checks would each see the same depth and could
+           both admit at depth = bound - 1, pushing the queue past its
+           bound and under-counting the second direction's queue wait.
+           Across distinct shards both checks always run, and a shed
+           reports the larger of the two hints (protocol.md). *)
+        let verdict =
+          if fwd = bwd then
+            Admission.check ~slots:2 wf.adm ~now_ms:now ~deadline_ms
+          else
+            match
+              ( Admission.check wf.adm ~now_ms:now ~deadline_ms,
+                Admission.check wb.adm ~now_ms:now ~deadline_ms )
+            with
+            | Admission.Admit, Admission.Admit -> Admission.Admit
+            | ( Admission.Shed { retry_after_ms = a },
+                Admission.Shed { retry_after_ms = b } ) ->
+              Admission.Shed { retry_after_ms = Float.max a b }
+            | (Admission.Shed _ as s), _ | _, (Admission.Shed _ as s) -> s
+        in
+        match verdict with
         | Admission.Shed { retry_after_ms } ->
           emit_overloaded t ~id:plan.pl_id ~retry_after_ms
-        | Admission.Admit -> (
-          match Admission.check wb.adm ~now_ms:now ~deadline_ms with
-          | Admission.Shed { retry_after_ms } ->
-            emit_overloaded t ~id:plan.pl_id ~retry_after_ms
-          | Admission.Admit ->
-            Admission.enqueue wf.adm;
-            Admission.enqueue wb.adm;
-            let cell =
-              { eq_id = id;
-                eq_start = now;
-                fwd_resp = None;
-                bwd_resp = None;
-                eq_settled = false
-              }
-            in
-            push t wf
-              { line = contains_line ~id ~phi ~psi ~timeout_ms;
-                pend = P_dir (cell, Fwd);
-                admitted = true;
-                enq_ms = now
-              };
-            push t wb
-              { line = contains_line ~id ~phi:psi ~psi:phi ~timeout_ms;
-                pend = P_dir (cell, Bwd);
-                admitted = true;
-                enq_ms = now
-              })))
+        | Admission.Admit ->
+          Admission.enqueue wf.adm;
+          Admission.enqueue wb.adm;
+          let cell =
+            { eq_id = id;
+              eq_start = now;
+              fwd_resp = None;
+              bwd_resp = None;
+              eq_settled = false
+            }
+          in
+          push t wf
+            { line = contains_line ~id ~phi ~psi ~timeout_ms;
+              pend = P_dir (cell, Fwd);
+              admitted = true;
+              enq_ms = now
+            };
+          push t wb
+            { line = contains_line ~id ~phi:psi ~psi:phi ~timeout_ms;
+              pend = P_dir (cell, Bwd);
+              admitted = true;
+              enq_ms = now
+            }))
   end
 
 (* --- metrics --- *)
@@ -625,7 +678,10 @@ let router_json t =
           (float_of_int
              (Array.fold_left
                 (fun acc w -> acc + Admission.shed_count w.adm)
-                0 t.workers)) )
+                0 t.workers)) );
+      (* how the cross-worker merge above combined latency shapes *)
+      ( "latency_merge",
+        Json.Str "request-weighted means; percentiles are approximations" )
     ]
 
 let metrics_json t =
@@ -645,7 +701,7 @@ let metrics_json t =
       t.workers
   in
   while Array.exists (fun s -> !s = None) slots do
-    pump_io t ~timeout:0.25
+    ignore (pump_io t ~timeout:0.25)
   done;
   let snaps = List.filter_map (fun s -> !s) (Array.to_list slots) in
   match merge_metrics snaps with
@@ -654,22 +710,48 @@ let metrics_json t =
 
 (* --- lifecycle --- *)
 
+(* How long [close] keeps draining before killing a worker that has
+   not exited. Callers drain before closing, so a worker is normally
+   idle and exits the moment it reads EOF; the grace only matters for
+   a worker wedged in a deadline-less solve. *)
+let close_grace_s = 10.
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
     (* closing the request pipe is the shutdown signal: the worker
-       loop reads EOF and exits *)
-    Array.iter
-      (fun w ->
-        if w.w_alive then
-          try Unix.close w.wfd with Unix.Unix_error _ -> ())
-      t.workers;
+       loop reads EOF and exits. Requests never sent will never be
+       answered — fail them before the EOF so their clients still get
+       one reply per line. *)
     Array.iter
       (fun w ->
         if w.w_alive then begin
-          w.w_alive <- false;
-          (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-          try Unix.close w.rfd with Unix.Unix_error _ -> ()
+          Queue.iter
+            (fail_entry ~msg:"router closed before request was sent" t w)
+            w.unsent;
+          Queue.clear w.unsent;
+          w.woff <- 0;
+          try Unix.close w.wfd with Unix.Unix_error _ -> ()
+        end)
+      t.workers;
+    (* A worker mid-write into a full response pipe never reaches that
+       EOF, so keep draining responses (still emitting them) until each
+       response pipe reports EOF — jumping straight to [waitpid] here
+       would deadlock against such a worker. EOF lands in [worker_died]:
+       remaining in-flight entries answer structured errors, the child
+       is reaped, and [t.closed] suppresses the respawn. *)
+    let give_up = Trace.now_ms () +. (close_grace_s *. 1000.) in
+    while
+      Array.exists (fun w -> w.w_alive) t.workers
+      && Trace.now_ms () < give_up
+    do
+      ignore (pump_io t ~timeout:0.25)
+    done;
+    Array.iter
+      (fun w ->
+        if w.w_alive then begin
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          worker_died t w
         end)
       t.workers
   end
@@ -718,9 +800,10 @@ let engine ?(queue_depth = 64) ?default_timeout_ms ?(trace = false)
   done;
   Engine.make
     ~submit:(fun line -> submit t line)
-    ~pump:(fun () -> pump_io t ~timeout:0.)
+    ~pump:(fun () -> ignore (pump_io t ~timeout:0.))
     ~drain:(fun () -> drain t)
     ~pending:(fun () -> pending t)
+    ~wait:(fun fds timeout -> pump_io t ~extra_rds:fds ~timeout)
     ~metrics_json:(fun () -> metrics_json t)
     ~close:(fun () -> close t)
     ()

@@ -71,8 +71,19 @@ val engine :
     [chaos_crash_id] arms the workers' {!Xpds_service.Service.Chaos}
     hook to kill the worker process mid-solve on that request id — the
     crash-isolation tests and the load bench's crash leg use it.
-    Closing the engine closes the request pipes (workers exit on EOF)
-    and reaps the children. *)
+
+    The returned engine's {!Xpds_service.Engine.wait} folds the
+    caller's descriptors into the router's own select over the worker
+    pipes — a serving loop must use it (not a blocking read of its
+    input source) so responses are emitted the moment workers produce
+    them, even while no new input arrives.
+
+    Closing the engine closes the request pipes (workers exit on EOF),
+    fails never-sent requests with structured errors, keeps draining —
+    and emitting — responses until every response pipe reports EOF (so
+    a worker blocked writing into a full pipe can finish and exit),
+    then reaps the children; a worker that still has not exited after a
+    10 s grace (wedged in a deadline-less solve) is killed. *)
 
 (** {1 Metrics aggregation} *)
 
@@ -80,7 +91,12 @@ val merge_metrics : Json.t list -> Json.t
 (** Merge per-worker {!Xpds_service.Metrics.to_json} snapshots into one
     aggregate: numeric fields are summed, except [*min*]/[*max*] fields
     (min/max) and latency-shape fields ([mean], [p50], [p95], [p99],
-    [est_ms] — averaged over the snapshots that carry them); strings
-    and booleans take the first snapshot's value; objects merge
-    recursively (union of keys, first-appearance order). Exposed for
-    the unit tests. *)
+    [est_ms]) — those average over the snapshots that carry them,
+    weighted by each snapshot's top-level [requests] count so a shard
+    that served 10,000 requests dominates one that served 10 (plain
+    average when every weight is zero). A weighted average of per-shard
+    percentiles is still an approximation of the fleet percentile, and
+    the router section labels it as one ([latency_merge]). Strings and
+    booleans take the first snapshot's value; objects merge recursively
+    (union of keys, first-appearance order). Exposed for the unit
+    tests. *)

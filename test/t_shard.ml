@@ -254,8 +254,10 @@ let test_merge_metrics () =
     go m path
   in
   Alcotest.(check (option (float 0.))) "counters sum" (Some 7.) (num [ "requests" ]);
+  (* means are request-weighted: (3*10 + 4*20) / (3 + 4), not the
+     unweighted 15 — a busy shard dominates an idle one *)
   Alcotest.(check (option (float 0.)))
-    "means average" (Some 15.)
+    "means are request-weighted" (Some (110. /. 7.))
     (num [ "lat"; "mean" ]);
   Alcotest.(check (option (float 0.)))
     "max takes max" (Some 9.)
@@ -267,7 +269,106 @@ let test_merge_metrics () =
     "strings take first" (Some "x")
     (Option.bind (Json.member "engine" m) Json.to_str);
   Alcotest.(check (option (float 0.)))
-    "missing keys union in" (Some 7.) (num [ "extra" ])
+    "missing keys union in" (Some 7.) (num [ "extra" ]);
+  (* a shard that served nothing must not drag latency means down *)
+  let idle =
+    Json.Obj
+      [ ("requests", Json.Num 0.);
+        ("lat", Json.Obj [ ("mean", Json.Num 0.) ])
+      ]
+  in
+  let m3 = Shard.merge_metrics [ a; b; idle ] in
+  let num3 path =
+    let rec go v = function
+      | [] -> Json.to_float v
+      | k :: rest -> Option.bind (Json.member k v) (fun v -> go v rest)
+    in
+    go m3 path
+  in
+  Alcotest.(check (option (float 0.)))
+    "zero-request shard carries zero weight" (Some (110. /. 7.))
+    (num3 [ "lat"; "mean" ])
+
+(* --- admission slots --- *)
+
+(* An equiv whose two directions share a shard reserves both queue
+   slots atomically: a two-slot check at depth = bound - 1 must shed
+   where two independent one-slot checks would each admit. *)
+let test_admission_slots () =
+  let module Admission = Xpds_service.Admission in
+  let adm = Admission.create ~max_depth:2 () in
+  Admission.enqueue adm;
+  (match Admission.check adm ~now_ms:0. ~deadline_ms:None with
+  | Admission.Admit -> ()
+  | Admission.Shed _ -> Alcotest.fail "one slot fits at depth 1 of 2");
+  (match Admission.check ~slots:2 adm ~now_ms:0. ~deadline_ms:None with
+  | Admission.Shed _ -> ()
+  | Admission.Admit -> Alcotest.fail "two slots admitted past the bound");
+  (* the pair fits from an empty queue *)
+  let adm2 = Admission.create ~max_depth:2 () in
+  (match Admission.check ~slots:2 adm2 ~now_ms:0. ~deadline_ms:None with
+  | Admission.Admit -> ()
+  | Admission.Shed _ -> Alcotest.fail "two slots shed from an empty queue");
+  (* the deadline check charges the pair for the *last* slot: with a
+     10ms estimate, two slots need 20ms of budget *)
+  let adm3 = Admission.create ~max_depth:16 () in
+  Admission.enqueue adm3;
+  Admission.complete adm3 ~service_ms:10.;
+  (match Admission.check ~slots:2 adm3 ~now_ms:0. ~deadline_ms:(Some 15.) with
+  | Admission.Shed _ -> ()
+  | Admission.Admit -> Alcotest.fail "second slot cannot meet 15ms deadline");
+  match Admission.check ~slots:2 adm3 ~now_ms:0. ~deadline_ms:(Some 25.) with
+  | Admission.Admit -> ()
+  | Admission.Shed _ -> Alcotest.fail "both slots fit a 25ms deadline"
+
+(* --- wait: responses flow without further submissions --- *)
+
+(* A synchronous client submits one line and reads the reply before
+   sending anything else. [Engine.wait] must deliver that reply while
+   the router is otherwise idle — pumping only at submit time deadlocks
+   such a client (the serve-loop regression behind it is pinned here at
+   the engine seam). *)
+let test_wait_delivers_idle_responses () =
+  with_engine ~shards:2 (fun eng lines ->
+      Engine.submit eng (sat_line ~id:"w1" "<down[a]>");
+      let deadline = Unix.gettimeofday () +. 30. in
+      while lines () = [] && Unix.gettimeofday () < deadline do
+        ignore (Engine.wait eng 0.25)
+      done;
+      let w1 = find_id "w1" (lines ()) in
+      Alcotest.(check (option string))
+        "reply arrived through wait alone" (Some "sat")
+        (str_field "verdict" w1);
+      (* wait also reports the caller's descriptors: a readable pipe
+         comes back, stdin-style, alongside the worker pumping *)
+      let r, w = Unix.pipe () in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close r;
+          Unix.close w)
+        (fun () ->
+          ignore (Unix.write_substring w "x" 0 1);
+          let ready = Engine.wait eng ~read_fds:[ r ] 5. in
+          Alcotest.(check bool)
+            "readable extra fd reported" true
+            (List.memq r ready)))
+
+(* --- close with responses still in flight --- *)
+
+(* [close] without a prior drain must not deadlock against a worker
+   still producing output, and every submitted line still gets exactly
+   one reply (a late response or a structured error), emitted while
+   close drains the response pipes to EOF. *)
+let test_close_undrained () =
+  with_engine ~shards:2 (fun eng lines ->
+      let n = 6 in
+      for i = 1 to n do
+        Engine.submit eng (sat_line ~id:(Printf.sprintf "u%d" i) "<down[a]>")
+      done;
+      Engine.close eng;
+      Alcotest.(check int)
+        "one reply per line despite undrained close" n
+        (List.length (lines ())))
 
 let suite =
   ( "shard",
@@ -279,5 +380,9 @@ let suite =
         test_single_shard_agreement;
       Alcotest.test_case "crash isolation and respawn" `Quick
         test_crash_respawn;
-      Alcotest.test_case "metrics merge rules" `Quick test_merge_metrics
+      Alcotest.test_case "metrics merge rules" `Quick test_merge_metrics;
+      Alcotest.test_case "two-slot admission" `Quick test_admission_slots;
+      Alcotest.test_case "wait delivers idle responses" `Quick
+        test_wait_delivers_idle_responses;
+      Alcotest.test_case "close without drain" `Quick test_close_undrained
     ] )
